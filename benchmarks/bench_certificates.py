@@ -1,0 +1,38 @@
+"""E9 — Main-Theorem certificates (Figure 4 machinery).
+
+For random DAGs with internal cycles, :func:`equality_certificate` returns an
+internal cycle plus a Theorem 2 witness family whose ``w > pi`` is verified
+exactly — i.e. a self-validating certificate that ``w = pi`` fails on that
+topology.  The Figure 4 situation (the recolouring of Theorem 1 reaching Case
+C and producing an internal-cycle certificate) is exercised as well.
+"""
+
+import pytest
+
+from repro.analysis.experiments import certificate_experiment
+from repro.core.theorem1 import color_dipaths_theorem1
+from repro.exceptions import InternalCycleError
+from repro.generators.gadgets import figure3_instance
+from .conftest import report
+
+
+def test_certificate_sweep(benchmark, run_once):
+    records = run_once(benchmark, certificate_experiment, 10, 20, 0)
+    report(records,
+           title="E9 / certificates — internal cycle + witness family (w > pi)")
+    assert records
+    assert all(r["gap_witnessed"] for r in records)
+
+
+def test_case_c_certificate(benchmark):
+    """Running Theorem 1 on Figure 3 must fail with an internal-cycle certificate."""
+    dag, family = figure3_instance()
+
+    def attempt():
+        with pytest.raises(InternalCycleError) as excinfo:
+            color_dipaths_theorem1(dag, family)
+        return excinfo.value.cycle
+
+    cycle = benchmark(attempt)
+    assert cycle is not None
+    assert set(cycle) <= {"b", "c", "d", "m"}

@@ -1,0 +1,24 @@
+"""E1 — Figure 1: the ratio w / pi is unbounded on general DAGs.
+
+Paper claim: there are DAGs and families with load 2 needing as many
+wavelengths as desired (k pairwise-conflicting dipaths, every arc shared by at
+most two of them).  The bench regenerates the (k, pi, w) series.
+"""
+
+from repro.analysis.experiments import figure1_experiment
+from .conftest import report
+
+K_VALUES = (2, 3, 4, 5, 6, 8, 10, 12)
+
+
+def test_figure1_unbounded_ratio(benchmark, run_once):
+    records = run_once(benchmark, figure1_experiment, K_VALUES)
+    report(records, columns=["k", "load", "w", "ratio", "conflict_complete"],
+           title="E1 / Figure 1 — pathological family (pi = 2, w = k)")
+    assert all(r["load"] == 2 for r in records)
+    assert [r["w"] for r in records] == list(K_VALUES)
+    assert all(r["conflict_complete"] for r in records)
+    # the ratio grows without bound (monotone in k)
+    ratios = [r["ratio"] for r in records]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] == K_VALUES[-1] / 2

@@ -1,0 +1,16 @@
+"""E2 — Figure 3: the worked example (one internal cycle, 5 dipaths, pi=2, w=3)."""
+
+from repro.analysis.experiments import figure3_experiment
+from .conftest import report
+
+
+def test_figure3_worked_example(benchmark, run_once):
+    records = run_once(benchmark, figure3_experiment)
+    report(records,
+           title="E2 / Figure 3 — 5 dipaths on a DAG with one internal cycle")
+    (record,) = records
+    assert record["load"] == 2
+    assert record["w"] == 3
+    assert record["conflict_is_C5"]
+    assert record["has_internal_cycle"]
+    assert not record["is_upp"]

@@ -1,0 +1,39 @@
+"""E10 — end-to-end RWA on WDM topologies (the paper's motivating workflow).
+
+On internal-cycle-free logical topologies (rooted trees, random
+internal-cycle-free DAGs) the number of wavelengths needed equals the maximum
+fibre load, for all-to-all and random traffic.
+"""
+
+from repro.analysis.experiments import optical_rwa_experiment
+from repro.optical.rwa import provision_solution, solve_rwa
+from repro.optical.network import OpticalNetwork
+from repro.optical.traffic import all_to_all_traffic
+from repro.generators.trees import random_out_tree
+from .conftest import report
+
+
+def test_optical_rwa_equality(benchmark, run_once):
+    records = run_once(benchmark, optical_rwa_experiment, 0)
+    report(records,
+           title="E10 / optical RWA — wavelengths = load on internal-cycle-free topologies")
+    assert records
+    assert all(r["equal"] for r in records)
+    assert not any(r["has_internal_cycle"] for r in records)
+
+
+def test_optical_end_to_end_provisioning(benchmark):
+    """Full pipeline timing: route + colour + provision an all-to-all instance."""
+    tree = random_out_tree(30, seed=7)
+    traffic = all_to_all_traffic(tree)
+
+    def pipeline():
+        solution = solve_rwa(tree, traffic, routing="unique")
+        network = OpticalNetwork.from_digraph(tree,
+                                              capacity=solution.num_wavelengths)
+        provision_solution(network, solution)
+        return solution, network
+
+    solution, network = benchmark(pipeline)
+    assert solution.num_wavelengths == solution.load
+    assert network.max_utilization() == solution.load

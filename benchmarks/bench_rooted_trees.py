@@ -1,0 +1,59 @@
+"""Ablation — the rooted-tree special case vs the general Theorem 1 machinery.
+
+The paper mentions rooted trees as the originally solved special case.  The
+direct tree algorithm (:mod:`repro.core.rooted_trees`) and the general
+Theorem 1 algorithm must both use exactly ``pi`` colours; the ablation
+compares their runtime on the same all-to-all and random instances.
+"""
+
+from repro.coloring.verify import num_colors
+from repro.core.rooted_trees import color_dipaths_rooted_tree
+from repro.core.theorem1 import color_dipaths_theorem1
+from repro.generators.families import all_to_all_family, random_walk_family
+from repro.generators.trees import out_tree, random_out_tree
+from .conftest import report
+
+
+def _instances():
+    tree1 = out_tree(2, 5)
+    tree2 = random_out_tree(80, seed=21)
+    return [
+        ("complete binary tree / all-to-all", tree1, all_to_all_family(tree1)),
+        ("random tree (80) / random walks", tree2,
+         random_walk_family(tree2, 150, seed=21)),
+    ]
+
+
+def test_rooted_tree_ablation(benchmark, run_once):
+    def run():
+        from repro.analysis.metrics import timeit_call
+
+        rows = []
+        for name, tree, family in _instances():
+            tree_coloring, tree_time = timeit_call(
+                color_dipaths_rooted_tree, tree, family)
+            general_coloring, general_time = timeit_call(
+                color_dipaths_theorem1, tree, family)
+            rows.append({
+                "instance": name,
+                "dipaths": len(family),
+                "load": family.load(),
+                "colors_tree_algo": num_colors(tree_coloring),
+                "colors_theorem1": num_colors(general_coloring),
+                "time_tree_algo": tree_time,
+                "time_theorem1": general_time,
+            })
+        return rows
+
+    records = run_once(benchmark, run)
+    report(records, title="Ablation — rooted-tree algorithm vs Theorem 1")
+    for r in records:
+        assert r["colors_tree_algo"] == r["load"]
+        assert r["colors_theorem1"] == r["load"]
+
+
+def test_rooted_tree_algorithm_timing(benchmark):
+    tree = random_out_tree(120, seed=33)
+    family = random_walk_family(tree, 250, seed=33)
+    coloring = benchmark(color_dipaths_rooted_tree, tree, family)
+    assert num_colors(coloring) == family.load()

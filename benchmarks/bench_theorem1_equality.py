@@ -1,0 +1,36 @@
+"""E3 — Theorem 1: w = pi for every family on DAGs without internal cycle.
+
+The bench sweeps random internal-cycle-free DAGs and random rooted trees with
+random dipath families, colours them with the constructive algorithm and
+cross-checks optimality with the independent exact solver.
+"""
+
+from repro.analysis.experiments import theorem1_experiment
+from repro.analysis.metrics import aggregate
+from .conftest import report
+
+
+def test_theorem1_equality_sweep(benchmark, run_once):
+    records = run_once(benchmark, theorem1_experiment,
+                       12, 35, 55, 45, 0, ("random", "tree"))
+    report(records,
+           columns=["kind", "seed", "num_dipaths", "load", "w_theorem1",
+                    "w_exact", "equal", "time_theorem1"],
+           title="E3 / Theorem 1 — w = pi on internal-cycle-free DAGs")
+    assert all(r["equal"] for r in records)
+    assert all(r["w_theorem1"] == r["load"] for r in records)
+    summary = aggregate(records, "time_theorem1")
+    assert summary["mean"] < 1.0  # the constructive algorithm stays fast
+
+
+def test_theorem1_scaling(benchmark):
+    """Timing of the constructive colouring on a larger single instance."""
+    from repro.core.theorem1 import color_dipaths_theorem1
+    from repro.generators.families import random_walk_family
+    from repro.generators.random_dags import random_internal_cycle_free_dag
+
+    dag = random_internal_cycle_free_dag(150, 220, seed=11)
+    family = random_walk_family(dag, 300, seed=11)
+
+    coloring = benchmark(color_dipaths_theorem1, dag, family)
+    assert len(set(coloring.values())) == family.load()

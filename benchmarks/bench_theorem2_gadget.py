@@ -1,0 +1,16 @@
+"""E4 — Theorem 2 / Figure 5: for every internal cycle there is a family with pi=2, w=3."""
+
+from repro.analysis.experiments import theorem2_experiment
+from .conftest import report
+
+K_VALUES = (2, 3, 4, 5, 6, 8, 10)
+
+
+def test_theorem2_gadget_series(benchmark, run_once):
+    records = run_once(benchmark, theorem2_experiment, K_VALUES)
+    report(records,
+           title="E4 / Theorem 2, Figure 5 — odd conflict cycle C_{2k+1}, pi=2, w=3")
+    assert all(r["load"] == 2 for r in records)
+    assert all(r["w"] == 3 for r in records)
+    assert all(r["conflict_is_odd_cycle"] for r in records)
+    assert all(r["num_dipaths"] == 2 * r["k"] + 1 for r in records)

@@ -1,0 +1,28 @@
+"""E7 — Theorem 6: w <= ceil(4*pi/3) on UPP-DAGs with a single internal cycle.
+
+The bench runs the constructive Theorem 6 algorithm on random one-cycle
+UPP-DAGs and on the replicated Havet gadget and checks the colour budget.
+"""
+
+from repro.analysis.experiments import theorem6_experiment
+from .conftest import report
+
+
+def test_theorem6_bound_sweep(benchmark, run_once):
+    records = run_once(benchmark, theorem6_experiment, 12, (1, 2, 3, 4), 0)
+    report(records,
+           columns=["instance", "load", "colors_theorem6", "bound",
+                    "within_bound", "time_theorem6"],
+           title="E7 / Theorem 6 — ceil(4*pi/3) colour budget")
+    assert records
+    assert all(r["within_bound"] for r in records)
+
+
+def test_theorem6_algorithm_timing(benchmark):
+    """Timing of a single Theorem 6 run on a mid-size replicated instance."""
+    from repro.core.theorem6 import color_dipaths_theorem6, theorem6_bound
+    from repro.generators.gadgets import havet_instance
+
+    dag, family = havet_instance(6)
+    coloring = benchmark(color_dipaths_theorem6, dag, family)
+    assert len(set(coloring.values())) <= theorem6_bound(family.load())

@@ -1,0 +1,25 @@
+"""E8 — Theorem 7: the 4/3 bound is tight (replicated Havet gadget).
+
+Paper claim: the Figure 9 family replicated ``h`` times has ``pi = 2h`` and
+``w = ceil(8h/3) = ceil(4*pi/3)``.  Small ``h`` values are verified with the
+generic exact solver; larger ones through the exact blow-up cover formulation
+(both agree where they overlap).
+"""
+
+from repro.analysis.experiments import theorem7_experiment
+from .conftest import report
+
+H_VALUES = (1, 2, 3, 4, 6, 8)
+
+
+def test_theorem7_tightness(benchmark, run_once):
+    records = run_once(benchmark, theorem7_experiment, H_VALUES, 3)
+    report(records,
+           columns=["h", "load", "w", "expected_w", "matches_paper", "ratio",
+                    "bound_43", "alpha_base", "w_method"],
+           title="E8 / Theorem 7 — pi = 2h, w = ceil(8h/3) on the Havet family")
+    assert all(r["matches_paper"] for r in records)
+    assert all(r["w"] == r["bound_43"] for r in records)  # the bound is reached
+    assert all(r["alpha_base"] == 3 for r in records)
+    # the ratio tends to 4/3 from below
+    assert abs(records[-1]["ratio"] - 4 / 3) < 0.09

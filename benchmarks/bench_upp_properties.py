@@ -1,0 +1,22 @@
+"""E6 — Property 3 / Lemma 4 / Corollary 5 on random UPP-DAG families.
+
+Paper claims reproduced: for UPP-DAGs, the load equals the clique number of
+the conflict graph (Helly property) and the conflict graph contains no
+induced ``K_{2,3}``.
+"""
+
+from repro.analysis.experiments import upp_properties_experiment
+from .conftest import report
+
+
+def test_upp_structural_properties(benchmark, run_once):
+    records = run_once(benchmark, upp_properties_experiment, 12, 0)
+    report(records,
+           columns=["seed", "is_upp", "num_dipaths", "load", "clique_number",
+                    "clique_equals_load", "helly", "no_k23"],
+           title="E6 / Property 3 & Corollary 5 — UPP structural claims")
+    assert records
+    assert all(r["is_upp"] for r in records)
+    assert all(r["clique_equals_load"] for r in records)
+    assert all(r["helly"] for r in records)
+    assert all(r["no_k23"] for r in records)

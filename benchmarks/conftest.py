@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file regenerates one of the paper's figures/theorem claims
+(see DESIGN.md §4, experiments E1-E11): it runs the corresponding driver from
+:mod:`repro.analysis.experiments`, *asserts* the paper's qualitative claim
+(who wins, which bound holds, where the equality lies) and prints the rows in
+a paper-style table (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_records
+
+
+def report(records, columns=None, title=None):
+    """Print a record table (shown when pytest capture is disabled)."""
+    print()
+    print(format_records(records, columns=columns, title=title))
+
+
+@pytest.fixture
+def run_once():
+    """Run a callable through pytest-benchmark exactly once (no warmup rounds).
+
+    The randomised sweep drivers take seconds; timing them once is enough for
+    the reproduction (we care about the reported numbers, not ns-level
+    timing), and it keeps the whole harness fast.
+    """
+    def _runner(benchmark, func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return _runner

@@ -1,0 +1,71 @@
+"""Audit a set of logical topologies: is "wavelengths = load" guaranteed?
+
+The Main Theorem makes this a purely topological question: the equality
+``w(G, P) = pi(G, P)`` holds for *every* dipath family ``P`` exactly when the
+DAG ``G`` has no internal cycle.  This example audits a collection of
+topologies, reports the verdict, and for the failing ones produces the
+self-validating certificate (an internal cycle plus a Theorem 2 witness family
+with ``w > pi``).
+
+Run with:  python examples/internal_cycle_audit.py
+"""
+
+from repro import equality_certificate, internal_cyclomatic_number
+from repro.analysis.tables import format_records
+from repro.generators import (
+    figure3_dag,
+    havet_dag,
+    pathological_dag,
+    random_dag,
+    random_internal_cycle_free_dag,
+    random_layered_dag,
+    theorem2_gadget,
+)
+from repro.generators.trees import caterpillar, out_tree, spider
+
+
+def audit(name, dag):
+    certificate = equality_certificate(dag)
+    row = {
+        "topology": name,
+        "vertices": dag.num_vertices,
+        "arcs": dag.num_arcs,
+        "internal_cycles": internal_cyclomatic_number(dag),
+        "w == load always": certificate.equality_holds,
+    }
+    if not certificate.equality_holds:
+        row["witness"] = (f"pi={certificate.witness_load}, "
+                          f"w={certificate.witness_wavelengths} "
+                          f"on {len(certificate.witness_family)} dipaths")
+    else:
+        row["witness"] = "-"
+    return row
+
+
+def main() -> None:
+    topologies = [
+        ("binary out-tree (depth 4)", out_tree(2, 4)),
+        ("spider (6 legs)", spider(6, 3)),
+        ("caterpillar", caterpillar(6, 2)),
+        ("random internal-cycle-free DAG", random_internal_cycle_free_dag(40, 60, seed=0)),
+        ("random layered DAG 4x5", random_layered_dag(4, 5, 0.4, seed=0)),
+        ("random DAG p=0.25", random_dag(20, 0.25, seed=0)),
+        ("Figure 3 DAG", figure3_dag()),
+        ("Theorem 2 gadget (k=4)", theorem2_gadget(4)),
+        ("Havet DAG (Figure 9)", havet_dag()),
+        ("Figure 1 DAG (k=5)", pathological_dag(5)),
+    ]
+    rows = [audit(name, dag) for name, dag in topologies]
+    print(format_records(
+        rows,
+        columns=["topology", "vertices", "arcs", "internal_cycles",
+                 "w == load always", "witness"],
+        title="Internal-cycle audit (Main Theorem as a design rule)"))
+
+    print("\nReading the table: topologies with zero internal cycles can be "
+          "dimensioned by load alone;\nfor the others the witness column shows "
+          "a concrete family needing more wavelengths than the load.")
+
+
+if __name__ == "__main__":
+    main()

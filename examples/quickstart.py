@@ -1,0 +1,58 @@
+"""Quickstart: load, wavelength number and the Main Theorem in a few lines.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    DAG,
+    DipathFamily,
+    assign_wavelengths,
+    equality_certificate,
+    has_internal_cycle,
+    load,
+    min_wavelengths_equal_load,
+    wavelength_number,
+)
+from repro.generators import figure3_instance
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. A small DAG and a family of dipaths
+    # ------------------------------------------------------------------ #
+    dag = DAG(arcs=[("a", "b"), ("b", "c"), ("c", "d"), ("b", "e"), ("f", "c")])
+    family = DipathFamily([
+        ["a", "b", "c", "d"],
+        ["b", "c", "d"],
+        ["f", "c", "d"],
+        ["a", "b", "e"],
+    ], graph=dag)
+
+    print("== a DAG without internal cycle ==")
+    print(f"load pi(G,P)            = {load(dag, family)}")
+    print(f"wavelengths w(G,P)      = {wavelength_number(dag, family)}")
+    print(f"has internal cycle?       {has_internal_cycle(dag)}")
+    print(f"w = pi for EVERY family?  {min_wavelengths_equal_load(dag)}")
+
+    solution = assign_wavelengths(dag, family)       # uses Theorem 1
+    print(f"assignment ({solution.method}):")
+    for idx, dipath in enumerate(family):
+        print(f"  wavelength {solution.wavelength_of(idx)}  <-  {dipath}")
+
+    # ------------------------------------------------------------------ #
+    # 2. The smallest example where the equality breaks (Figure 3)
+    # ------------------------------------------------------------------ #
+    print("\n== Figure 3: a DAG with an internal cycle ==")
+    fig3_dag, fig3_family = figure3_instance()
+    print(f"load      = {load(fig3_dag, fig3_family)}")
+    print(f"wavelengths = {wavelength_number(fig3_dag, fig3_family, method='exact')}")
+    print(f"w = pi for every family?  {min_wavelengths_equal_load(fig3_dag)}")
+
+    certificate = equality_certificate(fig3_dag)
+    print(f"internal cycle found: {certificate.internal_cycle}")
+    print(f"witness family: pi = {certificate.witness_load}, "
+          f"w = {certificate.witness_wavelengths}  (Theorem 2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Run every reproduction experiment (E1–E11) and persist the results.
+
+This is the scripted counterpart of ``pytest benchmarks/ --benchmark-only``:
+it runs the same drivers, prints the paper-style tables and writes
+CSV + JSON reports under ``results/`` so the numbers can be tracked across
+versions or plotted externally.
+
+Usage:
+    python scripts/run_all_experiments.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import (
+    algorithm_comparison_experiment,
+    certificate_experiment,
+    figure1_experiment,
+    figure3_experiment,
+    format_records,
+    main_theorem_experiment,
+    optical_rwa_experiment,
+    theorem1_experiment,
+    theorem2_experiment,
+    theorem6_experiment,
+    theorem7_experiment,
+    upp_properties_experiment,
+    write_csv,
+    write_json,
+)
+
+EXPERIMENTS = [
+    ("E01_figure1", "Figure 1 — unbounded ratio",
+     lambda: figure1_experiment((2, 3, 4, 5, 6, 8, 10, 12))),
+    ("E02_figure3", "Figure 3 — worked example", figure3_experiment),
+    ("E03_theorem1", "Theorem 1 — w = pi without internal cycles",
+     lambda: theorem1_experiment(num_instances=12)),
+    ("E04_theorem2", "Theorem 2 / Figure 5 — gadget series",
+     lambda: theorem2_experiment((2, 3, 4, 5, 6, 8, 10))),
+    ("E05_main_theorem", "Main Theorem — both directions",
+     lambda: main_theorem_experiment(num_instances=10)),
+    ("E06_upp_properties", "Property 3 / Corollary 5 — UPP structure",
+     lambda: upp_properties_experiment(num_instances=12)),
+    ("E07_theorem6", "Theorem 6 — 4/3 colour budget",
+     lambda: theorem6_experiment(num_random=12, havet_copies=(1, 2, 3, 4))),
+    ("E08_theorem7", "Theorem 7 — tightness",
+     lambda: theorem7_experiment((1, 2, 3, 4, 6, 8))),
+    ("E09_certificates", "Certificates", lambda: certificate_experiment(10)),
+    ("E10_optical", "Optical RWA end to end", optical_rwa_experiment),
+    ("E11_ablation", "Algorithm comparison",
+     lambda: algorithm_comparison_experiment((20, 40, 60))),
+]
+
+
+def main() -> int:
+    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    output_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for key, title, driver in EXPERIMENTS:
+        start = time.perf_counter()
+        records = driver()
+        elapsed = time.perf_counter() - start
+        print()
+        print(format_records(records, title=f"{key}: {title}  ({elapsed:.1f}s)"))
+        write_csv(records, output_dir / f"{key}.csv")
+        write_json(records, output_dir / f"{key}.json",
+                   metadata={"experiment": key, "title": title,
+                             "elapsed_seconds": elapsed})
+        # any explicit verification flags present in the records must be true
+        for record in records:
+            for flag in ("equal", "matches_theorem", "within_bound",
+                         "matches_paper", "gap_witnessed"):
+                if flag in record and not record[flag]:
+                    failures += 1
+                    print(f"!! {key}: claim flag {flag} is False in {record}")
+    print()
+    print(f"reports written to {output_dir}/ "
+          f"({'all claims verified' if failures == 0 else f'{failures} violations'})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

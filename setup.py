@@ -1,0 +1,27 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments (legacy editable installs do not need to download build
+dependencies or build a wheel).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "dagrwa: routing and wavelength assignment on DAGs — reproduction of "
+        "Bermond & Cosnard, 'Minimum number of wavelengths equals load in a "
+        "DAG without internal cycle' (IPDPS 2007)"
+    ),
+    author="repro maintainers",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+    extras_require={
+        "test": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],
+    },
+)

@@ -1,0 +1,29 @@
+"""Shared type aliases used across :mod:`repro`.
+
+The library is deliberately generic over the vertex type: any hashable object
+may be used as a vertex (integers, strings, tuples...).  The aliases below
+exist to keep signatures readable and consistent; they carry no runtime
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence, Tuple, TypeVar
+
+#: Any hashable object may serve as a vertex.
+Vertex = Hashable
+
+#: An arc is an ordered pair of vertices ``(tail, head)``.
+Arc = Tuple[Vertex, Vertex]
+
+#: A dipath described extensionally as its vertex sequence.
+VertexSequence = Sequence[Vertex]
+
+#: A colouring maps an item (dipath index, vertex, ...) to a colour index.
+Coloring = Mapping[int, int]
+
+#: Iterable of arcs, accepted by most constructors.
+ArcIterable = Iterable[Arc]
+
+#: Generic type variable for container helpers.
+T = TypeVar("T")

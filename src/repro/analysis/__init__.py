@@ -1,0 +1,45 @@
+"""Experiment drivers, metrics and table rendering."""
+
+from .experiments import (
+    algorithm_comparison_experiment,
+    certificate_experiment,
+    figure1_experiment,
+    figure3_experiment,
+    main_theorem_experiment,
+    optical_rwa_experiment,
+    search_upp_ratio,
+    theorem1_experiment,
+    theorem2_experiment,
+    theorem6_experiment,
+    theorem7_experiment,
+    upp_properties_experiment,
+)
+from .metrics import aggregate, instance_metrics, ratio, timeit_call
+from .reporting import read_json, summarize_records, write_csv, write_json
+from .tables import format_records, format_table, print_records
+
+__all__ = [
+    "aggregate",
+    "algorithm_comparison_experiment",
+    "certificate_experiment",
+    "figure1_experiment",
+    "figure3_experiment",
+    "format_records",
+    "format_table",
+    "instance_metrics",
+    "main_theorem_experiment",
+    "optical_rwa_experiment",
+    "print_records",
+    "ratio",
+    "read_json",
+    "search_upp_ratio",
+    "summarize_records",
+    "write_csv",
+    "write_json",
+    "theorem1_experiment",
+    "theorem2_experiment",
+    "theorem6_experiment",
+    "theorem7_experiment",
+    "timeit_call",
+    "upp_properties_experiment",
+]

@@ -1,0 +1,90 @@
+"""Metrics collected by the experiment drivers.
+
+Each experiment produces per-instance records with the quantities the paper
+reports: the load ``pi``, the wavelength number ``w`` (exact or per
+algorithm), their ratio, the clique number of the conflict graph and basic
+instance sizes.  This module computes those records and aggregates them.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..conflict.cliques import clique_number
+from ..conflict.conflict_graph import build_conflict_graph
+from ..core.load import load as _load
+from ..core.wavelengths import assign_wavelengths
+from ..cycles.internal import has_internal_cycle, internal_cyclomatic_number
+from ..dipaths.family import DipathFamily
+from ..graphs.digraph import DiGraph
+
+__all__ = [
+    "instance_metrics",
+    "ratio",
+    "aggregate",
+    "timeit_call",
+]
+
+
+def ratio(w: int, pi: int) -> float:
+    """The ratio ``w / pi`` (``nan`` for an empty instance)."""
+    return w / pi if pi else math.nan
+
+
+def timeit_call(func, *args, **kwargs):
+    """Run ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def instance_metrics(graph: DiGraph, family: DipathFamily,
+                     methods: Sequence[str] = ("auto",),
+                     include_clique: bool = False) -> Dict[str, object]:
+    """Compute the standard metric record for one instance.
+
+    Parameters
+    ----------
+    methods:
+        Wavelength-assignment methods to run; each contributes
+        ``w_<method>`` and ``time_<method>`` fields.
+    include_clique:
+        Also compute the clique number of the conflict graph (exact; only for
+        small instances).
+    """
+    record: Dict[str, object] = {
+        "num_vertices": graph.num_vertices,
+        "num_arcs": graph.num_arcs,
+        "num_dipaths": len(family),
+        "load": _load(graph, family),
+        "has_internal_cycle": has_internal_cycle(graph),
+        "internal_cycles": internal_cyclomatic_number(graph),
+    }
+    for method in methods:
+        solution, elapsed = timeit_call(
+            assign_wavelengths, graph, family, method=method)  # type: ignore[arg-type]
+        record[f"w_{method}"] = solution.num_wavelengths
+        record[f"time_{method}"] = elapsed
+    if include_clique:
+        record["clique_number"] = clique_number(build_conflict_graph(family))
+    first = f"w_{methods[0]}"
+    record["ratio"] = ratio(record[first], record["load"])  # type: ignore[arg-type]
+    return record
+
+
+def aggregate(records: Iterable[Mapping[str, object]], field: str
+              ) -> Dict[str, float]:
+    """Mean / min / max of a numeric field across records (ignoring missing)."""
+    values = [float(r[field]) for r in records
+              if field in r and r[field] is not None]
+    if not values:
+        return {"count": 0, "mean": math.nan, "min": math.nan, "max": math.nan}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

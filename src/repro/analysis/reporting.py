@@ -1,0 +1,95 @@
+"""Persisting experiment records (CSV / JSON).
+
+The benchmark harness prints paper-style tables; for downstream analysis
+(plotting, regression tracking across versions) the same records can be
+written to disk.  Only the standard library is used so reports can be loaded
+anywhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["write_csv", "write_json", "read_json", "summarize_records"]
+
+PathLike = Union[str, Path]
+
+
+def _columns(records: Sequence[Mapping[str, object]],
+             columns: Optional[Sequence[str]]) -> List[str]:
+    if columns is not None:
+        return list(columns)
+    seen: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def write_csv(records: Sequence[Mapping[str, object]], path: PathLike,
+              columns: Optional[Sequence[str]] = None) -> Path:
+    """Write records to a CSV file; returns the path.
+
+    Missing fields are left empty; the column order is the first-appearance
+    order across records unless ``columns`` is given.
+    """
+    path = Path(path)
+    cols = _columns(records, columns)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow({c: record.get(c, "") for c in cols})
+    return path
+
+
+def write_json(records: Sequence[Mapping[str, object]], path: PathLike,
+               metadata: Optional[Mapping[str, object]] = None) -> Path:
+    """Write records (plus optional metadata) to a JSON file; returns the path.
+
+    Non-JSON-serialisable values (tuples used as vertex labels, sets, ...) are
+    converted to strings so any experiment record can be persisted.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"metadata": dict(metadata or {}), "records": [dict(r) for r in records]}
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, default=str, sort_keys=True)
+    return path
+
+
+def read_json(path: PathLike) -> List[dict]:
+    """Read back the records written by :func:`write_json`."""
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    return list(payload.get("records", []))
+
+
+def summarize_records(records: Iterable[Mapping[str, object]],
+                      group_by: str, value: str) -> List[dict]:
+    """Group records by a field and aggregate a numeric value (mean/min/max).
+
+    Handy for turning per-seed sweep records into per-parameter summary rows
+    before printing or persisting them.
+    """
+    groups: dict = {}
+    for record in records:
+        if group_by not in record or value not in record:
+            continue
+        groups.setdefault(record[group_by], []).append(float(record[value]))  # type: ignore[arg-type]
+    out = []
+    for key in sorted(groups, key=repr):
+        values = groups[key]
+        out.append({
+            group_by: key,
+            f"{value}_mean": sum(values) / len(values),
+            f"{value}_min": min(values),
+            f"{value}_max": max(values),
+            "count": len(values),
+        })
+    return out

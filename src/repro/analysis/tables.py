@@ -1,0 +1,64 @@
+"""ASCII table rendering for benchmark and example output.
+
+The benchmark harness prints one table per reproduced figure/theorem, in the
+same "rows the paper reports" spirit (``pi``, ``w``, ratio, bound...).  This
+module renders lists of record dictionaries as aligned plain-text tables so
+the output is readable both on a terminal and in the committed
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_records", "print_records"]
+
+
+def _fmt(value: object, float_digits: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None, float_digits: int = 3) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [
+        [_fmt(cell, float_digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_records(records: Sequence[Mapping[str, object]],
+                   columns: Optional[Sequence[str]] = None,
+                   title: Optional[str] = None,
+                   float_digits: int = 3) -> str:
+    """Render record dictionaries as a table (columns default to the first record's keys)."""
+    if not records:
+        return (title + "\n" if title else "") + "(no records)"
+    if columns is None:
+        columns = list(records[0].keys())
+    rows = [[record.get(col, "") for col in columns] for record in records]
+    return format_table(columns, rows, title=title, float_digits=float_digits)
+
+
+def print_records(records: Sequence[Mapping[str, object]],
+                  columns: Optional[Sequence[str]] = None,
+                  title: Optional[str] = None) -> None:
+    """Print :func:`format_records` (convenience for benches and examples)."""
+    print(format_records(records, columns=columns, title=title))

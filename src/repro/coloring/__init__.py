@@ -1,0 +1,36 @@
+"""Graph colouring toolbox (greedy, DSATUR, exact, Kempe chains)."""
+
+from .dsatur import dsatur_coloring, dsatur_order
+from .exact import (
+    chromatic_number,
+    greedy_clique_lower_bound,
+    is_k_colorable,
+    optimal_coloring,
+)
+from .greedy import greedy_coloring
+from .kempe import kempe_component, kempe_swap, kempe_swap_component
+from .verify import (
+    assert_proper_coloring,
+    color_classes,
+    is_proper_coloring,
+    normalize_coloring,
+    num_colors,
+)
+
+__all__ = [
+    "assert_proper_coloring",
+    "chromatic_number",
+    "color_classes",
+    "dsatur_coloring",
+    "dsatur_order",
+    "greedy_clique_lower_bound",
+    "greedy_coloring",
+    "is_k_colorable",
+    "is_proper_coloring",
+    "kempe_component",
+    "kempe_swap",
+    "kempe_swap_component",
+    "normalize_coloring",
+    "num_colors",
+    "optimal_coloring",
+]

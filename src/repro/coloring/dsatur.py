@@ -1,0 +1,68 @@
+"""DSATUR colouring (Brélaz 1979).
+
+DSATUR colours the vertex of highest *saturation* (number of distinct colours
+already present in its neighbourhood) first, breaking ties by degree.  It is
+exact on many structured graphs (bipartite graphs, cycles, cliques) and is
+the standard strong heuristic for wavelength assignment; the exact solver in
+:mod:`repro.coloring.exact` uses it both as an upper bound and as its
+branching order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Hashable, List, Set, Tuple
+
+from .verify import Adjacency
+
+__all__ = ["dsatur_coloring", "dsatur_order"]
+
+
+def dsatur_coloring(adjacency: Adjacency) -> Dict[Hashable, int]:
+    """Colour ``adjacency`` with the DSATUR heuristic.
+
+    Returns a proper colouring mapping ``vertex -> colour``; the number of
+    colours used is an upper bound on the chromatic number.
+    """
+    if not adjacency:
+        return {}
+    saturation: Dict[Hashable, Set[int]] = {v: set() for v in adjacency}
+    degree: Dict[Hashable, int] = {v: len(nbrs) for v, nbrs in adjacency.items()}
+    coloring: Dict[Hashable, int] = {}
+
+    # Max-heap keyed by (saturation, degree) with lazy invalidation.
+    tiebreak = count()
+    heap: List[Tuple[int, int, int, Hashable]] = [
+        (0, -degree[v], next(tiebreak), v) for v in adjacency]
+    heapq.heapify(heap)
+
+    while len(coloring) < len(adjacency):
+        while True:
+            neg_sat, neg_deg, _, v = heapq.heappop(heap)
+            if v in coloring:
+                continue
+            if -neg_sat == len(saturation[v]):
+                break
+            # stale entry: reinsert with current saturation
+            heapq.heappush(heap, (-len(saturation[v]), neg_deg, next(tiebreak), v))
+        used = {coloring[w] for w in adjacency[v] if w in coloring}
+        c = 0
+        while c in used:
+            c += 1
+        coloring[v] = c
+        for w in adjacency[v]:
+            if w not in coloring and c not in saturation[w]:
+                saturation[w].add(c)
+                heapq.heappush(heap, (-len(saturation[w]), -degree[w],
+                                      next(tiebreak), w))
+    return coloring
+
+
+def dsatur_order(adjacency: Adjacency) -> List[Hashable]:
+    """The vertex order in which DSATUR colours the graph."""
+    coloring = dsatur_coloring(adjacency)
+    # dsatur_coloring assigns colours in processing order; reconstruct that
+    # order by re-running is wasteful, so track via insertion order of dict
+    # (Python dicts preserve insertion order).
+    return list(coloring)

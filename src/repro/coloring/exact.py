@@ -1,0 +1,146 @@
+"""Exact chromatic number via branch and bound.
+
+The wavelength number ``w(G, P)`` is the chromatic number of the conflict
+graph; computing it is NP-hard in general (the paper recalls this), but the
+instances arising from the paper's gadgets and from the randomised
+experiments are small enough for an exact branch-and-bound solver:
+
+* lower bound: a greedily-grown clique (optionally improved during search);
+* upper bound: DSATUR;
+* search: ``k``-colourability backtracking for increasing ``k``, choosing the
+  most saturated uncoloured vertex first and breaking colour symmetry by
+  allowing at most one "fresh" colour per step.
+
+The solver is deliberately independent of the Theorem 1 machinery so that
+``w = pi`` can be *verified* rather than assumed in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .dsatur import dsatur_coloring
+from .verify import Adjacency, num_colors
+
+__all__ = [
+    "chromatic_number",
+    "optimal_coloring",
+    "is_k_colorable",
+    "greedy_clique_lower_bound",
+]
+
+
+def greedy_clique_lower_bound(adjacency: Adjacency) -> int:
+    """Size of a greedily grown clique (a lower bound on the chromatic number)."""
+    if not adjacency:
+        return 0
+    best = 1
+    # Try a few starting vertices (highest degrees) to strengthen the bound.
+    starts = sorted(adjacency, key=lambda v: len(adjacency[v]), reverse=True)[:8]
+    for start in starts:
+        clique = {start}
+        candidates = set(adjacency[start])
+        while candidates:
+            v = max(candidates, key=lambda u: len(adjacency[u] & candidates))
+            clique.add(v)
+            candidates &= adjacency[v]
+        best = max(best, len(clique))
+    return best
+
+
+def _prepare(adjacency: Adjacency) -> Tuple[List[Hashable], List[Set[int]]]:
+    """Relabel vertices as ``0..n-1`` and build integer adjacency."""
+    vertices = list(adjacency)
+    index = {v: i for i, v in enumerate(vertices)}
+    int_adj: List[Set[int]] = [set() for _ in vertices]
+    for v, nbrs in adjacency.items():
+        vi = index[v]
+        for w in nbrs:
+            if w in index:
+                int_adj[vi].add(index[w])
+    return vertices, int_adj
+
+
+def is_k_colorable(adjacency: Adjacency, k: int
+                   ) -> Optional[Dict[Hashable, int]]:
+    """Return a proper colouring with at most ``k`` colours, or ``None``.
+
+    Backtracking search with most-saturated-first vertex selection and colour
+    symmetry breaking (a vertex may only open colour ``c`` if colours
+    ``0..c-1`` are already in use somewhere).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    vertices, int_adj = _prepare(adjacency)
+    n = len(vertices)
+    if n == 0:
+        return {}
+    if k == 0:
+        return None
+    colors: List[int] = [-1] * n
+    neighbour_colors: List[Set[int]] = [set() for _ in range(n)]
+
+    def choose_vertex() -> int:
+        best_v, best_key = -1, (-1, -1)
+        for v in range(n):
+            if colors[v] != -1:
+                continue
+            key = (len(neighbour_colors[v]), len(int_adj[v]))
+            if key > best_key:
+                best_key, best_v = key, v
+        return best_v
+
+    def backtrack(num_colored: int, max_used: int) -> bool:
+        if num_colored == n:
+            return True
+        v = choose_vertex()
+        if len(neighbour_colors[v]) >= k:
+            return False
+        # allow existing colours plus at most one fresh colour
+        allowed = [c for c in range(min(max_used + 2, k))
+                   if c not in neighbour_colors[v]]
+        for c in allowed:
+            colors[v] = c
+            touched: List[int] = []
+            for w in int_adj[v]:
+                if colors[w] == -1 and c not in neighbour_colors[w]:
+                    neighbour_colors[w].add(c)
+                    touched.append(w)
+            if backtrack(num_colored + 1, max(max_used, c)):
+                return True
+            colors[v] = -1
+            for w in touched:
+                neighbour_colors[w].discard(c)
+        return False
+
+    if not backtrack(0, -1):
+        return None
+    return {vertices[i]: colors[i] for i in range(n)}
+
+
+def optimal_coloring(adjacency: Adjacency) -> Dict[Hashable, int]:
+    """An optimal (minimum-colour) proper colouring.
+
+    Starts from the DSATUR upper bound and the greedy-clique lower bound and
+    closes the gap by solving ``k``-colourability downward from the upper
+    bound.
+    """
+    if not adjacency:
+        return {}
+    upper_coloring = dsatur_coloring(adjacency)
+    upper = num_colors(upper_coloring)
+    lower = greedy_clique_lower_bound(adjacency)
+    best = upper_coloring
+    k = upper - 1
+    while k >= lower:
+        attempt = is_k_colorable(adjacency, k)
+        if attempt is None:
+            break
+        best = attempt
+        k = num_colors(attempt) - 1
+    return best
+
+
+def chromatic_number(adjacency: Adjacency) -> int:
+    """The chromatic number of the graph given by ``adjacency``."""
+    return num_colors(optimal_coloring(adjacency))

@@ -1,0 +1,88 @@
+"""Greedy colouring heuristics.
+
+Greedy colouring with various vertex orders provides the baseline wavelength
+assignment against which the paper's optimal (Theorem 1) and 4/3-approximate
+(Theorem 6) algorithms are compared in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Literal, Mapping, Optional, Sequence, Set
+
+from .verify import Adjacency
+
+__all__ = ["greedy_coloring", "GreedyOrder"]
+
+GreedyOrder = Literal["given", "largest-first", "smallest-last", "random"]
+
+
+def _order_vertices(adjacency: Adjacency, strategy: GreedyOrder,
+                    rng: Optional[random.Random]) -> List[Hashable]:
+    vertices = list(adjacency)
+    if strategy == "given":
+        return vertices
+    if strategy == "largest-first":
+        return sorted(vertices, key=lambda v: len(adjacency[v]), reverse=True)
+    if strategy == "random":
+        rng = rng or random.Random()
+        shuffled = list(vertices)
+        rng.shuffle(shuffled)
+        return shuffled
+    if strategy == "smallest-last":
+        # Repeatedly remove a vertex of minimum degree in the remaining graph;
+        # colour in the reverse removal order (a.k.a. degeneracy ordering).
+        remaining: Dict[Hashable, Set[Hashable]] = {
+            v: set(nbrs) for v, nbrs in adjacency.items()}
+        removal: List[Hashable] = []
+        while remaining:
+            v = min(remaining, key=lambda u: len(remaining[u]))
+            removal.append(v)
+            for w in remaining[v]:
+                remaining[w].discard(v)
+            del remaining[v]
+        removal.reverse()
+        return removal
+    raise ValueError(f"unknown greedy order {strategy!r}")
+
+
+def greedy_coloring(adjacency: Adjacency,
+                    order: Optional[Sequence[Hashable]] = None,
+                    strategy: GreedyOrder = "largest-first",
+                    seed: Optional[int] = None) -> Dict[Hashable, int]:
+    """Colour vertices greedily with the smallest available colour.
+
+    Parameters
+    ----------
+    adjacency:
+        Mapping ``vertex -> set of neighbours``.
+    order:
+        Explicit vertex order; overrides ``strategy`` when given.
+    strategy:
+        ``"given"`` (dict order), ``"largest-first"``, ``"smallest-last"``
+        (degeneracy order, optimal on forests and cycles) or ``"random"``.
+    seed:
+        Seed for the ``"random"`` strategy.
+
+    Returns
+    -------
+    dict
+        Mapping ``vertex -> colour`` with colours ``0..k-1``.
+    """
+    if order is None:
+        rng = random.Random(seed) if seed is not None else None
+        order = _order_vertices(adjacency, strategy, rng)
+    else:
+        order = list(order)
+        missing = set(adjacency) - set(order)
+        if missing:
+            raise ValueError(f"order is missing vertices: {sorted(map(repr, missing))}")
+
+    coloring: Dict[Hashable, int] = {}
+    for v in order:
+        used = {coloring[w] for w in adjacency[v] if w in coloring}
+        c = 0
+        while c in used:
+            c += 1
+        coloring[v] = c
+    return coloring

@@ -1,0 +1,75 @@
+"""Kempe chains and swaps.
+
+The recolouring step of Theorem 1's proof is exactly an alternating-chain
+argument: starting from a dipath ``P1`` whose colour must change from ``α``
+to ``β``, recolour the dipaths of colour ``β`` conflicting with it to ``α``,
+then the dipaths of colour ``α`` conflicting with those to ``β``, and so on.
+On the conflict graph this is the classical *Kempe component swap*: exchange
+the two colours inside the connected component of ``P1`` in the subgraph
+induced by the vertices coloured ``α`` or ``β``.
+
+The proof's Case B (a dipath recoloured twice) corresponds to the fact that a
+Kempe swap never revisits a vertex; Case C (the anchored dipath ``P0`` would
+be reached) corresponds to ``P0`` lying in the same Kempe component as
+``P1`` — which Theorem 1 shows is impossible when the DAG has no internal
+cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Mapping, Set, Tuple
+
+from .verify import Adjacency
+
+__all__ = ["kempe_component", "kempe_swap", "kempe_swap_component"]
+
+
+def kempe_component(adjacency: Adjacency, coloring: Mapping[Hashable, int],
+                    start: Hashable, color_a: int, color_b: int
+                    ) -> Set[Hashable]:
+    """Connected component of ``start`` among vertices coloured ``a`` or ``b``.
+
+    ``start`` must itself carry one of the two colours.
+    """
+    if coloring[start] not in (color_a, color_b):
+        raise ValueError(
+            f"start vertex has colour {coloring[start]}, expected "
+            f"{color_a} or {color_b}")
+    component: Set[Hashable] = {start}
+    queue = deque([start])
+    targets = {color_a, color_b}
+    while queue:
+        v = queue.popleft()
+        for w in adjacency[v]:
+            if w in component or w not in coloring:
+                continue
+            if coloring[w] in targets:
+                component.add(w)
+                queue.append(w)
+    return component
+
+
+def kempe_swap_component(coloring: Mapping[Hashable, int],
+                         component: Set[Hashable],
+                         color_a: int, color_b: int) -> Dict[Hashable, int]:
+    """Return a copy of ``coloring`` with ``a`` and ``b`` exchanged on ``component``."""
+    new_coloring = dict(coloring)
+    for v in component:
+        if new_coloring[v] == color_a:
+            new_coloring[v] = color_b
+        elif new_coloring[v] == color_b:
+            new_coloring[v] = color_a
+    return new_coloring
+
+
+def kempe_swap(adjacency: Adjacency, coloring: Mapping[Hashable, int],
+               start: Hashable, color_a: int, color_b: int
+               ) -> Tuple[Dict[Hashable, int], Set[Hashable]]:
+    """Swap colours ``a``/``b`` on the Kempe component of ``start``.
+
+    Returns the new colouring and the swapped component.  A Kempe swap always
+    preserves properness of the colouring.
+    """
+    component = kempe_component(adjacency, coloring, start, color_a, color_b)
+    return kempe_swap_component(coloring, component, color_a, color_b), component

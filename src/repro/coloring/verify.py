@@ -1,0 +1,78 @@
+"""Verification helpers for colourings.
+
+All colouring functions in this package operate on an *adjacency mapping*
+``Dict[vertex, Set[vertex]]`` (as returned by
+:meth:`repro.conflict.ConflictGraph.adjacency`) and return a colouring as a
+``Dict[vertex, int]`` with colours ``0, 1, ...``.  This module provides the
+shared validation and normalisation utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Set
+
+from ..exceptions import InvalidColoringError
+
+__all__ = [
+    "is_proper_coloring",
+    "assert_proper_coloring",
+    "num_colors",
+    "normalize_coloring",
+    "color_classes",
+]
+
+Adjacency = Mapping[Hashable, Set[Hashable]]
+
+
+def is_proper_coloring(adjacency: Adjacency, coloring: Mapping[Hashable, int]
+                       ) -> bool:
+    """Whether ``coloring`` assigns different colours to every adjacent pair.
+
+    Every vertex of ``adjacency`` must be coloured.
+    """
+    for v, nbrs in adjacency.items():
+        if v not in coloring:
+            return False
+        for w in nbrs:
+            if w in coloring and coloring[v] == coloring[w]:
+                return False
+    return True
+
+
+def assert_proper_coloring(adjacency: Adjacency,
+                           coloring: Mapping[Hashable, int]) -> None:
+    """Raise :class:`InvalidColoringError` when the colouring is not proper."""
+    for v, nbrs in adjacency.items():
+        if v not in coloring:
+            raise InvalidColoringError(f"vertex {v!r} is not coloured",
+                                       conflict=None)
+        for w in nbrs:
+            if w in coloring and coloring[v] == coloring[w]:
+                raise InvalidColoringError(
+                    f"vertices {v!r} and {w!r} are adjacent but share colour "
+                    f"{coloring[v]}", conflict=(v, w))
+
+
+def num_colors(coloring: Mapping[Hashable, int]) -> int:
+    """Number of distinct colours used by the colouring."""
+    return len(set(coloring.values())) if coloring else 0
+
+
+def normalize_coloring(coloring: Mapping[Hashable, int]) -> Dict[Hashable, int]:
+    """Relabel colours as ``0..k-1`` in order of first appearance."""
+    mapping: Dict[int, int] = {}
+    out: Dict[Hashable, int] = {}
+    for v in coloring:
+        c = coloring[v]
+        if c not in mapping:
+            mapping[c] = len(mapping)
+        out[v] = mapping[c]
+    return out
+
+
+def color_classes(coloring: Mapping[Hashable, int]) -> Dict[int, Set[Hashable]]:
+    """Group vertices by colour."""
+    classes: Dict[int, Set[Hashable]] = {}
+    for v, c in coloring.items():
+        classes.setdefault(c, set()).add(v)
+    return classes

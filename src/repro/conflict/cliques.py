@@ -1,0 +1,157 @@
+"""Clique computations on conflict graphs.
+
+The paper uses two facts about cliques of the conflict graph:
+
+* the ``pi`` dipaths through an arc of maximum load are pairwise in conflict,
+  so ``pi <= omega`` (clique number) ``<= w``;
+* for UPP-DAGs, Property 3 (Helly property) upgrades the first inequality to
+  an equality: ``pi = omega``.
+
+The exact maximum-clique solver below is a standard branch-and-bound
+(Tomita-style pivoting with greedy colouring bound), perfectly adequate for
+the conflict graphs of the paper's gadgets and of the randomised experiments
+(tens to a few hundreds of vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from .conflict_graph import ConflictGraph
+
+__all__ = [
+    "maximum_clique",
+    "clique_number",
+    "maximal_cliques",
+    "is_clique",
+    "greedy_clique",
+]
+
+
+def is_clique(graph: ConflictGraph, vertices: Set[int]) -> bool:
+    """Whether ``vertices`` induces a complete subgraph."""
+    verts = list(vertices)
+    for i, u in enumerate(verts):
+        for v in verts[i + 1:]:
+            if not graph.has_edge(u, v):
+                return False
+    return True
+
+
+def greedy_clique(graph: ConflictGraph) -> Set[int]:
+    """A maximal clique obtained greedily from a highest-degree vertex.
+
+    Used as the initial lower bound of the exact solver and as a cheap
+    heuristic in its own right.
+    """
+    if graph.num_vertices == 0:
+        return set()
+    adj = graph.adjacency()
+    start = max(adj, key=lambda v: len(adj[v]))
+    clique = {start}
+    candidates = set(adj[start])
+    while candidates:
+        v = max(candidates, key=lambda u: len(adj[u] & candidates))
+        clique.add(v)
+        candidates &= adj[v]
+    return clique
+
+
+def _coloring_bound(adj: Dict[int, Set[int]], candidates: List[int]) -> List[int]:
+    """Order candidates by greedy colour class; used as the B&B bound.
+
+    Returns the candidates sorted so that the i-th vertex has greedy colour
+    number <= i (classic clique bound: a clique needs one colour per vertex).
+    """
+    color_of: Dict[int, int] = {}
+    classes: List[Set[int]] = []
+    for v in sorted(candidates, key=lambda u: len(adj[u] & set(candidates)),
+                    reverse=True):
+        for c, cls in enumerate(classes):
+            if not (adj[v] & cls):
+                cls.add(v)
+                color_of[v] = c
+                break
+        else:
+            classes.append({v})
+            color_of[v] = len(classes) - 1
+    return sorted(candidates, key=lambda v: color_of[v])
+
+
+def maximum_clique(graph: ConflictGraph) -> Set[int]:
+    """An exact maximum clique (branch and bound with colouring bound)."""
+    adj = graph.adjacency()
+    best: Set[int] = greedy_clique(graph)
+
+    def expand(current: Set[int], candidates: Set[int]) -> None:
+        nonlocal best
+        if not candidates:
+            if len(current) > len(best):
+                best = set(current)
+            return
+        ordered = _coloring_bound(adj, list(candidates))
+        # colour index of position i is <= i, so the bound for the suffix
+        # starting at i is (number of distinct colours in the suffix).
+        while ordered:
+            # Upper bound: current clique + number of colours among candidates.
+            colors_needed = _distinct_greedy_colors(adj, ordered)
+            if len(current) + colors_needed <= len(best):
+                return
+            v = ordered.pop()  # vertex with the largest greedy colour
+            current.add(v)
+            expand(current, candidates & adj[v])
+            current.discard(v)
+            candidates.discard(v)
+            ordered = [u for u in ordered if u in candidates]
+
+    expand(set(), set(adj))
+    return best
+
+
+def _distinct_greedy_colors(adj: Dict[int, Set[int]], vertices: List[int]) -> int:
+    """Number of colours used by a greedy colouring of the induced subgraph."""
+    classes: List[Set[int]] = []
+    vertex_set = set(vertices)
+    for v in vertices:
+        nbrs = adj[v] & vertex_set
+        for cls in classes:
+            if not (nbrs & cls):
+                cls.add(v)
+                break
+        else:
+            classes.append({v})
+    return len(classes)
+
+
+def clique_number(graph: ConflictGraph) -> int:
+    """Size of a maximum clique (``omega``)."""
+    return len(maximum_clique(graph))
+
+
+def maximal_cliques(graph: ConflictGraph, limit: int | None = None
+                    ) -> List[FrozenSet[int]]:
+    """All maximal cliques (Bron–Kerbosch with pivoting).
+
+    ``limit`` bounds the number of cliques returned (the count can be
+    exponential in pathological graphs).
+    """
+    adj = graph.adjacency()
+    out: List[FrozenSet[int]] = []
+
+    def bk(r: Set[int], p: Set[int], x: Set[int]) -> bool:
+        if limit is not None and len(out) >= limit:
+            return False
+        if not p and not x:
+            out.append(frozenset(r))
+            return limit is None or len(out) < limit
+        pivot_pool = p | x
+        pivot = max(pivot_pool, key=lambda v: len(adj[v] & p))
+        for v in list(p - adj[pivot]):
+            if not bk(r | {v}, p & adj[v], x & adj[v]):
+                return False
+            p.discard(v)
+            x.add(v)
+        return True
+
+    bk(set(), set(adj), set())
+    return out

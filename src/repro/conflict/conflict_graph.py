@@ -1,0 +1,235 @@
+"""The conflict graph of a family of dipaths.
+
+The conflict graph (paper, Section 2) has one vertex per member of the dipath
+family; two vertices are adjacent when the corresponding dipaths share an arc.
+The wavelength number ``w(G, P)`` is exactly the chromatic number of this
+graph, and the load ``pi(G, P)`` is a lower bound on its clique number (with
+equality for UPP-DAGs, Property 3).
+
+Vertices of the conflict graph are the *indices* of the family (0-based), so
+that identical dipaths appearing several times are distinct vertices — they
+are pairwise adjacent since they share all their arcs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..dipaths.family import DipathFamily
+
+__all__ = ["ConflictGraph", "build_conflict_graph"]
+
+
+class ConflictGraph:
+    """A simple undirected graph over ``range(n)`` (dipath indices).
+
+    The class is also used as a general small undirected-graph container by
+    the colouring and clique algorithms (they only rely on
+    :meth:`adjacency`, :meth:`vertices` and :meth:`neighbors`).
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, num_vertices: int = 0,
+                 edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        self._adj: Dict[int, Set[int]] = {i: set() for i in range(num_vertices)}
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add an undirected edge (endpoints are created if needed)."""
+        if u == v:
+            raise ValueError("conflict graphs have no self-loops")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def vertices(self) -> List[int]:
+        """The vertices, sorted."""
+        return sorted(self._adj)
+
+    def neighbors(self, v: int) -> Set[int]:
+        """Neighbours of ``v``."""
+        return set(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return u in self._adj and v in self._adj[u]
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as sorted pairs."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """A copy of the adjacency mapping (vertex -> neighbour set)."""
+        return {v: set(nbrs) for v, nbrs in self._adj.items()}
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return f"ConflictGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, vertices: Iterable[int]) -> "ConflictGraph":
+        """Induced subgraph on ``vertices`` (vertex labels are preserved)."""
+        keep = set(vertices)
+        g = ConflictGraph()
+        for v in keep:
+            g.add_vertex(v)
+        for u in keep:
+            for v in self._adj[u]:
+                if v in keep and u < v:
+                    g.add_edge(u, v)
+        return g
+
+    def complement(self) -> "ConflictGraph":
+        """The complement graph (same vertex set)."""
+        verts = self.vertices()
+        g = ConflictGraph()
+        for v in verts:
+            g.add_vertex(v)
+        for i, u in enumerate(verts):
+            for v in verts[i + 1:]:
+                if v not in self._adj[u]:
+                    g.add_edge(u, v)
+        return g
+
+    def connected_components(self) -> List[Set[int]]:
+        """Connected components of the conflict graph."""
+        seen: Set[int] = set()
+        comps: List[Set[int]] = []
+        for root in self._adj:
+            if root in seen:
+                continue
+            comp = {root}
+            stack = [root]
+            seen.add(root)
+            while stack:
+                v = stack.pop()
+                for w in self._adj[v]:
+                    if w not in seen:
+                        seen.add(w)
+                        comp.add(w)
+                        stack.append(w)
+            comps.append(comp)
+        return comps
+
+    # ------------------------------------------------------------------ #
+    # structural predicates used by the reproduction
+    # ------------------------------------------------------------------ #
+    def is_complete(self) -> bool:
+        """Whether every two vertices are adjacent (Figure 1: complete K_k)."""
+        n = self.num_vertices
+        return self.num_edges == n * (n - 1) // 2
+
+    def is_cycle_graph(self) -> bool:
+        """Whether the graph is a single cycle C_n (n >= 3).
+
+        Used to verify the structure claims for Figure 3 (C_5) and the
+        Theorem 2 gadget (C_{2k+1}).
+        """
+        n = self.num_vertices
+        if n < 3 or self.num_edges != n:
+            return False
+        if any(self.degree(v) != 2 for v in self._adj):
+            return False
+        return len(self.connected_components()) == 1
+
+    def contains_k23(self) -> bool:
+        """Whether the graph contains an **induced** ``K_{2,3}``.
+
+        Corollary 5 of the paper states that conflict graphs of UPP-DAG
+        families never contain a ``K_{2,3}``: its proof takes two *disjoint*
+        dipaths ``Q1, Q2`` and three *pairwise disjoint* dipaths ``P1, P2, P3``
+        with every ``Qi`` conflicting with every ``Pj`` — i.e. an induced
+        ``K_{2,3}`` of the conflict graph (within-side adjacencies are
+        excluded).  The check therefore looks for two non-adjacent vertices
+        with three pairwise non-adjacent common neighbours.
+        """
+        verts = self.vertices()
+        for i, u in enumerate(verts):
+            for v in verts[i + 1:]:
+                if self.has_edge(u, v):
+                    continue
+                common = sorted((self._adj[u] & self._adj[v]) - {u, v})
+                if len(common) < 3:
+                    continue
+                # look for an independent triple among the common neighbours
+                for a_idx, a in enumerate(common):
+                    for b_idx in range(a_idx + 1, len(common)):
+                        b = common[b_idx]
+                        if self.has_edge(a, b):
+                            continue
+                        for c in common[b_idx + 1:]:
+                            if not self.has_edge(a, c) and not self.has_edge(b, c):
+                                return True
+        return False
+
+    def degree_sequence(self) -> List[int]:
+        """Sorted (non-increasing) degree sequence."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    def to_networkx(self):  # pragma: no cover - convenience passthrough
+        """Convert to a ``networkx.Graph``."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.vertices())
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # numbers (delegation)
+    # ------------------------------------------------------------------ #
+    def clique_number(self) -> int:
+        """Size of a maximum clique (exact)."""
+        from .cliques import clique_number
+
+        return clique_number(self)
+
+    def chromatic_number(self) -> int:
+        """Chromatic number (exact)."""
+        from ..coloring.exact import chromatic_number
+
+        return chromatic_number(self.adjacency())
+
+
+def build_conflict_graph(family: DipathFamily) -> ConflictGraph:
+    """Build the conflict graph of a dipath family.
+
+    Two family members are adjacent iff their dipaths share at least one arc.
+    """
+    g = ConflictGraph(num_vertices=len(family))
+    for i, j in family.conflicting_pairs():
+        g.add_edge(i, j)
+    return g

@@ -1,0 +1,70 @@
+"""Independent sets of conflict graphs.
+
+An independent set of the conflict graph is a set of pairwise arc-disjoint
+dipaths — exactly the dipaths that may share one wavelength.  The
+independence number gives the simple lower bound ``w >= |P| / alpha`` used in
+Theorem 7 (the Havet gadget's conflict graph has ``alpha = 3``, hence
+``w >= 8h/3``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .cliques import maximum_clique
+from .conflict_graph import ConflictGraph
+
+__all__ = [
+    "is_independent_set",
+    "maximum_independent_set",
+    "independence_number",
+    "greedy_independent_set",
+    "partition_lower_bound",
+]
+
+
+def is_independent_set(graph: ConflictGraph, vertices: Set[int]) -> bool:
+    """Whether no two vertices of ``vertices`` are adjacent."""
+    verts = list(vertices)
+    for i, u in enumerate(verts):
+        for v in verts[i + 1:]:
+            if graph.has_edge(u, v):
+                return False
+    return True
+
+
+def greedy_independent_set(graph: ConflictGraph) -> Set[int]:
+    """A maximal independent set built greedily by increasing degree."""
+    adj = graph.adjacency()
+    chosen: Set[int] = set()
+    blocked: Set[int] = set()
+    for v in sorted(adj, key=lambda u: len(adj[u])):
+        if v not in blocked:
+            chosen.add(v)
+            blocked.add(v)
+            blocked |= adj[v]
+    return chosen
+
+
+def maximum_independent_set(graph: ConflictGraph) -> Set[int]:
+    """An exact maximum independent set (max clique of the complement)."""
+    return maximum_clique(graph.complement())
+
+
+def independence_number(graph: ConflictGraph) -> int:
+    """The independence number ``alpha``."""
+    return len(maximum_independent_set(graph))
+
+
+def partition_lower_bound(graph: ConflictGraph) -> int:
+    """The bound ``ceil(n / alpha) <= chromatic number``.
+
+    Every colour class is an independent set, so at least ``n / alpha``
+    classes are needed.  This is the argument the paper uses to show that the
+    replicated Havet family needs ``ceil(8h / 3)`` wavelengths.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    alpha = independence_number(graph)
+    return -(-n // alpha)  # ceil division

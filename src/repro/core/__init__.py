@@ -1,0 +1,59 @@
+"""The paper's core results: load, wavelength number, Theorems 1, 2, 6."""
+
+from .characterization import (
+    EqualityCertificate,
+    equality_certificate,
+    min_wavelengths_equal_load,
+    verify_equality_on_family,
+)
+from .load import load, load_of_arc, load_per_arc, maximum_load_arcs
+from .rooted_trees import (
+    color_dipaths_rooted_tree,
+    is_rooted_tree,
+    tree_depths,
+)
+from .theorem1 import (
+    arc_elimination_order,
+    color_dipaths_theorem1,
+    theorem1_applies,
+)
+from .theorem2 import internal_cycle_standard_form, witness_family_theorem2
+from .theorem6 import (
+    color_dipaths_theorem6,
+    multi_cycle_bound,
+    split_arc,
+    theorem6_bound,
+)
+from .wavelengths import (
+    WavelengthSolution,
+    assign_wavelengths,
+    wavelength_lower_bounds,
+    wavelength_number,
+)
+
+__all__ = [
+    "EqualityCertificate",
+    "WavelengthSolution",
+    "arc_elimination_order",
+    "assign_wavelengths",
+    "color_dipaths_rooted_tree",
+    "color_dipaths_theorem1",
+    "color_dipaths_theorem6",
+    "equality_certificate",
+    "is_rooted_tree",
+    "tree_depths",
+    "internal_cycle_standard_form",
+    "load",
+    "load_of_arc",
+    "load_per_arc",
+    "maximum_load_arcs",
+    "min_wavelengths_equal_load",
+    "multi_cycle_bound",
+    "split_arc",
+    "theorem1_applies",
+    "theorem6_bound",
+    "verify_equality_on_family",
+    "wavelength_lower_bounds",
+    "wavelength_number",
+    "witness_family_theorem2",
+]

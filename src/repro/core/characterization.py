@@ -1,0 +1,104 @@
+"""The Main Theorem: ``w = pi`` for every family iff the DAG has no internal cycle.
+
+    *Main Theorem.  Let G be a DAG.  Then, for any family of dipaths P,
+    w(G, P) = pi(G, P) if and only if G does not contain an internal cycle.*
+
+The "if" direction is Theorem 1 (constructive); the "only if" direction is
+Theorem 2 (the witness family with ``pi = 2 < 3 = w``).  This module exposes
+the characterisation as a decision procedure plus certificates for both
+directions, and an empirical verifier used by the E5 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import random
+
+from ..exceptions import NoInternalCycleError
+from ..conflict.conflict_graph import build_conflict_graph
+from ..coloring.exact import chromatic_number
+from ..cycles.internal import find_internal_cycle, has_internal_cycle
+from ..dipaths.family import DipathFamily
+from ..graphs.digraph import DiGraph
+from .load import load
+from .theorem2 import witness_family_theorem2
+from .wavelengths import wavelength_number
+
+__all__ = [
+    "min_wavelengths_equal_load",
+    "EqualityCertificate",
+    "equality_certificate",
+    "verify_equality_on_family",
+]
+
+
+def min_wavelengths_equal_load(graph: DiGraph) -> bool:
+    """Whether ``w(G, P) = pi(G, P)`` holds for *every* family of dipaths ``P``.
+
+    By the Main Theorem this is equivalent to the absence of internal cycles,
+    which is decided in linear time.
+    """
+    return not has_internal_cycle(graph)
+
+
+@dataclass
+class EqualityCertificate:
+    """Certificate for one direction of the Main Theorem on a given DAG.
+
+    Attributes
+    ----------
+    equality_holds:
+        Whether ``w = pi`` for every family (i.e. no internal cycle).
+    internal_cycle:
+        An internal cycle when one exists (``None`` otherwise).
+    witness_family:
+        When an internal cycle exists, the Theorem 2 family with ``w > pi``
+        (``None`` otherwise).
+    witness_load, witness_wavelengths:
+        The verified ``pi`` and ``w`` of the witness family (2 and 3 on
+        gadget-like graphs; always ``w > pi``).
+    """
+
+    equality_holds: bool
+    internal_cycle: Optional[list] = None
+    witness_family: Optional[DipathFamily] = None
+    witness_load: Optional[int] = None
+    witness_wavelengths: Optional[int] = None
+
+
+def equality_certificate(graph: DiGraph) -> EqualityCertificate:
+    """Decide the Main Theorem for ``graph`` and produce a certificate.
+
+    When the DAG has an internal cycle, the Theorem 2 witness family is built
+    and its ``pi`` and ``w`` are *computed* (exactly) so the certificate is
+    self-validating.
+    """
+    cycle = find_internal_cycle(graph)
+    if cycle is None:
+        return EqualityCertificate(equality_holds=True)
+    family = witness_family_theorem2(graph, cycle)
+    pi = load(graph, family)
+    conflict = build_conflict_graph(family)
+    w = chromatic_number(conflict.adjacency())
+    return EqualityCertificate(
+        equality_holds=False,
+        internal_cycle=list(cycle),
+        witness_family=family,
+        witness_load=pi,
+        witness_wavelengths=w,
+    )
+
+
+def verify_equality_on_family(graph: DiGraph, family: DipathFamily) -> bool:
+    """Empirically check ``w(G, P) == pi(G, P)`` for one concrete family.
+
+    Uses the exact solver, so this is a genuine verification (used by tests
+    and by the E3/E5 benchmarks on randomly generated instances).
+    """
+    if len(family) == 0:
+        return True
+    pi = load(graph, family)
+    w = wavelength_number(graph, family, method="exact")
+    return w == pi

@@ -1,0 +1,52 @@
+"""Load of a family of dipaths (the paper's ``pi(G, P)``).
+
+Thin wrappers around :class:`~repro.dipaths.family.DipathFamily` that use the
+paper's vocabulary and optionally validate the family against its host
+digraph.  The load is the universal lower bound on the wavelength number:
+``pi(G, P) <= w(G, P)`` because the ``pi`` dipaths through a maximum-load arc
+pairwise conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .._typing import Arc
+from ..dipaths.family import DipathFamily
+from ..graphs.digraph import DiGraph
+
+__all__ = ["load", "load_per_arc", "load_of_arc", "maximum_load_arcs"]
+
+
+def load(graph: Optional[DiGraph], family: DipathFamily,
+         *, validate: bool = False) -> int:
+    """``pi(G, P)``: the maximum number of dipaths of ``family`` sharing an arc.
+
+    Parameters
+    ----------
+    graph:
+        The host digraph; only used when ``validate`` is true (the load itself
+        depends only on the family).  May be ``None``.
+    family:
+        The dipath family ``P``.
+    validate:
+        When true, check that every member is a dipath of ``graph``.
+    """
+    if validate and graph is not None:
+        family.validate_against(graph)
+    return family.load()
+
+
+def load_per_arc(family: DipathFamily) -> Dict[Arc, int]:
+    """Mapping ``arc -> load`` for arcs of positive load."""
+    return family.load_per_arc()
+
+
+def load_of_arc(family: DipathFamily, arc: Arc) -> int:
+    """``load(G, P, e)`` for a single arc ``e``."""
+    return family.load_of_arc(arc)
+
+
+def maximum_load_arcs(family: DipathFamily) -> List[Arc]:
+    """The arcs achieving the maximum load."""
+    return family.maximum_load_arcs()

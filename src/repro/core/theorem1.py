@@ -1,0 +1,329 @@
+"""Theorem 1: an optimal wavelength assignment for DAGs without internal cycle.
+
+    *Let G be a DAG without internal cycle.  Then, for any family of dipaths
+    P, w(G, P) = pi(G, P).*
+
+The proof is constructive and this module implements it as an algorithm that
+returns a proper colouring of the family using exactly ``pi(G, P)`` colours.
+
+Outline (see DESIGN.md §5.2).  The proof removes one arc at a time — always an
+arc ``(x0, y0)`` whose tail ``x0`` is a *source* of the current graph — and
+shrinks the dipaths through it (because ``x0`` is a source, such dipaths start
+with that arc, so shrinking removes their first arc).  The induction then
+colours the shrunk instance and extends the colouring, after making the shrunk
+dipaths pairwise differently coloured by an alternating-chain (Kempe)
+recolouring.  The implementation replays this induction iteratively:
+
+1. compute the full arc *elimination order* (forward pass), recording for each
+   step which dipaths lose their first arc;
+2. replay the steps backwards, re-attaching the arc to those dipaths and
+   extending the colouring; before each extension, Kempe swaps in the current
+   conflict graph make the colours of the re-attached dipaths pairwise
+   distinct.
+
+The proof shows the Kempe swap can never need to recolour the anchored dipath
+(Case C) unless the DAG has an internal cycle; when that happens on an invalid
+input, the implementation raises :class:`~repro.exceptions.InternalCycleError`
+with an internal-cycle certificate, mirroring Figure 4 of the paper.
+
+Complexity: with ``m`` arcs, ``N`` dipaths of total length ``L`` the forward
+pass is ``O(m + L)``; each extension step performs at most ``pi`` Kempe swaps,
+each a BFS over the dipaths coloured with the two swapped colours, giving
+``O(m * pi * L)`` in the worst case — comfortably fast for the instance sizes
+of the reproduction (and linear in practice, because most steps re-attach few
+dipaths).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InternalCycleError, InvalidColoringError
+from .._typing import Arc, Vertex
+from ..cycles.internal import find_internal_cycle, has_internal_cycle
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..graphs.digraph import DiGraph
+
+__all__ = [
+    "color_dipaths_theorem1",
+    "theorem1_applies",
+    "EliminationStep",
+    "arc_elimination_order",
+]
+
+
+@dataclass
+class EliminationStep:
+    """One step of the forward elimination pass.
+
+    Attributes
+    ----------
+    arc:
+        The removed arc ``(x0, y0)`` (``x0`` was a source of the graph at the
+        time of removal).
+    shrunk:
+        Indices of family members whose dipath started with ``arc`` and lost
+        it at this step.
+    """
+
+    arc: Arc
+    shrunk: List[int] = field(default_factory=list)
+
+
+def theorem1_applies(graph: DiGraph) -> bool:
+    """Whether Theorem 1's hypothesis holds (the DAG has no internal cycle)."""
+    return not has_internal_cycle(graph)
+
+
+def arc_elimination_order(graph: DiGraph) -> List[Arc]:
+    """An arc order such that each arc's tail is a source when it is removed.
+
+    Such an order always exists in a DAG: as long as arcs remain, some vertex
+    has in-degree 0 and out-degree > 0.
+    """
+    work = graph.copy()
+    order: List[Arc] = []
+    # Sources that still have outgoing arcs.
+    frontier: Set[Vertex] = {v for v in work.vertices()
+                             if work.in_degree(v) == 0 and work.out_degree(v) > 0}
+    while frontier:
+        x0 = next(iter(frontier))
+        y0 = next(iter(work.successors(x0)))
+        work.remove_arc(x0, y0)
+        order.append((x0, y0))
+        if work.out_degree(x0) == 0:
+            frontier.discard(x0)
+        if work.in_degree(y0) == 0 and work.out_degree(y0) > 0:
+            frontier.add(y0)
+    if work.num_arcs != 0:
+        # Only possible if the digraph has a directed cycle.
+        raise InternalCycleError(
+            "arc elimination failed: the digraph is not acyclic")
+    return order
+
+
+def _forward_pass(graph: DiGraph, family: DipathFamily
+                  ) -> List[EliminationStep]:
+    """Compute elimination steps together with the dipaths shrunk at each step."""
+    # first_arc_index maps an arc to the set of dipath indices whose *current*
+    # first arc is that arc.
+    offsets = [0] * len(family)
+    lengths = [p.length for p in family]
+    first_arc_index: Dict[Arc, Set[int]] = defaultdict(set)
+    for i, p in enumerate(family):
+        if p.length > 0:
+            first_arc_index[(p.vertices[0], p.vertices[1])].add(i)
+
+    steps: List[EliminationStep] = []
+    for arc in arc_elimination_order(graph):
+        step = EliminationStep(arc=arc)
+        members = first_arc_index.pop(arc, set())
+        for i in sorted(members):
+            step.shrunk.append(i)
+            offsets[i] += 1
+            if offsets[i] < lengths[i]:
+                p = family[i]
+                nxt = (p.vertices[offsets[i]], p.vertices[offsets[i] + 1])
+                first_arc_index[nxt].add(i)
+        steps.append(step)
+
+    if any(offsets[i] != lengths[i] for i in range(len(family))):
+        # Some dipath still has arcs although every graph arc was removed:
+        # the family was not a family of dipaths of ``graph``.
+        bad = next(i for i in range(len(family)) if offsets[i] != lengths[i])
+        raise InvalidColoringError(
+            f"family member {bad} ({family[bad]!r}) uses an arc that is not "
+            "in the digraph")
+    return steps
+
+
+class _ReplayState:
+    """Mutable state of the backward replay: active suffixes and their colours."""
+
+    def __init__(self, family: DipathFamily) -> None:
+        self.family = family
+        self.offsets: List[int] = [p.length for p in family]   # all empty
+        self.colors: Dict[int, int] = {}
+        # arc -> indices of active dipaths whose current suffix uses the arc
+        self.arc_members: Dict[Arc, Set[int]] = defaultdict(set)
+        self.current_load = 0
+
+    # -------------------------------------------------------------- #
+    def is_active(self, i: int) -> bool:
+        return self.offsets[i] < self.family[i].length
+
+    def current_arcs(self, i: int) -> List[Arc]:
+        verts = self.family[i].vertices
+        off = self.offsets[i]
+        return list(zip(verts[off:], verts[off + 1:]))
+
+    def neighbors(self, i: int) -> Set[int]:
+        """Indices of active dipaths conflicting with the current suffix of ``i``."""
+        out: Set[int] = set()
+        for arc in self.current_arcs(i):
+            out |= self.arc_members[arc]
+        out.discard(i)
+        return out
+
+    def attach_arc(self, i: int, arc: Arc) -> None:
+        """Prepend ``arc`` to dipath ``i`` (it becomes its new first arc)."""
+        self.offsets[i] -= 1
+        verts = self.family[i].vertices
+        off = self.offsets[i]
+        assert (verts[off], verts[off + 1]) == arc
+        self.arc_members[arc].add(i)
+        self.current_load = max(self.current_load, len(self.arc_members[arc]))
+
+
+def _kempe_make_distinct(state: _ReplayState, members: Sequence[int],
+                         palette_size: int, graph: DiGraph) -> None:
+    """Recolour so the active dipaths of ``members`` have pairwise distinct colours.
+
+    Implements the alternating-chain argument of the proof of Theorem 1.  Each
+    round picks a colour ``alpha`` shared by two members, a colour ``beta``
+    unused by the members, and swaps the Kempe component (colours
+    ``alpha``/``beta``) of one of them; the proof guarantees the anchored
+    member is not in that component unless the DAG has an internal cycle.
+    Every round increases the number of distinct colours among ``members`` by
+    one, so at most ``len(members)`` rounds run.
+    """
+    active_members = [i for i in members if state.is_active(i)]
+    if len(active_members) <= 1:
+        return
+
+    for _ in range(len(active_members) + 1):
+        by_color: Dict[int, List[int]] = defaultdict(list)
+        for i in active_members:
+            by_color[state.colors[i]].append(i)
+        duplicated = [c for c, idxs in by_color.items() if len(idxs) >= 2]
+        if not duplicated:
+            return
+        alpha = duplicated[0]
+        anchor, moving = by_color[alpha][0], by_color[alpha][1]
+        used = set(by_color)
+        beta = next(c for c in range(palette_size) if c not in used)
+
+        # BFS of the Kempe component of ``moving`` among active dipaths
+        # coloured alpha or beta.
+        component: Set[int] = {moving}
+        queue = [moving]
+        while queue:
+            v = queue.pop()
+            for w in state.neighbors(v):
+                if w in component:
+                    continue
+                if state.colors.get(w) in (alpha, beta):
+                    component.add(w)
+                    queue.append(w)
+        if anchor in component:
+            # Case C of the proof: only possible with an internal cycle.
+            raise InternalCycleError(
+                "the recolouring process of Theorem 1 reached the anchored "
+                "dipath; the DAG contains an internal cycle",
+                cycle=find_internal_cycle(graph))
+        for v in component:
+            state.colors[v] = beta if state.colors[v] == alpha else alpha
+    raise InternalCycleError(
+        "Theorem 1 recolouring did not converge; the DAG contains an "
+        "internal cycle", cycle=find_internal_cycle(graph))
+
+
+def color_dipaths_theorem1(graph: DiGraph, family: DipathFamily,
+                           *, check_hypothesis: bool = True,
+                           validate_result: bool = True) -> Dict[int, int]:
+    """Colour ``family`` with exactly ``pi(G, P)`` colours (Theorem 1).
+
+    Parameters
+    ----------
+    graph:
+        A DAG without internal cycle (the hypothesis of Theorem 1).
+    family:
+        Any family of dipaths of ``graph``.
+    check_hypothesis:
+        When true (default), verify up front that the DAG has no internal
+        cycle and raise :class:`~repro.exceptions.InternalCycleError`
+        otherwise.  When false, the algorithm runs anyway and only fails if
+        the recolouring actually gets stuck (which the theorem shows requires
+        an internal cycle).
+    validate_result:
+        When true (default), assert that the returned colouring is proper and
+        uses at most ``pi`` colours (a safety net; it cannot fail on valid
+        inputs).
+
+    Returns
+    -------
+    dict
+        Mapping ``family index -> colour`` with colours in
+        ``range(pi(G, P))``.
+
+    Raises
+    ------
+    InternalCycleError
+        If the DAG contains an internal cycle.
+    """
+    if check_hypothesis:
+        cycle = find_internal_cycle(graph)
+        if cycle is not None:
+            raise InternalCycleError(
+                "Theorem 1 requires a DAG without internal cycle", cycle=cycle)
+
+    n = len(family)
+    if n == 0:
+        return {}
+    family.validate_against(graph)
+    total_load = family.load()
+    steps = _forward_pass(graph, family)
+    state = _ReplayState(family)
+
+    # Replay the elimination backwards, extending the colouring step by step.
+    for step in reversed(steps):
+        if not step.shrunk:
+            continue
+        arc = step.arc
+        pi0 = len(step.shrunk)
+        previously_active = [i for i in step.shrunk if state.is_active(i)]
+        newly_active = [i for i in step.shrunk if not state.is_active(i)]
+
+        # Palette available at this step: the load of the instance *after*
+        # re-attaching this arc (monotone non-decreasing during the replay,
+        # and never exceeding the final load).
+        palette_size = max(state.current_load, pi0)
+
+        # 1. make the already-coloured shrunk dipaths pairwise distinct
+        _kempe_make_distinct(state, previously_active, palette_size, graph)
+
+        # 2. re-attach the arc to every shrunk dipath (colours are kept)
+        for i in step.shrunk:
+            state.attach_arc(i, arc)
+
+        # 3. colour the dipaths that were reduced to this single arc with the
+        #    remaining colours of the palette
+        used = {state.colors[i] for i in previously_active}
+        fresh = (c for c in range(palette_size) if c not in used)
+        for i in newly_active:
+            state.colors[i] = next(fresh)
+
+    coloring = dict(state.colors)
+
+    if validate_result:
+        _validate(family, coloring, total_load)
+    return coloring
+
+
+def _validate(family: DipathFamily, coloring: Dict[int, int],
+              total_load: int) -> None:
+    """Check properness and the colour budget of a Theorem 1 colouring."""
+    if len(coloring) != len(family):
+        raise InvalidColoringError("some dipaths were left uncoloured")
+    used = set(coloring.values())
+    if used and (len(used) > total_load or max(used) >= max(total_load, 1)):
+        raise InvalidColoringError(
+            f"Theorem 1 colouring uses colours {sorted(used)} which exceed "
+            f"the load {total_load}")
+    for i, j in family.conflicting_pairs():
+        if coloring[i] == coloring[j]:
+            raise InvalidColoringError(
+                "two conflicting dipaths share a colour", conflict=(i, j))

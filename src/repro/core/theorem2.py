@@ -1,0 +1,163 @@
+"""Theorem 2: a witness family with ``pi = 2`` and ``w = 3`` for any internal cycle.
+
+    *If a DAG G contains an internal cycle, there exists a set P of dipaths
+    such that pi(G, P) = 2 and w(G, P) = 3.*
+
+Together with Theorem 1 this proves the Main Theorem (the characterisation).
+The construction follows the paper (Figure 5): take an internal cycle with
+local sources ``b_1..b_k`` and local sinks ``c_1..c_k`` (the vertices where
+the orientation switches), pick a predecessor ``a_i`` of each ``b_i`` and a
+successor ``d_i`` of each ``c_i`` (these exist because the cycle is internal),
+and build ``2k + 1`` dipaths whose conflict graph is the odd cycle
+``C_{2k+1}`` while every arc is used at most twice.
+
+On hand-crafted graphs with unusual attachments (e.g. the only predecessor of
+a ``b_i`` lying on the cycle itself) the conflict graph can pick up chords; the
+family is still a valid witness as long as ``w > pi``, which
+:func:`repro.core.characterization.equality_certificate` verifies explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InvalidDipathError, NoInternalCycleError
+from .._typing import Vertex
+from ..cycles.internal import find_internal_cycle, is_internal_cycle
+from ..cycles.oriented import decompose_cycle_into_dipaths
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..graphs.digraph import DiGraph
+
+__all__ = ["witness_family_theorem2", "internal_cycle_standard_form"]
+
+
+def internal_cycle_standard_form(graph: DiGraph, cycle: Sequence[Vertex]
+                                 ) -> Tuple[List[List[Vertex]], List[List[Vertex]]]:
+    """Split an internal cycle into the paper's standard segments.
+
+    Returns ``(right_segments, left_segments)``, each a list of ``k`` directed
+    segments (dipaths listed in arc order).  ``right_segments[i]`` goes from
+    local source ``b_i`` to local sink ``c_i``; ``left_segments[i]`` is the
+    other segment ending at ``c_i`` (it starts at the cyclically next local
+    source).  Together the ``2k`` segments are the alternating decomposition
+    of the oriented cycle.
+    """
+    segments = decompose_cycle_into_dipaths(graph, cycle)
+    k = len(segments) // 2
+    if k == 0 or len(segments) % 2 != 0:
+        raise NoInternalCycleError("cycle does not decompose into 2k segments")
+    right = segments[0::2]
+    left = segments[1::2]
+    sinks = [seg[-1] for seg in right]
+    left_by_sink: Dict[Vertex, List[Vertex]] = {seg[-1]: seg for seg in left}
+    if set(left_by_sink) != set(sinks):
+        # The alternation started on the other parity: swap the two roles.
+        right, left = left, right
+        sinks = [seg[-1] for seg in right]
+        left_by_sink = {seg[-1]: seg for seg in left}
+    ordered_left = [left_by_sink[c] for c in sinks]
+    return right, ordered_left
+
+
+def _pick_attachment(graph: DiGraph, vertex: Vertex, avoid: Set[Vertex],
+                     cycle_vertices: Set[Vertex], *, predecessors: bool
+                     ) -> Vertex:
+    """Pick a predecessor (or successor) of ``vertex`` suitable as ``a_i``/``d_i``.
+
+    Preference: vertices outside both the incident segments and the cycle,
+    then outside the incident segments; a vertex inside the incident segments
+    would make the witness walk repeat a vertex, which cannot be represented
+    as a dipath, so it is reported as an error.
+    """
+    pool = sorted(
+        (graph.predecessors(vertex) if predecessors else graph.successors(vertex)),
+        key=repr)
+    role = "predecessor" if predecessors else "successor"
+    if not pool:
+        raise NoInternalCycleError(
+            f"vertex {vertex!r} has no {role}; the cycle is not internal")
+    for candidates in (
+            [v for v in pool if v not in avoid and v not in cycle_vertices],
+            [v for v in pool if v not in avoid]):
+        if candidates:
+            return candidates[0]
+    raise InvalidDipathError(
+        f"every {role} of {vertex!r} lies on the incident cycle segments; "
+        "the Theorem 2 construction needs an attachment outside them")
+
+
+def witness_family_theorem2(graph: DiGraph,
+                            cycle: Optional[Sequence[Vertex]] = None
+                            ) -> DipathFamily:
+    """Build the Theorem 2 witness family (``pi = 2``, ``w = 3``).
+
+    Parameters
+    ----------
+    graph:
+        A DAG containing at least one internal cycle.
+    cycle:
+        The internal cycle to use (open or closed vertex list).  When omitted,
+        one is found automatically.
+
+    Returns
+    -------
+    DipathFamily
+        A family of ``2k + 1`` dipaths whose conflict graph is the odd cycle
+        ``C_{2k+1}`` (on gadget-like graphs); its load is 2 and its wavelength
+        number is 3.
+
+    Raises
+    ------
+    NoInternalCycleError
+        If the DAG has no internal cycle (Theorem 1 then applies instead).
+    """
+    if cycle is None:
+        cycle = find_internal_cycle(graph)
+        if cycle is None:
+            raise NoInternalCycleError(
+                "the DAG has no internal cycle; by Theorem 1 w = pi for every "
+                "family")
+    elif not is_internal_cycle(graph, cycle):
+        raise NoInternalCycleError(f"{cycle!r} is not an internal cycle of the DAG")
+
+    right, left = internal_cycle_standard_form(graph, cycle)
+    k = len(right)
+    cycle_vertices = {v for seg in right + left for v in seg}
+
+    b = [seg[0] for seg in right]           # local sources b_1..b_k
+    c = [seg[-1] for seg in right]          # local sinks   c_1..c_k
+    # The left segment *starting* at b_i (it ends at the cyclically previous
+    # sink); needed to know which vertices the a_i attachment must avoid.
+    left_by_source: Dict[Vertex, List[Vertex]] = {seg[0]: seg for seg in left}
+
+    # One attachment per local source / local sink, shared by both dipaths
+    # using it — this sharing is what creates the conflict edges of the odd
+    # cycle.
+    a: List[Vertex] = []
+    for i, bi in enumerate(b):
+        avoid = set(right[i]) | set(left_by_source[bi])
+        a.append(_pick_attachment(graph, bi, avoid, cycle_vertices,
+                                  predecessors=True))
+    d: List[Vertex] = []
+    for i, ci in enumerate(c):
+        avoid = set(right[i]) | set(left[i])
+        d.append(_pick_attachment(graph, ci, avoid, cycle_vertices,
+                                  predecessors=False))
+
+    family = DipathFamily(graph=graph)
+
+    # The first "right" segment b_1 -> ... -> c_1 is split into two
+    # overlapping short dipaths (this is what makes the conflict cycle odd):
+    #   a_1 -> b_1 -> ... -> c_1     and     b_1 -> ... -> c_1 -> d_1.
+    family.add(Dipath([a[0]] + right[0]))
+    family.add(Dipath(right[0] + [d[0]]))
+
+    # Every "left" segment (from b_{i+1} down to c_i) and every remaining
+    # "right" segment (i >= 2) gets both attachments.
+    for i, seg in enumerate(left):
+        ai = a[b.index(seg[0])]
+        family.add(Dipath([ai] + seg + [d[i]]))
+    for i in range(1, k):
+        family.add(Dipath([a[i]] + right[i] + [d[i]]))
+    return family

@@ -1,0 +1,187 @@
+"""Wavelength number and wavelength assignment (the paper's ``w(G, P)``).
+
+``w(G, P)`` is the minimum number of colours needed so that dipaths sharing an
+arc get different colours — the chromatic number of the conflict graph.  This
+module is the user-facing entry point that dispatches between:
+
+* ``"theorem1"`` — the paper's optimal algorithm (requires no internal cycle),
+  exactly ``pi`` colours;
+* ``"theorem6"`` — the paper's ``ceil(4*pi/3)`` algorithm (UPP-DAG, exactly one
+  internal cycle);
+* ``"exact"``    — exact chromatic number of the conflict graph (independent
+  of the paper's machinery; used for verification and for general DAGs);
+* ``"dsatur"`` / ``"greedy"`` — classical heuristics (baselines);
+* ``"auto"``     — Theorem 1 when it applies, then Theorem 6 when it applies,
+  then exact for small conflict graphs, then DSATUR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Literal, Optional
+
+from ..exceptions import ColoringError, ReproError
+from ..conflict.conflict_graph import ConflictGraph, build_conflict_graph
+from ..coloring.dsatur import dsatur_coloring
+from ..coloring.exact import optimal_coloring
+from ..coloring.greedy import greedy_coloring
+from ..coloring.verify import assert_proper_coloring, num_colors
+from ..cycles.internal import has_internal_cycle, has_unique_internal_cycle
+from ..dipaths.family import DipathFamily
+from ..graphs.digraph import DiGraph
+from ..upp.property_check import is_upp_dag
+from .load import load as _load
+from .theorem1 import color_dipaths_theorem1
+from .theorem6 import color_dipaths_theorem6
+
+__all__ = [
+    "AssignmentMethod",
+    "WavelengthSolution",
+    "assign_wavelengths",
+    "wavelength_number",
+    "wavelength_lower_bounds",
+]
+
+AssignmentMethod = Literal["auto", "theorem1", "theorem6", "exact",
+                           "dsatur", "greedy"]
+
+#: Conflict graphs up to this many dipaths are solved exactly by ``"auto"``
+#: when no constructive algorithm applies.  Beyond this, exact chromatic
+#: number computations can become exponential, so "auto" degrades to DSATUR.
+_AUTO_EXACT_LIMIT = 60
+
+
+@dataclass
+class WavelengthSolution:
+    """A wavelength assignment for a dipath family.
+
+    Attributes
+    ----------
+    coloring:
+        Mapping ``family index -> wavelength`` (0-based).
+    num_wavelengths:
+        Number of distinct wavelengths used.
+    load:
+        The load ``pi(G, P)`` of the instance (always ``<= num_wavelengths``
+        unless the family is empty).
+    method:
+        The algorithm that produced the assignment.
+    optimal:
+        Whether the assignment is known to be optimal (``num_wavelengths ==
+        w(G, P)``): true for ``"exact"`` and for ``"theorem1"`` (where the
+        count equals the load), false (meaning *unknown*) otherwise.
+    """
+
+    coloring: Dict[int, int]
+    num_wavelengths: int
+    load: int
+    method: str
+    optimal: bool = False
+
+    def wavelength_of(self, index: int) -> int:
+        """Wavelength assigned to family member ``index``."""
+        return self.coloring[index]
+
+
+def _solve(graph: DiGraph, family: DipathFamily, method: AssignmentMethod
+           ) -> WavelengthSolution:
+    pi = _load(graph, family)
+    if len(family) == 0:
+        return WavelengthSolution({}, 0, 0, method, optimal=True)
+
+    if method == "theorem1":
+        coloring = color_dipaths_theorem1(graph, family)
+        return WavelengthSolution(coloring, num_colors(coloring), pi,
+                                  "theorem1", optimal=True)
+    if method == "theorem6":
+        coloring = color_dipaths_theorem6(graph, family)
+        return WavelengthSolution(coloring, num_colors(coloring), pi,
+                                  "theorem6", optimal=False)
+
+    conflict = build_conflict_graph(family)
+    adjacency = conflict.adjacency()
+    if method == "exact":
+        coloring = optimal_coloring(adjacency)
+        return WavelengthSolution(dict(coloring), num_colors(coloring), pi,
+                                  "exact", optimal=True)
+    if method == "dsatur":
+        coloring = dsatur_coloring(adjacency)
+        return WavelengthSolution(dict(coloring), num_colors(coloring), pi,
+                                  "dsatur", optimal=False)
+    if method == "greedy":
+        coloring = greedy_coloring(adjacency)
+        return WavelengthSolution(dict(coloring), num_colors(coloring), pi,
+                                  "greedy", optimal=False)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def assign_wavelengths(graph: DiGraph, family: DipathFamily,
+                       method: AssignmentMethod = "auto",
+                       *, verify: bool = True) -> WavelengthSolution:
+    """Assign wavelengths (colours) to a family of dipaths.
+
+    Parameters
+    ----------
+    graph, family:
+        The instance ``(G, P)``.
+    method:
+        See module docstring.  ``"auto"`` picks the strongest applicable
+        algorithm and falls back gracefully.
+    verify:
+        When true (default), the returned colouring is checked against the
+        conflict graph (defence in depth; adds one pass over the conflicts).
+
+    Returns
+    -------
+    WavelengthSolution
+    """
+    if method != "auto":
+        solution = _solve(graph, family, method)
+    else:
+        solution = _auto(graph, family)
+
+    if verify and len(family) > 0:
+        conflict = build_conflict_graph(family)
+        assert_proper_coloring(conflict.adjacency(), solution.coloring)
+    return solution
+
+
+def _auto(graph: DiGraph, family: DipathFamily) -> WavelengthSolution:
+    """The ``"auto"`` strategy (see module docstring)."""
+    if not has_internal_cycle(graph):
+        return _solve(graph, family, "theorem1")
+    if has_unique_internal_cycle(graph) and is_upp_dag(graph):
+        try:
+            return _solve(graph, family, "theorem6")
+        except ReproError:
+            pass
+    if len(family) <= _AUTO_EXACT_LIMIT:
+        return _solve(graph, family, "exact")
+    return _solve(graph, family, "dsatur")
+
+
+def wavelength_number(graph: DiGraph, family: DipathFamily,
+                      method: AssignmentMethod = "auto") -> int:
+    """``w(G, P)`` (or an upper bound for the heuristic methods).
+
+    With ``method="auto"`` the value is exact whenever Theorem 1 applies (no
+    internal cycle) or the conflict graph is small enough for the exact
+    solver; with ``method="exact"`` it is always exact; with the heuristics it
+    is an upper bound.
+    """
+    return assign_wavelengths(graph, family, method=method).num_wavelengths
+
+
+def wavelength_lower_bounds(graph: DiGraph, family: DipathFamily,
+                            conflict: Optional[ConflictGraph] = None
+                            ) -> Dict[str, int]:
+    """Standard lower bounds on ``w(G, P)``.
+
+    Returns the load ``pi`` and the clique number ``omega`` of the conflict
+    graph (``pi <= omega <= w``; ``pi == omega`` on UPP-DAGs by Property 3).
+    """
+    conflict = conflict or build_conflict_graph(family)
+    return {
+        "load": _load(graph, family),
+        "clique": conflict.clique_number(),
+    }

@@ -1,0 +1,37 @@
+"""Oriented and internal cycle machinery for DAGs."""
+
+from .internal import (
+    enumerate_internal_cycles,
+    find_internal_cycle,
+    has_internal_cycle,
+    has_unique_internal_cycle,
+    internal_cyclomatic_number,
+    internal_vertex_set,
+    is_internal_cycle,
+)
+from .oriented import (
+    canonical_cycle,
+    cycle_orientation_profile,
+    cycle_switch_vertices,
+    decompose_cycle_into_dipaths,
+    enumerate_simple_cycles,
+    fundamental_cycles,
+    is_oriented_cycle,
+)
+
+__all__ = [
+    "canonical_cycle",
+    "cycle_orientation_profile",
+    "cycle_switch_vertices",
+    "decompose_cycle_into_dipaths",
+    "enumerate_internal_cycles",
+    "enumerate_simple_cycles",
+    "find_internal_cycle",
+    "fundamental_cycles",
+    "has_internal_cycle",
+    "has_unique_internal_cycle",
+    "internal_cyclomatic_number",
+    "internal_vertex_set",
+    "is_internal_cycle",
+    "is_oriented_cycle",
+]

@@ -1,0 +1,162 @@
+"""Internal cycles of a DAG (the paper's central structural notion).
+
+An **internal cycle** (paper, Section 2, Figure 2b) is an oriented cycle all
+of whose vertices have in-degree > 0 *and* out-degree > 0 in the whole DAG
+``G`` — equivalently, no vertex of the cycle is a source or a sink of ``G``.
+
+Key observation used for detection (see DESIGN.md §5.1): a cycle with all its
+vertices internal is exactly a cycle of the underlying undirected graph of the
+subgraph induced by the internal vertices.  Hence:
+
+* ``G`` has an internal cycle  ⇔  ``underlying(G[I])`` is not a forest, where
+  ``I`` is the set of internal vertices — checked in ``O(V + E)`` with a
+  union-find;
+* the number of *independent* internal cycles is the cyclomatic number of
+  ``underlying(G[I])``;
+* a certificate cycle is obtained from any fundamental cycle of that graph.
+
+The paper's Main Theorem says ``w(G, P) = pi(G, P)`` for every dipath family
+``P`` **iff** ``G`` has no internal cycle, which makes these functions the
+decision procedure of the characterisation (see
+:mod:`repro.core.characterization`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from .._typing import Vertex
+from ..graphs.digraph import DiGraph
+from .oriented import (
+    enumerate_simple_cycles,
+    fundamental_cycles,
+    is_oriented_cycle,
+)
+
+__all__ = [
+    "internal_vertex_set",
+    "has_internal_cycle",
+    "find_internal_cycle",
+    "internal_cyclomatic_number",
+    "enumerate_internal_cycles",
+    "is_internal_cycle",
+    "has_unique_internal_cycle",
+]
+
+
+def internal_vertex_set(graph: DiGraph) -> Set[Vertex]:
+    """The set ``I`` of internal vertices (in-degree > 0 and out-degree > 0)."""
+    return set(graph.internal_vertices())
+
+
+class _UnionFind:
+    """Minimal union-find with path compression (used for forest detection)."""
+
+    __slots__ = ("_parent",)
+
+    def __init__(self) -> None:
+        self._parent: Dict[Vertex, Vertex] = {}
+
+    def find(self, x: Vertex) -> Vertex:
+        parent = self._parent
+        parent.setdefault(x, x)
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: Vertex, y: Vertex) -> bool:
+        """Merge the classes of ``x`` and ``y``; return False if already merged."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        self._parent[rx] = ry
+        return True
+
+
+def has_internal_cycle(graph: DiGraph) -> bool:
+    """Whether the DAG contains an internal cycle.
+
+    Linear-time: the underlying undirected graph restricted to internal
+    vertices contains a cycle iff some restricted edge joins two vertices
+    already connected in the union-find.
+    """
+    internal = internal_vertex_set(graph)
+    if len(internal) < 3:
+        return False
+    uf = _UnionFind()
+    for u, v in graph.arcs():
+        if u in internal and v in internal:
+            if not uf.union(u, v):
+                return True
+    return False
+
+
+def internal_cyclomatic_number(graph: DiGraph) -> int:
+    """Number of independent internal cycles (cyclomatic number of ``G[I]``).
+
+    Zero exactly when the DAG has no internal cycle; one when it has a unique
+    internal cycle (the hypothesis of Theorem 6); larger values indicate
+    several (possibly overlapping) internal cycles.
+    """
+    internal = internal_vertex_set(graph)
+    uf = _UnionFind()
+    extra = 0
+    for u, v in graph.arcs():
+        if u in internal and v in internal:
+            if not uf.union(u, v):
+                extra += 1
+    return extra
+
+
+def has_unique_internal_cycle(graph: DiGraph) -> bool:
+    """Whether the DAG has exactly one internal cycle.
+
+    This is the hypothesis of Theorem 6.  With cyclomatic number 1 the
+    internal subgraph contains exactly one simple cycle.
+    """
+    return internal_cyclomatic_number(graph) == 1
+
+
+def find_internal_cycle(graph: DiGraph) -> Optional[List[Vertex]]:
+    """Return one internal cycle (open vertex list) or ``None``.
+
+    The returned cycle is a fundamental cycle of the underlying undirected
+    graph induced on internal vertices, hence simple; all of its vertices are
+    internal in ``graph`` by construction.
+    """
+    internal = internal_vertex_set(graph)
+    if len(internal) < 3:
+        return None
+    cycles = fundamental_cycles(graph, restrict_to=internal)
+    if not cycles:
+        return None
+    # Return a smallest certificate for readability / determinism.
+    return min(cycles, key=len)
+
+
+def enumerate_internal_cycles(graph: DiGraph, limit: Optional[int] = None
+                              ) -> List[List[Vertex]]:
+    """Enumerate the simple internal cycles of the DAG.
+
+    Exhaustive (exponential in the worst case); intended for gadgets, tests
+    and small experimental instances.  ``limit`` bounds the number of cycles
+    returned.
+    """
+    internal = internal_vertex_set(graph)
+    if len(internal) < 3:
+        return []
+    return enumerate_simple_cycles(graph, restrict_to=internal, limit=limit)
+
+
+def is_internal_cycle(graph: DiGraph, cycle: Sequence[Vertex]) -> bool:
+    """Whether ``cycle`` is an oriented cycle all of whose vertices are internal."""
+    if not is_oriented_cycle(graph, cycle):
+        return False
+    internal = internal_vertex_set(graph)
+    verts = list(cycle)
+    if len(verts) >= 2 and verts[0] == verts[-1]:
+        verts = verts[:-1]
+    return all(v in internal for v in verts)

@@ -1,0 +1,281 @@
+"""Oriented cycles of a DAG.
+
+An *oriented cycle* of a DAG (paper, Section 2, Figure 2a) is a cycle of the
+underlying undirected graph.  Because the digraph has no directed cycle, such
+a cycle decomposes into an even number ``2k`` of maximal directed segments
+alternating in direction; the vertices where the orientation switches have
+either in-degree 2 / out-degree 0 (local sinks of the cycle) or in-degree 0 /
+out-degree 2 (local sources of the cycle).
+
+This module provides validation, canonical forms, the alternating-segment
+decomposition used by Theorems 2 and 6, and enumeration machinery (cycle
+basis via spanning forest + fundamental edges, and bounded exhaustive simple
+cycle enumeration for small graphs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import GraphError
+from .._typing import Vertex
+from ..graphs.digraph import DiGraph
+
+__all__ = [
+    "is_oriented_cycle",
+    "cycle_orientation_profile",
+    "cycle_switch_vertices",
+    "decompose_cycle_into_dipaths",
+    "canonical_cycle",
+    "fundamental_cycles",
+    "enumerate_simple_cycles",
+]
+
+
+def _cycle_vertices(cycle: Sequence[Vertex]) -> List[Vertex]:
+    """Normalise a cycle given either open (``v0..vk-1``) or closed form."""
+    verts = list(cycle)
+    if len(verts) >= 2 and verts[0] == verts[-1]:
+        verts = verts[:-1]
+    return verts
+
+
+def is_oriented_cycle(graph: DiGraph, cycle: Sequence[Vertex]) -> bool:
+    """Whether ``cycle`` is a simple cycle of the underlying undirected graph.
+
+    ``cycle`` may be given in open form ``[v0, ..., v_{k-1}]`` or closed form
+    ``[v0, ..., v_{k-1}, v0]``.  Consecutive vertices (cyclically) must be
+    joined by an arc in one direction or the other, and all vertices must be
+    distinct.  In a simple DAG a cycle has at least 3 vertices.
+    """
+    verts = _cycle_vertices(cycle)
+    if len(verts) < 3 or len(set(verts)) != len(verts):
+        return False
+    for i, u in enumerate(verts):
+        v = verts[(i + 1) % len(verts)]
+        if not (graph.has_arc(u, v) or graph.has_arc(v, u)):
+            return False
+    return True
+
+
+def cycle_orientation_profile(graph: DiGraph, cycle: Sequence[Vertex]
+                              ) -> List[int]:
+    """Direction of each cycle edge when walking the cycle.
+
+    Returns a list ``d`` with ``d[i] = +1`` if ``(v_i, v_{i+1})`` is an arc of
+    the digraph and ``-1`` if ``(v_{i+1}, v_i)`` is (indices cyclic).
+
+    Raises
+    ------
+    GraphError
+        If ``cycle`` is not an oriented cycle of ``graph``.
+    """
+    verts = _cycle_vertices(cycle)
+    if not is_oriented_cycle(graph, verts):
+        raise GraphError(f"{cycle!r} is not an oriented cycle of the digraph")
+    profile: List[int] = []
+    for i, u in enumerate(verts):
+        v = verts[(i + 1) % len(verts)]
+        profile.append(1 if graph.has_arc(u, v) else -1)
+    return profile
+
+
+def cycle_switch_vertices(graph: DiGraph, cycle: Sequence[Vertex]
+                          ) -> Tuple[List[Vertex], List[Vertex]]:
+    """Local sources and local sinks of an oriented cycle.
+
+    Returns ``(local_sources, local_sinks)`` where a *local source* has both
+    incident cycle edges oriented away from it (in-degree 0 in the cycle —
+    the ``b_i`` vertices of the paper's Theorem 2) and a *local sink* has both
+    oriented towards it (out-degree 0 in the cycle — the ``c_i`` vertices).
+    The two lists have equal length ``k >= 1`` and alternate along the cycle.
+    """
+    verts = _cycle_vertices(cycle)
+    profile = cycle_orientation_profile(graph, verts)
+    n = len(verts)
+    local_sources: List[Vertex] = []
+    local_sinks: List[Vertex] = []
+    for i, v in enumerate(verts):
+        d_out = profile[i]              # edge v -> next
+        d_in = profile[(i - 1) % n]     # edge prev -> v
+        if d_out == 1 and d_in == -1:
+            local_sources.append(v)
+        elif d_out == -1 and d_in == 1:
+            local_sinks.append(v)
+    return local_sources, local_sinks
+
+
+def decompose_cycle_into_dipaths(graph: DiGraph, cycle: Sequence[Vertex]
+                                 ) -> List[List[Vertex]]:
+    """Split an oriented cycle into its maximal directed segments.
+
+    Each returned segment is a dipath of the digraph, listed in arc order
+    (from its local-source end to its local-sink end); consecutive segments
+    alternate direction around the cycle.  The number of segments is even
+    (``2k``), as stated in the paper.
+    """
+    verts = _cycle_vertices(cycle)
+    profile = cycle_orientation_profile(graph, verts)
+    n = len(verts)
+    if len(set(profile)) == 1:
+        raise GraphError("cycle is directed, impossible in a DAG")
+    # Start at an orientation switch so segments are maximal.
+    start = next(i for i in range(n) if profile[i] != profile[i - 1])
+    segments: List[List[Vertex]] = []
+    current = [verts[start]]
+    for off in range(n):
+        i = (start + off) % n
+        nxt = verts[(i + 1) % n]
+        current.append(nxt)
+        if profile[(i + 1) % n] != profile[i]:
+            # orientation switches after nxt: close the segment
+            if profile[i] == -1:
+                current.reverse()
+            segments.append(current)
+            current = [nxt]
+    return segments
+
+
+def canonical_cycle(cycle: Sequence[Vertex]) -> Tuple[Vertex, ...]:
+    """Canonical representative of a cycle up to rotation and reflection.
+
+    Used to deduplicate cycles during enumeration.
+    """
+    verts = _cycle_vertices(cycle)
+    n = len(verts)
+    best: Optional[Tuple[Vertex, ...]] = None
+    reprs = [repr(v) for v in verts]
+    for direction in (1, -1):
+        seq = verts if direction == 1 else list(reversed(verts))
+        rep = reprs if direction == 1 else list(reversed(reprs))
+        for shift in range(n):
+            rotated = tuple(seq[(shift + i) % n] for i in range(n))
+            key = tuple(rep[(shift + i) % n] for i in range(n))
+            if best is None or key < best_key:  # noqa: F821 - set below
+                best, best_key = rotated, key
+    return best  # type: ignore[return-value]
+
+
+def fundamental_cycles(graph: DiGraph,
+                       restrict_to: Optional[Iterable[Vertex]] = None
+                       ) -> List[List[Vertex]]:
+    """A cycle basis of the underlying undirected graph.
+
+    Builds a BFS spanning forest; every non-forest edge closes exactly one
+    fundamental cycle, returned as an open vertex list.  When ``restrict_to``
+    is given, only the induced subgraph on those vertices is considered.
+
+    The number of returned cycles equals the cyclomatic number of the
+    (restricted) underlying graph.
+    """
+    if restrict_to is not None:
+        vertices: Set[Vertex] = set(restrict_to)
+    else:
+        vertices = set(graph.vertices())
+    adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in vertices}
+    for u, v in graph.arcs():
+        if u in vertices and v in vertices:
+            adj[u].add(v)
+            adj[v].add(u)
+
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    depth: Dict[Vertex, int] = {}
+    tree_edges: Set[frozenset] = set()
+    cycles: List[List[Vertex]] = []
+
+    for root in vertices:
+        if root in parent:
+            continue
+        parent[root] = None
+        depth[root] = 0
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for w in adj[v]:
+                if w not in parent:
+                    parent[w] = v
+                    depth[w] = depth[v] + 1
+                    tree_edges.add(frozenset((v, w)))
+                    queue.append(w)
+
+    seen_edges: Set[frozenset] = set()
+    for u in vertices:
+        for v in adj[u]:
+            edge = frozenset((u, v))
+            if edge in tree_edges or edge in seen_edges:
+                continue
+            seen_edges.add(edge)
+            # walk u and v up to their lowest common ancestor
+            pu, pv = u, v
+            left: List[Vertex] = [pu]
+            right: List[Vertex] = [pv]
+            while depth.get(pu, 0) > depth.get(pv, 0):
+                pu = parent[pu]  # type: ignore[assignment]
+                left.append(pu)
+            while depth.get(pv, 0) > depth.get(pu, 0):
+                pv = parent[pv]  # type: ignore[assignment]
+                right.append(pv)
+            while pu != pv:
+                pu = parent[pu]  # type: ignore[assignment]
+                pv = parent[pv]  # type: ignore[assignment]
+                left.append(pu)
+                right.append(pv)
+            # left ends at LCA, right ends at LCA: combine
+            cycle = left + list(reversed(right[:-1]))
+            cycles.append(cycle)
+    return cycles
+
+
+def enumerate_simple_cycles(graph: DiGraph,
+                            restrict_to: Optional[Iterable[Vertex]] = None,
+                            limit: Optional[int] = None
+                            ) -> List[List[Vertex]]:
+    """Enumerate the simple cycles of the underlying undirected graph.
+
+    Intended for small instances (gadgets, examples, tests); the number of
+    simple cycles can be exponential, so a ``limit`` can bound the output.
+
+    Cycles are returned as open vertex lists, deduplicated up to rotation and
+    reflection.
+    """
+    if restrict_to is not None:
+        vertices: Set[Vertex] = set(restrict_to)
+    else:
+        vertices = set(graph.vertices())
+    adj: Dict[Vertex, Set[Vertex]] = {v: set() for v in vertices}
+    for u, v in graph.arcs():
+        if u in vertices and v in vertices:
+            adj[u].add(v)
+            adj[v].add(u)
+
+    order = {v: i for i, v in enumerate(sorted(vertices, key=repr))}
+    found: Dict[Tuple[Vertex, ...], List[Vertex]] = {}
+
+    def _search(start: Vertex, path: List[Vertex], on_path: Set[Vertex]) -> bool:
+        """DFS from ``start`` keeping only vertices >= start in ``order``."""
+        if limit is not None and len(found) >= limit:
+            return False
+        v = path[-1]
+        for w in adj[v]:
+            if order[w] < order[start]:
+                continue
+            if w == start and len(path) >= 3:
+                key = canonical_cycle(path)
+                found.setdefault(key, list(path))
+                if limit is not None and len(found) >= limit:
+                    return False
+            elif w not in on_path:
+                path.append(w)
+                on_path.add(w)
+                keep_going = _search(start, path, on_path)
+                on_path.discard(w)
+                path.pop()
+                if not keep_going:
+                    return False
+        return True
+
+    for start in sorted(vertices, key=lambda v: order[v]):
+        if not _search(start, [start], {start}):
+            break
+    return list(found.values())

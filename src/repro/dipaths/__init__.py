@@ -1,0 +1,17 @@
+"""Dipaths, dipath families, requests and routing."""
+
+from .dipath import Dipath
+from .family import DipathFamily
+from .requests import Request, RequestFamily
+from .routing import route_all, route_min_load, route_shortest, route_unique
+
+__all__ = [
+    "Dipath",
+    "DipathFamily",
+    "Request",
+    "RequestFamily",
+    "route_all",
+    "route_min_load",
+    "route_shortest",
+    "route_unique",
+]

@@ -1,0 +1,252 @@
+"""Dipaths (directed paths) of a digraph.
+
+A :class:`Dipath` is an immutable, hashable sequence of at least two distinct
+vertices; consecutive vertices are understood to be joined by an arc of the
+host digraph.  Validation against a digraph is available but optional, so the
+same object can describe a dipath of several graphs (e.g. the original DAG
+and the arc-split DAG built by the Theorem 6 algorithm).
+
+Two dipaths are *in conflict* when they share an arc — this is the relation
+that defines the conflict graph and therefore the wavelength number.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import InvalidDipathError
+from .._typing import Arc, Vertex
+from ..graphs.digraph import DiGraph
+
+__all__ = ["Dipath"]
+
+
+class Dipath:
+    """An immutable dipath described by its vertex sequence.
+
+    Parameters
+    ----------
+    vertices:
+        Sequence of at least two vertices; all vertices must be distinct
+        (a dipath of a DAG never repeats a vertex).
+    graph:
+        Optional digraph against which the dipath is validated (every
+        consecutive pair must be an arc).
+
+    Examples
+    --------
+    >>> p = Dipath(["a", "b", "c"])
+    >>> list(p.arcs())
+    [('a', 'b'), ('b', 'c')]
+    >>> p.contains_arc(("b", "c"))
+    True
+    """
+
+    __slots__ = ("_vertices", "_arcset", "_hash")
+
+    def __init__(self, vertices: Sequence[Vertex],
+                 graph: Optional[DiGraph] = None) -> None:
+        verts = tuple(vertices)
+        if len(verts) < 2:
+            raise InvalidDipathError(
+                f"a dipath needs at least 2 vertices, got {len(verts)}")
+        if len(set(verts)) != len(verts):
+            raise InvalidDipathError(
+                f"dipath vertices must be distinct, got {verts!r}")
+        if graph is not None:
+            for u, v in zip(verts, verts[1:]):
+                if not graph.has_arc(u, v):
+                    raise InvalidDipathError(
+                        f"({u!r}, {v!r}) is not an arc of the digraph")
+        self._vertices: Tuple[Vertex, ...] = verts
+        self._arcset: frozenset = frozenset(zip(verts, verts[1:]))
+        self._hash = hash(verts)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def vertices(self) -> Tuple[Vertex, ...]:
+        """The vertex sequence of the dipath."""
+        return self._vertices
+
+    @property
+    def source(self) -> Vertex:
+        """The initial vertex of the dipath."""
+        return self._vertices[0]
+
+    @property
+    def target(self) -> Vertex:
+        """The terminal vertex of the dipath."""
+        return self._vertices[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of arcs of the dipath."""
+        return len(self._vertices) - 1
+
+    def arcs(self) -> Iterator[Arc]:
+        """Iterate over the arcs, in order."""
+        return iter(zip(self._vertices, self._vertices[1:]))
+
+    @property
+    def arc_set(self) -> frozenset:
+        """The set of arcs of the dipath (order-free)."""
+        return self._arcset
+
+    def contains_vertex(self, v: Vertex) -> bool:
+        """Whether ``v`` lies on the dipath."""
+        return v in self._vertices
+
+    def contains_arc(self, arc: Arc) -> bool:
+        """Whether the dipath uses arc ``(u, v)``."""
+        return arc in self._arcset
+
+    def index(self, v: Vertex) -> int:
+        """Position of vertex ``v`` along the dipath (0-based)."""
+        return self._vertices.index(v)
+
+    # ------------------------------------------------------------------ #
+    # conflict / intersection
+    # ------------------------------------------------------------------ #
+    def conflicts_with(self, other: "Dipath") -> bool:
+        """Whether the two dipaths share at least one arc (paper: *in conflict*)."""
+        small, large = ((self._arcset, other._arcset)
+                        if len(self._arcset) <= len(other._arcset)
+                        else (other._arcset, self._arcset))
+        return any(a in large for a in small)
+
+    def shared_arcs(self, other: "Dipath") -> Set[Arc]:
+        """The set of arcs shared with ``other``."""
+        return set(self._arcset & other._arcset)
+
+    def intersection_intervals(self, other: "Dipath") -> List["Dipath"]:
+        """Maximal shared sub-dipaths (intervals) with ``other``.
+
+        For UPP-DAGs, Property 3 (Helly) guarantees that two intersecting
+        dipaths share a single interval; in general the intersection may be a
+        union of several intervals.  Each interval is returned as a dipath.
+        """
+        shared = self._arcset & other._arcset
+        if not shared:
+            return []
+        intervals: List[Dipath] = []
+        current: List[Vertex] = []
+        for u, v in self.arcs():
+            if (u, v) in shared:
+                if not current:
+                    current = [u, v]
+                else:
+                    current.append(v)
+            else:
+                if current:
+                    intervals.append(Dipath(current))
+                    current = []
+        if current:
+            intervals.append(Dipath(current))
+        return intervals
+
+    # ------------------------------------------------------------------ #
+    # sub-paths and edits (used by the Theorem 1 / 6 machinery)
+    # ------------------------------------------------------------------ #
+    def subpath(self, start: Vertex, end: Vertex) -> "Dipath":
+        """The sub-dipath from ``start`` to ``end`` (both on the dipath)."""
+        i, j = self.index(start), self.index(end)
+        if i > j:
+            raise InvalidDipathError(
+                f"{start!r} does not precede {end!r} on the dipath")
+        return Dipath(self._vertices[i:j + 1])
+
+    def without_first_arc(self) -> Optional["Dipath"]:
+        """The dipath minus its first arc, or ``None`` if only one arc remains."""
+        if self.length <= 1:
+            return None
+        return Dipath(self._vertices[1:])
+
+    def without_last_arc(self) -> Optional["Dipath"]:
+        """The dipath minus its last arc, or ``None`` if only one arc remains."""
+        if self.length <= 1:
+            return None
+        return Dipath(self._vertices[:-1])
+
+    def without_arc(self, arc: Arc) -> List["Dipath"]:
+        """Remove one arc, returning the 0, 1 or 2 non-empty remaining pieces.
+
+        This implements the *shrinking* used in the proof of Theorem 1: a
+        dipath through the deleted arc ``(x0, y0)`` becomes the dipath with
+        that arc removed; a dipath reduced to the arc disappears.  Since the
+        deleted arc always leaves a source in that proof, the arc is the first
+        arc of the dipath there — but this helper handles the general case
+        (the arc may be internal, yielding two pieces), which Theorem 6 needs.
+        """
+        if arc not in self._arcset:
+            return [self]
+        u, v = arc
+        i = self.index(u)
+        pieces: List[Dipath] = []
+        if i >= 1:
+            pieces.append(Dipath(self._vertices[:i + 1]))
+        if i + 2 < len(self._vertices):
+            pieces.append(Dipath(self._vertices[i + 1:]))
+        return pieces
+
+    def concatenate(self, other: "Dipath") -> "Dipath":
+        """Concatenate with a dipath starting at this dipath's target."""
+        if other.source != self.target:
+            raise InvalidDipathError(
+                f"cannot concatenate: {self.target!r} != {other.source!r}")
+        return Dipath(self._vertices + other._vertices[1:])
+
+    def is_valid_in(self, graph: DiGraph) -> bool:
+        """Whether every arc of the dipath is an arc of ``graph``."""
+        return all(graph.has_arc(u, v) for u, v in self.arcs())
+
+    # ------------------------------------------------------------------ #
+    # dunder protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __getitem__(self, idx: int) -> Vertex:
+        return self._vertices[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dipath):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Dipath") -> bool:
+        return tuple(map(repr, self._vertices)) < tuple(map(repr, other._vertices))
+
+    def __repr__(self) -> str:
+        inner = "→".join(str(v) for v in self._vertices)
+        return f"Dipath({inner})"
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arcs(cls, arcs: Iterable[Arc]) -> "Dipath":
+        """Build a dipath from consecutive arcs ``(v0,v1), (v1,v2), ...``."""
+        arc_list = list(arcs)
+        if not arc_list:
+            raise InvalidDipathError("cannot build a dipath from zero arcs")
+        verts: List[Vertex] = [arc_list[0][0]]
+        for u, v in arc_list:
+            if u != verts[-1]:
+                raise InvalidDipathError(
+                    f"arcs are not consecutive: expected tail {verts[-1]!r}, "
+                    f"got {u!r}")
+            verts.append(v)
+        return cls(verts)
+
+    @classmethod
+    def single_arc(cls, u: Vertex, v: Vertex) -> "Dipath":
+        """The dipath reduced to the single arc ``(u, v)``."""
+        return cls((u, v))

@@ -1,0 +1,229 @@
+"""Families of dipaths and their per-arc load.
+
+A :class:`DipathFamily` is an ordered multiset of dipaths (the paper's
+``P``): identical dipaths may appear several times — Theorem 7 replicates
+every dipath of a gadget ``h`` times, and such copies conflict with each
+other since they share all their arcs.  The family indexes its members by
+position (0-based), which is also the vertex identity used by the conflict
+graph and by all colourings (a colouring is a mapping ``index -> colour``).
+
+The family maintains a per-arc index (arc -> list of member indices) so that
+load queries and conflict-graph construction are proportional to the number
+of (arc, dipath) incidences rather than quadratic in the family size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import InvalidDipathError
+from .._typing import Arc, Vertex
+from ..graphs.digraph import DiGraph
+from .dipath import Dipath
+
+__all__ = ["DipathFamily"]
+
+
+class DipathFamily:
+    """An ordered multiset of dipaths with a per-arc load index.
+
+    Parameters
+    ----------
+    dipaths:
+        Iterable of :class:`Dipath` (or vertex sequences, which are converted).
+    graph:
+        Optional digraph against which every dipath is validated.
+
+    Examples
+    --------
+    >>> fam = DipathFamily([["a", "b", "c"], ["b", "c", "d"]])
+    >>> fam.load()
+    2
+    >>> fam.load_of_arc(("b", "c"))
+    2
+    """
+
+    __slots__ = ("_paths", "_arc_index", "_graph")
+
+    def __init__(self, dipaths: Iterable[Dipath | Sequence[Vertex]] = (),
+                 graph: Optional[DiGraph] = None) -> None:
+        self._paths: List[Dipath] = []
+        self._arc_index: Dict[Arc, List[int]] = {}
+        self._graph = graph
+        for p in dipaths:
+            self.add(p)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, dipath: Dipath | Sequence[Vertex]) -> int:
+        """Append a dipath to the family and return its index."""
+        if not isinstance(dipath, Dipath):
+            dipath = Dipath(dipath, graph=self._graph)
+        elif self._graph is not None and not dipath.is_valid_in(self._graph):
+            raise InvalidDipathError(
+                f"{dipath!r} is not a dipath of the attached digraph")
+        idx = len(self._paths)
+        self._paths.append(dipath)
+        for arc in dipath.arcs():
+            self._arc_index.setdefault(arc, []).append(idx)
+        return idx
+
+    def extend(self, dipaths: Iterable[Dipath | Sequence[Vertex]]) -> None:
+        """Append every dipath of ``dipaths``."""
+        for p in dipaths:
+            self.add(p)
+
+    def replicate(self, copies: int) -> "DipathFamily":
+        """Return a new family with every dipath repeated ``copies`` times.
+
+        This is the operation used by Theorems 6/7 to scale gadget families:
+        replicating multiplies the load by ``copies`` while the conflict
+        graph becomes the lexicographic blow-up of the original one.
+        """
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        out = DipathFamily(graph=self._graph)
+        for p in self._paths:
+            for _ in range(copies):
+                out.add(p)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def dipaths(self) -> Tuple[Dipath, ...]:
+        """The dipaths of the family, in index order."""
+        return tuple(self._paths)
+
+    @property
+    def graph(self) -> Optional[DiGraph]:
+        """The digraph the family is attached to (may be ``None``)."""
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[Dipath]:
+        return iter(self._paths)
+
+    def __getitem__(self, idx: int) -> Dipath:
+        return self._paths[idx]
+
+    def __repr__(self) -> str:
+        return f"DipathFamily(n={len(self._paths)}, load={self.load()})"
+
+    def index_of(self, dipath: Dipath) -> int:
+        """Index of the first occurrence of ``dipath`` in the family."""
+        return self._paths.index(dipath)
+
+    # ------------------------------------------------------------------ #
+    # load (the paper's pi)
+    # ------------------------------------------------------------------ #
+    def arcs_used(self) -> List[Arc]:
+        """Arcs used by at least one dipath of the family."""
+        return list(self._arc_index)
+
+    def members_on_arc(self, arc: Arc) -> List[int]:
+        """Indices of family members whose dipath contains ``arc``."""
+        return list(self._arc_index.get(arc, ()))
+
+    def load_of_arc(self, arc: Arc) -> int:
+        """``load(G, P, e)``: number of dipaths of the family containing ``arc``."""
+        return len(self._arc_index.get(arc, ()))
+
+    def load_per_arc(self) -> Dict[Arc, int]:
+        """Mapping ``arc -> load`` restricted to arcs of positive load."""
+        return {arc: len(members) for arc, members in self._arc_index.items()}
+
+    def load(self) -> int:
+        """``pi(G, P)``: maximum load over all arcs (0 for an empty family)."""
+        if not self._arc_index:
+            return 0
+        return max(len(members) for members in self._arc_index.values())
+
+    def maximum_load_arcs(self) -> List[Arc]:
+        """Arcs achieving the maximum load."""
+        pi = self.load()
+        return [arc for arc, members in self._arc_index.items()
+                if len(members) == pi]
+
+    # ------------------------------------------------------------------ #
+    # conflicts
+    # ------------------------------------------------------------------ #
+    def conflicting_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over conflicting index pairs ``(i, j)`` with ``i < j``.
+
+        Generated from the per-arc index so the cost is ``O(sum_e load(e)^2)``
+        rather than ``O(|P|^2 * path length)``; pairs sharing several arcs are
+        reported once.
+        """
+        seen: set = set()
+        for members in self._arc_index.values():
+            if len(members) < 2:
+                continue
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    i, j = members[a], members[b]
+                    if i > j:
+                        i, j = j, i
+                    if (i, j) not in seen:
+                        seen.add((i, j))
+                        yield (i, j)
+
+    def conflicts_of(self, idx: int) -> List[int]:
+        """Indices of members in conflict with member ``idx``."""
+        out: set = set()
+        for arc in self._paths[idx].arcs():
+            for j in self._arc_index.get(arc, ()):
+                if j != idx:
+                    out.add(j)
+        return sorted(out)
+
+    # ------------------------------------------------------------------ #
+    # validation / transformation
+    # ------------------------------------------------------------------ #
+    def validate_against(self, graph: DiGraph) -> None:
+        """Raise :class:`InvalidDipathError` if some member is not a dipath of ``graph``."""
+        for idx, p in enumerate(self._paths):
+            if not p.is_valid_in(graph):
+                raise InvalidDipathError(
+                    f"family member {idx} ({p!r}) is not a dipath of the digraph")
+
+    def restricted_to_arcs(self, arcs: Iterable[Arc]) -> "DipathFamily":
+        """Family of members using at least one of the given arcs (same order)."""
+        arcset = set(arcs)
+        out = DipathFamily(graph=self._graph)
+        for p in self._paths:
+            if any(a in arcset for a in p.arcs()):
+                out.add(p)
+        return out
+
+    def copy(self) -> "DipathFamily":
+        """Shallow copy (dipaths are immutable, so this is fully independent)."""
+        out = DipathFamily(graph=self._graph)
+        for p in self._paths:
+            out.add(p)
+        return out
+
+    def union_digraph(self) -> DiGraph:
+        """The digraph formed by the arcs used by the family.
+
+        Useful to analyse a family independently of its host graph (e.g. to
+        detect whether the *used* sub-DAG has an internal cycle).
+        """
+        g = DiGraph()
+        for p in self._paths:
+            for u, v in p.arcs():
+                g.add_arc(u, v)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_vertex_sequences(cls, sequences: Iterable[Sequence[Vertex]],
+                              graph: Optional[DiGraph] = None) -> "DipathFamily":
+        """Build a family from plain vertex sequences."""
+        return cls(sequences, graph=graph)

@@ -1,0 +1,164 @@
+"""Connection requests and traffic matrices.
+
+The paper's input at the *network design* level is a family of requests
+(source/destination pairs, possibly with multiplicities — a traffic matrix);
+routing turns requests into dipaths, after which only the dipath family
+matters.  These classes model that upper level and are used by the optical
+substrate and by the generators for the all-to-all / multicast instances the
+introduction discusses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .._typing import Vertex
+from ..graphs.digraph import DiGraph
+
+__all__ = ["Request", "RequestFamily"]
+
+
+class Request:
+    """A connection request from ``source`` to ``target`` with a multiplicity.
+
+    Multiplicity models several identical demands (e.g. several wavelengths
+    of traffic between the same pair); each unit is routed and coloured
+    independently.
+    """
+
+    __slots__ = ("source", "target", "multiplicity")
+
+    def __init__(self, source: Vertex, target: Vertex, multiplicity: int = 1) -> None:
+        if multiplicity < 1:
+            raise ValueError("multiplicity must be >= 1")
+        if source == target:
+            raise ValueError("a request needs distinct endpoints")
+        self.source = source
+        self.target = target
+        self.multiplicity = multiplicity
+
+    def as_tuple(self) -> Tuple[Vertex, Vertex, int]:
+        """Return ``(source, target, multiplicity)``."""
+        return (self.source, self.target, self.multiplicity)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        mult = f" x{self.multiplicity}" if self.multiplicity != 1 else ""
+        return f"Request({self.source!r} → {self.target!r}{mult})"
+
+
+class RequestFamily:
+    """An ordered collection of requests (a traffic matrix).
+
+    Examples
+    --------
+    >>> fam = RequestFamily([("a", "c"), ("b", "c")])
+    >>> fam.total_demand()
+    2
+    """
+
+    __slots__ = ("_requests",)
+
+    def __init__(self, requests: Iterable[Request | Tuple] = ()) -> None:
+        self._requests: List[Request] = []
+        for r in requests:
+            self.add(r)
+
+    def add(self, request: Request | Tuple) -> None:
+        """Add a request (``Request`` or ``(source, target[, multiplicity])``)."""
+        if not isinstance(request, Request):
+            request = Request(*request)
+        self._requests.append(request)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __getitem__(self, idx: int) -> Request:
+        return self._requests[idx]
+
+    def __repr__(self) -> str:
+        return f"RequestFamily(n={len(self._requests)}, demand={self.total_demand()})"
+
+    def total_demand(self) -> int:
+        """Total number of unit requests (sum of multiplicities)."""
+        return sum(r.multiplicity for r in self._requests)
+
+    def pairs(self, expand_multiplicity: bool = True) -> List[Tuple[Vertex, Vertex]]:
+        """The (source, target) pairs; multiplicities expanded by default."""
+        out: List[Tuple[Vertex, Vertex]] = []
+        for r in self._requests:
+            count = r.multiplicity if expand_multiplicity else 1
+            out.extend((r.source, r.target) for _ in range(count))
+        return out
+
+    def demand_matrix(self) -> Dict[Tuple[Vertex, Vertex], int]:
+        """Aggregate demand per ordered pair."""
+        counter: Counter = Counter()
+        for r in self._requests:
+            counter[(r.source, r.target)] += r.multiplicity
+        return dict(counter)
+
+    def is_multicast(self) -> bool:
+        """Whether all requests share the same origin (paper reference [2])."""
+        sources = {r.source for r in self._requests}
+        return len(sources) <= 1
+
+    def sources(self) -> List[Vertex]:
+        """Distinct request sources."""
+        return sorted({r.source for r in self._requests}, key=repr)
+
+    # ------------------------------------------------------------------ #
+    # standard instances
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def all_to_all(cls, graph: DiGraph,
+                   only_connected: bool = True) -> "RequestFamily":
+        """One request per ordered pair of distinct vertices.
+
+        Parameters
+        ----------
+        only_connected:
+            When true (default), keep only pairs ``(x, y)`` such that ``y`` is
+            reachable from ``x`` — unreachable pairs cannot be satisfied by
+            any routing and are dropped, following the paper's admissible
+            (satisfiable) request convention.
+        """
+        from ..graphs.traversal import transitive_closure_sets
+
+        fam = cls()
+        if only_connected:
+            reach = transitive_closure_sets(graph)
+            for x in graph.vertices():
+                for y in sorted(reach[x], key=repr):
+                    fam.add(Request(x, y))
+        else:
+            verts = list(graph.vertices())
+            for x in verts:
+                for y in verts:
+                    if x != y:
+                        fam.add(Request(x, y))
+        return fam
+
+    @classmethod
+    def multicast(cls, graph: DiGraph, origin: Vertex,
+                  targets: Optional[Iterable[Vertex]] = None) -> "RequestFamily":
+        """Requests from a single origin to every (reachable) target."""
+        from ..graphs.traversal import reachable_from
+
+        fam = cls()
+        if targets is None:
+            targets = sorted(reachable_from(graph, origin) - {origin}, key=repr)
+        for t in targets:
+            fam.add(Request(origin, t))
+        return fam

@@ -1,0 +1,159 @@
+"""Routing: turning requests into dipaths.
+
+The RWA problem splits into routing (choose a dipath per request) and
+wavelength assignment (colour the dipaths).  The paper takes the routing as
+given; this module provides the standard routing policies needed to build
+dipath families from request families:
+
+* :func:`route_unique` — for UPP-DAGs every satisfiable request has exactly
+  one route, so routing is forced (this is the paper's remark that for UPP
+  digraphs families of requests and families of dipaths are interchangeable);
+* :func:`route_shortest` — BFS shortest dipath per request (the common
+  practical heuristic the paper mentions);
+* :func:`route_min_load` — greedy load-aware routing: requests are routed one
+  by one on a dipath minimising the maximum (then total) load increase, a
+  simple but effective heuristic for load minimisation;
+* :func:`route_all` — dispatch by policy name.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Literal, Optional, Tuple
+
+from ..exceptions import RoutingError
+from .._typing import Arc, Vertex
+from ..graphs.digraph import DiGraph
+from ..graphs.traversal import enumerate_dipaths, shortest_dipath
+from .dipath import Dipath
+from .family import DipathFamily
+from .requests import RequestFamily
+
+__all__ = [
+    "route_unique",
+    "route_shortest",
+    "route_min_load",
+    "route_all",
+    "RoutingPolicy",
+]
+
+RoutingPolicy = Literal["unique", "shortest", "min-load"]
+
+
+def route_unique(graph: DiGraph, requests: RequestFamily) -> DipathFamily:
+    """Route every request along its unique dipath (UPP-DAG routing).
+
+    Raises
+    ------
+    RoutingError
+        If some request has no dipath, or more than one (the digraph is then
+        not a UPP-DAG and the routing is ambiguous).
+    """
+    family = DipathFamily(graph=graph)
+    for req in requests:
+        paths = enumerate_dipaths(graph, req.source, req.target, limit=2)
+        if not paths:
+            raise RoutingError(
+                f"no dipath from {req.source!r} to {req.target!r}")
+        if len(paths) > 1:
+            raise RoutingError(
+                f"more than one dipath from {req.source!r} to {req.target!r}; "
+                "the digraph is not a UPP-DAG, use another routing policy")
+        for _ in range(req.multiplicity):
+            family.add(Dipath(paths[0]))
+    return family
+
+
+def route_shortest(graph: DiGraph, requests: RequestFamily) -> DipathFamily:
+    """Route every request along a shortest (fewest arcs) dipath."""
+    family = DipathFamily(graph=graph)
+    for req in requests:
+        path = shortest_dipath(graph, req.source, req.target)
+        if path is None or len(path) < 2:
+            raise RoutingError(
+                f"no dipath from {req.source!r} to {req.target!r}")
+        for _ in range(req.multiplicity):
+            family.add(Dipath(path))
+    return family
+
+
+def _min_load_dipath(graph: DiGraph, source: Vertex, target: Vertex,
+                     load: Dict[Arc, int]) -> Optional[List[Vertex]]:
+    """Dipath minimising (max arc load along the path, then total load, then length).
+
+    Dijkstra-like search where the cost of a path is the lexicographic tuple
+    ``(max load of its arcs, sum of loads, number of arcs)`` — this favours
+    paths avoiding already-loaded arcs, which keeps the routing load low.
+    """
+    if source == target:
+        return None
+    best: Dict[Vertex, Tuple[int, int, int]] = {source: (0, 0, 0)}
+    parent: Dict[Vertex, Vertex] = {}
+    counter = 0
+    heap: List[Tuple[Tuple[int, int, int], int, Vertex]] = [((0, 0, 0), counter, source)]
+    while heap:
+        cost, _, v = heapq.heappop(heap)
+        if best.get(v, None) is not None and cost > best[v]:
+            continue
+        if v == target:
+            path = [v]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        for w in graph.successors(v):
+            arc_load = load.get((v, w), 0)
+            new_cost = (max(cost[0], arc_load + 1), cost[1] + arc_load, cost[2] + 1)
+            if w not in best or new_cost < best[w]:
+                best[w] = new_cost
+                parent[w] = v
+                counter += 1
+                heapq.heappush(heap, (new_cost, counter, w))
+    return None
+
+
+def route_min_load(graph: DiGraph, requests: RequestFamily,
+                   order: Literal["given", "longest-first"] = "given"
+                   ) -> DipathFamily:
+    """Greedy load-aware routing.
+
+    Requests are routed one at a time (optionally longest shortest-path
+    first, which tends to help) on a dipath minimising the resulting maximum
+    arc load.  This is a heuristic: minimising the routing load exactly is
+    NP-hard in general, as the paper recalls.
+    """
+    unit_requests: List[Tuple[Vertex, Vertex]] = requests.pairs()
+    if order == "longest-first":
+        def _dist(pair: Tuple[Vertex, Vertex]) -> int:
+            p = shortest_dipath(graph, pair[0], pair[1])
+            return -(len(p) if p else 0)
+        unit_requests.sort(key=_dist)
+
+    load: Dict[Arc, int] = {}
+    family = DipathFamily(graph=graph)
+    for source, target in unit_requests:
+        path = _min_load_dipath(graph, source, target, load)
+        if path is None or len(path) < 2:
+            raise RoutingError(f"no dipath from {source!r} to {target!r}")
+        for arc in zip(path, path[1:]):
+            load[arc] = load.get(arc, 0) + 1
+        family.add(Dipath(path))
+    return family
+
+
+def route_all(graph: DiGraph, requests: RequestFamily,
+              policy: RoutingPolicy = "shortest") -> DipathFamily:
+    """Route a request family with the named policy.
+
+    Parameters
+    ----------
+    policy:
+        ``"unique"`` (UPP routing), ``"shortest"`` or ``"min-load"``.
+    """
+    if policy == "unique":
+        return route_unique(graph, requests)
+    if policy == "shortest":
+        return route_shortest(graph, requests)
+    if policy == "min-load":
+        return route_min_load(graph, requests)
+    raise ValueError(f"unknown routing policy {policy!r}")

@@ -1,0 +1,164 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch any failure originating from this package with a single ``except``
+clause.  Errors that correspond to a *mathematical* situation described in the
+paper (e.g. the presence of an internal cycle breaking Theorem 1's hypothesis)
+carry the combinatorial certificate that triggered them, so that callers can
+inspect or report it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the graph substrate."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by an operation is not present in the graph."""
+
+    def __init__(self, vertex: Any) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class ArcNotFoundError(GraphError, KeyError):
+    """An arc referenced by an operation is not present in the graph."""
+
+    def __init__(self, arc: tuple[Any, Any]) -> None:
+        super().__init__(f"arc {arc!r} is not in the graph")
+        self.arc = arc
+
+
+class DuplicateArcError(GraphError, ValueError):
+    """An arc was added twice to a simple digraph."""
+
+    def __init__(self, arc: tuple[Any, Any]) -> None:
+        super().__init__(f"arc {arc!r} is already in the graph")
+        self.arc = arc
+
+
+class SelfLoopError(GraphError, ValueError):
+    """A self-loop ``(v, v)`` was added; DAGs never contain self-loops."""
+
+    def __init__(self, vertex: Any) -> None:
+        super().__init__(f"self-loop on vertex {vertex!r} is not allowed")
+        self.vertex = vertex
+
+
+class NotADAGError(GraphError, ValueError):
+    """The digraph contains a directed cycle, so it is not a DAG.
+
+    Attributes
+    ----------
+    cycle:
+        A directed cycle witnessing the violation, as a sequence of vertices
+        ``v0, v1, ..., vk`` with ``vk == v0`` (when available).
+    """
+
+    def __init__(self, message: str = "digraph contains a directed cycle",
+                 cycle: Sequence[Any] | None = None) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class InvalidDipathError(ReproError, ValueError):
+    """A vertex sequence does not describe a dipath of the given digraph."""
+
+
+class RoutingError(ReproError):
+    """A request could not be routed (no dipath between its endpoints)."""
+
+
+class NotUPPError(ReproError, ValueError):
+    """The digraph violates the Unique diPath Property (UPP).
+
+    Attributes
+    ----------
+    pair:
+        A pair ``(x, y)`` of vertices joined by at least two distinct dipaths.
+    """
+
+    def __init__(self, pair: tuple[Any, Any] | None = None) -> None:
+        message = "digraph is not a UPP-DAG"
+        if pair is not None:
+            message += f": at least two dipaths from {pair[0]!r} to {pair[1]!r}"
+        super().__init__(message)
+        self.pair = pair
+
+
+class InternalCycleError(ReproError, ValueError):
+    """An internal cycle was found where the algorithm requires none.
+
+    Raised by the Theorem 1 machinery when the recolouring process reaches the
+    proof's Case C — which, by the theorem, can only happen when the input DAG
+    contains an internal cycle.  The reconstructed cycle (a closed walk of the
+    underlying undirected graph, all of whose vertices are internal in ``G``)
+    is attached when available, mirroring Figure 4 of the paper.
+    """
+
+    def __init__(self, message: str = "the DAG contains an internal cycle",
+                 cycle: Sequence[Any] | None = None) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class NoInternalCycleError(ReproError, ValueError):
+    """An operation that needs an internal cycle was given a DAG without one.
+
+    Raised e.g. by the Theorem 2 gadget builder or the Theorem 6 algorithm when
+    the input DAG has no internal cycle (in which case Theorem 1 applies and
+    the caller should use it instead).
+    """
+
+
+class ColoringError(ReproError):
+    """A wavelength assignment / colouring could not be produced or verified."""
+
+
+class InvalidColoringError(ColoringError, ValueError):
+    """A colouring violates a conflict constraint.
+
+    Attributes
+    ----------
+    conflict:
+        A pair of dipath (or vertex) identifiers that received the same colour
+        while being in conflict.
+    """
+
+    def __init__(self, message: str = "colouring is not proper",
+                 conflict: tuple[Any, Any] | None = None) -> None:
+        super().__init__(message)
+        self.conflict = conflict
+
+
+class BoundViolationError(ColoringError, AssertionError):
+    """An algorithm exceeded the colour budget guaranteed by the paper.
+
+    This should never happen on inputs satisfying the relevant hypotheses; it
+    indicates either an input violating the hypotheses or an implementation
+    bug, and carries both the budget and the number of colours actually used.
+    """
+
+    def __init__(self, used: int, budget: int, message: str | None = None) -> None:
+        if message is None:
+            message = (f"colouring uses {used} colours, exceeding the "
+                       f"guaranteed budget of {budget}")
+        super().__init__(message)
+        self.used = used
+        self.budget = budget
+
+
+class CapacityError(ReproError):
+    """A WDM network operation exceeded the per-fibre wavelength capacity."""
+
+
+class SimulationError(ReproError):
+    """An optical-network admission simulation reached an inconsistent state."""

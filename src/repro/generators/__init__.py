@@ -1,0 +1,71 @@
+"""Instance generators: paper gadgets, random DAGs, trees and dipath families."""
+
+from .families import (
+    all_to_all_family,
+    family_with_target_load,
+    multicast_family,
+    random_request_family,
+    random_walk_family,
+)
+from .gadgets import (
+    figure3_dag,
+    figure3_family,
+    figure3_instance,
+    figure5_family,
+    figure5_instance,
+    havet_dag,
+    havet_family,
+    havet_instance,
+    theorem2_gadget,
+)
+from .pathological import (
+    pathological_dag,
+    pathological_family,
+    pathological_instance,
+)
+from .random_dags import (
+    random_dag,
+    random_dag_with_internal_cycle,
+    random_internal_cycle_free_dag,
+    random_layered_dag,
+    random_upp_one_cycle_dag,
+)
+from .trees import (
+    caterpillar,
+    in_tree,
+    out_path,
+    out_tree,
+    random_out_tree,
+    spider,
+)
+
+__all__ = [
+    "all_to_all_family",
+    "caterpillar",
+    "family_with_target_load",
+    "figure3_dag",
+    "figure3_family",
+    "figure3_instance",
+    "figure5_family",
+    "figure5_instance",
+    "havet_dag",
+    "havet_family",
+    "havet_instance",
+    "in_tree",
+    "multicast_family",
+    "out_path",
+    "out_tree",
+    "pathological_dag",
+    "pathological_family",
+    "pathological_instance",
+    "random_dag",
+    "random_dag_with_internal_cycle",
+    "random_internal_cycle_free_dag",
+    "random_layered_dag",
+    "random_out_tree",
+    "random_request_family",
+    "random_upp_one_cycle_dag",
+    "random_walk_family",
+    "spider",
+    "theorem2_gadget",
+]

@@ -1,0 +1,138 @@
+"""Random dipath-family generators.
+
+Given a host DAG, these produce the traffic side of an instance: random
+routed requests, random-walk dipaths, all-to-all instances on UPP-DAGs /
+rooted trees, and families engineered to hit a target load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import random
+
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..dipaths.requests import RequestFamily
+from ..dipaths.routing import route_unique
+from ..graphs.dag import DAG
+from ..graphs.digraph import DiGraph
+from ..graphs.traversal import topological_order
+
+__all__ = [
+    "random_walk_family",
+    "random_request_family",
+    "all_to_all_family",
+    "multicast_family",
+    "family_with_target_load",
+]
+
+
+def random_walk_family(graph: DiGraph, num_paths: int,
+                       seed: Optional[int] = None,
+                       min_length: int = 1,
+                       max_length: Optional[int] = None) -> DipathFamily:
+    """Random dipaths obtained by forward random walks in the DAG.
+
+    Each dipath starts at a random vertex with positive out-degree and follows
+    uniformly random outgoing arcs until it reaches a sink or ``max_length``
+    arcs.  Walks shorter than ``min_length`` arcs are retried (a bounded
+    number of times) and finally accepted as-is to guarantee termination.
+    """
+    rng = random.Random(seed)
+    starts = [v for v in graph.vertices() if graph.out_degree(v) > 0]
+    if not starts:
+        raise ValueError("the digraph has no arcs")
+    family = DipathFamily(graph=graph)
+    for _ in range(num_paths):
+        best: List = []
+        for _attempt in range(20):
+            v = rng.choice(starts)
+            walk = [v]
+            while graph.out_degree(walk[-1]) > 0:
+                if max_length is not None and len(walk) - 1 >= max_length:
+                    break
+                walk.append(rng.choice(sorted(graph.successors(walk[-1]), key=repr)))
+            if len(walk) - 1 >= min_length:
+                best = walk
+                break
+            if len(walk) > len(best):
+                best = walk
+        if len(best) >= 2:
+            family.add(Dipath(best))
+    return family
+
+
+def random_request_family(graph: DiGraph, num_requests: int,
+                          seed: Optional[int] = None) -> RequestFamily:
+    """Random satisfiable requests (pairs connected by at least one dipath)."""
+    from ..graphs.traversal import transitive_closure_sets
+
+    rng = random.Random(seed)
+    reach = transitive_closure_sets(graph)
+    pool = [(x, y) for x, targets in reach.items() for y in sorted(targets, key=repr)]
+    if not pool:
+        raise ValueError("the digraph has no connected pair of vertices")
+    requests = RequestFamily()
+    for _ in range(num_requests):
+        requests.add(rng.choice(pool))
+    return requests
+
+
+def all_to_all_family(graph: DiGraph) -> DipathFamily:
+    """The all-to-all instance routed along unique dipaths (UPP-DAGs only).
+
+    One dipath per ordered pair of distinct vertices joined by a dipath.  On a
+    rooted tree this is the instance the paper's concluding remarks discuss.
+    """
+    requests = RequestFamily.all_to_all(graph, only_connected=True)
+    return route_unique(graph, requests)
+
+
+def multicast_family(graph: DiGraph, origin=None) -> DipathFamily:
+    """A multicast instance (all requests from one origin), routed uniquely.
+
+    When ``origin`` is omitted, a source with maximum reach is used.
+    """
+    from ..graphs.traversal import reachable_from
+
+    if origin is None:
+        candidates = graph.sources() or list(graph.vertices())
+        origin = max(candidates, key=lambda v: len(reachable_from(graph, v)))
+    requests = RequestFamily.multicast(graph, origin)
+    return route_unique(graph, requests)
+
+
+def family_with_target_load(graph: DiGraph, target_load: int,
+                            seed: Optional[int] = None,
+                            max_paths: Optional[int] = None) -> DipathFamily:
+    """A random family whose load is (close to) ``target_load``.
+
+    Random-walk dipaths are added while the load is below the target and
+    skipped when they would push some arc beyond it; generation stops when
+    the target is reached or no progress is possible.
+    """
+    rng = random.Random(seed)
+    family = DipathFamily(graph=graph)
+    starts = [v for v in graph.vertices() if graph.out_degree(v) > 0]
+    if not starts:
+        raise ValueError("the digraph has no arcs")
+    stall = 0
+    limit = max_paths if max_paths is not None else 50 * target_load
+    while family.load() < target_load and len(family) < limit and stall < 200:
+        v = rng.choice(starts)
+        walk = [v]
+        while graph.out_degree(walk[-1]) > 0 and rng.random() < 0.85:
+            walk.append(rng.choice(sorted(graph.successors(walk[-1]), key=repr)))
+        if len(walk) < 2:
+            stall += 1
+            continue
+        candidate = Dipath(walk)
+        would_exceed = any(family.load_of_arc(arc) + 1 > target_load
+                           for arc in candidate.arcs())
+        if would_exceed:
+            stall += 1
+            continue
+        family.add(candidate)
+        stall = 0
+    return family

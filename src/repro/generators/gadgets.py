@@ -1,0 +1,168 @@
+"""The paper's worked examples and gadget constructions.
+
+* :func:`figure3_instance` — the smallest motivating example (Section 2,
+  Figure 3): a DAG with one internal cycle and 5 dipaths with ``pi = 2`` and
+  ``w = 3`` (conflict graph ``C_5``);
+* :func:`theorem2_gadget` / :func:`figure5_family` — the Theorem 2 / Figure 5
+  construction parameterised by ``k``: an internal cycle with ``2k`` switch
+  vertices and a family of ``2k + 1`` dipaths whose conflict graph is the odd
+  cycle ``C_{2k+1}`` (``pi = 2``, ``w = 3``);
+* :func:`havet_instance` — the Theorem 7 / Figure 9 example due to F. Havet:
+  a UPP-DAG with one internal cycle and 8 dipaths whose conflict graph is the
+  Wagner graph (``C_8`` plus antipodal chords), reaching the
+  ``ceil(4*pi/3)`` bound once replicated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..graphs.dag import DAG
+
+__all__ = [
+    "figure3_dag",
+    "figure3_family",
+    "figure3_instance",
+    "theorem2_gadget",
+    "figure5_family",
+    "figure5_instance",
+    "havet_dag",
+    "havet_family",
+    "havet_instance",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3
+# --------------------------------------------------------------------------- #
+def figure3_dag() -> DAG:
+    """The Figure 3 DAG: a 5-vertex chain with a second route from ``b`` to ``d``.
+
+    Vertices ``a, b, c, d, e`` form the chain ``a->b->c->d->e``; a second
+    dipath ``b->m->d`` (the figure's "second dipath from b1 to d1", realised
+    with an intermediate vertex ``m`` to keep the digraph simple) closes the
+    internal cycle ``b, c, d, m``.
+    """
+    return DAG(arcs=[
+        ("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"),
+        ("b", "m"), ("m", "d"),
+    ])
+
+
+def figure3_family(dag: DAG | None = None) -> DipathFamily:
+    """The five dipaths of Figure 3 (conflict graph ``C_5``, ``pi=2``, ``w=3``)."""
+    dag = dag or figure3_dag()
+    return DipathFamily([
+        ["a", "b", "c"],
+        ["b", "c", "d"],
+        ["c", "d", "e"],
+        ["b", "m", "d", "e"],
+        ["a", "b", "m", "d"],
+    ], graph=dag)
+
+
+def figure3_instance() -> Tuple[DAG, DipathFamily]:
+    """The Figure 3 DAG together with its 5-dipath family."""
+    dag = figure3_dag()
+    return dag, figure3_family(dag)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 2 / Figure 5
+# --------------------------------------------------------------------------- #
+def theorem2_gadget(k: int) -> DAG:
+    """The Figure 5 DAG: an internal cycle with ``k`` local sources/sinks.
+
+    Vertices ``a_i, b_i, c_i, d_i`` for ``i = 0..k-1`` with arcs
+    ``a_i -> b_i``, ``b_i -> c_i``, ``b_{i+1} -> c_i`` (indices mod ``k``) and
+    ``c_i -> d_i``.  The ``b_i``/``c_i`` form the unique internal cycle; the
+    graph is a UPP-DAG (so it also serves as a Theorem 6 test bed).
+
+    Requires ``k >= 2`` (with ``k = 1`` the two parallel ``b -> c`` segments
+    would collapse onto the same arc in a simple digraph).
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    dag = DAG(validate=False)
+    for i in range(k):
+        a, b, c, d = ("a", i), ("b", i), ("c", i), ("d", i)
+        dag.add_arc(a, b)
+        dag.add_arc(b, c)
+        dag.add_arc(c, d)
+    for i in range(k):
+        nxt = (i + 1) % k
+        dag.add_arc(("b", nxt), ("c", i))
+    dag.validate()
+    return dag
+
+
+def figure5_family(k: int, dag: DAG | None = None) -> DipathFamily:
+    """The ``2k + 1`` dipaths of the Theorem 2 proof on :func:`theorem2_gadget`.
+
+    The conflict graph is the odd cycle ``C_{2k+1}``; the load is 2 and the
+    wavelength number 3.
+    """
+    dag = dag or theorem2_gadget(k)
+    fam = DipathFamily(graph=dag)
+    # Split first right segment: a_0 b_0 c_0   and   b_0 c_0 d_0.
+    fam.add(Dipath([("a", 0), ("b", 0), ("c", 0)]))
+    fam.add(Dipath([("b", 0), ("c", 0), ("d", 0)]))
+    # Left-going dipaths a_{i+1} b_{i+1} c_i d_i for every i.
+    for i in range(k):
+        nxt = (i + 1) % k
+        fam.add(Dipath([("a", nxt), ("b", nxt), ("c", i), ("d", i)]))
+    # Remaining right-going dipaths a_i b_i c_i d_i for i >= 1.
+    for i in range(1, k):
+        fam.add(Dipath([("a", i), ("b", i), ("c", i), ("d", i)]))
+    return fam
+
+
+def figure5_instance(k: int) -> Tuple[DAG, DipathFamily]:
+    """The Theorem 2 gadget together with its ``2k+1``-dipath family."""
+    dag = theorem2_gadget(k)
+    return dag, figure5_family(k, dag)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 7 / Figure 9 (Havet's example)
+# --------------------------------------------------------------------------- #
+def havet_dag() -> DAG:
+    """The Figure 9 UPP-DAG (one internal cycle on ``b1, c1, b2, c2``)."""
+    arcs = [
+        ("a1", "b1"), ("a1p", "b1"), ("a2", "b2"), ("a2p", "b2"),
+        ("b1", "c1"), ("b1", "c2"), ("b2", "c1"), ("b2", "c2"),
+        ("c1", "d1"), ("c1", "d1p"), ("c2", "d2"), ("c2", "d2p"),
+    ]
+    return DAG(arcs=arcs)
+
+
+def havet_family(copies: int = 1, dag: DAG | None = None) -> DipathFamily:
+    """The 8 dipaths of Figure 9, optionally replicated ``copies`` times.
+
+    The conflict graph of the base family is the Wagner graph (``C_8`` plus
+    antipodal chords): ``pi = 2``, ``w = 3`` and the independence number is 3.
+    Replicating every dipath ``h`` times gives ``pi = 2h`` and
+    ``w = ceil(8h/3)``, reaching the Theorem 6 bound (Theorem 7).
+    """
+    dag = dag or havet_dag()
+    base = DipathFamily([
+        ["a1", "b1", "c1", "d1"],
+        ["a1p", "b1", "c1", "d1p"],
+        ["a1", "b1", "c2", "d2"],
+        ["a1p", "b1", "c2", "d2p"],
+        ["a2", "b2", "c2", "d2"],
+        ["a2p", "b2", "c2", "d2p"],
+        ["a2", "b2", "c1", "d1p"],
+        ["a2p", "b2", "c1", "d1"],
+    ], graph=dag)
+    if copies == 1:
+        return base
+    return base.replicate(copies)
+
+
+def havet_instance(copies: int = 1) -> Tuple[DAG, DipathFamily]:
+    """The Figure 9 DAG together with its (possibly replicated) family."""
+    dag = havet_dag()
+    return dag, havet_family(copies, dag)

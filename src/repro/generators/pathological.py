@@ -1,0 +1,80 @@
+"""Figure 1: a DAG family with ``pi = 2`` and ``w = k`` (unbounded ratio).
+
+The paper's Figure 1 shows ``k`` dipaths ``s_i -> t_i`` routed through a
+staircase grid so that *any two of them share an arc* while *every arc is
+used by at most two of them*: the conflict graph is the complete graph
+``K_k``, so ``w = k`` although ``pi = 2``.
+
+The generator below realises exactly that claim with a clean pairwise-gadget
+layout (one dedicated shared arc per pair of dipaths, traversed in a globally
+consistent order): the numbers the paper reports — load 2, wavelength number
+``k``, complete conflict graph — are reproduced verbatim, which is what
+benchmark E1 re-derives.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..graphs.dag import DAG
+
+__all__ = ["pathological_instance", "pathological_dag", "pathological_family"]
+
+
+def _pair_order(k: int) -> List[Tuple[int, int]]:
+    """All unordered pairs ``{i, j}`` of ``range(k)`` in lexicographic order."""
+    return sorted(combinations(range(k), 2))
+
+
+def pathological_instance(k: int) -> Tuple[DAG, DipathFamily]:
+    """Build the Figure 1 instance with ``k`` pairwise-conflicting dipaths.
+
+    Returns ``(dag, family)`` with ``family.load() == 2`` (for ``k >= 2``) and
+    conflict graph ``K_k`` (hence ``w = k``).
+
+    Construction: for every pair ``{i, j}`` a dedicated arc
+    ``share(i,j) = (u_{ij}, v_{ij})`` is created; dipath ``i`` traverses the
+    shared arcs of all pairs containing ``i`` in the global lexicographic
+    order of the pairs (so that all dipaths are consistent with one
+    topological order), linked by private connector arcs, and is framed by a
+    private source ``s_i`` and sink ``t_i``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    dag = DAG(validate=False)
+    pairs = _pair_order(k)
+
+    def u(pair: Tuple[int, int]):
+        return ("u", pair[0], pair[1])
+
+    def v(pair: Tuple[int, int]):
+        return ("v", pair[0], pair[1])
+
+    for pair in pairs:
+        dag.add_arc(u(pair), v(pair))
+
+    family = DipathFamily(graph=None)
+    for i in range(k):
+        my_pairs = [p for p in pairs if i in p]
+        vertices: List = [("s", i)]
+        for p in my_pairs:
+            vertices.append(u(p))
+            vertices.append(v(p))
+        vertices.append(("t", i))
+        dag.add_dipath(vertices)
+        family.add(Dipath(vertices))
+    dag.validate()
+    return dag, family
+
+
+def pathological_dag(k: int) -> DAG:
+    """The DAG of :func:`pathological_instance`."""
+    return pathological_instance(k)[0]
+
+
+def pathological_family(k: int) -> DipathFamily:
+    """The dipath family of :func:`pathological_instance`."""
+    return pathological_instance(k)[1]

@@ -1,0 +1,166 @@
+"""Random DAG generators, with and without internal cycles.
+
+These populate the randomised sweeps of benchmarks E3/E5/E6/E7: Theorem 1 is
+verified on random internal-cycle-free DAGs, the Main Theorem on mixed
+populations, and Theorem 6 on random UPP-DAGs with exactly one internal
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import random
+
+from ..cycles.internal import has_internal_cycle, internal_cyclomatic_number
+from ..graphs.dag import DAG
+from .gadgets import theorem2_gadget
+
+__all__ = [
+    "random_dag",
+    "random_layered_dag",
+    "random_internal_cycle_free_dag",
+    "random_dag_with_internal_cycle",
+    "random_upp_one_cycle_dag",
+]
+
+
+def random_dag(num_vertices: int, arc_probability: float,
+               seed: Optional[int] = None) -> DAG:
+    """A uniform random DAG: arc ``i -> j`` present with given probability for ``i < j``.
+
+    Vertices are ``0..n-1`` and the natural order is a topological order.
+    """
+    if not 0 <= arc_probability <= 1:
+        raise ValueError("arc_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    dag = DAG(vertices=range(num_vertices), validate=False)
+    for i in range(num_vertices):
+        for j in range(i + 1, num_vertices):
+            if rng.random() < arc_probability:
+                dag.add_arc(i, j)
+    return dag
+
+
+def random_layered_dag(num_layers: int, width: int, arc_probability: float,
+                       seed: Optional[int] = None) -> DAG:
+    """A layered DAG: arcs only go from one layer to the next.
+
+    Vertices are ``(layer, position)``; each potential arc between consecutive
+    layers is present with the given probability (plus a guaranteed arc per
+    vertex so no layer is disconnected).
+    """
+    if num_layers < 2 or width < 1:
+        raise ValueError("need at least 2 layers and width >= 1")
+    rng = random.Random(seed)
+    dag = DAG(validate=False)
+    for layer in range(num_layers):
+        for pos in range(width):
+            dag.add_vertex((layer, pos))
+    for layer in range(num_layers - 1):
+        for pos in range(width):
+            targets = [t for t in range(width)
+                       if rng.random() < arc_probability]
+            if not targets:
+                targets = [rng.randrange(width)]
+            for t in targets:
+                dag.add_arc((layer, pos), (layer + 1, t))
+    return dag
+
+
+def random_internal_cycle_free_dag(num_vertices: int, num_arcs: int,
+                                   seed: Optional[int] = None,
+                                   max_attempts_factor: int = 50) -> DAG:
+    """A random DAG guaranteed to contain **no internal cycle**.
+
+    Arcs ``i -> j`` (``i < j``) are sampled uniformly and added only when the
+    graph remains free of internal cycles — a linear-time check per candidate
+    (DESIGN.md §5.1), so generation is ``O(num_arcs * (V + E))``.  If the
+    requested arc count cannot be reached (dense graphs eventually force an
+    internal cycle), the generator returns the best effort after
+    ``max_attempts_factor * num_arcs`` trials.
+    """
+    if num_vertices < 2:
+        raise ValueError("num_vertices must be >= 2")
+    rng = random.Random(seed)
+    dag = DAG(vertices=range(num_vertices), validate=False)
+    attempts = 0
+    max_attempts = max_attempts_factor * max(num_arcs, 1)
+    while dag.num_arcs < num_arcs and attempts < max_attempts:
+        attempts += 1
+        i, j = rng.sample(range(num_vertices), 2)
+        if i > j:
+            i, j = j, i
+        if dag.has_arc(i, j):
+            continue
+        dag.add_arc(i, j)
+        if has_internal_cycle(dag):
+            dag.remove_arc(i, j)
+    return dag
+
+
+def random_dag_with_internal_cycle(num_vertices: int, arc_probability: float,
+                                   seed: Optional[int] = None,
+                                   max_tries: int = 200) -> DAG:
+    """A random DAG guaranteed to contain at least one internal cycle.
+
+    Samples :func:`random_dag` until one has an internal cycle; if that takes
+    too long (sparse settings), a Figure 5 gadget is planted on fresh vertices
+    to force one.
+    """
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        dag = random_dag(num_vertices, arc_probability, seed=rng.randrange(2 ** 30))
+        if has_internal_cycle(dag):
+            return dag
+    # Plant a gadget: relabel its vertices to stay disjoint from 0..n-1.
+    dag = random_dag(num_vertices, arc_probability, seed=rng.randrange(2 ** 30))
+    gadget = theorem2_gadget(2)
+    for u, v in gadget.arcs():
+        dag.add_arc(("planted", u), ("planted", v))
+    return dag
+
+
+def random_upp_one_cycle_dag(k: int = 2, extra_depth: int = 2,
+                             seed: Optional[int] = None,
+                             attach_probability: float = 0.7) -> DAG:
+    """A random UPP-DAG with exactly one internal cycle.
+
+    Starts from the Figure 5 gadget (a UPP-DAG whose ``b_i``/``c_i`` vertices
+    form its unique internal cycle) and grows random *in-trees* above the
+    ``a_i`` sources and random *out-trees* below the ``d_i`` sinks.  Tree
+    attachments preserve both the UPP property (no alternative routes are
+    created) and the internal cyclomatic number (each new vertex adds exactly
+    one underlying edge).
+    """
+    rng = random.Random(seed)
+    dag = theorem2_gadget(k)
+    counter = 0
+    # out-trees below the d_i sinks
+    for i in range(k):
+        frontier = [("d", i)]
+        for _ in range(extra_depth):
+            new_frontier = []
+            for node in frontier:
+                children = rng.randint(0, 2) if rng.random() < attach_probability else 0
+                for _ in range(children):
+                    child = ("x", counter)
+                    counter += 1
+                    dag.add_arc(node, child)
+                    new_frontier.append(child)
+            frontier = new_frontier
+    # in-trees above the a_i sources
+    for i in range(k):
+        frontier = [("a", i)]
+        for _ in range(extra_depth):
+            new_frontier = []
+            for node in frontier:
+                parents = rng.randint(0, 2) if rng.random() < attach_probability else 0
+                for _ in range(parents):
+                    parent = ("y", counter)
+                    counter += 1
+                    dag.add_arc(parent, node)
+                    new_frontier.append(parent)
+            frontier = new_frontier
+    assert internal_cyclomatic_number(dag) == 1
+    return dag

@@ -1,0 +1,107 @@
+"""Rooted-tree DAG generators.
+
+Rooted (out-)trees are the special case the paper mentions having solved
+first: a directed tree with a unique dipath from the root to every vertex.
+They are UPP-DAGs without internal cycles, so Theorem 1 applies and the
+wavelength number always equals the load — the all-to-all instance on rooted
+trees is exercised by the optical benchmark E10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import random
+
+from ..graphs.dag import DAG
+
+__all__ = [
+    "out_tree",
+    "in_tree",
+    "random_out_tree",
+    "out_path",
+    "spider",
+    "caterpillar",
+]
+
+
+def out_tree(branching: int, depth: int) -> DAG:
+    """A complete out-tree (arborescence) with given branching factor and depth.
+
+    Vertices are tuples encoding their path from the root; the root is ``()``.
+    """
+    if branching < 1 or depth < 0:
+        raise ValueError("branching must be >= 1 and depth >= 0")
+    dag = DAG(validate=False)
+    dag.add_vertex(())
+    frontier = [()]
+    for _ in range(depth):
+        new_frontier = []
+        for node in frontier:
+            for i in range(branching):
+                child = node + (i,)
+                dag.add_arc(node, child)
+                new_frontier.append(child)
+        frontier = new_frontier
+    return dag
+
+
+def in_tree(branching: int, depth: int) -> DAG:
+    """A complete in-tree (all arcs reversed out-tree)."""
+    return out_tree(branching, depth).reverse()
+
+
+def random_out_tree(num_vertices: int, seed: Optional[int] = None,
+                    max_children: int = 4) -> DAG:
+    """A random out-tree on ``num_vertices`` vertices (labelled ``0..n-1``).
+
+    Each new vertex attaches to a uniformly random existing vertex that still
+    has fewer than ``max_children`` children.
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be >= 1")
+    rng = random.Random(seed)
+    dag = DAG(validate=False)
+    dag.add_vertex(0)
+    children = {0: 0}
+    for v in range(1, num_vertices):
+        candidates = [u for u, c in children.items() if c < max_children]
+        parent = rng.choice(candidates)
+        dag.add_arc(parent, v)
+        children[parent] += 1
+        children[v] = 0
+    return dag
+
+
+def out_path(length: int) -> DAG:
+    """The directed path ``0 -> 1 -> ... -> length`` (a degenerate out-tree)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    return DAG(arcs=[(i, i + 1) for i in range(length)])
+
+
+def spider(num_legs: int, leg_length: int) -> DAG:
+    """A spider: ``num_legs`` directed paths of ``leg_length`` arcs sharing the root."""
+    if num_legs < 1 or leg_length < 1:
+        raise ValueError("num_legs and leg_length must be >= 1")
+    dag = DAG(validate=False)
+    root = ("root",)
+    for leg in range(num_legs):
+        prev = root
+        for i in range(leg_length):
+            node = ("leg", leg, i)
+            dag.add_arc(prev, node)
+            prev = node
+    return dag
+
+
+def caterpillar(spine_length: int, legs_per_vertex: int = 1) -> DAG:
+    """A caterpillar out-tree: a directed spine with pendant leaves."""
+    if spine_length < 1:
+        raise ValueError("spine_length must be >= 1")
+    dag = DAG(arcs=[(("s", i), ("s", i + 1)) for i in range(spine_length)],
+              validate=False)
+    for i in range(spine_length + 1):
+        for leg in range(legs_per_vertex):
+            dag.add_arc(("s", i), ("leaf", i, leg))
+    return dag

@@ -1,0 +1,54 @@
+"""Graph substrate: digraphs, DAGs, traversal and structural properties."""
+
+from .dag import DAG, as_dag
+from .digraph import DiGraph
+from .properties import (
+    degree_summary,
+    is_in_tree,
+    is_out_tree,
+    is_weakly_connected,
+    underlying_cyclomatic_number,
+    underlying_is_forest,
+    vertex_classification,
+    weakly_connected_components,
+)
+from .traversal import (
+    ancestors,
+    count_dipaths,
+    count_dipaths_matrix,
+    descendants,
+    enumerate_dipaths,
+    find_directed_cycle,
+    is_acyclic,
+    longest_path_length,
+    reachable_from,
+    shortest_dipath,
+    topological_order,
+    transitive_closure_sets,
+)
+
+__all__ = [
+    "DAG",
+    "DiGraph",
+    "as_dag",
+    "ancestors",
+    "count_dipaths",
+    "count_dipaths_matrix",
+    "degree_summary",
+    "descendants",
+    "enumerate_dipaths",
+    "find_directed_cycle",
+    "is_acyclic",
+    "is_in_tree",
+    "is_out_tree",
+    "is_weakly_connected",
+    "longest_path_length",
+    "reachable_from",
+    "shortest_dipath",
+    "topological_order",
+    "transitive_closure_sets",
+    "underlying_cyclomatic_number",
+    "underlying_is_forest",
+    "vertex_classification",
+    "weakly_connected_components",
+]

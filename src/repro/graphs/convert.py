@@ -1,0 +1,53 @@
+"""Conversion helpers between :mod:`repro` graphs and ``networkx``.
+
+The core algorithms never require networkx, but the converters make it easy
+to cross-check results against networkx implementations (used in the test
+suite) and to hand graphs to plotting or analysis code the user may already
+have.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .dag import DAG
+from .digraph import DiGraph
+
+__all__ = ["to_networkx", "from_networkx", "to_networkx_undirected"]
+
+
+def to_networkx(graph: DiGraph) -> "Any":
+    """Convert a :class:`DiGraph` (or :class:`DAG`) to ``networkx.DiGraph``."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.arcs())
+    return g
+
+
+def to_networkx_undirected(graph: DiGraph) -> "Any":
+    """Convert the underlying undirected graph to ``networkx.Graph``."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.underlying_edges())
+    return g
+
+
+def from_networkx(nx_graph: "Any", *, as_dag_type: bool = False) -> DiGraph:
+    """Convert a ``networkx.DiGraph`` to a :class:`DiGraph` or :class:`DAG`.
+
+    Parameters
+    ----------
+    as_dag_type:
+        When true, return a validated :class:`DAG` (raising
+        :class:`~repro.exceptions.NotADAGError` if the input has a directed
+        cycle).
+    """
+    arcs = list(nx_graph.edges())
+    vertices = list(nx_graph.nodes())
+    if as_dag_type:
+        return DAG(arcs=arcs, vertices=vertices)
+    return DiGraph(arcs=arcs, vertices=vertices)

@@ -1,0 +1,136 @@
+"""Validated Directed Acyclic Graphs.
+
+:class:`DAG` is a :class:`~repro.graphs.digraph.DiGraph` whose construction
+helpers validate acyclicity and that exposes the DAG-specific vocabulary of
+the paper (sources, sinks, internal vertices, oriented/internal cycles via
+:mod:`repro.cycles`).  Mutation is allowed (the Theorem 1 machinery removes
+and reinserts arcs); validity can be re-checked at any time with
+:meth:`DAG.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..exceptions import NotADAGError
+from .._typing import ArcIterable, Vertex
+from .digraph import DiGraph
+from .traversal import (
+    find_directed_cycle,
+    is_acyclic,
+    longest_path_length,
+    topological_order,
+)
+
+__all__ = ["DAG", "as_dag"]
+
+
+class DAG(DiGraph):
+    """A simple digraph guaranteed (at construction) to be acyclic.
+
+    Parameters
+    ----------
+    arcs, vertices:
+        Same as :class:`~repro.graphs.digraph.DiGraph`.
+    validate:
+        When true (default), the constructor checks acyclicity and raises
+        :class:`~repro.exceptions.NotADAGError` on violation.
+
+    Notes
+    -----
+    The class does **not** re-validate after each mutation (that would make
+    the incremental algorithms quadratic); algorithms that mutate a DAG are
+    responsible for preserving acyclicity, and :meth:`validate` can be called
+    to assert it.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, arcs: ArcIterable | None = None,
+                 vertices: Iterable[Vertex] | None = None,
+                 *, validate: bool = True) -> None:
+        super().__init__(arcs=arcs, vertices=vertices)
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # validation and orders
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Raise :class:`NotADAGError` if the digraph has a directed cycle."""
+        if not is_acyclic(self):
+            raise NotADAGError(cycle=find_directed_cycle(self))
+
+    def is_valid(self) -> bool:
+        """Return whether the digraph is currently acyclic."""
+        return is_acyclic(self)
+
+    def topological_order(self) -> List[Vertex]:
+        """Return a topological ordering of the vertices."""
+        return topological_order(self)
+
+    def longest_path_length(self) -> int:
+        """Number of arcs on a longest dipath (the *depth* of the DAG)."""
+        return longest_path_length(self)
+
+    # ------------------------------------------------------------------ #
+    # paper-specific structure
+    # ------------------------------------------------------------------ #
+    def has_internal_cycle(self) -> bool:
+        """Whether the DAG contains an internal cycle (paper, Section 2)."""
+        from ..cycles.internal import has_internal_cycle
+
+        return has_internal_cycle(self)
+
+    def find_internal_cycle(self) -> Optional[List[Vertex]]:
+        """Return one internal cycle as a closed vertex walk, or ``None``."""
+        from ..cycles.internal import find_internal_cycle
+
+        return find_internal_cycle(self)
+
+    def internal_cycle_count(self) -> int:
+        """Cyclomatic number of the internal subgraph (independent cycles)."""
+        from ..cycles.internal import internal_cyclomatic_number
+
+        return internal_cyclomatic_number(self)
+
+    def is_upp(self) -> bool:
+        """Whether the DAG has the Unique diPath Property (UPP)."""
+        from ..upp.property_check import is_upp_dag
+
+        return is_upp_dag(self)
+
+    # ------------------------------------------------------------------ #
+    # derived graphs keep the DAG type
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "DAG":
+        g = super().copy()
+        return g  # type: ignore[return-value]  # __new__ keeps the subclass
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "DAG":
+        sub = super().subgraph(vertices)
+        return DAG(arcs=sub.arcs(), vertices=sub.vertices(), validate=False)
+
+    def reverse(self) -> "DAG":
+        rev = super().reverse()
+        return DAG(arcs=rev.arcs(), vertices=rev.vertices(), validate=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_digraph(cls, graph: DiGraph, *, validate: bool = True) -> "DAG":
+        """Wrap an existing digraph as a DAG (validating by default)."""
+        return cls(arcs=graph.arcs(), vertices=graph.vertices(),
+                   validate=validate)
+
+
+def as_dag(graph: DiGraph | DAG, *, validate: bool = True) -> DAG:
+    """Coerce ``graph`` to a :class:`DAG`, validating acyclicity.
+
+    If ``graph`` already is a :class:`DAG` it is returned unchanged (no copy);
+    otherwise a validated :class:`DAG` copy is built.
+    """
+    if isinstance(graph, DAG):
+        return graph
+    return DAG.from_digraph(graph, validate=validate)

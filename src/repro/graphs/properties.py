@@ -1,0 +1,184 @@
+"""Structural properties of digraphs used throughout the library.
+
+This module gathers small, self-contained structural predicates: degree
+summaries, weak connectivity on the underlying undirected graph, forest
+checks, and the classification of vertices into sources / sinks / internal
+vertices that Section 2 of the paper relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .._typing import Vertex
+from .digraph import DiGraph
+
+__all__ = [
+    "degree_summary",
+    "weakly_connected_components",
+    "is_weakly_connected",
+    "underlying_is_forest",
+    "underlying_cyclomatic_number",
+    "vertex_classification",
+    "is_out_tree",
+    "is_in_tree",
+    "spanning_forest_edges",
+]
+
+
+def degree_summary(graph: DiGraph) -> Dict[str, float]:
+    """Return basic degree statistics of the digraph.
+
+    The returned mapping has keys ``max_in``, ``max_out``, ``mean_in``
+    (== ``mean_out``), ``num_sources``, ``num_sinks`` and ``num_internal``.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return {"max_in": 0, "max_out": 0, "mean_in": 0.0,
+                "num_sources": 0, "num_sinks": 0, "num_internal": 0}
+    max_in = max(graph.in_degree(v) for v in graph.vertices())
+    max_out = max(graph.out_degree(v) for v in graph.vertices())
+    return {
+        "max_in": max_in,
+        "max_out": max_out,
+        "mean_in": graph.num_arcs / n,
+        "num_sources": len(graph.sources()),
+        "num_sinks": len(graph.sinks()),
+        "num_internal": len(graph.internal_vertices()),
+    }
+
+
+def weakly_connected_components(graph: DiGraph) -> List[Set[Vertex]]:
+    """Connected components of the underlying undirected graph."""
+    adj = graph.underlying_adjacency()
+    seen: Set[Vertex] = set()
+    components: List[Set[Vertex]] = []
+    for root in adj:
+        if root in seen:
+            continue
+        comp: Set[Vertex] = {root}
+        queue = deque([root])
+        seen.add(root)
+        while queue:
+            v = queue.popleft()
+            for w in adj[v]:
+                if w not in seen:
+                    seen.add(w)
+                    comp.add(w)
+                    queue.append(w)
+        components.append(comp)
+    return components
+
+
+def is_weakly_connected(graph: DiGraph) -> bool:
+    """Whether the underlying undirected graph is connected (or empty)."""
+    return len(weakly_connected_components(graph)) <= 1
+
+
+def underlying_cyclomatic_number(graph: DiGraph) -> int:
+    """Cyclomatic number ``m - n + c`` of the underlying undirected graph.
+
+    This counts the number of independent (oriented) cycles of the digraph;
+    it is zero exactly when the underlying graph is a forest.
+    """
+    n = graph.num_vertices
+    m = len(graph.underlying_edges())
+    c = len(weakly_connected_components(graph))
+    return m - n + c
+
+
+def underlying_is_forest(graph: DiGraph) -> bool:
+    """Whether the underlying undirected graph is a forest (no oriented cycle)."""
+    return underlying_cyclomatic_number(graph) == 0
+
+
+def vertex_classification(graph: DiGraph) -> Dict[str, List[Vertex]]:
+    """Partition the vertices into sources, sinks, internal and isolated.
+
+    Isolated vertices (no incident arcs) are reported separately and belong to
+    neither the source nor the sink lists, matching the degree-based
+    definitions of the paper (a source has in-degree 0 *and* at least one
+    outgoing arc is not required by the paper; we keep the pure degree
+    definition but single out isolated vertices for clarity).
+    """
+    sources, sinks, internal, isolated = [], [], [], []
+    for v in graph.vertices():
+        indeg, outdeg = graph.in_degree(v), graph.out_degree(v)
+        if indeg == 0 and outdeg == 0:
+            isolated.append(v)
+        elif indeg == 0:
+            sources.append(v)
+        elif outdeg == 0:
+            sinks.append(v)
+        else:
+            internal.append(v)
+    return {"sources": sources, "sinks": sinks,
+            "internal": internal, "isolated": isolated}
+
+
+def is_out_tree(graph: DiGraph) -> bool:
+    """Whether the digraph is a rooted out-tree (arborescence).
+
+    Exactly one vertex has in-degree 0, every other vertex has in-degree 1,
+    and the underlying graph is connected and acyclic.  Out-trees are the
+    *rooted trees* the paper mentions as the originally studied special case.
+    """
+    if graph.num_vertices == 0:
+        return False
+    roots = [v for v in graph.vertices() if graph.in_degree(v) == 0]
+    if len(roots) != 1:
+        return False
+    if any(graph.in_degree(v) > 1 for v in graph.vertices()):
+        return False
+    return is_weakly_connected(graph) and underlying_is_forest(graph)
+
+
+def is_in_tree(graph: DiGraph) -> bool:
+    """Whether the digraph is a rooted in-tree (anti-arborescence)."""
+    return is_out_tree(graph.reverse())
+
+
+def spanning_forest_edges(graph: DiGraph) -> List[Tuple[Vertex, Vertex]]:
+    """Edges of a spanning forest of the underlying undirected graph.
+
+    Returned as canonical undirected pairs; useful for cycle-space
+    computations (each non-forest edge closes exactly one fundamental cycle).
+    """
+    adj = graph.underlying_adjacency()
+    seen: Set[Vertex] = set()
+    forest: List[Tuple[Vertex, Vertex]] = []
+    for root in adj:
+        if root in seen:
+            continue
+        seen.add(root)
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for w in adj[v]:
+                if w not in seen:
+                    seen.add(w)
+                    forest.append((v, w))
+                    queue.append(w)
+    return forest
+
+
+def arc_set_statistics(graphs: Iterable[DiGraph]) -> Dict[str, float]:
+    """Aggregate vertex/arc counts over a population of digraphs.
+
+    Convenience helper for experiment reporting (mean size of generated
+    instances etc.).
+    """
+    ns, ms = [], []
+    for g in graphs:
+        ns.append(g.num_vertices)
+        ms.append(g.num_arcs)
+    if not ns:
+        return {"count": 0, "mean_vertices": 0.0, "mean_arcs": 0.0}
+    return {
+        "count": len(ns),
+        "mean_vertices": sum(ns) / len(ns),
+        "mean_arcs": sum(ms) / len(ms),
+        "max_vertices": max(ns),
+        "max_arcs": max(ms),
+    }

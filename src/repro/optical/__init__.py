@@ -1,0 +1,36 @@
+"""WDM optical-network substrate: network model, traffic, RWA pipeline."""
+
+from .grooming import (
+    GroomingResult,
+    adm_count,
+    groom_requests,
+    max_requests_within_wavelengths,
+)
+from .network import FibreLink, Lightpath, OpticalNetwork
+from .rwa import RWASolution, provision_solution, solve_rwa
+from .simulation import AdmissionResult, simulate_admission
+from .traffic import (
+    all_to_all_traffic,
+    hotspot_traffic,
+    multicast_traffic,
+    uniform_random_traffic,
+)
+
+__all__ = [
+    "AdmissionResult",
+    "FibreLink",
+    "GroomingResult",
+    "Lightpath",
+    "OpticalNetwork",
+    "RWASolution",
+    "adm_count",
+    "all_to_all_traffic",
+    "groom_requests",
+    "hotspot_traffic",
+    "max_requests_within_wavelengths",
+    "multicast_traffic",
+    "provision_solution",
+    "simulate_admission",
+    "solve_rwa",
+    "uniform_random_traffic",
+]

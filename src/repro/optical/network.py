@@ -1,0 +1,253 @@
+"""WDM optical network model.
+
+The paper's motivation (Section 1) is wavelength assignment in WDM optical
+networks: requests are satisfied by lightpaths (a route plus a wavelength),
+two lightpaths sharing a fibre (arc) must use different wavelengths, and the
+scarce resource is the number of wavelengths per fibre.
+
+:class:`OpticalNetwork` is a thin domain wrapper around the graph substrate:
+a digraph of unidirectional fibres, each with a wavelength capacity, plus the
+book-keeping of which wavelength of which fibre is allocated to which
+lightpath.  The RWA pipeline in :mod:`repro.optical.rwa` produces
+:class:`Lightpath` objects from requests using the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import CapacityError, RoutingError
+from .._typing import Arc, Vertex
+from ..dipaths.dipath import Dipath
+from ..graphs.dag import DAG
+from ..graphs.digraph import DiGraph
+
+__all__ = ["FibreLink", "Lightpath", "OpticalNetwork"]
+
+
+@dataclass(frozen=True)
+class FibreLink:
+    """A unidirectional fibre between two nodes.
+
+    Attributes
+    ----------
+    tail, head:
+        Endpoints of the fibre (direction tail -> head).
+    capacity:
+        Number of wavelength channels available on the fibre (``None`` means
+        unbounded, the purely combinatorial setting of the paper).
+    length_km:
+        Optional physical length, used only for reporting.
+    """
+
+    tail: Vertex
+    head: Vertex
+    capacity: Optional[int] = None
+    length_km: float = 1.0
+
+    @property
+    def arc(self) -> Arc:
+        """The fibre as an arc ``(tail, head)``."""
+        return (self.tail, self.head)
+
+
+@dataclass
+class Lightpath:
+    """A provisioned lightpath: a dipath plus an assigned wavelength."""
+
+    dipath: Dipath
+    wavelength: int
+    request_id: Optional[int] = None
+
+    @property
+    def source(self) -> Vertex:
+        return self.dipath.source
+
+    @property
+    def target(self) -> Vertex:
+        return self.dipath.target
+
+    def arcs(self):
+        """The fibres traversed by the lightpath."""
+        return self.dipath.arcs()
+
+
+class OpticalNetwork:
+    """A WDM network: a digraph of fibres with per-fibre wavelength capacity.
+
+    Parameters
+    ----------
+    links:
+        Iterable of :class:`FibreLink` or ``(tail, head)`` pairs (optionally
+        ``(tail, head, capacity)``).
+    default_capacity:
+        Capacity used for links given as bare pairs (``None`` = unbounded).
+
+    Examples
+    --------
+    >>> net = OpticalNetwork([("a", "b"), ("b", "c")], default_capacity=4)
+    >>> net.graph.num_arcs
+    2
+    """
+
+    def __init__(self, links: Iterable[FibreLink | Tuple] = (),
+                 default_capacity: Optional[int] = None) -> None:
+        self._links: Dict[Arc, FibreLink] = {}
+        self._graph = DiGraph()
+        self._allocations: Dict[Arc, Dict[int, int]] = {}
+        self._lightpaths: List[Lightpath] = []
+        self.default_capacity = default_capacity
+        for link in links:
+            self.add_link(link)
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+    def add_link(self, link: FibreLink | Tuple) -> None:
+        """Add a fibre to the network."""
+        if not isinstance(link, FibreLink):
+            if len(link) == 2:
+                link = FibreLink(link[0], link[1], self.default_capacity)
+            else:
+                link = FibreLink(*link)
+        self._links[link.arc] = link
+        self._graph.add_arc(link.tail, link.head)
+        self._allocations.setdefault(link.arc, {})
+
+    @property
+    def graph(self) -> DiGraph:
+        """The underlying digraph of fibres."""
+        return self._graph
+
+    def as_dag(self) -> DAG:
+        """The network as a validated DAG (raises if a directed cycle exists)."""
+        return DAG.from_digraph(self._graph)
+
+    def link(self, arc: Arc) -> FibreLink:
+        """The fibre for a given arc."""
+        return self._links[arc]
+
+    def links(self) -> List[FibreLink]:
+        """All fibres."""
+        return list(self._links.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_links(self) -> int:
+        return self._graph.num_arcs
+
+    # ------------------------------------------------------------------ #
+    # wavelength allocation
+    # ------------------------------------------------------------------ #
+    def capacity_of(self, arc: Arc) -> Optional[int]:
+        """Wavelength capacity of a fibre (``None`` = unbounded)."""
+        return self._links[arc].capacity
+
+    def wavelengths_in_use(self, arc: Arc) -> Set[int]:
+        """Wavelengths currently allocated on a fibre."""
+        return set(self._allocations.get(arc, {}))
+
+    def is_wavelength_free(self, arc: Arc, wavelength: int) -> bool:
+        """Whether a wavelength channel of a fibre is unallocated."""
+        return wavelength not in self._allocations.get(arc, {})
+
+    def provision(self, dipath: Dipath, wavelength: int,
+                  request_id: Optional[int] = None) -> Lightpath:
+        """Allocate ``wavelength`` on every fibre of ``dipath``.
+
+        Raises
+        ------
+        RoutingError
+            If the dipath uses an arc that is not a fibre of the network.
+        CapacityError
+            If the wavelength is already in use on some fibre of the dipath,
+            or exceeds the fibre capacity.
+        """
+        for arc in dipath.arcs():
+            if arc not in self._links:
+                raise RoutingError(f"{arc!r} is not a fibre of the network")
+            capacity = self._links[arc].capacity
+            if capacity is not None and wavelength >= capacity:
+                raise CapacityError(
+                    f"wavelength {wavelength} exceeds capacity {capacity} of "
+                    f"fibre {arc!r}")
+            if not self.is_wavelength_free(arc, wavelength):
+                raise CapacityError(
+                    f"wavelength {wavelength} already in use on fibre {arc!r}")
+        lightpath = Lightpath(dipath=dipath, wavelength=wavelength,
+                              request_id=request_id)
+        lp_index = len(self._lightpaths)
+        self._lightpaths.append(lightpath)
+        for arc in dipath.arcs():
+            self._allocations[arc][wavelength] = lp_index
+        return lightpath
+
+    def release(self, lightpath: Lightpath) -> None:
+        """Free the wavelength channels held by a lightpath."""
+        try:
+            lp_index = self._lightpaths.index(lightpath)
+        except ValueError:
+            raise RoutingError("lightpath is not provisioned on this network")
+        for arc in lightpath.arcs():
+            allocations = self._allocations.get(arc, {})
+            if allocations.get(lightpath.wavelength) == lp_index:
+                del allocations[lightpath.wavelength]
+        self._lightpaths[lp_index] = None  # type: ignore[call-overload]
+
+    def lightpaths(self) -> List[Lightpath]:
+        """Currently provisioned lightpaths."""
+        return [lp for lp in self._lightpaths if lp is not None]
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> Dict[Arc, int]:
+        """Number of wavelengths in use per fibre (the realised load)."""
+        return {arc: len(allocs) for arc, allocs in self._allocations.items()}
+
+    def max_utilization(self) -> int:
+        """Maximum number of wavelengths in use on any fibre."""
+        utilization = self.utilization()
+        return max(utilization.values()) if utilization else 0
+
+    def wavelengths_used(self) -> int:
+        """Number of distinct wavelengths used across the network."""
+        used: Set[int] = set()
+        for allocs in self._allocations.values():
+            used.update(allocs)
+        return len(used)
+
+    def adm_count(self) -> int:
+        """Number of Add-Drop Multiplexers: one per lightpath endpoint per wavelength.
+
+        The standard SONET/WDM accounting (two ADMs per lightpath — one at
+        each end); grooming (sharing ADMs between lightpaths of the same
+        wavelength ending at the same node) is handled by
+        :mod:`repro.optical.grooming`.
+        """
+        return 2 * len(self.lightpaths())
+
+    def summary(self) -> Dict[str, float]:
+        """A compact report of the network state."""
+        return {
+            "nodes": self.num_nodes,
+            "fibres": self.num_links,
+            "lightpaths": len(self.lightpaths()),
+            "wavelengths_used": self.wavelengths_used(),
+            "max_fibre_utilization": self.max_utilization(),
+            "adm_count": self.adm_count(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_digraph(cls, graph: DiGraph,
+                     capacity: Optional[int] = None) -> "OpticalNetwork":
+        """Build a network with one fibre per arc of ``graph``."""
+        return cls(links=[(u, v) for u, v in graph.arcs()],
+                   default_capacity=capacity)

@@ -1,0 +1,117 @@
+"""End-to-end RWA (Routing and Wavelength Assignment) pipeline.
+
+This glues the substrates together the way the paper's introduction describes
+the engineering workflow:
+
+1. route each request on the logical (virtual) topology — forced routing on
+   UPP-DAGs, shortest-path or load-aware routing otherwise;
+2. assign wavelengths to the resulting dipath family with the strongest
+   applicable algorithm (Theorem 1 when the topology has no internal cycle,
+   Theorem 6 for single-cycle UPP-DAGs, exact/DSATUR otherwise);
+3. optionally provision the lightpaths on an :class:`OpticalNetwork`,
+   respecting per-fibre capacities.
+
+The headline consequence of the paper at this level: **on internal-cycle-free
+logical topologies the number of wavelengths needed is exactly the maximum
+fibre load**, so capacity planning reduces to load computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import CapacityError
+from ..core.load import load as _load
+from ..core.wavelengths import (
+    AssignmentMethod,
+    WavelengthSolution,
+    assign_wavelengths,
+)
+from ..dipaths.family import DipathFamily
+from ..dipaths.requests import RequestFamily
+from ..dipaths.routing import RoutingPolicy, route_all
+from ..graphs.digraph import DiGraph
+from .network import Lightpath, OpticalNetwork
+
+__all__ = ["RWASolution", "solve_rwa", "provision_solution"]
+
+
+@dataclass
+class RWASolution:
+    """The result of the full RWA pipeline.
+
+    Attributes
+    ----------
+    family:
+        The routed dipath family (one dipath per unit request, in request
+        order).
+    assignment:
+        The wavelength assignment produced for the family.
+    load:
+        The routing load ``pi`` (max number of dipaths per fibre).
+    num_wavelengths:
+        Number of distinct wavelengths used (``== load`` whenever the logical
+        topology has no internal cycle, by the Main Theorem).
+    routing_policy, assignment_method:
+        The strategies used for each stage.
+    """
+
+    family: DipathFamily
+    assignment: WavelengthSolution
+    load: int
+    num_wavelengths: int
+    routing_policy: str
+    assignment_method: str
+
+    @property
+    def wavelength_of(self) -> Dict[int, int]:
+        """Mapping ``request index -> wavelength``."""
+        return dict(self.assignment.coloring)
+
+
+def solve_rwa(graph: DiGraph, requests: RequestFamily,
+              routing: RoutingPolicy = "shortest",
+              assignment: AssignmentMethod = "auto") -> RWASolution:
+    """Route ``requests`` on ``graph`` and assign wavelengths.
+
+    Parameters
+    ----------
+    graph:
+        The logical topology (a DAG for the paper's algorithms; any digraph
+        for the heuristic paths).
+    requests:
+        The traffic matrix.
+    routing:
+        ``"unique"`` (UPP routing), ``"shortest"`` or ``"min-load"``.
+    assignment:
+        See :func:`repro.core.wavelengths.assign_wavelengths`.
+    """
+    family = route_all(graph, requests, policy=routing)
+    solution = assign_wavelengths(graph, family, method=assignment)
+    return RWASolution(
+        family=family,
+        assignment=solution,
+        load=_load(graph, family),
+        num_wavelengths=solution.num_wavelengths,
+        routing_policy=routing,
+        assignment_method=solution.method,
+    )
+
+
+def provision_solution(network: OpticalNetwork, solution: RWASolution
+                       ) -> List[Lightpath]:
+    """Provision every routed request of ``solution`` on ``network``.
+
+    Raises
+    ------
+    CapacityError
+        If some fibre does not have enough wavelength channels for the
+        assignment (i.e. its capacity is smaller than the number of
+        wavelengths the assignment uses on it).
+    """
+    lightpaths: List[Lightpath] = []
+    for idx, dipath in enumerate(solution.family):
+        wavelength = solution.assignment.coloring[idx]
+        lightpaths.append(network.provision(dipath, wavelength, request_id=idx))
+    return lightpaths

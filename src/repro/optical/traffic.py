@@ -1,0 +1,95 @@
+"""Traffic generators for the optical substrate.
+
+These produce :class:`~repro.dipaths.requests.RequestFamily` objects for the
+standard traffic patterns the RWA literature (and the paper's introduction)
+considers: all-to-all, multicast (single origin), uniform random, and
+hotspot (a few nodes concentrate most of the demand).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import random
+
+from .._typing import Vertex
+from ..dipaths.requests import Request, RequestFamily
+from ..graphs.digraph import DiGraph
+from ..graphs.traversal import transitive_closure_sets
+
+__all__ = [
+    "all_to_all_traffic",
+    "multicast_traffic",
+    "uniform_random_traffic",
+    "hotspot_traffic",
+]
+
+
+def _connected_pairs(graph: DiGraph) -> List[Tuple[Vertex, Vertex]]:
+    reach = transitive_closure_sets(graph)
+    return [(x, y) for x, targets in reach.items()
+            for y in sorted(targets, key=repr)]
+
+
+def all_to_all_traffic(graph: DiGraph) -> RequestFamily:
+    """One unit request per ordered pair of connected nodes."""
+    return RequestFamily.all_to_all(graph, only_connected=True)
+
+
+def multicast_traffic(graph: DiGraph, origin: Optional[Vertex] = None
+                      ) -> RequestFamily:
+    """All requests from a single origin (the paper's multicast instance)."""
+    if origin is None:
+        sources = graph.sources() or list(graph.vertices())
+        origin = sources[0]
+    return RequestFamily.multicast(graph, origin)
+
+
+def uniform_random_traffic(graph: DiGraph, num_requests: int,
+                           seed: Optional[int] = None,
+                           max_multiplicity: int = 1) -> RequestFamily:
+    """Uniformly random satisfiable requests.
+
+    Each request picks a connected pair uniformly at random, with a uniform
+    multiplicity in ``1..max_multiplicity``.
+    """
+    rng = random.Random(seed)
+    pairs = _connected_pairs(graph)
+    if not pairs:
+        raise ValueError("the network has no connected node pair")
+    requests = RequestFamily()
+    for _ in range(num_requests):
+        x, y = rng.choice(pairs)
+        mult = rng.randint(1, max_multiplicity) if max_multiplicity > 1 else 1
+        requests.add(Request(x, y, mult))
+    return requests
+
+
+def hotspot_traffic(graph: DiGraph, num_requests: int,
+                    num_hotspots: int = 1,
+                    hotspot_fraction: float = 0.7,
+                    seed: Optional[int] = None) -> RequestFamily:
+    """Skewed traffic: a fraction of requests target a few hotspot nodes.
+
+    ``hotspot_fraction`` of the requests have their destination drawn from
+    ``num_hotspots`` randomly chosen nodes (weighted towards nodes with many
+    ancestors so the requests are satisfiable); the rest are uniform.
+    """
+    rng = random.Random(seed)
+    pairs = _connected_pairs(graph)
+    if not pairs:
+        raise ValueError("the network has no connected node pair")
+    by_target: dict = {}
+    for x, y in pairs:
+        by_target.setdefault(y, []).append((x, y))
+    # Prefer hotspots with many possible sources.
+    candidates = sorted(by_target, key=lambda y: len(by_target[y]), reverse=True)
+    hotspots = candidates[:max(1, num_hotspots)]
+    requests = RequestFamily()
+    for _ in range(num_requests):
+        if rng.random() < hotspot_fraction:
+            target = rng.choice(hotspots)
+            requests.add(Request(*rng.choice(by_target[target])))
+        else:
+            requests.add(Request(*rng.choice(pairs)))
+    return requests

@@ -1,0 +1,83 @@
+"""Parameter sweeps for experiments.
+
+A :class:`Sweep` describes a grid of parameter combinations plus a number of
+seeded repetitions per point; :func:`run_sweep` evaluates a callable on every
+(parameters, seed) pair, optionally in parallel, and returns flat result
+records ready for tabulation by :mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .executor import parallel_map
+
+__all__ = ["Sweep", "run_sweep"]
+
+
+@dataclass
+class Sweep:
+    """A cartesian parameter grid with seeded repetitions.
+
+    Attributes
+    ----------
+    parameters:
+        Mapping ``name -> list of values``; the sweep enumerates the cartesian
+        product.
+    repetitions:
+        Number of seeded repetitions per grid point.
+    base_seed:
+        Seeds are ``base_seed + i`` for the ``i``-th (point, repetition) pair,
+        so runs are reproducible and independent of parallelism.
+    """
+
+    parameters: Mapping[str, Sequence[Any]]
+    repetitions: int = 1
+    base_seed: int = 0
+
+    def points(self) -> List[Dict[str, Any]]:
+        """All parameter combinations (without seeds)."""
+        names = list(self.parameters)
+        combos = itertools.product(*(self.parameters[n] for n in names))
+        return [dict(zip(names, values)) for values in combos]
+
+    def tasks(self) -> List[Dict[str, Any]]:
+        """All (parameters + seed) dictionaries, in deterministic order."""
+        out: List[Dict[str, Any]] = []
+        counter = 0
+        for point in self.points():
+            for _ in range(self.repetitions):
+                task = dict(point)
+                task["seed"] = self.base_seed + counter
+                counter += 1
+                out.append(task)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.points()) * self.repetitions
+
+
+def run_sweep(func: Callable[..., Dict[str, Any]], sweep: Sweep,
+              workers: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Evaluate ``func(**task)`` for every task of the sweep.
+
+    ``func`` must accept the sweep's parameter names plus ``seed`` as keyword
+    arguments and return a dict of result fields; the returned records merge
+    the input parameters with the results.
+    """
+    tasks = sweep.tasks()
+    results = parallel_map(_call_with_kwargs, [(func, t) for t in tasks],
+                           workers=workers)
+    records: List[Dict[str, Any]] = []
+    for task, result in zip(tasks, results):
+        record = dict(task)
+        record.update(result)
+        records.append(record)
+    return records
+
+
+def _call_with_kwargs(func: Callable[..., Dict[str, Any]],
+                      kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    return func(**kwargs)

@@ -1,0 +1,33 @@
+"""UPP-DAGs: the Unique diPath Property and its structural consequences."""
+
+from .crossing import (
+    conflict_graph_has_no_k23,
+    crossing_lemma_holds,
+    intersection_position,
+)
+from .helly import (
+    clique_common_arcs,
+    clique_number_equals_load,
+    helly_property_holds,
+    pairwise_intersection_is_interval,
+)
+from .property_check import (
+    assert_upp,
+    find_upp_violation,
+    is_upp_dag,
+    upp_violation_witness_paths,
+)
+
+__all__ = [
+    "assert_upp",
+    "clique_common_arcs",
+    "clique_number_equals_load",
+    "conflict_graph_has_no_k23",
+    "crossing_lemma_holds",
+    "find_upp_violation",
+    "helly_property_holds",
+    "intersection_position",
+    "is_upp_dag",
+    "pairwise_intersection_is_interval",
+    "upp_violation_witness_paths",
+]

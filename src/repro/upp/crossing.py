@@ -1,0 +1,93 @@
+"""Lemma 4 (crossing lemma) and Corollary 5 for UPP-DAGs.
+
+    *Lemma 4.  Let G be an UPP-DAG and let P1 and P2 be two disjoint dipaths.
+    Consider Q1 and Q2 two disjoint dipaths intersecting P1 and P2.  If Q1
+    intersects P1 before Q2, then Q2 intersects P2 before Q1.*
+
+    *Corollary 5.  The conflict graph of a UPP-DAG family cannot contain a
+    K_{2,3}.*
+
+This module provides empirical checkers for both statements on a concrete
+family — used by the property-based tests and the E6 benchmark to confirm the
+structural claims on randomly generated UPP-DAG instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional, Tuple
+
+from ..conflict.conflict_graph import ConflictGraph, build_conflict_graph
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+
+__all__ = [
+    "intersection_position",
+    "crossing_lemma_holds",
+    "conflict_graph_has_no_k23",
+]
+
+
+def intersection_position(p: Dipath, q: Dipath) -> Optional[int]:
+    """Index along ``p`` of the first arc shared with ``q`` (or ``None``)."""
+    for pos, arc in enumerate(p.arcs()):
+        if arc in q.arc_set:
+            return pos
+    return None
+
+
+def crossing_lemma_holds(family: DipathFamily, max_quadruples: int = 200000
+                         ) -> bool:
+    """Check Lemma 4 on every relevant quadruple of dipaths of the family.
+
+    For every two disjoint dipaths ``P1, P2`` and two disjoint dipaths
+    ``Q1, Q2`` each intersecting both, verify that if ``Q1`` meets ``P1``
+    before ``Q2`` does, then ``Q2`` meets ``P2`` before ``Q1`` does.
+    ``max_quadruples`` bounds the enumeration for large families.
+    """
+    paths = list(family)
+    n = len(paths)
+    checked = 0
+    for i, j in combinations(range(n), 2):
+        p1, p2 = paths[i], paths[j]
+        if p1.conflicts_with(p2):
+            continue
+        # candidate Q's: intersect both P1 and P2
+        candidates = [k for k in range(n)
+                      if k not in (i, j)
+                      and paths[k].conflicts_with(p1)
+                      and paths[k].conflicts_with(p2)]
+        for a, b in combinations(candidates, 2):
+            q1, q2 = paths[a], paths[b]
+            if q1.conflicts_with(q2):
+                continue
+            checked += 1
+            if checked > max_quadruples:
+                return True
+            pos1_q1 = intersection_position(p1, q1)
+            pos1_q2 = intersection_position(p1, q2)
+            pos2_q1 = intersection_position(p2, q1)
+            pos2_q2 = intersection_position(p2, q2)
+            if None in (pos1_q1, pos1_q2, pos2_q1, pos2_q2):
+                continue
+            if pos1_q1 == pos1_q2 or pos2_q1 == pos2_q2:
+                continue
+            # "Q1 intersects P1 before Q2" means Q1's interval on P1 comes first.
+            if pos1_q1 < pos1_q2 and not (pos2_q2 < pos2_q1):
+                return False
+            if pos1_q2 < pos1_q1 and not (pos2_q1 < pos2_q2):
+                return False
+    return True
+
+
+def conflict_graph_has_no_k23(family: DipathFamily,
+                              conflict_graph: Optional[ConflictGraph] = None
+                              ) -> bool:
+    """Corollary 5: the conflict graph contains no (induced) ``K_{2,3}``.
+
+    The corollary concerns two pairwise-disjoint dipaths each conflicting with
+    three further pairwise-disjoint dipaths, i.e. an induced ``K_{2,3}`` of
+    the conflict graph; see :meth:`ConflictGraph.contains_k23`.
+    """
+    graph = conflict_graph or build_conflict_graph(family)
+    return not graph.contains_k23()

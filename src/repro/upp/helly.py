@@ -1,0 +1,118 @@
+"""Property 3: the Helly property of conflicting dipaths in a UPP-DAG.
+
+    *If G is an UPP-DAG then the dipaths in conflict have the following Helly
+    property: if a set of dipaths are pairwise in conflict, then their
+    intersection is a dipath.*
+
+Consequences implemented and checked here:
+
+* two conflicting dipaths of a UPP-DAG intersect in a **single** interval;
+* every clique of the conflict graph has a **common arc**, hence the clique
+  number of the conflict graph equals the load ``pi`` (the paper's
+  "pi is exactly the clique number" statement).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from .._typing import Arc
+from ..conflict.cliques import maximal_cliques, maximum_clique
+from ..conflict.conflict_graph import ConflictGraph, build_conflict_graph
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+
+__all__ = [
+    "pairwise_intersection_is_interval",
+    "clique_common_arcs",
+    "helly_property_holds",
+    "clique_number_equals_load",
+]
+
+
+def pairwise_intersection_is_interval(p: Dipath, q: Dipath) -> bool:
+    """Whether the two dipaths intersect in at most one interval.
+
+    In a UPP-DAG this always holds (first part of the proof of Property 3):
+    two disjoint shared intervals would give two distinct dipaths between the
+    end of the first and the start of the second.
+    """
+    return len(p.intersection_intervals(q)) <= 1
+
+
+def clique_common_arcs(family: DipathFamily, clique: Sequence[int]
+                       ) -> Set[Arc]:
+    """The arcs common to every dipath of ``clique`` (may be empty)."""
+    members = list(clique)
+    if not members:
+        return set()
+    common: Set[Arc] = set(family[members[0]].arc_set)
+    for idx in members[1:]:
+        common &= family[idx].arc_set
+        if not common:
+            break
+    return common
+
+
+def helly_property_holds(family: DipathFamily,
+                         conflict_graph: Optional[ConflictGraph] = None,
+                         max_cliques: Optional[int] = 20000) -> bool:
+    """Check Property 3 on a family: every clique shares a common sub-dipath.
+
+    Verifies, for every *maximal* clique of the conflict graph (which suffices:
+    any clique is contained in a maximal one and intersections only grow when
+    restricting to fewer dipaths... they shrink when adding dipaths, so we
+    check the maximal ones, whose common intersection is smallest), that the
+    common arcs form a non-empty contiguous dipath.
+
+    Parameters
+    ----------
+    max_cliques:
+        Safety bound on the number of maximal cliques enumerated.
+    """
+    if len(family) == 0:
+        return True
+    graph = conflict_graph or build_conflict_graph(family)
+    for clique in maximal_cliques(graph, limit=max_cliques):
+        if len(clique) < 2:
+            continue
+        common = clique_common_arcs(family, sorted(clique))
+        if not common:
+            return False
+        if not _arcs_form_dipath(common):
+            return False
+    return True
+
+
+def _arcs_form_dipath(arcs: Set[Arc]) -> bool:
+    """Whether a set of arcs is the arc set of a single dipath."""
+    if not arcs:
+        return False
+    heads = {v for _, v in arcs}
+    tails = {u for u, _ in arcs}
+    starts = tails - heads
+    if len(starts) != 1:
+        return False
+    nxt = {u: v for u, v in arcs}
+    if len(nxt) != len(arcs):
+        return False  # a tail repeated: branching, not a path
+    current = next(iter(starts))
+    visited = 0
+    while current in nxt:
+        current = nxt[current]
+        visited += 1
+        if visited > len(arcs):
+            return False
+    return visited == len(arcs)
+
+
+def clique_number_equals_load(family: DipathFamily,
+                              conflict_graph: Optional[ConflictGraph] = None
+                              ) -> bool:
+    """Whether the clique number of the conflict graph equals the load.
+
+    True for every family on a UPP-DAG (consequence of Property 3); on general
+    DAGs only ``load <= clique number`` holds.
+    """
+    graph = conflict_graph or build_conflict_graph(family)
+    return len(maximum_clique(graph)) == family.load()

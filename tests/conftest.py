@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dipaths.family import DipathFamily
+from repro.generators.gadgets import (
+    figure3_instance,
+    figure5_instance,
+    havet_instance,
+    theorem2_gadget,
+)
+from repro.generators.pathological import pathological_instance
+from repro.graphs.dag import DAG
+
+
+@pytest.fixture
+def simple_dag() -> DAG:
+    """A small internal-cycle-free DAG used by many unit tests.
+
+        a -> b -> c -> d
+             b -> e
+        f -> c
+    """
+    return DAG(arcs=[("a", "b"), ("b", "c"), ("c", "d"), ("b", "e"), ("f", "c")])
+
+
+@pytest.fixture
+def simple_family(simple_dag) -> DipathFamily:
+    """Three dipaths on :func:`simple_dag` with load 2."""
+    return DipathFamily(
+        [["a", "b", "c", "d"], ["b", "c", "d"], ["f", "c", "d"]],
+        graph=simple_dag)
+
+
+@pytest.fixture
+def figure3():
+    """The Figure 3 instance ``(dag, family)``."""
+    return figure3_instance()
+
+
+@pytest.fixture
+def figure5_k3():
+    """The Theorem 2 / Figure 5 gadget with ``k = 3``."""
+    return figure5_instance(3)
+
+
+@pytest.fixture
+def havet():
+    """The Figure 9 (Havet) instance with one copy per dipath."""
+    return havet_instance(1)
+
+
+@pytest.fixture
+def pathological_k4():
+    """The Figure 1 instance with ``k = 4`` dipaths."""
+    return pathological_instance(4)
+
+
+@pytest.fixture
+def gadget_dag() -> DAG:
+    """The bare Theorem 2 gadget DAG with ``k = 3`` (one internal cycle, UPP)."""
+    return theorem2_gadget(3)

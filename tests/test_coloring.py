@@ -1,0 +1,180 @@
+"""Unit tests for :mod:`repro.coloring`."""
+
+import pytest
+
+from repro.coloring.dsatur import dsatur_coloring, dsatur_order
+from repro.coloring.exact import (
+    chromatic_number,
+    greedy_clique_lower_bound,
+    is_k_colorable,
+    optimal_coloring,
+)
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.kempe import kempe_component, kempe_swap
+from repro.coloring.verify import (
+    assert_proper_coloring,
+    color_classes,
+    is_proper_coloring,
+    normalize_coloring,
+    num_colors,
+)
+from repro.exceptions import InvalidColoringError
+
+
+def cycle_adj(n):
+    return {i: {(i - 1) % n, (i + 1) % n} for i in range(n)}
+
+
+def complete_adj(n):
+    return {i: set(range(n)) - {i} for i in range(n)}
+
+
+def path_adj(n):
+    adj = {i: set() for i in range(n)}
+    for i in range(n - 1):
+        adj[i].add(i + 1)
+        adj[i + 1].add(i)
+    return adj
+
+
+PETERSEN = {
+    0: {1, 4, 5}, 1: {0, 2, 6}, 2: {1, 3, 7}, 3: {2, 4, 8}, 4: {0, 3, 9},
+    5: {0, 7, 8}, 6: {1, 8, 9}, 7: {2, 5, 9}, 8: {3, 5, 6}, 9: {4, 6, 7},
+}
+
+
+class TestVerify:
+    def test_is_proper(self):
+        adj = cycle_adj(4)
+        assert is_proper_coloring(adj, {0: 0, 1: 1, 2: 0, 3: 1})
+        assert not is_proper_coloring(adj, {0: 0, 1: 0, 2: 1, 3: 1})
+        assert not is_proper_coloring(adj, {0: 0, 1: 1, 2: 0})  # missing vertex
+
+    def test_assert_proper_raises(self):
+        with pytest.raises(InvalidColoringError):
+            assert_proper_coloring(cycle_adj(3), {0: 0, 1: 0, 2: 1})
+        with pytest.raises(InvalidColoringError):
+            assert_proper_coloring(cycle_adj(3), {0: 0, 1: 1})
+
+    def test_num_colors_and_classes(self):
+        coloring = {0: 2, 1: 5, 2: 2}
+        assert num_colors(coloring) == 2
+        assert color_classes(coloring) == {2: {0, 2}, 5: {1}}
+        assert num_colors({}) == 0
+
+    def test_normalize(self):
+        assert normalize_coloring({0: 7, 1: 3, 2: 7}) == {0: 0, 1: 1, 2: 0}
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("strategy", ["given", "largest-first",
+                                          "smallest-last", "random"])
+    def test_greedy_is_proper(self, strategy):
+        adj = PETERSEN
+        coloring = greedy_coloring(adj, strategy=strategy, seed=1)
+        assert is_proper_coloring(adj, coloring)
+
+    def test_greedy_explicit_order(self):
+        adj = path_adj(5)
+        coloring = greedy_coloring(adj, order=[0, 1, 2, 3, 4])
+        assert num_colors(coloring) == 2
+
+    def test_greedy_order_missing_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_coloring(path_adj(3), order=[0, 1])
+
+    def test_greedy_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            greedy_coloring(path_adj(3), strategy="bogus")  # type: ignore[arg-type]
+
+    def test_smallest_last_optimal_on_cycle(self):
+        coloring = greedy_coloring(cycle_adj(6), strategy="smallest-last")
+        assert num_colors(coloring) == 2
+
+
+class TestDSATUR:
+    def test_proper_and_reasonable(self):
+        coloring = dsatur_coloring(PETERSEN)
+        assert is_proper_coloring(PETERSEN, coloring)
+        assert num_colors(coloring) == 3     # DSATUR is optimal on Petersen
+
+    def test_even_cycle_two_colors(self):
+        assert num_colors(dsatur_coloring(cycle_adj(8))) == 2
+
+    def test_odd_cycle_three_colors(self):
+        assert num_colors(dsatur_coloring(cycle_adj(7))) == 3
+
+    def test_complete_graph(self):
+        assert num_colors(dsatur_coloring(complete_adj(6))) == 6
+
+    def test_empty(self):
+        assert dsatur_coloring({}) == {}
+
+    def test_order_covers_all(self):
+        assert set(dsatur_order(PETERSEN)) == set(PETERSEN)
+
+
+class TestExact:
+    @pytest.mark.parametrize("adj,expected", [
+        (cycle_adj(5), 3),
+        (cycle_adj(6), 2),
+        (complete_adj(5), 5),
+        (path_adj(6), 2),
+        (PETERSEN, 3),
+        ({}, 0),
+        ({0: set()}, 1),
+    ])
+    def test_chromatic_number_known(self, adj, expected):
+        assert chromatic_number(adj) == expected
+
+    def test_optimal_coloring_is_proper(self):
+        coloring = optimal_coloring(PETERSEN)
+        assert is_proper_coloring(PETERSEN, coloring)
+        assert num_colors(coloring) == 3
+
+    def test_is_k_colorable(self):
+        assert is_k_colorable(cycle_adj(5), 2) is None
+        result = is_k_colorable(cycle_adj(5), 3)
+        assert result is not None
+        assert is_proper_coloring(cycle_adj(5), result)
+        assert is_k_colorable(complete_adj(4), 3) is None
+
+    def test_is_k_colorable_zero(self):
+        assert is_k_colorable({0: set()}, 0) is None
+        assert is_k_colorable({}, 0) == {}
+        with pytest.raises(ValueError):
+            is_k_colorable({}, -1)
+
+    def test_lower_bound(self):
+        assert greedy_clique_lower_bound(complete_adj(4)) == 4
+        assert greedy_clique_lower_bound(cycle_adj(6)) == 2
+        assert greedy_clique_lower_bound({}) == 0
+
+    def test_exact_never_below_clique(self):
+        for adj in (PETERSEN, cycle_adj(9), complete_adj(5)):
+            assert chromatic_number(adj) >= greedy_clique_lower_bound(adj)
+
+
+class TestKempe:
+    def test_component(self):
+        adj = path_adj(4)
+        coloring = {0: 0, 1: 1, 2: 0, 3: 1}
+        comp = kempe_component(adj, coloring, 0, 0, 1)
+        assert comp == {0, 1, 2, 3}
+
+    def test_component_requires_matching_color(self):
+        with pytest.raises(ValueError):
+            kempe_component(path_adj(3), {0: 0, 1: 1, 2: 0}, 1, 0, 2)
+
+    def test_swap_preserves_properness(self):
+        adj = cycle_adj(6)
+        coloring = dsatur_coloring(adj)
+        new_coloring, component = kempe_swap(adj, coloring, 0, 0, 1)
+        assert is_proper_coloring(adj, new_coloring)
+        assert 0 in component
+
+    def test_swap_changes_start_color(self):
+        adj = path_adj(2)
+        coloring = {0: 0, 1: 1}
+        new_coloring, _ = kempe_swap(adj, coloring, 0, 0, 1)
+        assert new_coloring == {0: 1, 1: 0}

@@ -1,0 +1,179 @@
+"""Unit tests for :mod:`repro.conflict` (conflict graph, cliques, independent sets, covers)."""
+
+import pytest
+
+from repro.conflict.cliques import (
+    clique_number,
+    greedy_clique,
+    is_clique,
+    maximal_cliques,
+    maximum_clique,
+)
+from repro.conflict.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.conflict.covering import (
+    blowup_chromatic_number,
+    independent_set_cover,
+    replicated_family_coloring,
+    replication_structure,
+)
+from repro.conflict.independent_sets import (
+    greedy_independent_set,
+    independence_number,
+    is_independent_set,
+    maximum_independent_set,
+    partition_lower_bound,
+)
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.dipaths.family import DipathFamily
+from repro.generators.gadgets import figure3_family, havet_family
+
+
+def cycle_graph(n: int) -> ConflictGraph:
+    return ConflictGraph(n, edges=[(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n: int) -> ConflictGraph:
+    return ConflictGraph(n, edges=[(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestConflictGraph:
+    def test_build_from_family(self, simple_family):
+        cg = build_conflict_graph(simple_family)
+        assert cg.num_vertices == 3
+        assert cg.num_edges == 3
+        assert cg.is_complete()
+
+    def test_figure3_conflict_graph_is_c5(self):
+        cg = build_conflict_graph(figure3_family())
+        assert cg.num_vertices == 5
+        assert cg.is_cycle_graph()
+
+    def test_no_self_loops(self):
+        cg = ConflictGraph(2)
+        with pytest.raises(ValueError):
+            cg.add_edge(0, 0)
+
+    def test_subgraph_and_complement(self):
+        c5 = cycle_graph(5)
+        sub = c5.subgraph([0, 1, 2])
+        assert sub.num_edges == 2
+        comp = c5.complement()
+        assert comp.num_edges == 5 * 4 // 2 - 5
+
+    def test_connected_components(self):
+        cg = ConflictGraph(4, edges=[(0, 1), (2, 3)])
+        assert len(cg.connected_components()) == 2
+
+    def test_degree_sequence(self):
+        assert cycle_graph(4).degree_sequence() == [2, 2, 2, 2]
+
+    def test_contains_k23(self):
+        k23 = ConflictGraph(5, edges=[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+        assert k23.contains_k23()
+        assert not cycle_graph(6).contains_k23()
+
+    def test_is_cycle_graph_negative(self):
+        assert not complete_graph(4).is_cycle_graph()
+        assert not ConflictGraph(3).is_cycle_graph()
+        # two disjoint triangles: 2-regular but disconnected
+        two_triangles = ConflictGraph(6, edges=[(0, 1), (1, 2), (2, 0),
+                                                (3, 4), (4, 5), (5, 3)])
+        assert not two_triangles.is_cycle_graph()
+
+
+class TestCliques:
+    def test_clique_number_known_graphs(self):
+        assert clique_number(complete_graph(5)) == 5
+        assert clique_number(cycle_graph(5)) == 2
+        assert clique_number(cycle_graph(3)) == 3
+        assert clique_number(ConflictGraph(4)) == 1
+
+    def test_maximum_clique_is_clique(self):
+        cg = build_conflict_graph(havet_family(2))
+        clique = maximum_clique(cg)
+        assert is_clique(cg, clique)
+
+    def test_greedy_clique_is_clique(self):
+        cg = cycle_graph(7)
+        assert is_clique(cg, greedy_clique(cg))
+
+    def test_maximal_cliques_c4(self):
+        cliques = maximal_cliques(cycle_graph(4))
+        assert sorted(sorted(c) for c in cliques) == [[0, 1], [0, 3], [1, 2], [2, 3]]
+
+    def test_maximal_cliques_limit(self):
+        assert len(maximal_cliques(cycle_graph(8), limit=3)) == 3
+
+    def test_clique_number_matches_load_on_figure3(self):
+        family = figure3_family()
+        cg = build_conflict_graph(family)
+        assert clique_number(cg) == family.load() == 2
+
+
+class TestIndependentSets:
+    def test_independence_number_known(self):
+        assert independence_number(cycle_graph(5)) == 2
+        assert independence_number(cycle_graph(6)) == 3
+        assert independence_number(complete_graph(4)) == 1
+
+    def test_maximum_independent_set_valid(self):
+        cg = cycle_graph(7)
+        mis = maximum_independent_set(cg)
+        assert is_independent_set(cg, mis)
+        assert len(mis) == 3
+
+    def test_greedy_independent_set_valid(self):
+        cg = build_conflict_graph(havet_family(1))
+        assert is_independent_set(cg, greedy_independent_set(cg))
+
+    def test_havet_independence_number_is_3(self):
+        cg = build_conflict_graph(havet_family(1))
+        assert independence_number(cg) == 3
+
+    def test_partition_lower_bound(self):
+        cg = build_conflict_graph(havet_family(1))
+        assert partition_lower_bound(cg) == 3   # ceil(8/3)
+        assert partition_lower_bound(ConflictGraph(0)) == 0
+
+
+class TestCovering:
+    def test_cover_demand_one_is_coloring(self):
+        cg = cycle_graph(5)
+        cover = independent_set_cover(cg, 1)
+        assert len(cover) == 3   # chromatic number of C5
+        covered = set()
+        for s in cover:
+            covered |= set(s)
+        assert covered == set(cg.vertices())
+
+    def test_cover_demand_validates(self):
+        with pytest.raises(ValueError):
+            independent_set_cover(cycle_graph(4), 0)
+
+    def test_blowup_chromatic_number_wagner(self):
+        base = build_conflict_graph(havet_family(1))
+        assert blowup_chromatic_number(base, 1) == 3
+        assert blowup_chromatic_number(base, 2) == 6
+        assert blowup_chromatic_number(base, 3) == 8
+        assert blowup_chromatic_number(base, 6) == 16
+
+    def test_replication_structure(self):
+        fam = havet_family(3)
+        reps, copies = replication_structure(fam)
+        assert copies == 3
+        assert len(reps) == 8
+        # not uniformly replicated:
+        mixed = DipathFamily([["a", "b"], ["a", "b"], ["b", "c"]])
+        assert replication_structure(mixed) is None
+
+    def test_replicated_family_coloring_valid_and_optimal(self):
+        fam = havet_family(3)
+        coloring = replicated_family_coloring(fam)
+        assert coloring is not None
+        cg = build_conflict_graph(fam)
+        assert is_proper_coloring(cg.adjacency(), coloring)
+        assert num_colors(coloring) == 8     # ceil(8*3/3)
+
+    def test_replicated_family_coloring_none_for_irregular(self):
+        mixed = DipathFamily([["a", "b"], ["a", "b"], ["b", "c"]])
+        assert replicated_family_coloring(mixed) is None

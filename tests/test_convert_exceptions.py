@@ -1,0 +1,87 @@
+"""Tests for the networkx converters and the exception hierarchy."""
+
+import networkx as nx
+import pytest
+
+import repro.exceptions as exc
+from repro.graphs.convert import from_networkx, to_networkx, to_networkx_undirected
+from repro.graphs.dag import DAG
+from repro.graphs.digraph import DiGraph
+
+
+class TestConverters:
+    def test_to_networkx_roundtrip(self, simple_dag):
+        g = to_networkx(simple_dag)
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == simple_dag.num_vertices
+        assert g.number_of_edges() == simple_dag.num_arcs
+        back = from_networkx(g)
+        assert back == DiGraph(arcs=simple_dag.arcs(), vertices=simple_dag.vertices())
+
+    def test_from_networkx_as_dag(self):
+        g = nx.DiGraph([("a", "b"), ("b", "c")])
+        dag = from_networkx(g, as_dag_type=True)
+        assert isinstance(dag, DAG)
+
+    def test_from_networkx_as_dag_rejects_cycle(self):
+        g = nx.DiGraph([("a", "b"), ("b", "a")])
+        with pytest.raises(exc.NotADAGError):
+            from_networkx(g, as_dag_type=True)
+
+    def test_to_networkx_undirected(self, simple_dag):
+        g = to_networkx_undirected(simple_dag)
+        assert isinstance(g, nx.Graph)
+        assert g.number_of_edges() == len(simple_dag.underlying_edges())
+
+    def test_networkx_agrees_on_acyclicity(self, simple_dag, gadget_dag):
+        for dag in (simple_dag, gadget_dag):
+            assert nx.is_directed_acyclic_graph(to_networkx(dag))
+
+    def test_networkx_agrees_on_dipath_counts(self, simple_dag):
+        from repro.graphs.traversal import count_dipaths
+
+        g = to_networkx(simple_dag)
+        for x in simple_dag.vertices():
+            for y in simple_dag.vertices():
+                if x == y:
+                    continue
+                expected = len(list(nx.all_simple_paths(g, x, y)))
+                assert count_dipaths(simple_dag, x, y) == expected
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(exc):
+            obj = getattr(exc, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not exc.ReproError and name.endswith("Error"):
+                assert issubclass(obj, exc.ReproError), name
+
+    def test_key_errors_double_as_keyerror(self):
+        assert issubclass(exc.VertexNotFoundError, KeyError)
+        assert issubclass(exc.ArcNotFoundError, KeyError)
+
+    def test_value_errors_double_as_valueerror(self):
+        for cls in (exc.NotADAGError, exc.SelfLoopError, exc.DuplicateArcError,
+                    exc.NotUPPError, exc.InternalCycleError,
+                    exc.NoInternalCycleError, exc.InvalidDipathError,
+                    exc.InvalidColoringError):
+            assert issubclass(cls, ValueError), cls
+
+    def test_payloads(self):
+        assert exc.VertexNotFoundError("x").vertex == "x"
+        assert exc.ArcNotFoundError(("a", "b")).arc == ("a", "b")
+        assert exc.NotADAGError(cycle=["a", "b", "a"]).cycle == ["a", "b", "a"]
+        assert exc.InternalCycleError(cycle=["u", "v", "w"]).cycle == ["u", "v", "w"]
+        assert exc.NotUPPError(pair=("x", "y")).pair == ("x", "y")
+        err = exc.BoundViolationError(used=7, budget=6)
+        assert err.used == 7 and err.budget == 6
+        assert "7" in str(err) and "6" in str(err)
+        assert exc.InvalidColoringError(conflict=(1, 2)).conflict == (1, 2)
+
+    def test_catching_base_class(self, simple_dag):
+        from repro.dipaths.family import DipathFamily
+        from repro.core.theorem1 import color_dipaths_theorem1
+
+        with pytest.raises(exc.ReproError):
+            color_dipaths_theorem1(simple_dag, DipathFamily([["nope", "nada"]]))

@@ -1,0 +1,160 @@
+"""Unit tests for :mod:`repro.cycles` (oriented and internal cycles)."""
+
+import pytest
+
+from repro.cycles.internal import (
+    enumerate_internal_cycles,
+    find_internal_cycle,
+    has_internal_cycle,
+    has_unique_internal_cycle,
+    internal_cyclomatic_number,
+    internal_vertex_set,
+    is_internal_cycle,
+)
+from repro.cycles.oriented import (
+    canonical_cycle,
+    cycle_orientation_profile,
+    cycle_switch_vertices,
+    decompose_cycle_into_dipaths,
+    enumerate_simple_cycles,
+    fundamental_cycles,
+    is_oriented_cycle,
+)
+from repro.exceptions import GraphError
+from repro.generators.gadgets import figure3_dag, havet_dag, theorem2_gadget
+from repro.generators.trees import out_tree
+from repro.graphs.dag import DAG
+
+
+@pytest.fixture
+def diamond() -> DAG:
+    """A diamond: s -> x -> t, s -> y -> t (an oriented, non-internal cycle)."""
+    return DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+
+
+class TestOrientedCycles:
+    def test_is_oriented_cycle_diamond(self, diamond):
+        assert is_oriented_cycle(diamond, ["s", "x", "t", "y"])
+        assert is_oriented_cycle(diamond, ["s", "x", "t", "y", "s"])  # closed form
+
+    def test_not_a_cycle(self, diamond):
+        assert not is_oriented_cycle(diamond, ["s", "x", "t"])        # open path
+        assert not is_oriented_cycle(diamond, ["s", "x"])             # too short
+        assert not is_oriented_cycle(diamond, ["s", "x", "x", "y"])   # repeated
+
+    def test_orientation_profile(self, diamond):
+        profile = cycle_orientation_profile(diamond, ["s", "x", "t", "y"])
+        assert profile == [1, 1, -1, -1]
+
+    def test_orientation_profile_rejects_non_cycle(self, diamond):
+        with pytest.raises(GraphError):
+            cycle_orientation_profile(diamond, ["s", "x", "t"])
+
+    def test_switch_vertices(self, diamond):
+        local_sources, local_sinks = cycle_switch_vertices(
+            diamond, ["s", "x", "t", "y"])
+        assert set(local_sources) == {"s"}
+        assert set(local_sinks) == {"t"}
+
+    def test_decompose_into_dipaths(self, diamond):
+        segments = decompose_cycle_into_dipaths(diamond, ["s", "x", "t", "y"])
+        assert len(segments) == 2
+        assert sorted(segments) == [["s", "x", "t"], ["s", "y", "t"]]
+        for seg in segments:
+            for u, v in zip(seg, seg[1:]):
+                assert diamond.has_arc(u, v)
+
+    def test_decompose_gadget_cycle(self):
+        dag = theorem2_gadget(3)
+        cycle = find_internal_cycle(dag)
+        segments = decompose_cycle_into_dipaths(dag, cycle)
+        assert len(segments) % 2 == 0
+        # every segment is a genuine dipath
+        for seg in segments:
+            for u, v in zip(seg, seg[1:]):
+                assert dag.has_arc(u, v)
+
+    def test_canonical_cycle_invariant(self):
+        a = canonical_cycle([1, 2, 3, 4])
+        b = canonical_cycle([3, 4, 1, 2])
+        c = canonical_cycle([4, 3, 2, 1])
+        assert a == b == c
+
+    def test_fundamental_cycles_count(self, diamond):
+        cycles = fundamental_cycles(diamond)
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 4
+
+    def test_fundamental_cycles_tree_empty(self):
+        assert fundamental_cycles(out_tree(2, 3)) == []
+
+    def test_enumerate_simple_cycles(self, diamond):
+        cycles = enumerate_simple_cycles(diamond)
+        assert len(cycles) == 1
+
+    def test_enumerate_simple_cycles_havet(self):
+        # underlying graph of the b/c core is a 4-cycle; plus the attachments
+        # create no further cycles.
+        cycles = enumerate_simple_cycles(havet_dag())
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 4
+
+
+class TestInternalCycles:
+    def test_diamond_cycle_is_not_internal(self, diamond):
+        # s is a source and t a sink, so the oriented cycle is not internal.
+        assert not has_internal_cycle(diamond)
+        assert find_internal_cycle(diamond) is None
+        assert not is_internal_cycle(diamond, ["s", "x", "t", "y"])
+
+    def test_figure3_has_internal_cycle(self):
+        dag = figure3_dag()
+        assert has_internal_cycle(dag)
+        cycle = find_internal_cycle(dag)
+        assert cycle is not None
+        assert is_internal_cycle(dag, cycle)
+        assert set(cycle) == {"b", "c", "d", "m"}
+
+    def test_gadget_unique_internal_cycle(self):
+        dag = theorem2_gadget(4)
+        assert has_internal_cycle(dag)
+        assert has_unique_internal_cycle(dag)
+        assert internal_cyclomatic_number(dag) == 1
+        cycle = find_internal_cycle(dag)
+        assert len(cycle) == 8  # 2k vertices for k = 4
+
+    def test_havet_unique_internal_cycle(self):
+        dag = havet_dag()
+        assert internal_cyclomatic_number(dag) == 1
+        assert set(find_internal_cycle(dag)) == {"b1", "b2", "c1", "c2"}
+
+    def test_trees_have_no_internal_cycle(self):
+        assert not has_internal_cycle(out_tree(3, 3))
+        assert internal_cyclomatic_number(out_tree(3, 3)) == 0
+
+    def test_internal_vertex_set(self):
+        dag = figure3_dag()
+        assert internal_vertex_set(dag) == {"b", "c", "d", "m"}
+
+    def test_enumerate_internal_cycles(self):
+        dag = theorem2_gadget(2)
+        cycles = enumerate_internal_cycles(dag)
+        assert len(cycles) == 1
+        assert is_internal_cycle(dag, cycles[0])
+
+    def test_diamond_with_attachments_becomes_internal(self, diamond):
+        # Giving s a predecessor and t a successor turns the oriented cycle
+        # into an internal one (this is exactly Figure 2a vs 2b).
+        dag = DAG(arcs=list(diamond.arcs()) + [("pre", "s"), ("t", "post")])
+        assert has_internal_cycle(dag)
+        assert set(find_internal_cycle(dag)) == {"s", "x", "t", "y"}
+
+    def test_growing_cyclomatic_number(self):
+        # two disjoint planted gadgets -> two independent internal cycles
+        dag = DAG(validate=False)
+        for prefix in ("p", "q"):
+            g = theorem2_gadget(2)
+            for u, v in g.arcs():
+                dag.add_arc((prefix, u), (prefix, v))
+        assert internal_cyclomatic_number(dag) == 2
+        assert not has_unique_internal_cycle(dag)

@@ -1,0 +1,172 @@
+"""Unit tests for :mod:`repro.graphs.dag` and :mod:`repro.graphs.traversal`."""
+
+import pytest
+
+from repro.exceptions import NotADAGError
+from repro.graphs.dag import DAG, as_dag
+from repro.graphs.digraph import DiGraph
+from repro.graphs.properties import (
+    degree_summary,
+    is_out_tree,
+    is_weakly_connected,
+    underlying_cyclomatic_number,
+    underlying_is_forest,
+    vertex_classification,
+    weakly_connected_components,
+)
+from repro.graphs.traversal import (
+    ancestors,
+    count_dipaths,
+    count_dipaths_matrix,
+    descendants,
+    enumerate_dipaths,
+    find_directed_cycle,
+    is_acyclic,
+    longest_path_length,
+    reachable_from,
+    shortest_dipath,
+    topological_order,
+    transitive_closure_sets,
+)
+
+
+class TestDAGValidation:
+    def test_valid_dag(self):
+        dag = DAG(arcs=[("a", "b"), ("b", "c")])
+        assert dag.is_valid()
+
+    def test_cycle_rejected_with_certificate(self):
+        with pytest.raises(NotADAGError) as excinfo:
+            DAG(arcs=[("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = excinfo.value.cycle
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert len(cycle) >= 4  # 3 vertices + closing repeat
+
+    def test_as_dag_validates(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "a")])
+        with pytest.raises(NotADAGError):
+            as_dag(g)
+
+    def test_as_dag_passthrough(self, simple_dag):
+        assert as_dag(simple_dag) is simple_dag
+
+    def test_subgraph_and_reverse_stay_dags(self, simple_dag):
+        sub = simple_dag.subgraph(["a", "b", "c"])
+        assert isinstance(sub, DAG)
+        rev = simple_dag.reverse()
+        assert isinstance(rev, DAG)
+        assert rev.has_arc("b", "a")
+
+
+class TestTopologicalOrder:
+    def test_order_respects_arcs(self, simple_dag):
+        order = topological_order(simple_dag)
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in simple_dag.arcs():
+            assert position[u] < position[v]
+
+    def test_order_covers_all_vertices(self, simple_dag):
+        assert set(topological_order(simple_dag)) == set(simple_dag.vertices())
+
+    def test_cycle_detection(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert not is_acyclic(g)
+        cycle = find_directed_cycle(g)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for u, v in zip(cycle, cycle[1:]):
+            assert g.has_arc(u, v)
+
+    def test_acyclic_has_no_cycle(self, simple_dag):
+        assert find_directed_cycle(simple_dag) is None
+
+
+class TestReachability:
+    def test_reachable_from(self, simple_dag):
+        assert reachable_from(simple_dag, "a") == {"a", "b", "c", "d", "e"}
+        assert reachable_from(simple_dag, "f") == {"f", "c", "d"}
+
+    def test_descendants_ancestors(self, simple_dag):
+        assert descendants(simple_dag, "b") == {"c", "d", "e"}
+        assert ancestors(simple_dag, "d") == {"a", "b", "c", "f"}
+
+    def test_transitive_closure(self, simple_dag):
+        closure = transitive_closure_sets(simple_dag)
+        assert closure["a"] == {"b", "c", "d", "e"}
+        assert closure["d"] == set()
+
+
+class TestDipathCounting:
+    def test_single_path(self, simple_dag):
+        assert count_dipaths(simple_dag, "a", "d") == 1
+        assert count_dipaths(simple_dag, "d", "a") == 0
+        assert count_dipaths(simple_dag, "a", "a") == 0
+
+    def test_two_paths_diamond(self):
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        assert count_dipaths(dag, "s", "t") == 2
+
+    def test_count_matrix_matches_pointwise(self, simple_dag):
+        matrix = count_dipaths_matrix(simple_dag)
+        for x in simple_dag.vertices():
+            for y in simple_dag.vertices():
+                if x != y:
+                    assert matrix[x].get(y, 0) == count_dipaths(simple_dag, x, y)
+
+    def test_count_matrix_cap(self):
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        matrix = count_dipaths_matrix(dag, cap=1)
+        assert matrix["s"]["t"] == 1  # saturated
+
+    def test_enumerate_dipaths(self):
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        paths = enumerate_dipaths(dag, "s", "t")
+        assert sorted(paths) == [["s", "x", "t"], ["s", "y", "t"]]
+
+    def test_enumerate_with_limit(self):
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        assert len(enumerate_dipaths(dag, "s", "t", limit=1)) == 1
+
+    def test_shortest_dipath(self, simple_dag):
+        assert shortest_dipath(simple_dag, "a", "d") == ["a", "b", "c", "d"]
+        assert shortest_dipath(simple_dag, "d", "a") is None
+        assert shortest_dipath(simple_dag, "a", "a") == ["a"]
+
+    def test_longest_path_length(self, simple_dag):
+        assert longest_path_length(simple_dag) == 3
+
+
+class TestProperties:
+    def test_degree_summary(self, simple_dag):
+        summary = degree_summary(simple_dag)
+        assert summary["num_sources"] == 2       # a and f
+        assert summary["num_sinks"] == 2         # d and e
+        assert summary["max_out"] == 2
+
+    def test_weak_connectivity(self):
+        g = DiGraph(arcs=[("a", "b"), ("c", "d")])
+        comps = weakly_connected_components(g)
+        assert len(comps) == 2
+        assert not is_weakly_connected(g)
+
+    def test_forest_detection(self, simple_dag):
+        # simple_dag's underlying graph has 6 vertices and 5 edges: a tree.
+        assert underlying_is_forest(simple_dag)
+        assert underlying_cyclomatic_number(simple_dag) == 0
+
+    def test_cyclomatic_number_positive(self, gadget_dag):
+        assert underlying_cyclomatic_number(gadget_dag) >= 1
+
+    def test_vertex_classification(self, simple_dag):
+        classes = vertex_classification(simple_dag)
+        assert set(classes["sources"]) == {"a", "f"}
+        assert set(classes["sinks"]) == {"d", "e"}
+        assert set(classes["internal"]) == {"b", "c"}
+        assert classes["isolated"] == []
+
+    def test_is_out_tree(self):
+        tree = DiGraph(arcs=[("r", "a"), ("r", "b"), ("a", "c")])
+        assert is_out_tree(tree)
+        not_tree = DiGraph(arcs=[("r", "a"), ("b", "a")])
+        assert not is_out_tree(not_tree)

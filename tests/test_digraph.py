@@ -1,0 +1,166 @@
+"""Unit tests for :mod:`repro.graphs.digraph`."""
+
+import pytest
+
+from repro.exceptions import (
+    ArcNotFoundError,
+    DuplicateArcError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.num_vertices == 0
+        assert g.num_arcs == 0
+        assert list(g.vertices()) == []
+        assert list(g.arcs()) == []
+
+    def test_from_arcs(self):
+        g = DiGraph.from_arcs([("a", "b"), ("b", "c")])
+        assert g.num_vertices == 3
+        assert g.num_arcs == 2
+        assert g.has_arc("a", "b")
+        assert not g.has_arc("b", "a")
+
+    def test_from_adjacency(self):
+        g = DiGraph.from_adjacency({"a": ["b", "c"], "b": ["c"], "d": []})
+        assert g.num_vertices == 4
+        assert g.num_arcs == 3
+        assert g.has_vertex("d")
+        assert g.out_degree("d") == 0
+
+    def test_isolated_vertices_preserved(self):
+        g = DiGraph(arcs=[("a", "b")], vertices=["z"])
+        assert g.has_vertex("z")
+        assert g.isolated_vertices() == ["z"]
+
+    def test_add_dipath(self):
+        g = DiGraph()
+        g.add_dipath(["a", "b", "c", "d"])
+        assert g.num_arcs == 3
+        assert g.has_arc("c", "d")
+
+
+class TestMutation:
+    def test_add_duplicate_arc_is_noop(self):
+        g = DiGraph(arcs=[("a", "b")])
+        g.add_arc("a", "b")
+        assert g.num_arcs == 1
+
+    def test_add_duplicate_arc_strict_raises(self):
+        g = DiGraph(arcs=[("a", "b")])
+        with pytest.raises(DuplicateArcError):
+            g.add_arc("a", "b", strict=True)
+
+    def test_self_loop_rejected(self):
+        g = DiGraph()
+        with pytest.raises(SelfLoopError):
+            g.add_arc("a", "a")
+
+    def test_remove_arc(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c")])
+        g.remove_arc("a", "b")
+        assert not g.has_arc("a", "b")
+        assert g.num_arcs == 1
+        assert g.has_vertex("a")
+
+    def test_remove_missing_arc_raises(self):
+        g = DiGraph(arcs=[("a", "b")])
+        with pytest.raises(ArcNotFoundError):
+            g.remove_arc("b", "a")
+
+    def test_remove_vertex_removes_incident_arcs(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c"), ("c", "d")])
+        g.remove_vertex("b")
+        assert not g.has_vertex("b")
+        assert g.num_arcs == 1
+        assert g.has_arc("c", "d")
+
+    def test_remove_missing_vertex_raises(self):
+        g = DiGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex("x")
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = DiGraph(arcs=[("a", "b"), ("a", "c"), ("b", "c")])
+        assert g.out_degree("a") == 2
+        assert g.in_degree("c") == 2
+        assert g.degree("b") == 2
+
+    def test_degree_of_missing_vertex_raises(self):
+        g = DiGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.out_degree("missing")
+        with pytest.raises(VertexNotFoundError):
+            g.in_degree("missing")
+
+    def test_successors_predecessors(self):
+        g = DiGraph(arcs=[("a", "b"), ("a", "c")])
+        assert g.successors("a") == {"b", "c"}
+        assert g.predecessors("b") == {"a"}
+        with pytest.raises(VertexNotFoundError):
+            g.successors("zz")
+
+    def test_sources_sinks_internal(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c")])
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+        assert g.internal_vertices() == ["b"]
+
+    def test_contains_and_len(self):
+        g = DiGraph(arcs=[("a", "b")])
+        assert "a" in g
+        assert ("a", "b") in g
+        assert ("b", "a") not in g
+        assert len(g) == 2
+
+    def test_equality(self):
+        g1 = DiGraph(arcs=[("a", "b"), ("b", "c")])
+        g2 = DiGraph(arcs=[("b", "c"), ("a", "b")])
+        g3 = DiGraph(arcs=[("a", "b")])
+        assert g1 == g2
+        assert g1 != g3
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = DiGraph(arcs=[("a", "b")])
+        h = g.copy()
+        h.add_arc("b", "c")
+        assert g.num_arcs == 1
+        assert h.num_arcs == 2
+
+    def test_subgraph(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c"), ("a", "c")])
+        sub = g.subgraph(["a", "b"])
+        assert sub.num_vertices == 2
+        assert sub.has_arc("a", "b")
+        assert not sub.has_vertex("c")
+
+    def test_subgraph_missing_vertex_raises(self):
+        g = DiGraph(arcs=[("a", "b")])
+        with pytest.raises(VertexNotFoundError):
+            g.subgraph(["a", "zz"])
+
+    def test_reverse(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c")])
+        r = g.reverse()
+        assert r.has_arc("b", "a")
+        assert r.has_arc("c", "b")
+        assert r.num_arcs == 2
+
+    def test_underlying_edges(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c")])
+        edges = g.underlying_edges()
+        assert len(edges) == 2
+
+    def test_underlying_adjacency_symmetric(self):
+        g = DiGraph(arcs=[("a", "b")])
+        adj = g.underlying_adjacency()
+        assert "b" in adj["a"] and "a" in adj["b"]

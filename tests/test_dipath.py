@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.dipaths.dipath`."""
+
+import pytest
+
+from repro.dipaths.dipath import Dipath
+from repro.exceptions import InvalidDipathError
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Dipath(["a", "b", "c"])
+        assert p.source == "a"
+        assert p.target == "c"
+        assert p.length == 2
+        assert list(p.arcs()) == [("a", "b"), ("b", "c")]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InvalidDipathError):
+            Dipath(["a"])
+        with pytest.raises(InvalidDipathError):
+            Dipath([])
+
+    def test_repeated_vertex_rejected(self):
+        with pytest.raises(InvalidDipathError):
+            Dipath(["a", "b", "a"])
+
+    def test_validation_against_graph(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c")])
+        Dipath(["a", "b", "c"], graph=g)  # fine
+        with pytest.raises(InvalidDipathError):
+            Dipath(["a", "c"], graph=g)
+
+    def test_from_arcs(self):
+        p = Dipath.from_arcs([("a", "b"), ("b", "c")])
+        assert p == Dipath(["a", "b", "c"])
+
+    def test_from_arcs_non_consecutive_rejected(self):
+        with pytest.raises(InvalidDipathError):
+            Dipath.from_arcs([("a", "b"), ("c", "d")])
+
+    def test_from_arcs_empty_rejected(self):
+        with pytest.raises(InvalidDipathError):
+            Dipath.from_arcs([])
+
+    def test_single_arc(self):
+        p = Dipath.single_arc("x", "y")
+        assert p.length == 1
+
+    def test_hash_and_equality(self):
+        assert Dipath(["a", "b"]) == Dipath(["a", "b"])
+        assert hash(Dipath(["a", "b"])) == hash(Dipath(["a", "b"]))
+        assert Dipath(["a", "b"]) != Dipath(["b", "a"])
+        assert len({Dipath(["a", "b"]), Dipath(["a", "b"])}) == 1
+
+
+class TestQueries:
+    def test_contains(self):
+        p = Dipath(["a", "b", "c"])
+        assert p.contains_vertex("b")
+        assert not p.contains_vertex("z")
+        assert p.contains_arc(("a", "b"))
+        assert not p.contains_arc(("b", "a"))
+
+    def test_index(self):
+        p = Dipath(["a", "b", "c"])
+        assert p.index("c") == 2
+
+    def test_iteration_and_getitem(self):
+        p = Dipath(["a", "b", "c"])
+        assert list(p) == ["a", "b", "c"]
+        assert p[1] == "b"
+        assert len(p) == 3
+
+    def test_is_valid_in(self):
+        g = DiGraph(arcs=[("a", "b")])
+        assert Dipath(["a", "b"]).is_valid_in(g)
+        assert not Dipath(["b", "a"]).is_valid_in(g)
+
+
+class TestConflicts:
+    def test_conflicting_paths(self):
+        p = Dipath(["a", "b", "c", "d"])
+        q = Dipath(["x", "b", "c", "y"])
+        assert p.conflicts_with(q)
+        assert q.conflicts_with(p)
+        assert p.shared_arcs(q) == {("b", "c")}
+
+    def test_vertex_sharing_is_not_conflict(self):
+        p = Dipath(["a", "b", "c"])
+        q = Dipath(["x", "b", "y"])
+        assert not p.conflicts_with(q)
+
+    def test_intersection_intervals_single(self):
+        p = Dipath(["a", "b", "c", "d", "e"])
+        q = Dipath(["x", "b", "c", "d", "y"])
+        intervals = p.intersection_intervals(q)
+        assert len(intervals) == 1
+        assert intervals[0] == Dipath(["b", "c", "d"])
+
+    def test_intersection_intervals_multiple(self):
+        # Shared arcs (a,b) and (c,d) with a detour in between: two intervals.
+        p = Dipath(["a", "b", "c", "d"])
+        q = Dipath(["z", "a", "b", "x", "c", "d"])
+        intervals = p.intersection_intervals(q)
+        assert len(intervals) == 2
+
+    def test_no_intersection(self):
+        assert Dipath(["a", "b"]).intersection_intervals(Dipath(["c", "d"])) == []
+
+
+class TestEdits:
+    def test_subpath(self):
+        p = Dipath(["a", "b", "c", "d"])
+        assert p.subpath("b", "d") == Dipath(["b", "c", "d"])
+        with pytest.raises(InvalidDipathError):
+            p.subpath("d", "b")
+
+    def test_without_first_last_arc(self):
+        p = Dipath(["a", "b", "c"])
+        assert p.without_first_arc() == Dipath(["b", "c"])
+        assert p.without_last_arc() == Dipath(["a", "b"])
+        assert Dipath(["a", "b"]).without_first_arc() is None
+
+    def test_without_arc_first(self):
+        p = Dipath(["a", "b", "c"])
+        pieces = p.without_arc(("a", "b"))
+        assert pieces == [Dipath(["b", "c"])]
+
+    def test_without_arc_middle_splits(self):
+        p = Dipath(["a", "b", "c", "d"])
+        pieces = p.without_arc(("b", "c"))
+        assert pieces == [Dipath(["a", "b"]), Dipath(["c", "d"])]
+
+    def test_without_arc_absent(self):
+        p = Dipath(["a", "b"])
+        assert p.without_arc(("x", "y")) == [p]
+
+    def test_without_only_arc_vanishes(self):
+        assert Dipath(["a", "b"]).without_arc(("a", "b")) == []
+
+    def test_concatenate(self):
+        p = Dipath(["a", "b"])
+        q = Dipath(["b", "c"])
+        assert p.concatenate(q) == Dipath(["a", "b", "c"])
+        with pytest.raises(InvalidDipathError):
+            q.concatenate(p)

@@ -1,0 +1,108 @@
+"""Unit tests for :mod:`repro.dipaths.family`."""
+
+import pytest
+
+from repro.dipaths.dipath import Dipath
+from repro.dipaths.family import DipathFamily
+from repro.exceptions import InvalidDipathError
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_family(self):
+        fam = DipathFamily()
+        assert len(fam) == 0
+        assert fam.load() == 0
+        assert fam.arcs_used() == []
+
+    def test_add_returns_index(self):
+        fam = DipathFamily()
+        assert fam.add(["a", "b"]) == 0
+        assert fam.add(Dipath(["b", "c"])) == 1
+        assert len(fam) == 2
+
+    def test_graph_validation(self):
+        g = DiGraph(arcs=[("a", "b")])
+        fam = DipathFamily(graph=g)
+        fam.add(["a", "b"])
+        with pytest.raises(InvalidDipathError):
+            fam.add(["b", "a"])
+        with pytest.raises(InvalidDipathError):
+            fam.add(Dipath(["x", "y"]))
+
+    def test_validate_against(self, simple_dag, simple_family):
+        simple_family.validate_against(simple_dag)
+        other = DiGraph(arcs=[("a", "b")])
+        with pytest.raises(InvalidDipathError):
+            simple_family.validate_against(other)
+
+    def test_iteration_and_indexing(self, simple_family):
+        assert simple_family[0] == Dipath(["a", "b", "c", "d"])
+        assert len(list(simple_family)) == 3
+        assert simple_family.index_of(Dipath(["b", "c", "d"])) == 1
+
+
+class TestLoad:
+    def test_load_simple(self, simple_family):
+        # all three dipaths end with the arc (c, d)
+        assert simple_family.load() == 3
+        assert simple_family.load_of_arc(("c", "d")) == 3
+        assert simple_family.load_of_arc(("a", "b")) == 1
+        assert simple_family.load_of_arc(("zz", "yy")) == 0
+
+    def test_load_per_arc(self, simple_family):
+        per_arc = simple_family.load_per_arc()
+        assert per_arc[("a", "b")] == 1
+        assert per_arc[("b", "c")] == 2
+        assert per_arc[("c", "d")] == 3
+        assert ("x", "y") not in per_arc
+
+    def test_maximum_load_arcs(self, simple_family):
+        assert simple_family.maximum_load_arcs() == [("c", "d")]
+
+    def test_members_on_arc(self, simple_family):
+        assert simple_family.members_on_arc(("b", "c")) == [0, 1]
+        assert simple_family.members_on_arc(("zz", "yy")) == []
+
+    def test_identical_dipaths_both_count(self):
+        fam = DipathFamily([["a", "b"], ["a", "b"]])
+        assert fam.load() == 2
+
+    def test_replicate(self):
+        fam = DipathFamily([["a", "b"], ["b", "c"]])
+        rep = fam.replicate(3)
+        assert len(rep) == 6
+        assert rep.load() == 3
+        with pytest.raises(ValueError):
+            fam.replicate(0)
+
+
+class TestConflicts:
+    def test_conflicting_pairs(self, simple_family):
+        pairs = set(simple_family.conflicting_pairs())
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_conflicts_of(self, simple_family):
+        assert simple_family.conflicts_of(0) == [1, 2]
+
+    def test_disjoint_paths_do_not_conflict(self):
+        fam = DipathFamily([["a", "b"], ["c", "d"]])
+        assert list(fam.conflicting_pairs()) == []
+
+
+class TestTransformations:
+    def test_restricted_to_arcs(self, simple_family):
+        sub = simple_family.restricted_to_arcs([("a", "b")])
+        assert len(sub) == 1
+
+    def test_copy_independent(self, simple_family):
+        copy = simple_family.copy()
+        copy.add(["b", "e"])
+        assert len(simple_family) == 3
+        assert len(copy) == 4
+
+    def test_union_digraph(self, simple_family):
+        g = simple_family.union_digraph()
+        assert g.has_arc("a", "b")
+        assert g.has_arc("f", "c")
+        assert g.num_arcs == 4  # (a,b), (b,c), (c,d), (f,c)

@@ -1,0 +1,226 @@
+"""Tests for the instance generators (gadgets, random DAGs, trees, families)."""
+
+import pytest
+
+from repro.coloring.exact import chromatic_number
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.cycles.internal import (
+    has_internal_cycle,
+    has_unique_internal_cycle,
+    internal_cyclomatic_number,
+)
+from repro.generators.families import (
+    all_to_all_family,
+    family_with_target_load,
+    multicast_family,
+    random_request_family,
+    random_walk_family,
+)
+from repro.generators.gadgets import (
+    figure3_instance,
+    figure5_instance,
+    havet_instance,
+    theorem2_gadget,
+)
+from repro.generators.pathological import pathological_instance
+from repro.generators.random_dags import (
+    random_dag,
+    random_dag_with_internal_cycle,
+    random_internal_cycle_free_dag,
+    random_layered_dag,
+    random_upp_one_cycle_dag,
+)
+from repro.generators.trees import (
+    caterpillar,
+    in_tree,
+    out_path,
+    out_tree,
+    random_out_tree,
+    spider,
+)
+from repro.graphs.properties import is_out_tree
+from repro.upp.property_check import is_upp_dag
+
+
+class TestPaperGadgets:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_pathological_claims(self, k):
+        dag, family = pathological_instance(k)
+        assert len(family) == k
+        family.validate_against(dag)
+        conflict = build_conflict_graph(family)
+        assert conflict.is_complete()
+        if k >= 2:
+            assert family.load() == 2
+            assert chromatic_number(conflict.adjacency()) == k
+
+    def test_pathological_invalid_k(self):
+        with pytest.raises(ValueError):
+            pathological_instance(0)
+
+    def test_figure3_claims(self):
+        dag, family = figure3_instance()
+        family.validate_against(dag)
+        assert family.load() == 2
+        conflict = build_conflict_graph(family)
+        assert conflict.num_vertices == 5 and conflict.is_cycle_graph()
+        assert has_internal_cycle(dag)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 6])
+    def test_figure5_claims(self, k):
+        dag, family = figure5_instance(k)
+        family.validate_against(dag)
+        assert len(family) == 2 * k + 1
+        assert family.load() == 2
+        conflict = build_conflict_graph(family)
+        assert conflict.is_cycle_graph()
+        assert chromatic_number(conflict.adjacency()) == 3
+        assert is_upp_dag(dag)
+        assert has_unique_internal_cycle(dag)
+
+    def test_figure5_invalid_k(self):
+        with pytest.raises(ValueError):
+            theorem2_gadget(1)
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_havet_claims(self, h):
+        dag, family = havet_instance(h)
+        family.validate_against(dag)
+        assert len(family) == 8 * h
+        assert family.load() == 2 * h
+        assert is_upp_dag(dag)
+        assert has_unique_internal_cycle(dag)
+
+    def test_havet_base_conflict_structure(self):
+        dag, family = havet_instance(1)
+        conflict = build_conflict_graph(family)
+        # Wagner graph: 8 vertices, cubic, 12 edges, chromatic number 3
+        assert conflict.num_vertices == 8
+        assert conflict.num_edges == 12
+        assert conflict.degree_sequence() == [3] * 8
+        assert chromatic_number(conflict.adjacency()) == 3
+        assert not conflict.contains_k23()
+
+
+class TestRandomDAGs:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dag_is_dag(self, seed):
+        dag = random_dag(25, 0.2, seed=seed)
+        assert dag.is_valid()
+        assert dag.num_vertices == 25
+
+    def test_random_dag_probability_bounds(self):
+        with pytest.raises(ValueError):
+            random_dag(10, 1.5)
+        assert random_dag(10, 0.0).num_arcs == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_internal_cycle_free_generator(self, seed):
+        dag = random_internal_cycle_free_dag(30, 45, seed=seed)
+        assert dag.is_valid()
+        assert not has_internal_cycle(dag)
+        assert dag.num_arcs > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_internal_cycle_generator(self, seed):
+        dag = random_dag_with_internal_cycle(20, 0.25, seed=seed)
+        assert dag.is_valid()
+        assert has_internal_cycle(dag)
+
+    def test_layered_dag(self):
+        dag = random_layered_dag(4, 5, 0.3, seed=1)
+        assert dag.is_valid()
+        assert dag.num_vertices == 20
+        # every non-final-layer vertex has at least one outgoing arc
+        for layer in range(3):
+            for pos in range(5):
+                assert dag.out_degree((layer, pos)) >= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_upp_one_cycle_generator(self, seed):
+        dag = random_upp_one_cycle_dag(k=2 + seed % 2, extra_depth=2, seed=seed)
+        assert dag.is_valid()
+        assert is_upp_dag(dag)
+        assert internal_cyclomatic_number(dag) == 1
+
+    def test_reproducibility(self):
+        a = random_internal_cycle_free_dag(20, 30, seed=42)
+        b = random_internal_cycle_free_dag(20, 30, seed=42)
+        assert a == b
+
+
+class TestTrees:
+    def test_out_tree_shape(self):
+        tree = out_tree(2, 3)
+        assert tree.num_vertices == 1 + 2 + 4 + 8
+        assert is_out_tree(tree)
+        assert not has_internal_cycle(tree)
+
+    def test_in_tree(self):
+        tree = in_tree(2, 2)
+        assert len(tree.sinks()) == 1
+
+    def test_random_out_tree(self):
+        tree = random_out_tree(30, seed=5)
+        assert tree.num_vertices == 30
+        assert is_out_tree(tree)
+
+    def test_out_path_spider_caterpillar(self):
+        assert out_path(5).num_arcs == 5
+        s = spider(3, 4)
+        assert len(s.sinks()) == 3
+        c = caterpillar(4, 2)
+        assert c.is_valid()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            out_tree(0, 2)
+        with pytest.raises(ValueError):
+            random_out_tree(0)
+        with pytest.raises(ValueError):
+            spider(0, 1)
+        with pytest.raises(ValueError):
+            out_path(0)
+        with pytest.raises(ValueError):
+            caterpillar(0)
+
+
+class TestFamilies:
+    def test_random_walk_family(self, simple_dag):
+        family = random_walk_family(simple_dag, 12, seed=0)
+        assert len(family) == 12
+        family.validate_against(simple_dag)
+
+    def test_random_walk_family_reproducible(self, simple_dag):
+        a = random_walk_family(simple_dag, 10, seed=3)
+        b = random_walk_family(simple_dag, 10, seed=3)
+        assert [p.vertices for p in a] == [p.vertices for p in b]
+
+    def test_random_walk_needs_arcs(self):
+        from repro.graphs.dag import DAG
+
+        with pytest.raises(ValueError):
+            random_walk_family(DAG(vertices=["a", "b"]), 3)
+
+    def test_random_request_family(self, simple_dag):
+        requests = random_request_family(simple_dag, 15, seed=1)
+        assert len(requests) == 15
+
+    def test_all_to_all_on_tree(self):
+        tree = out_tree(2, 2)
+        family = all_to_all_family(tree)
+        family.validate_against(tree)
+        # one dipath per (ancestor, strict descendant) pair:
+        # root -> 6 descendants, each of the 2 children -> its 2 children
+        assert len(family) == 6 + 2 * 2
+
+    def test_multicast_family(self):
+        tree = out_tree(2, 2)
+        family = multicast_family(tree, origin=())
+        assert len(family) == 6
+        assert all(p.source == () for p in family)
+
+    def test_family_with_target_load(self, simple_dag):
+        family = family_with_target_load(simple_dag, 4, seed=2)
+        assert family.load() <= 4
+        assert family.load() >= 1

@@ -1,0 +1,143 @@
+"""Integration tests: the paper's headline claims, end to end through the public API."""
+
+import math
+
+import pytest
+
+import repro
+from repro import (
+    DAG,
+    DipathFamily,
+    assign_wavelengths,
+    build_conflict_graph,
+    chromatic_number,
+    color_dipaths_theorem1,
+    color_dipaths_theorem6,
+    equality_certificate,
+    has_internal_cycle,
+    is_upp_dag,
+    load,
+    min_wavelengths_equal_load,
+    theorem6_bound,
+    wavelength_number,
+    witness_family_theorem2,
+)
+from repro.analysis.experiments import (
+    main_theorem_experiment,
+    optical_rwa_experiment,
+    theorem1_experiment,
+    theorem6_experiment,
+    upp_properties_experiment,
+)
+from repro.generators import (
+    figure3_instance,
+    figure5_instance,
+    havet_instance,
+    pathological_instance,
+    random_internal_cycle_free_dag,
+    random_walk_family,
+)
+
+
+class TestPublicAPI:
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_quickstart(self):
+        dag = DAG(arcs=[("a", "b"), ("b", "c"), ("b", "d")])
+        family = DipathFamily([["a", "b", "c"], ["a", "b", "d"]], graph=dag)
+        assert load(dag, family) == 2
+        assert wavelength_number(dag, family) == 2
+
+
+class TestPaperHeadlines:
+    def test_figure1_claim(self):
+        """Figure 1: load 2, wavelength number k — no bounded ratio on general DAGs."""
+        for k in (2, 4, 6):
+            dag, family = pathological_instance(k)
+            assert load(dag, family) == 2
+            assert wavelength_number(dag, family, method="exact") == k
+            if k >= 3:
+                # for k >= 3 the gap w > pi appears, so by the Main Theorem
+                # the DAG must contain an internal cycle
+                assert has_internal_cycle(dag)
+
+    def test_figure3_claim(self):
+        """Figure 3: one internal cycle, 5 dipaths, pi=2, w=3, conflict graph C5."""
+        dag, family = figure3_instance()
+        assert load(dag, family) == 2
+        assert wavelength_number(dag, family, method="exact") == 3
+        assert build_conflict_graph(family).is_cycle_graph()
+
+    def test_theorem1_claim(self):
+        """Theorem 1: w = pi on DAGs without internal cycle, constructively."""
+        for seed in range(3):
+            dag = random_internal_cycle_free_dag(35, 55, seed=seed)
+            family = random_walk_family(dag, 45, seed=seed)
+            coloring = color_dipaths_theorem1(dag, family)
+            assert len(set(coloring.values())) == load(dag, family)
+
+    def test_theorem2_and_main_theorem_claim(self):
+        """Theorem 2 + Main Theorem: internal cycle <=> some family with w > pi."""
+        dag, _ = figure5_instance(4)
+        assert not min_wavelengths_equal_load(dag)
+        witness = witness_family_theorem2(dag)
+        assert load(dag, witness) == 2
+        assert wavelength_number(dag, witness, method="exact") == 3
+
+        cert = equality_certificate(dag)
+        assert not cert.equality_holds
+        assert cert.witness_wavelengths > cert.witness_load
+
+    def test_theorem6_claim(self):
+        """Theorem 6: UPP-DAG with one internal cycle => w <= ceil(4 pi / 3)."""
+        dag, family = havet_instance(3)
+        assert is_upp_dag(dag)
+        coloring = color_dipaths_theorem6(dag, family)
+        assert len(set(coloring.values())) <= theorem6_bound(load(dag, family))
+
+    def test_theorem7_claim(self):
+        """Theorem 7: the replicated Havet family reaches the bound exactly."""
+        dag, family = havet_instance(2)
+        pi = load(dag, family)
+        w = wavelength_number(dag, family, method="exact")
+        assert pi == 4
+        assert w == math.ceil(4 * pi / 3) == 6
+
+    def test_auto_assignment_picks_best_method(self):
+        scenarios = [
+            (figure3_instance(), "exact", 3),
+            (havet_instance(1), "theorem6", 3),
+        ]
+        for (dag, family), expected_method, expected_w in scenarios:
+            solution = assign_wavelengths(dag, family, method="auto")
+            assert solution.method == expected_method
+            assert solution.num_wavelengths == expected_w
+
+
+class TestExperimentDriversEndToEnd:
+    """Small runs of the benchmark drivers: every claim they verify must hold."""
+
+    def test_theorem1_experiment(self):
+        records = theorem1_experiment(num_instances=3, num_vertices=25,
+                                      num_arcs=38, num_paths=25, seed=5)
+        assert records and all(r["equal"] for r in records)
+
+    def test_main_theorem_experiment(self):
+        records = main_theorem_experiment(num_instances=4, num_vertices=20, seed=2)
+        assert records and all(r["matches_theorem"] for r in records)
+
+    def test_upp_properties_experiment(self):
+        records = upp_properties_experiment(num_instances=4, seed=1)
+        assert records
+        assert all(r["clique_equals_load"] and r["no_k23"] for r in records)
+
+    def test_theorem6_experiment(self):
+        records = theorem6_experiment(num_random=4, havet_copies=(1, 2), seed=3)
+        assert records and all(r["within_bound"] for r in records)
+
+    def test_optical_experiment(self):
+        records = optical_rwa_experiment(seed=1)
+        assert records and all(r["equal"] for r in records)

@@ -1,0 +1,223 @@
+"""Tests for the WDM optical-network substrate."""
+
+import pytest
+
+from repro.dipaths.dipath import Dipath
+from repro.dipaths.requests import RequestFamily
+from repro.exceptions import CapacityError, NotADAGError, RoutingError
+from repro.generators.random_dags import random_internal_cycle_free_dag
+from repro.generators.trees import out_tree, random_out_tree
+from repro.graphs.dag import DAG
+from repro.optical.grooming import (
+    adm_count,
+    groom_requests,
+    max_requests_within_wavelengths,
+)
+from repro.optical.network import FibreLink, Lightpath, OpticalNetwork
+from repro.optical.rwa import provision_solution, solve_rwa
+from repro.optical.simulation import simulate_admission
+from repro.optical.traffic import (
+    all_to_all_traffic,
+    hotspot_traffic,
+    multicast_traffic,
+    uniform_random_traffic,
+)
+
+
+@pytest.fixture
+def small_network() -> OpticalNetwork:
+    return OpticalNetwork([("a", "b"), ("b", "c"), ("b", "d")],
+                          default_capacity=2)
+
+
+class TestOpticalNetwork:
+    def test_topology(self, small_network):
+        assert small_network.num_nodes == 4
+        assert small_network.num_links == 3
+        assert small_network.link(("a", "b")).capacity == 2
+
+    def test_fibrelink_forms(self):
+        net = OpticalNetwork([FibreLink("x", "y", 8), ("y", "z", 4)])
+        assert net.link(("x", "y")).capacity == 8
+        assert net.link(("y", "z")).capacity == 4
+
+    def test_as_dag(self, small_network):
+        assert small_network.as_dag().num_arcs == 3
+        cyclic = OpticalNetwork([("a", "b"), ("b", "a")])
+        with pytest.raises(NotADAGError):
+            cyclic.as_dag()
+
+    def test_provision_and_release(self, small_network):
+        lp = small_network.provision(Dipath(["a", "b", "c"]), 0)
+        assert isinstance(lp, Lightpath)
+        assert small_network.wavelengths_in_use(("a", "b")) == {0}
+        assert small_network.max_utilization() == 1
+        assert small_network.adm_count() == 2
+        small_network.release(lp)
+        assert small_network.wavelengths_in_use(("a", "b")) == set()
+        assert small_network.lightpaths() == []
+
+    def test_wavelength_collision_rejected(self, small_network):
+        small_network.provision(Dipath(["a", "b", "c"]), 0)
+        with pytest.raises(CapacityError):
+            small_network.provision(Dipath(["a", "b", "d"]), 0)
+        # a different wavelength is fine
+        small_network.provision(Dipath(["a", "b", "d"]), 1)
+
+    def test_capacity_enforced(self, small_network):
+        with pytest.raises(CapacityError):
+            small_network.provision(Dipath(["a", "b"]), 5)
+
+    def test_unknown_fibre_rejected(self, small_network):
+        with pytest.raises(RoutingError):
+            small_network.provision(Dipath(["c", "d"]), 0)
+
+    def test_release_unknown_lightpath(self, small_network):
+        foreign = Lightpath(Dipath(["a", "b"]), 0)
+        with pytest.raises(RoutingError):
+            small_network.release(foreign)
+
+    def test_summary(self, small_network):
+        small_network.provision(Dipath(["a", "b", "c"]), 0)
+        summary = small_network.summary()
+        assert summary["lightpaths"] == 1
+        assert summary["wavelengths_used"] == 1
+        assert summary["fibres"] == 3
+
+    def test_from_digraph(self, simple_dag):
+        net = OpticalNetwork.from_digraph(simple_dag, capacity=3)
+        assert net.num_links == simple_dag.num_arcs
+
+
+class TestTraffic:
+    def test_all_to_all(self, simple_dag):
+        traffic = all_to_all_traffic(simple_dag)
+        assert all(len(traffic.pairs()) > 0 for _ in [0])
+        assert ("d", "a") not in traffic.pairs()
+
+    def test_multicast_default_origin(self, simple_dag):
+        traffic = multicast_traffic(simple_dag)
+        assert traffic.is_multicast()
+
+    def test_uniform_random(self, simple_dag):
+        traffic = uniform_random_traffic(simple_dag, 20, seed=0, max_multiplicity=2)
+        assert len(traffic) == 20
+        assert traffic.total_demand() >= 20
+
+    def test_hotspot(self, simple_dag):
+        traffic = hotspot_traffic(simple_dag, 30, num_hotspots=1, seed=0)
+        targets = [r.target for r in traffic]
+        most_common = max(set(targets), key=targets.count)
+        assert targets.count(most_common) >= 10
+
+    def test_traffic_needs_connected_pairs(self):
+        lonely = DAG(vertices=["a", "b"])
+        with pytest.raises(ValueError):
+            uniform_random_traffic(lonely, 5)
+
+
+class TestRWAPipeline:
+    def test_tree_all_to_all_equality(self):
+        tree = out_tree(2, 3)
+        traffic = all_to_all_traffic(tree)
+        solution = solve_rwa(tree, traffic, routing="unique")
+        assert solution.num_wavelengths == solution.load
+        assert len(solution.family) == traffic.total_demand()
+        assert len(solution.wavelength_of) == len(solution.family)
+
+    def test_random_tree_random_traffic(self):
+        tree = random_out_tree(25, seed=3)
+        traffic = uniform_random_traffic(tree, 40, seed=3)
+        solution = solve_rwa(tree, traffic, routing="unique")
+        assert solution.num_wavelengths == solution.load
+        assert solution.assignment_method == "theorem1"
+
+    def test_icf_dag_shortest_routing(self):
+        dag = random_internal_cycle_free_dag(25, 38, seed=4)
+        traffic = uniform_random_traffic(dag, 40, seed=4)
+        solution = solve_rwa(dag, traffic, routing="shortest")
+        assert solution.num_wavelengths == solution.load
+
+    def test_provisioning_respects_assignment(self):
+        tree = out_tree(2, 2)
+        traffic = all_to_all_traffic(tree)
+        solution = solve_rwa(tree, traffic, routing="unique")
+        network = OpticalNetwork.from_digraph(tree,
+                                              capacity=solution.num_wavelengths)
+        lightpaths = provision_solution(network, solution)
+        assert len(lightpaths) == len(solution.family)
+        assert network.wavelengths_used() == solution.num_wavelengths
+        assert network.max_utilization() == solution.load
+
+    def test_provisioning_fails_with_too_little_capacity(self):
+        tree = out_tree(2, 2)
+        traffic = all_to_all_traffic(tree)
+        solution = solve_rwa(tree, traffic, routing="unique")
+        network = OpticalNetwork.from_digraph(
+            tree, capacity=max(1, solution.num_wavelengths - 1))
+        with pytest.raises(CapacityError):
+            provision_solution(network, solution)
+
+
+class TestGrooming:
+    def test_adm_count_sharing(self):
+        from repro.dipaths.family import DipathFamily
+
+        family = DipathFamily([["a", "b", "c"], ["c", "d"], ["a", "b"]])
+        # colouring: 0 and 1 share wavelength 0 and endpoint c -> shared ADM
+        coloring = {0: 0, 1: 0, 2: 1}
+        assert adm_count(family, coloring) == 5
+
+    def test_groom_requests_capacity(self):
+        from repro.dipaths.family import DipathFamily
+
+        family = DipathFamily([["a", "b"]] * 4)
+        result = groom_requests(family, grooming_factor=2)
+        assert result.num_wavelengths == 2
+        assert result.wavelength_of(0) == 0
+        with pytest.raises(ValueError):
+            groom_requests(family, 0)
+
+    def test_grooming_factor_one_is_wavelength_assignment(self):
+        from repro.dipaths.family import DipathFamily
+
+        family = DipathFamily([["a", "b"], ["a", "b"], ["b", "c"]])
+        result = groom_requests(family, 1)
+        assert result.num_wavelengths == 2
+
+    def test_max_requests_within_wavelengths(self, simple_dag, simple_family):
+        selected = max_requests_within_wavelengths(simple_family, 1)
+        assert len(selected) >= 1
+        sub = [simple_family[i] for i in selected]
+        from repro.dipaths.family import DipathFamily
+
+        assert DipathFamily(sub).load() <= 1
+        assert max_requests_within_wavelengths(simple_family, 3) == [0, 1, 2]
+        with pytest.raises(ValueError):
+            max_requests_within_wavelengths(simple_family, -1)
+
+
+class TestAdmissionSimulation:
+    def test_enough_wavelengths_no_blocking(self):
+        tree = out_tree(2, 3)
+        traffic = all_to_all_traffic(tree)
+        # With one wavelength per request available, first-fit can never block.
+        result = simulate_admission(tree, traffic, traffic.total_demand(),
+                                    routing="unique")
+        assert result.blocked == []
+        assert result.blocking_rate == 0.0
+        # and it must use at least the offline optimum (= the load)
+        offline = solve_rwa(tree, traffic, routing="unique")
+        assert result.wavelengths_used >= offline.num_wavelengths
+
+    def test_too_few_wavelengths_blocks(self):
+        tree = out_tree(2, 3)
+        traffic = all_to_all_traffic(tree)
+        offline = solve_rwa(tree, traffic, routing="unique")
+        assert offline.num_wavelengths > 1
+        result = simulate_admission(tree, traffic, 1, routing="unique")
+        assert result.blocking_rate > 0.0
+
+    def test_invalid_budget(self, simple_dag):
+        with pytest.raises(ValueError):
+            simulate_admission(simple_dag, RequestFamily([("a", "d")]), 0)

@@ -1,0 +1,108 @@
+"""Property-based tests for the paper's core algorithms (hypothesis).
+
+Complements ``test_properties_hypothesis.py`` with properties of the
+constructive algorithms themselves:
+
+* the rooted-tree colouring always equals the load on random trees;
+* the Theorem 6 algorithm always stays within ``ceil(4*pi/3)`` and produces a
+  proper colouring on random single-cycle UPP-DAG instances;
+* the Theorem 2 witness always has ``w > pi`` on DAGs with an internal cycle;
+* the arc-elimination order of Theorem 1 always removes arcs whose tail is a
+  source of the remaining graph.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.exact import chromatic_number
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.core.load import load
+from repro.core.rooted_trees import color_dipaths_rooted_tree
+from repro.core.theorem1 import arc_elimination_order
+from repro.core.theorem2 import witness_family_theorem2
+from repro.core.theorem6 import color_dipaths_theorem6, theorem6_bound
+from repro.cycles.internal import find_internal_cycle
+from repro.generators.families import random_walk_family
+from repro.generators.gadgets import figure5_family, theorem2_gadget
+from repro.generators.random_dags import random_dag, random_upp_one_cycle_dag
+from repro.generators.trees import random_out_tree
+
+SETTINGS = dict(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=5000),
+       st.integers(min_value=5, max_value=40),
+       st.integers(min_value=1, max_value=40))
+def test_rooted_tree_coloring_equals_load(seed, num_vertices, num_paths):
+    tree = random_out_tree(num_vertices, seed=seed)
+    if tree.num_arcs == 0:
+        return
+    family = random_walk_family(tree, num_paths, seed=seed)
+    coloring = color_dipaths_rooted_tree(tree, family)
+    conflict = build_conflict_graph(family)
+    assert is_proper_coloring(conflict.adjacency(), coloring)
+    assert num_colors(coloring) == family.load()
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=5000),
+       st.integers(min_value=2, max_value=4),
+       st.integers(min_value=5, max_value=30))
+def test_theorem6_always_within_bound(seed, k, num_paths):
+    dag = random_upp_one_cycle_dag(k=k, extra_depth=2, seed=seed)
+    family = random_walk_family(dag, num_paths, seed=seed, min_length=2)
+    coloring = color_dipaths_theorem6(dag, family)
+    conflict = build_conflict_graph(family)
+    assert is_proper_coloring(conflict.adjacency(), coloring)
+    assert num_colors(coloring) <= theorem6_bound(family.load())
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=3))
+def test_theorem6_on_replicated_gadgets(k, copies):
+    dag = theorem2_gadget(k)
+    family = figure5_family(k, dag).replicate(copies)
+    coloring = color_dipaths_theorem6(dag, family)
+    conflict = build_conflict_graph(family)
+    assert is_proper_coloring(conflict.adjacency(), coloring)
+    assert num_colors(coloring) <= theorem6_bound(family.load())
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=5000),
+       st.integers(min_value=8, max_value=16),
+       st.floats(min_value=0.2, max_value=0.5))
+def test_theorem2_witness_always_has_gap(seed, n, p):
+    dag = random_dag(n, p, seed=seed)
+    if find_internal_cycle(dag) is None:
+        return
+    try:
+        family = witness_family_theorem2(dag)
+    except Exception:
+        # degenerate attachments (all predecessors on the incident segments)
+        # are allowed to be rejected explicitly; they must not crash silently
+        return
+    pi = load(dag, family)
+    w = chromatic_number(build_conflict_graph(family).adjacency())
+    assert w > pi
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=5000),
+       st.integers(min_value=4, max_value=25),
+       st.floats(min_value=0.1, max_value=0.5))
+def test_arc_elimination_order_invariant(seed, n, p):
+    dag = random_dag(n, p, seed=seed)
+    order = arc_elimination_order(dag)
+    assert len(order) == dag.num_arcs
+    work = dag.copy()
+    for (x, y) in order:
+        assert work.in_degree(x) == 0
+        work.remove_arc(x, y)
+    assert work.num_arcs == 0

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the paper's claims and the library's invariants on randomly
+generated structures:
+
+* Theorem 1: on DAGs without internal cycle, the constructive colouring is
+  proper and uses exactly ``pi`` colours — and the exact solver agrees.
+* ``pi <= omega <= w`` always; equality of the first pair on UPP-DAGs.
+* Colouring algorithms always produce proper colourings; the exact solver is
+  never beaten by a heuristic.
+* Internal-cycle detection agrees with a brute-force definition check.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.dsatur import dsatur_coloring
+from repro.coloring.exact import chromatic_number, optimal_coloring
+from repro.coloring.greedy import greedy_coloring
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.conflict.cliques import clique_number
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.core.theorem1 import color_dipaths_theorem1
+from repro.cycles.internal import (
+    enumerate_internal_cycles,
+    has_internal_cycle,
+    is_internal_cycle,
+)
+from repro.dipaths.dipath import Dipath
+from repro.dipaths.family import DipathFamily
+from repro.generators.families import random_walk_family
+from repro.generators.random_dags import (
+    random_dag,
+    random_internal_cycle_free_dag,
+)
+from repro.graphs.dag import DAG
+from repro.graphs.traversal import topological_order
+
+# Keep the per-example work small: hypothesis runs many examples.
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_adjacency(draw):
+    """A random undirected graph as an adjacency mapping on 1..10 vertices."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    adjacency = {v: set() for v in range(n)}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    return adjacency
+
+
+@st.composite
+def icf_dag_and_family(draw):
+    """A random internal-cycle-free DAG together with a random-walk family."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=5, max_value=25))
+    m = draw(st.integers(min_value=n // 2, max_value=2 * n))
+    num_paths = draw(st.integers(min_value=1, max_value=30))
+    dag = random_internal_cycle_free_dag(n, m, seed=seed)
+    if dag.num_arcs == 0:
+        dag.add_arc(0, 1)
+    family = random_walk_family(dag, num_paths, seed=seed)
+    return dag, family
+
+
+@st.composite
+def any_dag_and_family(draw):
+    """A random DAG (any kind) together with a random-walk family."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=4, max_value=18))
+    p = draw(st.floats(min_value=0.1, max_value=0.5))
+    dag = random_dag(n, p, seed=seed)
+    if dag.num_arcs == 0:
+        dag.add_arc(0, 1)
+    family = random_walk_family(dag, draw(st.integers(min_value=1, max_value=20)),
+                                seed=seed)
+    return dag, family
+
+
+# --------------------------------------------------------------------------- #
+# colouring invariants
+# --------------------------------------------------------------------------- #
+@settings(**SETTINGS)
+@given(small_adjacency())
+def test_coloring_algorithms_always_proper(adjacency):
+    for coloring in (greedy_coloring(adjacency), dsatur_coloring(adjacency),
+                     optimal_coloring(adjacency)):
+        assert is_proper_coloring(adjacency, coloring)
+
+
+@settings(**SETTINGS)
+@given(small_adjacency())
+def test_exact_is_never_beaten(adjacency):
+    exact = chromatic_number(adjacency)
+    assert exact <= num_colors(dsatur_coloring(adjacency))
+    assert exact <= num_colors(greedy_coloring(adjacency))
+
+
+@settings(**SETTINGS)
+@given(small_adjacency())
+def test_exact_at_least_max_degree_bound(adjacency):
+    # chi <= Delta + 1 (Brooks-style easy bound) and chi >= 1 when nonempty
+    exact = chromatic_number(adjacency)
+    max_degree = max((len(nbrs) for nbrs in adjacency.values()), default=0)
+    assert 1 <= exact <= max_degree + 1
+
+
+# --------------------------------------------------------------------------- #
+# theorem 1 and load invariants
+# --------------------------------------------------------------------------- #
+@settings(**SETTINGS)
+@given(icf_dag_and_family())
+def test_theorem1_equality_on_random_instances(data):
+    dag, family = data
+    assert not has_internal_cycle(dag)
+    coloring = color_dipaths_theorem1(dag, family)
+    conflict = build_conflict_graph(family)
+    assert is_proper_coloring(conflict.adjacency(), coloring)
+    assert num_colors(coloring) == family.load()
+
+
+@settings(**SETTINGS)
+@given(any_dag_and_family())
+def test_load_clique_wavelength_chain(data):
+    dag, family = data
+    if len(family) == 0:
+        return
+    conflict = build_conflict_graph(family)
+    pi = family.load()
+    omega = clique_number(conflict)
+    w = chromatic_number(conflict.adjacency())
+    assert pi <= omega <= w
+
+
+@settings(**SETTINGS)
+@given(any_dag_and_family())
+def test_load_equals_max_arc_multiplicity(data):
+    _, family = data
+    per_arc = family.load_per_arc()
+    assert family.load() == (max(per_arc.values()) if per_arc else 0)
+    # recompute the load naively from the dipaths themselves
+    naive = {}
+    for p in family:
+        for arc in p.arcs():
+            naive[arc] = naive.get(arc, 0) + 1
+    assert naive == per_arc
+
+
+# --------------------------------------------------------------------------- #
+# structure invariants
+# --------------------------------------------------------------------------- #
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=4, max_value=14),
+       st.floats(min_value=0.1, max_value=0.6))
+def test_internal_cycle_detection_matches_enumeration(seed, n, p):
+    dag = random_dag(n, p, seed=seed)
+    cycles = enumerate_internal_cycles(dag, limit=200)
+    assert has_internal_cycle(dag) == (len(cycles) > 0)
+    for cycle in cycles[:5]:
+        assert is_internal_cycle(dag, cycle)
+
+
+@settings(**SETTINGS)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=5, max_value=30),
+       st.floats(min_value=0.05, max_value=0.4))
+def test_topological_order_is_consistent(seed, n, p):
+    dag = random_dag(n, p, seed=seed)
+    order = topological_order(dag)
+    position = {v: i for i, v in enumerate(order)}
+    assert all(position[u] < position[v] for u, v in dag.arcs())
+
+
+@settings(**SETTINGS)
+@given(icf_dag_and_family())
+def test_conflict_graph_matches_pairwise_definition(data):
+    _, family = data
+    conflict = build_conflict_graph(family)
+    for i in range(len(family)):
+        for j in range(i + 1, len(family)):
+            expected = family[i].conflicts_with(family[j])
+            assert conflict.has_edge(i, j) == expected
+
+
+@settings(**SETTINGS)
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=12),
+                         min_size=2, max_size=6, unique=True),
+                min_size=1, max_size=10))
+def test_family_replication_scales_load(sequences):
+    paths = [Dipath(seq) for seq in sequences]
+    family = DipathFamily(paths)
+    replicated = family.replicate(3)
+    assert replicated.load() == 3 * family.load()
+    assert len(replicated) == 3 * len(family)

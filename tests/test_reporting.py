@@ -1,0 +1,72 @@
+"""Tests for :mod:`repro.analysis.reporting` (CSV / JSON persistence)."""
+
+import csv
+import json
+
+from repro.analysis.reporting import (
+    read_json,
+    summarize_records,
+    write_csv,
+    write_json,
+)
+
+RECORDS = [
+    {"k": 2, "load": 2, "w": 2, "ratio": 1.0},
+    {"k": 3, "load": 2, "w": 3, "ratio": 1.5},
+    {"k": 4, "load": 2, "w": 4, "ratio": 2.0, "extra": ("tuple", "value")},
+]
+
+
+class TestCSV:
+    def test_roundtrip_columns(self, tmp_path):
+        path = write_csv(RECORDS, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[1]["w"] == "3"
+        # missing fields are blank, extra column appears in the header
+        assert rows[0]["extra"] == ""
+
+    def test_explicit_columns(self, tmp_path):
+        path = write_csv(RECORDS, tmp_path / "cols.csv", columns=["k", "w"])
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert list(rows[0].keys()) == ["k", "w"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(RECORDS, tmp_path / "deep" / "nested" / "out.csv")
+        assert path.exists()
+
+
+class TestJSON:
+    def test_roundtrip(self, tmp_path):
+        path = write_json(RECORDS, tmp_path / "out.json",
+                          metadata={"experiment": "E1"})
+        loaded = read_json(path)
+        assert len(loaded) == 3
+        assert loaded[1]["w"] == 3
+        with path.open() as handle:
+            payload = json.load(handle)
+        assert payload["metadata"]["experiment"] == "E1"
+
+    def test_non_serialisable_values_stringified(self, tmp_path):
+        path = write_json(RECORDS, tmp_path / "tuples.json")
+        loaded = read_json(path)
+        assert isinstance(loaded[2]["extra"], (str, list))
+
+
+class TestSummaries:
+    def test_summarize_records(self):
+        records = [{"size": 10, "time": 1.0}, {"size": 10, "time": 3.0},
+                   {"size": 20, "time": 2.0}]
+        summary = summarize_records(records, group_by="size", value="time")
+        assert len(summary) == 2
+        first = summary[0]
+        assert first["size"] == 10
+        assert first["time_mean"] == 2.0
+        assert first["count"] == 2
+
+    def test_summarize_skips_missing_fields(self):
+        records = [{"size": 10}, {"size": 10, "time": 4.0}]
+        summary = summarize_records(records, group_by="size", value="time")
+        assert summary[0]["count"] == 1

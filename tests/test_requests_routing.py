@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.dipaths.requests` and :mod:`repro.dipaths.routing`."""
+
+import pytest
+
+from repro.dipaths.requests import Request, RequestFamily
+from repro.dipaths.routing import (
+    route_all,
+    route_min_load,
+    route_shortest,
+    route_unique,
+)
+from repro.exceptions import RoutingError
+from repro.generators.gadgets import havet_dag
+from repro.generators.trees import out_tree
+from repro.graphs.dag import DAG
+
+
+class TestRequest:
+    def test_basic(self):
+        r = Request("a", "b", 2)
+        assert r.as_tuple() == ("a", "b", 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Request("a", "a")
+        with pytest.raises(ValueError):
+            Request("a", "b", 0)
+
+    def test_equality_hash(self):
+        assert Request("a", "b") == Request("a", "b")
+        assert len({Request("a", "b"), Request("a", "b")}) == 1
+
+
+class TestRequestFamily:
+    def test_add_tuple_forms(self):
+        fam = RequestFamily([("a", "b"), ("a", "c", 3)])
+        assert len(fam) == 2
+        assert fam.total_demand() == 4
+
+    def test_pairs_expand_multiplicity(self):
+        fam = RequestFamily([("a", "b", 2)])
+        assert fam.pairs() == [("a", "b"), ("a", "b")]
+        assert fam.pairs(expand_multiplicity=False) == [("a", "b")]
+
+    def test_demand_matrix_aggregates(self):
+        fam = RequestFamily([("a", "b"), ("a", "b", 2), ("b", "c")])
+        assert fam.demand_matrix() == {("a", "b"): 3, ("b", "c"): 1}
+
+    def test_multicast_detection(self):
+        fam = RequestFamily([("a", "b"), ("a", "c")])
+        assert fam.is_multicast()
+        fam.add(("b", "c"))
+        assert not fam.is_multicast()
+
+    def test_all_to_all_only_connected(self, simple_dag):
+        fam = RequestFamily.all_to_all(simple_dag)
+        pairs = set(fam.pairs())
+        assert ("a", "d") in pairs
+        assert ("d", "a") not in pairs       # unreachable pairs dropped
+        assert ("e", "d") not in pairs
+
+    def test_all_to_all_unrestricted(self, simple_dag):
+        fam = RequestFamily.all_to_all(simple_dag, only_connected=False)
+        n = simple_dag.num_vertices
+        assert len(fam) == n * (n - 1)
+
+    def test_multicast_constructor(self, simple_dag):
+        fam = RequestFamily.multicast(simple_dag, "a")
+        assert fam.is_multicast()
+        assert set(r.target for r in fam) == {"b", "c", "d", "e"}
+
+
+class TestRouting:
+    def test_route_unique_on_tree(self):
+        tree = out_tree(2, 3)
+        requests = RequestFamily.multicast(tree, ())
+        family = route_unique(tree, requests)
+        assert len(family) == len(requests)
+        family.validate_against(tree)
+
+    def test_route_unique_rejects_ambiguity(self):
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        with pytest.raises(RoutingError):
+            route_unique(dag, RequestFamily([("s", "t")]))
+
+    def test_route_unique_rejects_unreachable(self, simple_dag):
+        with pytest.raises(RoutingError):
+            route_unique(simple_dag, RequestFamily([("d", "a")]))
+
+    def test_route_shortest(self, simple_dag):
+        family = route_shortest(simple_dag, RequestFamily([("a", "d"), ("f", "d")]))
+        assert family[0].length == 3
+        assert family[1].length == 2
+
+    def test_route_shortest_multiplicity(self, simple_dag):
+        family = route_shortest(simple_dag, RequestFamily([("a", "d", 3)]))
+        assert len(family) == 3
+        assert family.load() == 3
+
+    def test_route_min_load_spreads(self):
+        # Two parallel routes s->x->t and s->y->t; 4 requests s->t should
+        # split 2/2 under min-load routing (load 2) instead of 4 on one route.
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        requests = RequestFamily([("s", "t", 4)])
+        family = route_min_load(dag, requests)
+        assert len(family) == 4
+        assert family.load() == 2
+
+    def test_route_min_load_unreachable(self, simple_dag):
+        with pytest.raises(RoutingError):
+            route_min_load(simple_dag, RequestFamily([("d", "a")]))
+
+    def test_route_all_dispatch(self, simple_dag):
+        requests = RequestFamily([("a", "d")])
+        assert len(route_all(simple_dag, requests, "shortest")) == 1
+        assert len(route_all(simple_dag, requests, "min-load")) == 1
+        with pytest.raises(ValueError):
+            route_all(simple_dag, requests, "bogus")  # type: ignore[arg-type]
+
+    def test_route_unique_on_havet(self):
+        dag = havet_dag()
+        requests = RequestFamily([("a1", "d1"), ("a2p", "d2p")])
+        family = route_unique(dag, requests)
+        assert list(family[0].vertices) == ["a1", "b1", "c1", "d1"]
+        assert list(family[1].vertices) == ["a2p", "b2", "c2", "d2p"]

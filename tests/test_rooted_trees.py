@@ -1,0 +1,87 @@
+"""Tests for the rooted-tree special case (:mod:`repro.core.rooted_trees`)."""
+
+import pytest
+
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.core.rooted_trees import (
+    color_dipaths_rooted_tree,
+    is_rooted_tree,
+    tree_depths,
+)
+from repro.core.theorem1 import color_dipaths_theorem1
+from repro.dipaths.family import DipathFamily
+from repro.exceptions import GraphError
+from repro.generators.families import all_to_all_family, random_walk_family
+from repro.generators.gadgets import figure3_dag
+from repro.generators.trees import caterpillar, out_tree, random_out_tree, spider
+from repro.graphs.dag import DAG
+
+
+class TestRecognitionAndDepths:
+    def test_is_rooted_tree(self):
+        assert is_rooted_tree(out_tree(2, 3))
+        assert is_rooted_tree(spider(3, 2))
+        assert not is_rooted_tree(figure3_dag())
+        assert not is_rooted_tree(DAG(arcs=[("a", "b"), ("c", "b")]))
+
+    def test_tree_depths(self):
+        tree = out_tree(2, 2)
+        depths = tree_depths(tree)
+        assert depths[()] == 0
+        assert depths[(0,)] == 1
+        assert depths[(1, 1)] == 2
+
+    def test_tree_depths_rejects_non_tree(self):
+        with pytest.raises(GraphError):
+            tree_depths(DAG(arcs=[("a", "b"), ("c", "d")]))
+
+
+class TestRootedTreeColoring:
+    def _check(self, tree, family):
+        coloring = color_dipaths_rooted_tree(tree, family)
+        conflict = build_conflict_graph(family)
+        assert is_proper_coloring(conflict.adjacency(), coloring)
+        assert num_colors(coloring) == family.load()
+        return coloring
+
+    def test_empty_family(self):
+        assert color_dipaths_rooted_tree(out_tree(2, 2), DipathFamily()) == {}
+
+    def test_all_to_all_on_complete_binary_tree(self):
+        tree = out_tree(2, 3)
+        family = all_to_all_family(tree)
+        self._check(tree, family)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees_random_walks(self, seed):
+        tree = random_out_tree(35, seed=seed)
+        family = random_walk_family(tree, 60, seed=seed)
+        self._check(tree, family)
+
+    @pytest.mark.parametrize("builder", [lambda: spider(5, 4),
+                                         lambda: caterpillar(6, 2),
+                                         lambda: out_tree(3, 2)])
+    def test_structured_trees(self, builder):
+        tree = builder()
+        family = random_walk_family(tree, 40, seed=11)
+        self._check(tree, family)
+
+    def test_agrees_with_theorem1(self):
+        tree = random_out_tree(30, seed=9)
+        family = random_walk_family(tree, 50, seed=9)
+        direct = color_dipaths_rooted_tree(tree, family)
+        general = color_dipaths_theorem1(tree, family)
+        assert num_colors(direct) == num_colors(general) == family.load()
+
+    def test_rejects_non_tree(self, simple_dag, simple_family):
+        with pytest.raises(GraphError):
+            color_dipaths_rooted_tree(simple_dag, simple_family)
+
+    def test_check_can_be_skipped_on_tree_like_input(self):
+        # skipping the hypothesis check still works when the input IS a tree
+        tree = out_tree(2, 2)
+        family = random_walk_family(tree, 10, seed=0)
+        coloring = color_dipaths_rooted_tree(tree, family,
+                                             check_hypothesis=False)
+        assert num_colors(coloring) == family.load()

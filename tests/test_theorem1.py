@@ -1,0 +1,145 @@
+"""Tests for the Theorem 1 constructive algorithm (w = pi without internal cycles)."""
+
+import pytest
+
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.core.theorem1 import (
+    arc_elimination_order,
+    color_dipaths_theorem1,
+    theorem1_applies,
+)
+from repro.core.wavelengths import wavelength_number
+from repro.dipaths.family import DipathFamily
+from repro.exceptions import InternalCycleError, InvalidDipathError
+from repro.generators.families import all_to_all_family, random_walk_family
+from repro.generators.gadgets import figure3_instance
+from repro.generators.pathological import pathological_instance
+from repro.generators.random_dags import random_internal_cycle_free_dag
+from repro.generators.trees import caterpillar, out_tree, random_out_tree, spider
+from repro.graphs.dag import DAG
+
+
+def assert_optimal_coloring(dag, family):
+    """The Theorem 1 colouring must be proper and use exactly ``pi`` colours."""
+    coloring = color_dipaths_theorem1(dag, family)
+    conflict = build_conflict_graph(family)
+    assert is_proper_coloring(conflict.adjacency(), coloring)
+    assert num_colors(coloring) == family.load()
+    return coloring
+
+
+class TestEliminationOrder:
+    def test_covers_all_arcs(self, simple_dag):
+        order = arc_elimination_order(simple_dag)
+        assert len(order) == simple_dag.num_arcs
+        assert set(order) == set(simple_dag.arcs())
+
+    def test_tail_is_source_at_removal_time(self, simple_dag):
+        work = simple_dag.copy()
+        for (x, y) in arc_elimination_order(simple_dag):
+            assert work.in_degree(x) == 0
+            work.remove_arc(x, y)
+
+    def test_gadget_order_also_valid(self, gadget_dag):
+        # the elimination order exists for any DAG, internal cycle or not
+        order = arc_elimination_order(gadget_dag)
+        assert len(order) == gadget_dag.num_arcs
+
+
+class TestHypothesis:
+    def test_applies(self, simple_dag, gadget_dag):
+        assert theorem1_applies(simple_dag)
+        assert not theorem1_applies(gadget_dag)
+
+    def test_internal_cycle_rejected_with_certificate(self, figure3):
+        dag, family = figure3
+        with pytest.raises(InternalCycleError) as excinfo:
+            color_dipaths_theorem1(dag, family)
+        assert excinfo.value.cycle is not None
+
+    def test_invalid_family_rejected(self, simple_dag):
+        family = DipathFamily([["x", "y"]])
+        with pytest.raises(InvalidDipathError):
+            color_dipaths_theorem1(simple_dag, family)
+
+    def test_empty_family(self, simple_dag):
+        assert color_dipaths_theorem1(simple_dag, DipathFamily()) == {}
+
+
+class TestSmallInstances:
+    def test_simple_family(self, simple_dag, simple_family):
+        assert_optimal_coloring(simple_dag, simple_family)
+
+    def test_single_dipath(self, simple_dag):
+        family = DipathFamily([["a", "b", "c", "d"]], graph=simple_dag)
+        coloring = assert_optimal_coloring(simple_dag, family)
+        assert coloring == {0: 0}
+
+    def test_identical_dipaths(self, simple_dag):
+        family = DipathFamily([["a", "b", "c"]] * 4, graph=simple_dag)
+        coloring = assert_optimal_coloring(simple_dag, family)
+        assert sorted(coloring.values()) == [0, 1, 2, 3]
+
+    def test_disjoint_dipaths_one_color(self, simple_dag):
+        family = DipathFamily([["a", "b"], ["c", "d"], ["f", "c"]],
+                              graph=simple_dag)
+        coloring = assert_optimal_coloring(simple_dag, family)
+        assert num_colors(coloring) == 1
+
+    def test_on_path_graph(self):
+        # overlapping intervals on a directed path: the classical interval case
+        dag = DAG(arcs=[(i, i + 1) for i in range(6)])
+        family = DipathFamily([[0, 1, 2, 3], [2, 3, 4], [3, 4, 5], [1, 2, 3, 4, 5],
+                               [0, 1], [4, 5]], graph=dag)
+        assert_optimal_coloring(dag, family)
+
+    def test_on_out_tree_multicast(self):
+        tree = out_tree(3, 2)
+        family = all_to_all_family(tree)
+        assert_optimal_coloring(tree, family)
+
+    def test_on_spider_and_caterpillar(self):
+        for dag in (spider(4, 3), caterpillar(5, 2)):
+            family = random_walk_family(dag, 25, seed=7)
+            assert_optimal_coloring(dag, family)
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_internal_cycle_free(self, seed):
+        dag = random_internal_cycle_free_dag(30, 45, seed=seed)
+        family = random_walk_family(dag, 40, seed=seed)
+        coloring = assert_optimal_coloring(dag, family)
+        # independently verify optimality with the exact solver
+        if len(family) <= 60:
+            assert num_colors(coloring) == wavelength_number(dag, family,
+                                                             method="exact")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trees(self, seed):
+        tree = random_out_tree(40, seed=seed)
+        family = random_walk_family(tree, 50, seed=seed)
+        assert_optimal_coloring(tree, family)
+
+    def test_larger_instance_runs(self):
+        dag = random_internal_cycle_free_dag(120, 180, seed=3)
+        family = random_walk_family(dag, 250, seed=3)
+        coloring = color_dipaths_theorem1(dag, family)
+        assert num_colors(coloring) == family.load()
+
+
+class TestCheckHypothesisFlag:
+    def test_skip_check_still_fails_on_figure1(self):
+        # Figure 1 DAGs have internal cycles; without the upfront check the
+        # algorithm may or may not hit Case C depending on the order, but the
+        # result must never silently be wrong: either it raises or it returns
+        # a proper colouring.
+        dag, family = pathological_instance(4)
+        try:
+            coloring = color_dipaths_theorem1(dag, family,
+                                              check_hypothesis=False)
+        except InternalCycleError:
+            return
+        conflict = build_conflict_graph(family)
+        assert is_proper_coloring(conflict.adjacency(), coloring)

@@ -1,0 +1,128 @@
+"""Tests for Theorem 2 (witness families) and the Main Theorem characterisation."""
+
+import pytest
+
+from repro.coloring.exact import chromatic_number
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.core.characterization import (
+    equality_certificate,
+    min_wavelengths_equal_load,
+    verify_equality_on_family,
+)
+from repro.core.load import load
+from repro.core.theorem2 import internal_cycle_standard_form, witness_family_theorem2
+from repro.cycles.internal import find_internal_cycle
+from repro.exceptions import NoInternalCycleError
+from repro.generators.families import random_walk_family
+from repro.generators.gadgets import (
+    figure3_dag,
+    figure5_instance,
+    havet_dag,
+    theorem2_gadget,
+)
+from repro.generators.random_dags import (
+    random_dag,
+    random_internal_cycle_free_dag,
+)
+from repro.generators.trees import out_tree
+from repro.graphs.dag import DAG
+
+
+class TestStandardForm:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_gadget_standard_form(self, k):
+        dag = theorem2_gadget(k)
+        cycle = find_internal_cycle(dag)
+        right, left = internal_cycle_standard_form(dag, cycle)
+        assert len(right) == len(left) == k
+        sinks_right = {seg[-1] for seg in right}
+        sinks_left = {seg[-1] for seg in left}
+        assert sinks_right == sinks_left
+        sources_right = {seg[0] for seg in right}
+        sources_left = {seg[0] for seg in left}
+        assert sources_right == sources_left
+
+
+class TestWitnessFamily:
+    @pytest.mark.parametrize("builder,expected_k", [
+        (figure3_dag, 1),
+        (lambda: theorem2_gadget(2), 2),
+        (lambda: theorem2_gadget(4), 4),
+        (havet_dag, 2),
+    ])
+    def test_witness_has_pi2_w3(self, builder, expected_k):
+        dag = builder()
+        family = witness_family_theorem2(dag)
+        assert len(family) == 2 * expected_k + 1
+        family.validate_against(dag)
+        assert load(dag, family) == 2
+        conflict = build_conflict_graph(family)
+        assert chromatic_number(conflict.adjacency()) == 3
+        assert conflict.is_cycle_graph()
+
+    def test_requires_internal_cycle(self, simple_dag):
+        with pytest.raises(NoInternalCycleError):
+            witness_family_theorem2(simple_dag)
+        with pytest.raises(NoInternalCycleError):
+            witness_family_theorem2(out_tree(2, 3))
+
+    def test_explicit_cycle_argument(self):
+        dag = theorem2_gadget(3)
+        cycle = find_internal_cycle(dag)
+        family = witness_family_theorem2(dag, cycle)
+        assert load(dag, family) == 2
+
+    def test_rejects_non_internal_cycle(self):
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t"),
+                        ("p", "s"), ("t", "q")])
+        with pytest.raises(NoInternalCycleError):
+            witness_family_theorem2(dag, ["s", "x", "q", "y"])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_witness_on_random_dags(self, seed):
+        dag = random_dag(18, 0.3, seed=seed)
+        if find_internal_cycle(dag) is None:
+            pytest.skip("random DAG happens to have no internal cycle")
+        family = witness_family_theorem2(dag)
+        family.validate_against(dag)
+        pi = load(dag, family)
+        w = chromatic_number(build_conflict_graph(family).adjacency())
+        assert w > pi
+
+
+class TestMainTheorem:
+    def test_decision_procedure(self, simple_dag, gadget_dag):
+        assert min_wavelengths_equal_load(simple_dag)
+        assert not min_wavelengths_equal_load(gadget_dag)
+        assert min_wavelengths_equal_load(out_tree(2, 4))
+        assert not min_wavelengths_equal_load(figure3_dag())
+
+    def test_certificate_equality_side(self, simple_dag):
+        cert = equality_certificate(simple_dag)
+        assert cert.equality_holds
+        assert cert.internal_cycle is None
+        assert cert.witness_family is None
+
+    def test_certificate_gap_side(self, gadget_dag):
+        cert = equality_certificate(gadget_dag)
+        assert not cert.equality_holds
+        assert cert.internal_cycle is not None
+        assert cert.witness_load == 2
+        assert cert.witness_wavelengths == 3
+        assert cert.witness_wavelengths > cert.witness_load
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equality_verified_on_random_families(self, seed):
+        dag = random_internal_cycle_free_dag(24, 36, seed=seed)
+        family = random_walk_family(dag, 25, seed=seed)
+        assert verify_equality_on_family(dag, family)
+
+    def test_gap_on_figure5_families(self):
+        dag, family = figure5_instance(3)
+        # pi = 2 but w = 3: equality fails on this family, as Theorem 2 states
+        assert not verify_equality_on_family(dag, family)
+
+    def test_empty_family_trivially_equal(self, gadget_dag):
+        from repro.dipaths.family import DipathFamily
+
+        assert verify_equality_on_family(gadget_dag, DipathFamily())

@@ -1,0 +1,138 @@
+"""Tests for Theorem 6 (the 4/3 algorithm) and Theorem 7 (tightness)."""
+
+import math
+
+import pytest
+
+from repro.coloring.exact import chromatic_number
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.conflict.covering import blowup_chromatic_number
+from repro.core.theorem6 import (
+    color_dipaths_theorem6,
+    multi_cycle_bound,
+    split_arc,
+    theorem6_bound,
+)
+from repro.dipaths.family import DipathFamily
+from repro.exceptions import InternalCycleError, NoInternalCycleError, NotUPPError
+from repro.generators.families import random_walk_family
+from repro.generators.gadgets import (
+    figure5_family,
+    figure5_instance,
+    havet_family,
+    havet_instance,
+    theorem2_gadget,
+)
+from repro.generators.random_dags import random_upp_one_cycle_dag
+from repro.graphs.dag import DAG
+
+
+def assert_within_bound(dag, family):
+    coloring = color_dipaths_theorem6(dag, family)
+    conflict = build_conflict_graph(family)
+    assert is_proper_coloring(conflict.adjacency(), coloring)
+    assert num_colors(coloring) <= theorem6_bound(family.load())
+    return coloring
+
+
+class TestBoundHelpers:
+    @pytest.mark.parametrize("pi,expected", [(0, 0), (1, 2), (2, 3), (3, 4),
+                                             (4, 6), (6, 8), (9, 12), (10, 14)])
+    def test_theorem6_bound(self, pi, expected):
+        assert theorem6_bound(pi) == expected
+
+    def test_multi_cycle_bound(self):
+        assert multi_cycle_bound(6, 1) == 8
+        assert multi_cycle_bound(6, 2) == math.ceil(6 * 16 / 9)
+        assert multi_cycle_bound(5, 0) == 5
+
+
+class TestSplitArc:
+    def test_split_removes_internal_cycle(self, gadget_dag):
+        from repro.cycles.internal import find_internal_cycle, has_internal_cycle
+        from repro.core.theorem6 import _cycle_arcs
+
+        cycle = find_internal_cycle(gadget_dag)
+        arc = _cycle_arcs(gadget_dag, cycle)[0]
+        split, s, t = split_arc(gadget_dag, arc)
+        assert not split.has_arc(*arc)
+        assert split.has_arc(arc[0], s)
+        assert split.has_arc(t, arc[1])
+        assert not has_internal_cycle(split)
+        assert split.num_arcs == gadget_dag.num_arcs + 1
+
+
+class TestHypothesisChecks:
+    def test_rejects_non_upp(self, figure3):
+        dag, family = figure3
+        with pytest.raises(NotUPPError):
+            color_dipaths_theorem6(dag, family)
+
+    def test_rejects_no_internal_cycle(self, simple_dag, simple_family):
+        with pytest.raises(NoInternalCycleError):
+            color_dipaths_theorem6(simple_dag, simple_family)
+
+    def test_rejects_multiple_internal_cycles(self):
+        dag = DAG(validate=False)
+        for prefix in ("p", "q"):
+            g = theorem2_gadget(2)
+            for u, v in g.arcs():
+                dag.add_arc((prefix, u), (prefix, v))
+        family = DipathFamily([[("p", ("a", 0)), ("p", ("b", 0))]], graph=dag)
+        with pytest.raises(InternalCycleError):
+            color_dipaths_theorem6(dag, family)
+
+    def test_empty_family(self, gadget_dag):
+        assert color_dipaths_theorem6(gadget_dag, DipathFamily()) == {}
+
+
+class TestGadgetInstances:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_figure5_within_bound(self, k):
+        dag, family = figure5_instance(k)
+        coloring = assert_within_bound(dag, family)
+        # the family needs exactly 3 colours (pi = 2) and the bound is 3
+        assert num_colors(coloring) == 3
+
+    @pytest.mark.parametrize("k,h", [(2, 2), (3, 2), (2, 3)])
+    def test_figure5_replicated_within_bound(self, k, h):
+        dag = theorem2_gadget(k)
+        family = figure5_family(k, dag).replicate(h)
+        assert_within_bound(dag, family)
+
+    @pytest.mark.parametrize("h", [1, 2, 3, 4, 6])
+    def test_havet_replicated_meets_theorem7_value(self, h):
+        dag, family = havet_instance(h)
+        coloring = assert_within_bound(dag, family)
+        # Theorem 7: these instances are tight, so the algorithm must use
+        # exactly ceil(8h/3) = ceil(4*pi/3) colours (no fewer exist).
+        assert num_colors(coloring) == math.ceil(8 * h / 3)
+
+    def test_havet_exact_wavelength_number_small(self):
+        for h in (1, 2):
+            dag, family = havet_instance(h)
+            w = chromatic_number(build_conflict_graph(family).adjacency())
+            assert w == math.ceil(8 * h / 3)
+
+    def test_havet_blowup_cover_matches_exact(self):
+        base = build_conflict_graph(havet_family(1))
+        for h in (1, 2, 3):
+            dag, family = havet_instance(h)
+            exact = chromatic_number(build_conflict_graph(family).adjacency())
+            assert blowup_chromatic_number(base, h) == exact
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_one_cycle_upp(self, seed):
+        dag = random_upp_one_cycle_dag(k=2 + seed % 3, extra_depth=2, seed=seed)
+        family = random_walk_family(dag, 30, seed=seed, min_length=2)
+        assert_within_bound(dag, family)
+
+    def test_family_with_paths_avoiding_the_cycle(self, gadget_dag):
+        # dipaths that never touch the internal cycle arc: padding handles it
+        family = DipathFamily([[("a", 0), ("b", 0)], [("a", 1), ("b", 1)],
+                               [("c", 2), ("d", 2)]], graph=gadget_dag)
+        coloring = assert_within_bound(gadget_dag, family)
+        assert num_colors(coloring) == 1

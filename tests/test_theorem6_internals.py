@@ -1,0 +1,101 @@
+"""Edge-case tests for Theorem 6 internals and the covering fallback."""
+
+import pytest
+
+from repro.conflict.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.conflict.covering import (
+    blowup_chromatic_number,
+    independent_set_cover,
+    replicated_family_coloring,
+)
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.core.theorem6 import (
+    _cycle_arcs,
+    color_dipaths_theorem6,
+    split_arc,
+    theorem6_bound,
+)
+from repro.cycles.internal import find_internal_cycle
+from repro.dipaths.dipath import Dipath
+from repro.dipaths.family import DipathFamily
+from repro.generators.gadgets import (
+    figure5_family,
+    havet_dag,
+    havet_family,
+    theorem2_gadget,
+)
+
+
+class TestCycleArcs:
+    def test_cycle_arcs_are_graph_arcs(self, gadget_dag):
+        cycle = find_internal_cycle(gadget_dag)
+        arcs = _cycle_arcs(gadget_dag, cycle)
+        assert len(arcs) == len(cycle)
+        for u, v in arcs:
+            assert gadget_dag.has_arc(u, v)
+
+    def test_cycle_arcs_closed_form_accepted(self, gadget_dag):
+        cycle = find_internal_cycle(gadget_dag)
+        closed = list(cycle) + [cycle[0]]
+        assert _cycle_arcs(gadget_dag, closed) == _cycle_arcs(gadget_dag, cycle)
+
+
+class TestSplitArcLabels:
+    def test_custom_split_labels(self):
+        dag = havet_dag()
+        split, s, t = split_arc(dag, ("b1", "c1"), split_labels=("S", "T"))
+        assert s == "S" and t == "T"
+        assert split.has_arc("b1", "S")
+        assert split.has_arc("T", "c1")
+        assert not split.has_arc("b1", "c1")
+
+
+class TestSingleArcFamilies:
+    def test_family_of_only_cycle_arcs(self, gadget_dag):
+        # every dipath is a copy of one cycle arc: the splitting reduces the
+        # whole instance to padding-only through dipaths
+        arc = _cycle_arcs(gadget_dag, find_internal_cycle(gadget_dag))[0]
+        family = DipathFamily([Dipath.single_arc(*arc)] * 4, graph=gadget_dag)
+        coloring = color_dipaths_theorem6(gadget_dag, family)
+        # four identical copies pairwise conflict: exactly four colours, and
+        # the budget ceil(4*4/3) = 6 is respected
+        assert num_colors(coloring) == 4
+        assert max(coloring.values()) < theorem6_bound(4)
+
+    def test_mixed_lengths(self, gadget_dag):
+        family = figure5_family(3, gadget_dag)
+        family.add(Dipath.single_arc(("b", 0), ("c", 0)))
+        family.add(Dipath([("a", 1), ("b", 1)]))
+        coloring = color_dipaths_theorem6(gadget_dag, family)
+        conflict = build_conflict_graph(family)
+        assert is_proper_coloring(conflict.adjacency(), coloring)
+        assert num_colors(coloring) <= theorem6_bound(family.load())
+
+
+class TestCoveringEdgeCases:
+    def test_empty_graph_cover(self):
+        assert independent_set_cover(ConflictGraph(0), 2) == []
+
+    def test_single_vertex_cover(self):
+        cover = independent_set_cover(ConflictGraph(1), 3)
+        assert len(cover) == 3
+
+    def test_cover_on_complete_graph(self):
+        complete = ConflictGraph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        # blow-up of K3 with h copies needs 3h colours
+        assert blowup_chromatic_number(complete, 2) == 6
+
+    def test_replicated_coloring_single_copy(self):
+        family = havet_family(1)
+        coloring = replicated_family_coloring(family)
+        assert coloring is not None
+        assert num_colors(coloring) == 3
+
+    def test_replicated_coloring_of_figure5(self):
+        dag = theorem2_gadget(2)
+        family = figure5_family(2, dag).replicate(4)
+        coloring = replicated_family_coloring(family)
+        conflict = build_conflict_graph(family)
+        assert is_proper_coloring(conflict.adjacency(), coloring)
+        # C5 blow-up with h copies needs ceil(5h/2) colours
+        assert num_colors(coloring) == 10

@@ -1,0 +1,159 @@
+"""Tests for the UPP property and its structural consequences (Property 3, Lemma 4, Cor. 5)."""
+
+import pytest
+
+from repro.conflict.cliques import clique_number
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.dipaths.dipath import Dipath
+from repro.dipaths.family import DipathFamily
+from repro.exceptions import NotUPPError
+from repro.generators.families import random_walk_family
+from repro.generators.gadgets import (
+    figure3_dag,
+    havet_dag,
+    havet_family,
+    theorem2_gadget,
+)
+from repro.generators.pathological import pathological_dag
+from repro.generators.random_dags import random_upp_one_cycle_dag
+from repro.generators.trees import out_tree, random_out_tree
+from repro.graphs.dag import DAG
+from repro.upp.crossing import (
+    conflict_graph_has_no_k23,
+    crossing_lemma_holds,
+    intersection_position,
+)
+from repro.upp.helly import (
+    clique_common_arcs,
+    clique_number_equals_load,
+    helly_property_holds,
+    pairwise_intersection_is_interval,
+)
+from repro.upp.property_check import (
+    assert_upp,
+    find_upp_violation,
+    is_upp_dag,
+    upp_violation_witness_paths,
+)
+
+
+class TestUPPCheck:
+    def test_trees_are_upp(self):
+        assert is_upp_dag(out_tree(3, 3))
+        assert is_upp_dag(random_out_tree(30, seed=1))
+
+    def test_gadgets_are_upp(self):
+        assert is_upp_dag(theorem2_gadget(3))
+        assert is_upp_dag(havet_dag())
+
+    def test_diamond_is_not_upp(self):
+        dag = DAG(arcs=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        assert not is_upp_dag(dag)
+        assert find_upp_violation(dag) == ("s", "t")
+        p, q = upp_violation_witness_paths(dag)
+        assert p != q
+        assert p[0] == q[0] == "s" and p[-1] == q[-1] == "t"
+
+    def test_figure3_is_not_upp(self):
+        assert not is_upp_dag(figure3_dag())
+
+    def test_assert_upp(self):
+        assert_upp(out_tree(2, 2))
+        with pytest.raises(NotUPPError) as excinfo:
+            assert_upp(figure3_dag())
+        assert excinfo.value.pair is not None
+
+    def test_upp_dag_has_no_witness(self):
+        assert upp_violation_witness_paths(theorem2_gadget(2)) is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_generator_produces_upp(self, seed):
+        assert is_upp_dag(random_upp_one_cycle_dag(k=2, extra_depth=3, seed=seed))
+
+
+class TestHellyProperty:
+    def test_pairwise_single_interval(self):
+        p = Dipath(["a", "b", "c", "d", "e"])
+        q = Dipath(["x", "b", "c", "d", "y"])
+        assert pairwise_intersection_is_interval(p, q)
+
+    def test_pairwise_two_intervals_detected(self):
+        p = Dipath(["a", "b", "c", "d"])
+        q = Dipath(["z", "a", "b", "x", "c", "d"])
+        assert not pairwise_intersection_is_interval(p, q)
+
+    def test_clique_common_arcs(self, havet):
+        dag, family = havet
+        conflict = build_conflict_graph(family)
+        # indices 0 and 2 share the arc (a1, b1)
+        assert ("a1", "b1") in clique_common_arcs(family, [0, 2])
+        assert clique_common_arcs(family, []) == set()
+
+    def test_helly_on_upp_families(self, havet, figure5_k3):
+        for dag, family in (havet, figure5_k3):
+            assert helly_property_holds(family)
+            assert clique_number_equals_load(family)
+
+    def test_helly_can_fail_without_upp(self):
+        # Figure 1 instances: pairwise conflicting but no common arc for k >= 3
+        from repro.generators.pathological import pathological_family
+
+        family = pathological_family(4)
+        assert not helly_property_holds(family)
+        # and the clique number (= k) exceeds the load (= 2)
+        assert clique_number(build_conflict_graph(family)) == 4
+        assert family.load() == 2
+        assert not clique_number_equals_load(family)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_property3_on_random_upp_instances(self, seed):
+        dag = random_upp_one_cycle_dag(k=3, extra_depth=2, seed=seed)
+        family = random_walk_family(dag, 25, seed=seed, min_length=2)
+        assert clique_number_equals_load(family)
+        assert helly_property_holds(family)
+
+
+class TestCrossingLemmaAndK23:
+    def test_intersection_position(self):
+        p = Dipath(["a", "b", "c", "d"])
+        q = Dipath(["x", "c", "d", "y"])
+        assert intersection_position(p, q) == 2
+        assert intersection_position(q, p) == 1
+        assert intersection_position(p, Dipath(["u", "v"])) is None
+
+    def test_crossing_lemma_on_upp_families(self, havet, figure5_k3):
+        for dag, family in (havet, figure5_k3):
+            assert crossing_lemma_holds(family)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_k23_on_random_upp_instances(self, seed):
+        dag = random_upp_one_cycle_dag(k=3, extra_depth=2, seed=seed)
+        family = random_walk_family(dag, 25, seed=seed, min_length=2)
+        assert conflict_graph_has_no_k23(family)
+
+    def test_k23_possible_without_upp(self):
+        # A crossing pattern: two "vertical" dipaths Q1, Q2 each sharing one
+        # dedicated arc with each of three pairwise-disjoint "horizontal"
+        # dipaths P1, P2, P3.  The resulting digraph is not UPP and the
+        # conflict graph is an induced K_{2,3}.
+        def x(i, j):
+            return ("x", i, j)
+
+        def y(i, j):
+            return ("y", i, j)
+
+        arcs = []
+        p_paths, q_paths = [], []
+        for j in (1, 2, 3):
+            path = [("a", j), x(1, j), y(1, j), x(2, j), y(2, j), ("b", j)]
+            p_paths.append(path)
+            arcs += list(zip(path, path[1:]))
+        for i in (1, 2):
+            path = [("c", i), x(i, 1), y(i, 1), x(i, 2), y(i, 2),
+                    x(i, 3), y(i, 3), ("d", i)]
+            q_paths.append(path)
+            arcs += list(zip(path, path[1:]))
+        dag = DAG(arcs=arcs)
+        family = DipathFamily(p_paths + q_paths, graph=dag)
+        assert not is_upp_dag(dag)
+        assert not conflict_graph_has_no_k23(family)

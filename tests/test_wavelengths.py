@@ -1,0 +1,120 @@
+"""Tests for the wavelength-assignment front-end (:mod:`repro.core.wavelengths`)."""
+
+import pytest
+
+from repro.coloring.verify import is_proper_coloring
+from repro.conflict.conflict_graph import build_conflict_graph
+from repro.core.load import load, load_of_arc, load_per_arc, maximum_load_arcs
+from repro.core.wavelengths import (
+    WavelengthSolution,
+    assign_wavelengths,
+    wavelength_lower_bounds,
+    wavelength_number,
+)
+from repro.dipaths.family import DipathFamily
+from repro.exceptions import InternalCycleError, InvalidDipathError
+from repro.generators.gadgets import figure3_instance, havet_instance
+from repro.generators.pathological import pathological_instance
+
+
+class TestLoadWrappers:
+    def test_load(self, simple_dag, simple_family):
+        assert load(simple_dag, simple_family) == 3
+        assert load(None, simple_family) == 3
+        assert load(simple_dag, simple_family, validate=True) == 3
+
+    def test_load_validation_failure(self, simple_dag):
+        family = DipathFamily([["x", "y"]])
+        with pytest.raises(InvalidDipathError):
+            load(simple_dag, family, validate=True)
+
+    def test_load_helpers(self, simple_family):
+        assert load_of_arc(simple_family, ("c", "d")) == 3
+        assert load_per_arc(simple_family)[("b", "c")] == 2
+        assert maximum_load_arcs(simple_family) == [("c", "d")]
+
+    def test_empty_family(self, simple_dag):
+        assert load(simple_dag, DipathFamily()) == 0
+
+
+class TestAssignWavelengths:
+    def test_methods_all_proper(self, simple_dag, simple_family):
+        adjacency = build_conflict_graph(simple_family).adjacency()
+        for method in ("auto", "theorem1", "exact", "dsatur", "greedy"):
+            solution = assign_wavelengths(simple_dag, simple_family, method=method)
+            assert isinstance(solution, WavelengthSolution)
+            assert is_proper_coloring(adjacency, solution.coloring)
+            assert solution.num_wavelengths >= solution.load == 3
+
+    def test_theorem1_and_exact_are_optimal(self, simple_dag, simple_family):
+        t1 = assign_wavelengths(simple_dag, simple_family, method="theorem1")
+        ex = assign_wavelengths(simple_dag, simple_family, method="exact")
+        assert t1.num_wavelengths == ex.num_wavelengths == 3
+        assert t1.optimal and ex.optimal
+
+    def test_unknown_method(self, simple_dag, simple_family):
+        with pytest.raises(ValueError):
+            assign_wavelengths(simple_dag, simple_family, method="bogus")  # type: ignore[arg-type]
+
+    def test_theorem1_rejected_on_internal_cycle(self):
+        dag, family = figure3_instance()
+        with pytest.raises(InternalCycleError):
+            assign_wavelengths(dag, family, method="theorem1")
+
+    def test_auto_on_figure3_is_exact(self):
+        dag, family = figure3_instance()
+        solution = assign_wavelengths(dag, family, method="auto")
+        assert solution.num_wavelengths == 3
+        assert solution.method == "exact"
+
+    def test_auto_on_internal_cycle_free_uses_theorem1(self, simple_dag,
+                                                       simple_family):
+        solution = assign_wavelengths(simple_dag, simple_family, method="auto")
+        assert solution.method == "theorem1"
+        assert solution.num_wavelengths == 3
+
+    def test_auto_on_havet_uses_theorem6(self):
+        dag, family = havet_instance(2)
+        solution = assign_wavelengths(dag, family, method="auto")
+        assert solution.method == "theorem6"
+        assert solution.num_wavelengths == 6
+
+    def test_empty_family_solution(self, simple_dag):
+        solution = assign_wavelengths(simple_dag, DipathFamily())
+        assert solution.num_wavelengths == 0
+        assert solution.coloring == {}
+        assert solution.optimal
+
+    def test_wavelength_of_accessor(self, simple_dag, simple_family):
+        solution = assign_wavelengths(simple_dag, simple_family)
+        assert solution.wavelength_of(0) == solution.coloring[0]
+
+
+class TestWavelengthNumber:
+    def test_figure1_values(self):
+        for k in (2, 3, 5):
+            dag, family = pathological_instance(k)
+            assert load(dag, family) == 2
+            assert wavelength_number(dag, family, method="exact") == k
+
+    def test_equality_on_internal_cycle_free(self, simple_dag, simple_family):
+        assert wavelength_number(simple_dag, simple_family) == 3
+
+    def test_heuristics_upper_bound_exact(self, simple_dag, simple_family):
+        exact = wavelength_number(simple_dag, simple_family, method="exact")
+        for method in ("dsatur", "greedy"):
+            assert wavelength_number(simple_dag, simple_family, method=method) >= exact
+
+
+class TestLowerBounds:
+    def test_bounds_on_figure3(self):
+        dag, family = figure3_instance()
+        bounds = wavelength_lower_bounds(dag, family)
+        assert bounds["load"] == 2
+        assert bounds["clique"] == 2
+
+    def test_clique_can_exceed_load(self):
+        dag, family = pathological_instance(4)
+        bounds = wavelength_lower_bounds(dag, family)
+        assert bounds["load"] == 2
+        assert bounds["clique"] == 4
