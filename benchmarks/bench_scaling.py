@@ -1,0 +1,28 @@
+"""E12 — bitset conflict engine: old-vs-new scaling on 500+ dipath families.
+
+Times the frozen seed engine (``repro.conflict.baseline``) against the
+bitset engine on the three scaling scenarios (random-DAG walks, Theorem 7
+Havet blow-up, replicated multiset) and asserts the tentpole target: at
+least a 5x speedup on conflict-graph build + DSATUR, with both engines
+agreeing on the edge set and the number of colours.
+
+``scripts/bench_report.py`` runs the same scenarios from the command line
+and records them in ``BENCH_conflict_engine.json``.
+"""
+
+from repro.analysis.bench_scaling import SPEEDUP_TARGET, run_scaling_benchmark
+from .conftest import report
+
+COLUMNS = ("scenario", "num_dipaths", "num_edges", "legacy_total_s",
+           "new_total_s", "speedup_build", "speedup_total")
+
+
+def test_bitset_engine_scaling(benchmark, run_once):
+    records = run_once(benchmark, run_scaling_benchmark, 3)
+    report(records, columns=COLUMNS,
+           title="E12 / bitset conflict engine — build + DSATUR, old vs new")
+    assert all(r["num_dipaths"] >= 500 for r in records)
+    assert all(r["edges_equal"] for r in records)
+    assert all(r["colors_equal"] for r in records)
+    assert all(r["speedup_total"] >= SPEEDUP_TARGET for r in records), \
+        [(r["scenario"], r["speedup_total"]) for r in records]

@@ -1,0 +1,95 @@
+"""Benchmark runner/regression gate for the bitset conflict engine.
+
+Runs the scaling scenarios of :mod:`repro.analysis.bench_scaling` (seed
+engine vs bitset engine on 500+ dipath families) and either records the
+results or checks them against the recorded baseline:
+
+    python scripts/bench_report.py                 # run + write the report
+    python scripts/bench_report.py --check         # run + fail on regression
+    python scripts/bench_report.py --quick         # fewer repeats (noisier)
+
+The report is written to ``BENCH_conflict_engine.json`` at the repository
+root (override with ``--output``).  ``--check`` exits non-zero when the
+bitset engine is more than 20% slower than the recorded baseline on any
+scenario, or when the two engines disagree on edges/colours — this is the
+gate ``scripts/run_all_experiments.py`` runs at the end of the experiment
+sweep.  See PERFORMANCE.md for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.bench_scaling import (
+    benchmark_document,
+    check_against_baseline,
+    run_scaling_benchmark,
+    speedup_problems,
+)
+
+DEFAULT_REPORT = Path(__file__).resolve().parents[1] / "BENCH_conflict_engine.json"
+
+
+def _print_records(records) -> None:
+    header = (f"{'scenario':28s} {'n':>5s} {'edges':>7s} "
+              f"{'legacy(ms)':>11s} {'new(ms)':>9s} {'speedup':>8s}")
+    print(header)
+    print("-" * len(header))
+    for r in records:
+        print(f"{r['scenario']:28s} {r['num_dipaths']:5d} {r['num_edges']:7d} "
+              f"{r['legacy_total_s'] * 1000:11.2f} {r['new_total_s'] * 1000:9.2f} "
+              f"{r['speedup_total']:7.1f}x")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the seed vs bitset conflict engine and record/check "
+                    "BENCH_conflict_engine.json")
+    parser.add_argument("--output", type=Path, default=DEFAULT_REPORT,
+                        help="report path (default: repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the recorded report instead of "
+                             "overwriting it; exit 1 on >20%% regression")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed slowdown vs the recorded baseline "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer timing repeats (faster, noisier; not "
+                             "recommended together with --check)")
+    args = parser.parse_args(argv)
+
+    repeats = 2 if args.quick else 3
+    records = run_scaling_benchmark(repeats=repeats)
+    _print_records(records)
+
+    slow = speedup_problems(records)
+    for problem in slow:
+        print(f"!! {problem}")
+
+    if args.check:
+        if not args.output.exists():
+            print(f"!! no recorded baseline at {args.output}; "
+                  f"run without --check first")
+            return 1
+        baseline = json.loads(args.output.read_text())
+        problems = check_against_baseline(records, baseline,
+                                          tolerance=args.tolerance)
+        for problem in problems:
+            print(f"!! regression: {problem}")
+        if problems or slow:
+            return 1
+        print(f"bitset engine within {args.tolerance:.0%} of the recorded "
+              f"baseline ({args.output})")
+        return 0
+
+    args.output.write_text(
+        json.dumps(benchmark_document(records, repeats), indent=2) + "\n")
+    print(f"report written to {args.output}")
+    return 1 if slow else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

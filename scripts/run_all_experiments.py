@@ -11,10 +11,16 @@ Usage:
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from pathlib import Path
 
+from repro.analysis.bench_scaling import (
+    check_against_baseline,
+    run_scaling_benchmark,
+    speedup_problems,
+)
 from repro.analysis import (
     algorithm_comparison_experiment,
     certificate_experiment,
@@ -76,6 +82,27 @@ def main() -> int:
                 if flag in record and not record[flag]:
                     failures += 1
                     print(f"!! {key}: claim flag {flag} is False in {record}")
+    # Final gate: the bitset conflict engine must stay within 20% of the
+    # recorded BENCH_conflict_engine.json baseline (see PERFORMANCE.md and
+    # scripts/bench_report.py).
+    bench_path = Path(__file__).resolve().parents[1] / "BENCH_conflict_engine.json"
+    if bench_path.exists():
+        print()
+        print("E12: bitset conflict engine vs recorded baseline ...")
+        records = run_scaling_benchmark(repeats=3)
+        problems = check_against_baseline(
+            records, json.loads(bench_path.read_text()))
+        problems += speedup_problems(records)
+        for problem in problems:
+            failures += 1
+            print(f"!! bench regression: {problem}")
+        if not problems:
+            print("   within tolerance "
+                  + ", ".join(f"{r['scenario']}={r['speedup_total']:.1f}x"
+                              for r in records))
+    else:
+        print(f"(no {bench_path.name}; run scripts/bench_report.py to record one)")
+
     print()
     print(f"reports written to {output_dir}/ "
           f"({'all claims verified' if failures == 0 else f'{failures} violations'})")

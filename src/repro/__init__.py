@@ -19,6 +19,12 @@ lives in the subpackages:
 * :mod:`repro.parallel`   — parallel experiment execution;
 * :mod:`repro.analysis`   — experiment drivers, metrics and tables.
 
+The conflict/colouring pipeline is bitset-backed: arcs are interned to
+dense ids, conflict-graph adjacency lives in integer bitmasks, and the
+clique/colouring algorithms run directly on them.  See ``PERFORMANCE.md``
+at the repository root for the representation, its read-only-view
+contracts, and the ``BENCH_conflict_engine.json`` scaling benchmark.
+
 Quickstart
 ----------
 >>> from repro import DAG, DipathFamily, load, wavelength_number

@@ -1,0 +1,232 @@
+"""Old-vs-new scaling benchmark for the conflict-graph engine.
+
+Times the two pipelines — the frozen seed reference engine
+(:mod:`repro.conflict.baseline`: dict-of-sets adjacency, set-based DSATUR)
+against the bitset engine (cached conflict masks →
+:func:`~repro.conflict.build_conflict_graph` → mask DSATUR) — on generator
+families of 500+ dipaths: random-DAG random walks, Theorem 7 Havet-gadget
+blow-ups and ``replicate(h)`` multisets of random families.
+
+Consumed by ``benchmarks/bench_scaling.py`` (pytest harness asserting the
+speedup target) and ``scripts/bench_report.py`` (writes/checks
+``BENCH_conflict_engine.json`` so the perf trajectory is tracked across PRs).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..conflict.baseline import (
+    baseline_adjacency,
+    baseline_arc_index,
+    baseline_conflicting_pairs,
+    baseline_dsatur_coloring,
+)
+from ..conflict.conflict_graph import build_conflict_graph
+from ..coloring.dsatur import dsatur_coloring
+from ..dipaths.family import DipathFamily
+from ..generators.families import random_walk_family
+from ..generators.gadgets import havet_family
+from ..generators.random_dags import random_dag
+
+__all__ = [
+    "SCENARIOS",
+    "build_scenario",
+    "measure_scenario",
+    "run_scaling_benchmark",
+    "benchmark_document",
+    "check_against_baseline",
+    "speedup_problems",
+    "SPEEDUP_TARGET",
+]
+
+#: The tentpole target: the bitset engine must be at least this many times
+#: faster than the seed engine on build + DSATUR for families of >= 500
+#: dipaths (asserted by ``benchmarks/bench_scaling.py``).
+SPEEDUP_TARGET = 5.0
+
+ScenarioBuilder = Callable[[], DipathFamily]
+
+
+def _random_dag_walks() -> DipathFamily:
+    graph = random_dag(48, 0.12, seed=20260730)
+    return random_walk_family(graph, 800, seed=7)
+
+
+def _havet_blowup() -> DipathFamily:
+    # Theorem 7 gadget scaled the way the paper does: every dipath of the
+    # 8-dipath Havet family replaced by h identical copies.
+    return havet_family(64)
+
+
+def _replicated_multiset() -> DipathFamily:
+    graph = random_dag(32, 0.16, seed=99)
+    base = random_walk_family(graph, 26, seed=3)
+    return base.replicate(20)
+
+
+SCENARIOS: Dict[str, ScenarioBuilder] = {
+    "random-dag-walks": _random_dag_walks,
+    "havet-blowup-h64": _havet_blowup,
+    "replicated-multiset-x20": _replicated_multiset,
+}
+
+
+def build_scenario(name: str) -> DipathFamily:
+    """Materialise the named scenario family (deterministic seeds)."""
+    return SCENARIOS[name]()
+
+
+#: One timed run: (build seconds, colour seconds, colours used, edge count).
+RunSample = Tuple[float, float, int, int]
+
+
+def _best_of(repeats: int, fn: Callable[[], RunSample]) -> RunSample:
+    """Run ``fn`` ``repeats`` times, keep the run with the smallest total time."""
+    best: Optional[RunSample] = None
+    for _ in range(repeats):
+        sample = fn()
+        if best is None or sample[0] + sample[1] < best[0] + best[1]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def measure_scenario(name: str, family: DipathFamily, repeats: int = 3
+                     ) -> Dict[str, object]:
+    """Time legacy vs bitset build+DSATUR on ``family``; return one record.
+
+    Both engines start from equivalent preconditions: the legacy engine gets
+    a prebuilt per-arc index (the seed maintained it incrementally in
+    ``add``), the bitset engine a fresh ``family.copy()`` per run so its
+    conflict-mask cache is cold inside the timed region.
+    """
+    n = len(family)
+
+    legacy_index = baseline_arc_index(family)
+
+    def run_legacy() -> RunSample:
+        t0 = time.perf_counter()
+        adjacency = baseline_adjacency(
+            n, baseline_conflicting_pairs(legacy_index))
+        t1 = time.perf_counter()
+        coloring = baseline_dsatur_coloring(adjacency)
+        t2 = time.perf_counter()
+        return (t1 - t0, t2 - t1, len(set(coloring.values())),
+                sum(len(s) for s in adjacency.values()) // 2)
+
+    def run_new() -> RunSample:
+        fresh = family.copy()   # cold conflict-mask cache
+        t0 = time.perf_counter()
+        conflict = build_conflict_graph(fresh)
+        t1 = time.perf_counter()
+        coloring = dsatur_coloring(conflict)
+        t2 = time.perf_counter()
+        return (t1 - t0, t2 - t1, len(set(coloring.values())),
+                conflict.num_edges)
+
+    legacy_build, legacy_color, legacy_colors, legacy_edges = \
+        _best_of(repeats, run_legacy)
+    new_build, new_color, new_colors, new_edges = _best_of(repeats, run_new)
+    legacy_total = legacy_build + legacy_color
+    new_total = new_build + new_color
+    return {
+        "scenario": name,
+        "num_dipaths": n,
+        "num_edges": new_edges,
+        "legacy_build_s": legacy_build,
+        "legacy_color_s": legacy_color,
+        "legacy_total_s": legacy_total,
+        "new_build_s": new_build,
+        "new_color_s": new_color,
+        "new_total_s": new_total,
+        "speedup_build": legacy_build / new_build if new_build else float("inf"),
+        "speedup_total": legacy_total / new_total if new_total else float("inf"),
+        "edges_equal": new_edges == legacy_edges,
+        "colors_equal": new_colors == legacy_colors,
+    }
+
+
+def run_scaling_benchmark(repeats: int = 3,
+                          scenarios: Optional[Sequence[str]] = None
+                          ) -> List[Dict[str, object]]:
+    """Run every (or the selected) scenario and return the records."""
+    names = list(SCENARIOS) if scenarios is None else list(scenarios)
+    records = []
+    for name in names:
+        family = build_scenario(name)
+        records.append(measure_scenario(name, family, repeats=repeats))
+    return records
+
+
+def benchmark_document(records: List[Dict[str, object]], repeats: int
+                       ) -> Dict[str, object]:
+    """Wrap benchmark records in the ``BENCH_conflict_engine.json`` schema."""
+    return {
+        "benchmark": "conflict_engine_scaling",
+        "speedup_target": SPEEDUP_TARGET,
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "results": records,
+    }
+
+
+def speedup_problems(records: List[Dict[str, object]]) -> List[str]:
+    """Scenarios falling short of :data:`SPEEDUP_TARGET`, as messages.
+
+    Shared by ``scripts/bench_report.py`` and the E12 gate in
+    ``scripts/run_all_experiments.py`` so both enforce one policy.
+    """
+    return [
+        f"{r['scenario']}: speedup {r['speedup_total']:.1f}x is below the "
+        f"{SPEEDUP_TARGET:.0f}x target"
+        for r in records
+        if float(r["speedup_total"]) < SPEEDUP_TARGET]  # type: ignore[arg-type]
+
+
+def check_against_baseline(records: List[Dict[str, object]],
+                           baseline: Dict[str, object],
+                           tolerance: float = 0.20) -> List[str]:
+    """Compare a fresh run against a recorded baseline document.
+
+    A scenario regresses when the bitset engine is slower than the recorded
+    baseline by more than ``tolerance`` (default 20%) on *both* of two
+    complementary signals, or when the engines stop agreeing on
+    edges/colours.  The two signals:
+
+    * **absolute build+colour time**, with a 2 ms slack — recorded times are
+      a few milliseconds, where scheduler/CPU-frequency noise between
+      processes routinely exceeds 20% on its own;
+    * **speedup ratio** (legacy/new, both timed in the same process) — this
+      normalises away machine speed, so a uniformly slower host does not
+      trip the gate.
+
+    Same-machine timing noise trips at most one signal at a time; a real
+    regression (e.g. losing the O(words) build) trips both, and also the
+    separate :data:`SPEEDUP_TARGET` gate enforced by the benchmark runners.
+    """
+    recorded = {r["scenario"]: r for r in baseline.get("results", [])}
+    problems: List[str] = []
+    for record in records:
+        name = record["scenario"]
+        base = recorded.get(name)
+        if base is None:
+            continue
+        current = float(record["new_total_s"])       # type: ignore[arg-type]
+        allowed = float(base["new_total_s"]) * (1.0 + tolerance) + 0.002  # type: ignore[arg-type]
+        ratio = float(record["speedup_total"])       # type: ignore[arg-type]
+        ratio_floor = float(base["speedup_total"]) / (1.0 + tolerance)  # type: ignore[arg-type]
+        if current > allowed and ratio < ratio_floor:
+            problems.append(
+                f"{name}: bitset engine took {current * 1000:.2f}ms (recorded "
+                f"{float(base['new_total_s']) * 1000:.2f}ms) and its speedup "  # type: ignore[arg-type]
+                f"fell to {ratio:.1f}x (recorded "
+                f"{base['speedup_total']:.1f}x) — beyond {tolerance:.0%} on both")
+        if not record["edges_equal"] or not record["colors_equal"]:
+            problems.append(
+                f"{name}: engines disagree "
+                f"(edges_equal={record['edges_equal']}, "
+                f"colors_equal={record['colors_equal']})")
+    return problems

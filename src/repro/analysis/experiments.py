@@ -75,7 +75,7 @@ def figure1_experiment(k_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10, 12)
         dag, family = pathological_instance(k)
         pi = _load(dag, family)
         conflict = build_conflict_graph(family)
-        w = chromatic_number(conflict.adjacency())
+        w = chromatic_number(conflict)
         records.append({
             "k": k,
             "load": pi,
@@ -97,7 +97,7 @@ def figure3_experiment() -> List[Dict[str, object]]:
     return [{
         "num_dipaths": len(family),
         "load": _load(dag, family),
-        "w": chromatic_number(conflict.adjacency()),
+        "w": chromatic_number(conflict),
         "conflict_is_C5": conflict.is_cycle_graph() and conflict.num_vertices == 5,
         "has_internal_cycle": has_internal_cycle(dag),
         "is_upp": is_upp_dag(dag),
@@ -159,7 +159,7 @@ def theorem2_experiment(k_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10)
             "k": k,
             "num_dipaths": len(family),
             "load": _load(dag, family),
-            "w": chromatic_number(conflict.adjacency()),
+            "w": chromatic_number(conflict),
             "conflict_is_odd_cycle": conflict.is_cycle_graph()
             and conflict.num_vertices == 2 * k + 1,
             "is_upp": is_upp_dag(dag),
@@ -295,7 +295,7 @@ def theorem7_experiment(h_values: Sequence[int] = (1, 2, 3, 4, 6, 8),
         pi = _load(base_dag, family)
         expected = math.ceil(8 * h / 3)
         if h <= exact_limit:
-            w = chromatic_number(build_conflict_graph(family).adjacency())
+            w = chromatic_number(build_conflict_graph(family))
             method = "exact"
         else:
             w = blowup_chromatic_number(base_conflict, h)

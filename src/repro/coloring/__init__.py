@@ -1,13 +1,21 @@
-"""Graph colouring toolbox (greedy, DSATUR, exact, Kempe chains)."""
+"""Graph colouring toolbox (greedy, DSATUR, exact, Kempe chains).
 
-from .dsatur import dsatur_coloring, dsatur_order
+Every front-end accepts either a generic adjacency mapping
+(``Dict[vertex, Set[vertex]]``) or a :class:`~repro.conflict.ConflictGraph`
+directly — the latter skips the set decoding and feeds the graph's bitmasks
+straight into the mask cores (``*_masks`` variants).
+"""
+
+from .dsatur import dsatur_coloring, dsatur_coloring_masks, dsatur_order
 from .exact import (
     chromatic_number,
     greedy_clique_lower_bound,
     is_k_colorable,
+    is_k_colorable_masks,
     optimal_coloring,
 )
-from .greedy import greedy_coloring
+from .greedy import greedy_coloring, greedy_coloring_masks
+from .masks import as_dense_masks
 from .kempe import kempe_component, kempe_swap, kempe_swap_component
 from .verify import (
     assert_proper_coloring,
@@ -18,14 +26,18 @@ from .verify import (
 )
 
 __all__ = [
+    "as_dense_masks",
     "assert_proper_coloring",
     "chromatic_number",
     "color_classes",
     "dsatur_coloring",
+    "dsatur_coloring_masks",
     "dsatur_order",
     "greedy_clique_lower_bound",
     "greedy_coloring",
+    "greedy_coloring_masks",
     "is_k_colorable",
+    "is_k_colorable_masks",
     "is_proper_coloring",
     "kempe_component",
     "kempe_swap",

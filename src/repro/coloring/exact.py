@@ -11,57 +11,101 @@ experiments are small enough for an exact branch-and-bound solver:
   most saturated uncoloured vertex first and breaking colour symmetry by
   allowing at most one "fresh" colour per step.
 
-The solver is deliberately independent of the Theorem 1 machinery so that
-``w = pi`` can be *verified* rather than assumed in tests and benchmarks.
+The search state lives in bitmasks (one neighbour mask per vertex, one
+*neighbour-colour* mask per vertex), so branching, propagation and undo are
+integer operations.  The solver is deliberately independent of the Theorem 1
+machinery so that ``w = pi`` can be *verified* rather than assumed in tests
+and benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence
 
-from .dsatur import dsatur_coloring
-from .verify import Adjacency, num_colors
+from .._bitops import grow_clique, iter_bits
+from .dsatur import dsatur_coloring_masks
+from .masks import GraphLike, as_dense_masks
+from .verify import num_colors
 
 __all__ = [
     "chromatic_number",
     "optimal_coloring",
     "is_k_colorable",
+    "is_k_colorable_masks",
     "greedy_clique_lower_bound",
 ]
 
 
-def greedy_clique_lower_bound(adjacency: Adjacency) -> int:
-    """Size of a greedily grown clique (a lower bound on the chromatic number)."""
-    if not adjacency:
+def _greedy_clique_masks(masks: Sequence[int]) -> int:
+    """Size of a greedily grown clique over dense masks."""
+    n = len(masks)
+    if n == 0:
         return 0
-    best = 1
     # Try a few starting vertices (highest degrees) to strengthen the bound.
-    starts = sorted(adjacency, key=lambda v: len(adjacency[v]), reverse=True)[:8]
-    for start in starts:
-        clique = {start}
-        candidates = set(adjacency[start])
-        while candidates:
-            v = max(candidates, key=lambda u: len(adjacency[u] & candidates))
-            clique.add(v)
-            candidates &= adjacency[v]
-        best = max(best, len(clique))
-    return best
+    starts = sorted(range(n), key=lambda v: masks[v].bit_count(),
+                    reverse=True)[:8]
+    return max(grow_clique(masks, start).bit_count() for start in starts)
 
 
-def _prepare(adjacency: Adjacency) -> Tuple[List[Hashable], List[Set[int]]]:
-    """Relabel vertices as ``0..n-1`` and build integer adjacency."""
-    vertices = list(adjacency)
-    index = {v: i for i, v in enumerate(vertices)}
-    int_adj: List[Set[int]] = [set() for _ in vertices]
-    for v, nbrs in adjacency.items():
-        vi = index[v]
-        for w in nbrs:
-            if w in index:
-                int_adj[vi].add(index[w])
-    return vertices, int_adj
+def greedy_clique_lower_bound(adjacency: GraphLike) -> int:
+    """Size of a greedily grown clique (a lower bound on the chromatic number)."""
+    _, masks = as_dense_masks(adjacency)
+    return _greedy_clique_masks(masks)
 
 
-def is_k_colorable(adjacency: Adjacency, k: int
+def is_k_colorable_masks(masks: Sequence[int], k: int) -> Optional[List[int]]:
+    """A proper colouring of dense masks with at most ``k`` colours, or ``None``."""
+    n = len(masks)
+    if n == 0:
+        return []
+    if k == 0:
+        return None
+    colors = [-1] * n
+    degrees = [m.bit_count() for m in masks]
+    neighbour_colors = [0] * n                 # colour masks
+
+    def choose_vertex() -> int:
+        best_v, best_key = -1, (-1, -1)
+        for v in range(n):
+            if colors[v] != -1:
+                continue
+            key = (neighbour_colors[v].bit_count(), degrees[v])
+            if key > best_key:
+                best_key, best_v = key, v
+        return best_v
+
+    def backtrack(num_colored: int, max_used: int) -> bool:
+        if num_colored == n:
+            return True
+        v = choose_vertex()
+        forbidden = neighbour_colors[v]
+        if forbidden.bit_count() >= k:
+            return False
+        # allow existing colours plus at most one fresh colour
+        allowed = ~forbidden & ((1 << min(max_used + 2, k)) - 1)
+        while allowed:
+            low = allowed & -allowed
+            allowed ^= low
+            c = low.bit_length() - 1
+            colors[v] = c
+            touched = 0
+            for w in iter_bits(masks[v]):
+                if colors[w] == -1 and not (neighbour_colors[w] & low):
+                    neighbour_colors[w] |= low
+                    touched |= 1 << w
+            if backtrack(num_colored + 1, max(max_used, c)):
+                return True
+            colors[v] = -1
+            for w in iter_bits(touched):
+                neighbour_colors[w] &= ~low
+        return False
+
+    if not backtrack(0, -1):
+        return None
+    return colors
+
+
+def is_k_colorable(adjacency: GraphLike, k: int
                    ) -> Optional[Dict[Hashable, int]]:
     """Return a proper colouring with at most ``k`` colours, or ``None``.
 
@@ -71,76 +115,37 @@ def is_k_colorable(adjacency: Adjacency, k: int
     """
     if k < 0:
         raise ValueError("k must be non-negative")
-    vertices, int_adj = _prepare(adjacency)
-    n = len(vertices)
-    if n == 0:
-        return {}
-    if k == 0:
+    labels, masks = as_dense_masks(adjacency)
+    colors = is_k_colorable_masks(masks, k)
+    if colors is None:
         return None
-    colors: List[int] = [-1] * n
-    neighbour_colors: List[Set[int]] = [set() for _ in range(n)]
-
-    def choose_vertex() -> int:
-        best_v, best_key = -1, (-1, -1)
-        for v in range(n):
-            if colors[v] != -1:
-                continue
-            key = (len(neighbour_colors[v]), len(int_adj[v]))
-            if key > best_key:
-                best_key, best_v = key, v
-        return best_v
-
-    def backtrack(num_colored: int, max_used: int) -> bool:
-        if num_colored == n:
-            return True
-        v = choose_vertex()
-        if len(neighbour_colors[v]) >= k:
-            return False
-        # allow existing colours plus at most one fresh colour
-        allowed = [c for c in range(min(max_used + 2, k))
-                   if c not in neighbour_colors[v]]
-        for c in allowed:
-            colors[v] = c
-            touched: List[int] = []
-            for w in int_adj[v]:
-                if colors[w] == -1 and c not in neighbour_colors[w]:
-                    neighbour_colors[w].add(c)
-                    touched.append(w)
-            if backtrack(num_colored + 1, max(max_used, c)):
-                return True
-            colors[v] = -1
-            for w in touched:
-                neighbour_colors[w].discard(c)
-        return False
-
-    if not backtrack(0, -1):
-        return None
-    return {vertices[i]: colors[i] for i in range(n)}
+    return {labels[i]: colors[i] for i in range(len(labels))}
 
 
-def optimal_coloring(adjacency: Adjacency) -> Dict[Hashable, int]:
+def optimal_coloring(adjacency: GraphLike) -> Dict[Hashable, int]:
     """An optimal (minimum-colour) proper colouring.
 
     Starts from the DSATUR upper bound and the greedy-clique lower bound and
     closes the gap by solving ``k``-colourability downward from the upper
     bound.
     """
-    if not adjacency:
+    labels, masks = as_dense_masks(adjacency)
+    if not labels:
         return {}
-    upper_coloring = dsatur_coloring(adjacency)
-    upper = num_colors(upper_coloring)
-    lower = greedy_clique_lower_bound(adjacency)
-    best = upper_coloring
+    upper_colors, order = dsatur_coloring_masks(masks)
+    best = {labels[i]: upper_colors[i] for i in order}
+    upper = len(set(upper_colors))
+    lower = _greedy_clique_masks(masks)
     k = upper - 1
     while k >= lower:
-        attempt = is_k_colorable(adjacency, k)
+        attempt = is_k_colorable_masks(masks, k)
         if attempt is None:
             break
-        best = attempt
-        k = num_colors(attempt) - 1
+        best = {labels[i]: attempt[i] for i in range(len(labels))}
+        k = len(set(attempt)) - 1
     return best
 
 
-def chromatic_number(adjacency: Adjacency) -> int:
+def chromatic_number(adjacency: GraphLike) -> int:
     """The chromatic number of the graph given by ``adjacency``."""
     return num_colors(optimal_coloring(adjacency))

@@ -3,50 +3,79 @@
 Greedy colouring with various vertex orders provides the baseline wavelength
 assignment against which the paper's optimal (Theorem 1) and 4/3-approximate
 (Theorem 6) algorithms are compared in the benchmark harness.
+
+The core runs on dense bitmasks (see :mod:`repro.coloring.masks`): each
+vertex keeps a *forbidden-colour* mask updated as its neighbours are
+coloured, so picking the smallest available colour is one bit-trick instead
+of a set comprehension over the neighbourhood.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, List, Literal, Mapping, Optional, Sequence, Set
+from typing import Dict, Hashable, List, Literal, Optional, Sequence
 
-from .verify import Adjacency
+from .._bitops import iter_bits, lowest_missing_bit
+from .masks import GraphLike, as_dense_masks
 
-__all__ = ["greedy_coloring", "GreedyOrder"]
+__all__ = ["greedy_coloring", "greedy_coloring_masks", "GreedyOrder"]
 
 GreedyOrder = Literal["given", "largest-first", "smallest-last", "random"]
 
 
-def _order_vertices(adjacency: Adjacency, strategy: GreedyOrder,
-                    rng: Optional[random.Random]) -> List[Hashable]:
-    vertices = list(adjacency)
+def _order_indices(masks: List[int], strategy: GreedyOrder,
+                   rng: Optional[random.Random]) -> List[int]:
+    n = len(masks)
+    indices = list(range(n))
     if strategy == "given":
-        return vertices
+        return indices
     if strategy == "largest-first":
-        return sorted(vertices, key=lambda v: len(adjacency[v]), reverse=True)
+        return sorted(indices, key=lambda v: masks[v].bit_count(), reverse=True)
     if strategy == "random":
         rng = rng or random.Random()
-        shuffled = list(vertices)
-        rng.shuffle(shuffled)
-        return shuffled
+        rng.shuffle(indices)
+        return indices
     if strategy == "smallest-last":
         # Repeatedly remove a vertex of minimum degree in the remaining graph;
         # colour in the reverse removal order (a.k.a. degeneracy ordering).
-        remaining: Dict[Hashable, Set[Hashable]] = {
-            v: set(nbrs) for v, nbrs in adjacency.items()}
-        removal: List[Hashable] = []
-        while remaining:
-            v = min(remaining, key=lambda u: len(remaining[u]))
-            removal.append(v)
-            for w in remaining[v]:
-                remaining[w].discard(v)
-            del remaining[v]
+        degrees = [m.bit_count() for m in masks]
+        alive = (1 << n) - 1
+        removal: List[int] = []
+        for _ in range(n):
+            best_v, best_d = -1, n + 1
+            rest = alive
+            while rest:
+                low = rest & -rest
+                v = low.bit_length() - 1
+                if degrees[v] < best_d:
+                    best_d, best_v = degrees[v], v
+                rest ^= low
+            removal.append(best_v)
+            alive &= ~(1 << best_v)
+            for w in iter_bits(masks[best_v] & alive):
+                degrees[w] -= 1
         removal.reverse()
         return removal
     raise ValueError(f"unknown greedy order {strategy!r}")
 
 
-def greedy_coloring(adjacency: Adjacency,
+def greedy_coloring_masks(masks: Sequence[int],
+                          order: Optional[Sequence[int]] = None) -> List[int]:
+    """Colour dense masks greedily; returns a colour per vertex index."""
+    n = len(masks)
+    order = range(n) if order is None else order
+    forbidden = [0] * n
+    colors = [-1] * n
+    for v in order:
+        c = lowest_missing_bit(forbidden[v])
+        colors[v] = c
+        bit = 1 << c
+        for w in iter_bits(masks[v]):
+            forbidden[w] |= bit
+    return colors
+
+
+def greedy_coloring(adjacency: GraphLike,
                     order: Optional[Sequence[Hashable]] = None,
                     strategy: GreedyOrder = "largest-first",
                     seed: Optional[int] = None) -> Dict[Hashable, int]:
@@ -55,7 +84,8 @@ def greedy_coloring(adjacency: Adjacency,
     Parameters
     ----------
     adjacency:
-        Mapping ``vertex -> set of neighbours``.
+        Mapping ``vertex -> set of neighbours`` or a
+        :class:`~repro.conflict.ConflictGraph`.
     order:
         Explicit vertex order; overrides ``strategy`` when given.
     strategy:
@@ -69,20 +99,17 @@ def greedy_coloring(adjacency: Adjacency,
     dict
         Mapping ``vertex -> colour`` with colours ``0..k-1``.
     """
+    labels, masks = as_dense_masks(adjacency)
     if order is None:
         rng = random.Random(seed) if seed is not None else None
-        order = _order_vertices(adjacency, strategy, rng)
+        index_order = _order_indices(masks, strategy, rng)
     else:
         order = list(order)
-        missing = set(adjacency) - set(order)
+        position = {v: i for i, v in enumerate(labels)}
+        missing = set(labels) - set(order)
         if missing:
             raise ValueError(f"order is missing vertices: {sorted(map(repr, missing))}")
+        index_order = [position[v] for v in order]
 
-    coloring: Dict[Hashable, int] = {}
-    for v in order:
-        used = {coloring[w] for w in adjacency[v] if w in coloring}
-        c = 0
-        while c in used:
-            c += 1
-        coloring[v] = c
-    return coloring
+    colors = greedy_coloring_masks(masks, index_order)
+    return {labels[i]: colors[i] for i in index_order}

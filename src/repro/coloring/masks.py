@@ -1,0 +1,74 @@
+"""Dense-bitmask adapter for the colouring algorithms.
+
+The colouring front-ends accept either a generic adjacency mapping
+(``Dict[vertex, Set[vertex]]``, any hashable vertices) or a
+:class:`~repro.conflict.ConflictGraph` (whose adjacency is already stored as
+integer bitmasks).  This module converts both to the *dense* representation
+the mask cores run on: vertices relabelled ``0..n-1`` and one neighbour
+bitmask per vertex.
+
+For a conflict graph whose labels are already ``0..n-1`` (the common case —
+graphs built by :func:`~repro.conflict.build_conflict_graph`) the conversion
+is a list copy of the existing masks; only induced subgraphs with sparse
+labels pay a re-indexing pass.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Mapping, Protocol, Tuple, Union
+
+from .._bitops import iter_bits
+from .verify import Adjacency
+
+__all__ = ["GraphLike", "SupportsAdjacencyMasks", "as_dense_masks"]
+
+
+class SupportsAdjacencyMasks(Protocol):
+    """Anything storing adjacency as vertex -> neighbour-bitmask
+    (``repro.conflict.ConflictGraph``)."""
+
+    def adjacency_masks(self) -> Mapping[int, int]: ...
+
+
+#: What the colouring front-ends accept: a generic adjacency mapping or any
+#: object exposing ``adjacency_masks()``.
+GraphLike = Union[Adjacency, SupportsAdjacencyMasks]
+
+
+def as_dense_masks(graph: GraphLike) -> Tuple[List[Hashable], List[int]]:
+    """Convert ``graph`` to ``(labels, masks)`` with vertices ``0..n-1``.
+
+    ``labels[i]`` is the original vertex of dense index ``i``; ``masks[i]``
+    has bit ``j`` set iff ``labels[i]`` and ``labels[j]`` are adjacent.
+    Neighbours outside the mapping are dropped (matching the historical
+    behaviour of the exact solver's ``_prepare``).
+    """
+    masks_getter = getattr(graph, "adjacency_masks", None)
+    if masks_getter is not None:
+        label_masks: Mapping[int, int] = masks_getter()
+        labels = sorted(label_masks)
+        n = len(labels)
+        if n == 0:
+            return [], []
+        if labels[-1] == n - 1:          # labels are exactly 0..n-1
+            return labels, [label_masks[v] for v in labels]
+        position = {v: i for i, v in enumerate(labels)}
+        dense: List[int] = []
+        for v in labels:
+            m = 0
+            for w in iter_bits(label_masks[v]):
+                m |= 1 << position[w]
+            dense.append(m)
+        return labels, dense
+
+    labels = list(graph)
+    position = {v: i for i, v in enumerate(labels)}
+    masks = [0] * len(labels)
+    for v, nbrs in graph.items():
+        m = 0
+        for w in nbrs:
+            j = position.get(w)
+            if j is not None:
+                m |= 1 << j
+        masks[position[v]] = m
+    return labels, masks

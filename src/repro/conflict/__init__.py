@@ -1,4 +1,10 @@
-"""Conflict graphs of dipath families, cliques and independent sets."""
+"""Conflict graphs of dipath families, cliques and independent sets.
+
+The engine is bitset-backed (see PERFORMANCE.md): adjacency lives in integer
+bitmasks and all algorithms run on them.  The pre-bitset reference
+implementation is preserved in :mod:`repro.conflict.baseline` for
+equivalence tests and benchmarking.
+"""
 
 from .cliques import (
     clique_number,

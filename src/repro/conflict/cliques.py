@@ -7,16 +7,20 @@ The paper uses two facts about cliques of the conflict graph:
 * for UPP-DAGs, Property 3 (Helly property) upgrades the first inequality to
   an equality: ``pi = omega``.
 
-The exact maximum-clique solver below is a standard branch-and-bound
-(Tomita-style pivoting with greedy colouring bound), perfectly adequate for
-the conflict graphs of the paper's gadgets and of the randomised experiments
-(tens to a few hundreds of vertices).
+All algorithms below operate directly on the graph's integer bitmasks
+(:meth:`~repro.conflict.ConflictGraph.adjacency_masks`): candidate sets,
+clique membership and greedy colour classes are single Python ints, so the
+inner loops are machine-word ``&``/``|`` operations instead of set algebra.
+The exact maximum-clique solver is a Tomita-style branch and bound with a
+greedy-colouring bound; maximal-clique enumeration is Bron–Kerbosch with
+pivoting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Set, Tuple
 
+from .._bitops import grow_clique, iter_bits, mask_of
 from .conflict_graph import ConflictGraph
 
 __all__ = [
@@ -29,13 +33,14 @@ __all__ = [
 
 
 def is_clique(graph: ConflictGraph, vertices: Set[int]) -> bool:
-    """Whether ``vertices`` induces a complete subgraph."""
-    verts = list(vertices)
-    for i, u in enumerate(verts):
-        for v in verts[i + 1:]:
-            if not graph.has_edge(u, v):
-                return False
-    return True
+    """Whether ``vertices`` induces a complete subgraph.
+
+    Vertices absent from the graph are treated as isolated (no edges), like
+    ``has_edge`` does.
+    """
+    mask = mask_of(vertices)
+    nbr = graph.adjacency_masks()
+    return all((nbr.get(v, 0) & mask) == mask ^ (1 << v) for v in vertices)
 
 
 def greedy_clique(graph: ConflictGraph) -> Set[int]:
@@ -44,83 +49,65 @@ def greedy_clique(graph: ConflictGraph) -> Set[int]:
     Used as the initial lower bound of the exact solver and as a cheap
     heuristic in its own right.
     """
-    if graph.num_vertices == 0:
+    nbr = graph.adjacency_masks()
+    if not nbr:
         return set()
-    adj = graph.adjacency()
-    start = max(adj, key=lambda v: len(adj[v]))
-    clique = {start}
-    candidates = set(adj[start])
-    while candidates:
-        v = max(candidates, key=lambda u: len(adj[u] & candidates))
-        clique.add(v)
-        candidates &= adj[v]
-    return clique
+    start = max(nbr, key=lambda v: nbr[v].bit_count())
+    return set(iter_bits(grow_clique(nbr, start)))
 
 
-def _coloring_bound(adj: Dict[int, Set[int]], candidates: List[int]) -> List[int]:
-    """Order candidates by greedy colour class; used as the B&B bound.
+def _color_sort(cand_mask: int, nbr: Dict[int, int]
+                ) -> Tuple[List[int], List[int]]:
+    """Greedy colour-class ordering of the candidate set (Tomita's bound).
 
-    Returns the candidates sorted so that the i-th vertex has greedy colour
-    number <= i (classic clique bound: a clique needs one colour per vertex).
+    Returns the candidate vertices sorted by colour class together with each
+    vertex's (1-based) class number: a clique inside ``order[:i+1]`` has at
+    most ``colors[i]`` vertices, which is the branch-and-bound cutoff.
     """
-    color_of: Dict[int, int] = {}
-    classes: List[Set[int]] = []
-    for v in sorted(candidates, key=lambda u: len(adj[u] & set(candidates)),
-                    reverse=True):
-        for c, cls in enumerate(classes):
-            if not (adj[v] & cls):
-                cls.add(v)
-                color_of[v] = c
-                break
-        else:
-            classes.append({v})
-            color_of[v] = len(classes) - 1
-    return sorted(candidates, key=lambda v: color_of[v])
+    order: List[int] = []
+    colors: List[int] = []
+    color = 0
+    rest = cand_mask
+    while rest:
+        color += 1
+        avail = rest
+        while avail:
+            low = avail & -avail
+            v = low.bit_length() - 1
+            order.append(v)
+            colors.append(color)
+            avail &= ~nbr[v] & ~low
+            rest ^= low
+    return order, colors
 
 
 def maximum_clique(graph: ConflictGraph) -> Set[int]:
-    """An exact maximum clique (branch and bound with colouring bound)."""
-    adj = graph.adjacency()
-    best: Set[int] = greedy_clique(graph)
+    """An exact maximum clique (Tomita-style branch and bound on bitmasks)."""
+    nbr = graph.adjacency_masks()
+    best = greedy_clique(graph)
+    best_size = len(best)
+    current: List[int] = []
 
-    def expand(current: Set[int], candidates: Set[int]) -> None:
-        nonlocal best
-        if not candidates:
-            if len(current) > len(best):
-                best = set(current)
-            return
-        ordered = _coloring_bound(adj, list(candidates))
-        # colour index of position i is <= i, so the bound for the suffix
-        # starting at i is (number of distinct colours in the suffix).
-        while ordered:
-            # Upper bound: current clique + number of colours among candidates.
-            colors_needed = _distinct_greedy_colors(adj, ordered)
-            if len(current) + colors_needed <= len(best):
+    def expand(cand_mask: int, r_size: int) -> None:
+        nonlocal best, best_size
+        order, colors = _color_sort(cand_mask, nbr)
+        for i in range(len(order) - 1, -1, -1):
+            if r_size + colors[i] <= best_size:
                 return
-            v = ordered.pop()  # vertex with the largest greedy colour
-            current.add(v)
-            expand(current, candidates & adj[v])
-            current.discard(v)
-            candidates.discard(v)
-            ordered = [u for u in ordered if u in candidates]
+            v = order[i]
+            current.append(v)
+            new_cand = cand_mask & nbr[v]
+            if new_cand:
+                expand(new_cand, r_size + 1)
+            elif r_size + 1 > best_size:
+                best_size = r_size + 1
+                best = set(current)
+            current.pop()
+            cand_mask &= ~(1 << v)
 
-    expand(set(), set(adj))
+    if nbr:
+        expand(graph.vertex_mask, 0)
     return best
-
-
-def _distinct_greedy_colors(adj: Dict[int, Set[int]], vertices: List[int]) -> int:
-    """Number of colours used by a greedy colouring of the induced subgraph."""
-    classes: List[Set[int]] = []
-    vertex_set = set(vertices)
-    for v in vertices:
-        nbrs = adj[v] & vertex_set
-        for cls in classes:
-            if not (nbrs & cls):
-                cls.add(v)
-                break
-        else:
-            classes.append({v})
-    return len(classes)
 
 
 def clique_number(graph: ConflictGraph) -> int:
@@ -130,28 +117,36 @@ def clique_number(graph: ConflictGraph) -> int:
 
 def maximal_cliques(graph: ConflictGraph, limit: int | None = None
                     ) -> List[FrozenSet[int]]:
-    """All maximal cliques (Bron–Kerbosch with pivoting).
+    """All maximal cliques (Bron–Kerbosch with pivoting, on bitmasks).
 
     ``limit`` bounds the number of cliques returned (the count can be
     exponential in pathological graphs).
     """
-    adj = graph.adjacency()
+    nbr = graph.adjacency_masks()
     out: List[FrozenSet[int]] = []
+    stack: List[int] = []
 
-    def bk(r: Set[int], p: Set[int], x: Set[int]) -> bool:
+    def bk(p_mask: int, x_mask: int) -> bool:
         if limit is not None and len(out) >= limit:
             return False
-        if not p and not x:
-            out.append(frozenset(r))
+        if not p_mask and not x_mask:
+            out.append(frozenset(stack))
             return limit is None or len(out) < limit
-        pivot_pool = p | x
-        pivot = max(pivot_pool, key=lambda v: len(adj[v] & p))
-        for v in list(p - adj[pivot]):
-            if not bk(r | {v}, p & adj[v], x & adj[v]):
+        pivot, best_count = -1, -1
+        for v in iter_bits(p_mask | x_mask):
+            count = (nbr[v] & p_mask).bit_count()
+            if count > best_count:
+                best_count, pivot = count, v
+        for v in iter_bits(p_mask & ~nbr[pivot]):
+            bit = 1 << v
+            stack.append(v)
+            ok = bk(p_mask & nbr[v], x_mask & nbr[v])
+            stack.pop()
+            if not ok:
                 return False
-            p.discard(v)
-            x.add(v)
+            p_mask &= ~bit
+            x_mask |= bit
         return True
 
-    bk(set(), set(adj), set())
+    bk(graph.vertex_mask, 0)
     return out

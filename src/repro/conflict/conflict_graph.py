@@ -9,30 +9,46 @@ equality for UPP-DAGs, Property 3).
 Vertices of the conflict graph are the *indices* of the family (0-based), so
 that identical dipaths appearing several times are distinct vertices — they
 are pairwise adjacent since they share all their arcs.
+
+Representation
+--------------
+Adjacency is stored as one Python-int *bitmask per vertex*: bit ``w`` of
+``neighbor_mask(v)`` is set iff ``{v, w}`` is an edge.  All derived-graph
+operations (:meth:`subgraph`, :meth:`complement`,
+:meth:`connected_components`, :meth:`contains_k23`, ...) are O(machine words)
+mask arithmetic instead of nested set loops; the clique and colouring
+algorithms in :mod:`repro.conflict.cliques` and :mod:`repro.coloring` consume
+the masks directly.  Vertex labels must therefore be non-negative integers
+(they are dipath indices; induced subgraphs preserve the original labels).
+The legacy set-returning accessors (:meth:`neighbors`, :meth:`adjacency`) are
+kept as thin decoded views for compatibility — hot loops should use
+:meth:`neighbor_mask` / :meth:`adjacency_masks` instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from .._bitops import iter_bits, mask_of
 from ..dipaths.family import DipathFamily
 
 __all__ = ["ConflictGraph", "build_conflict_graph"]
 
 
 class ConflictGraph:
-    """A simple undirected graph over ``range(n)`` (dipath indices).
+    """A simple undirected graph over non-negative integer vertices.
 
     The class is also used as a general small undirected-graph container by
-    the colouring and clique algorithms (they only rely on
-    :meth:`adjacency`, :meth:`vertices` and :meth:`neighbors`).
+    the colouring and clique algorithms (they rely on :meth:`adjacency_masks`,
+    :meth:`vertices` and :meth:`neighbor_mask`).
     """
 
-    __slots__ = ("_adj",)
+    __slots__ = ("_nbr", "_vmask")
 
     def __init__(self, num_vertices: int = 0,
                  edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
-        self._adj: Dict[int, Set[int]] = {i: set() for i in range(num_vertices)}
+        self._nbr: Dict[int, int] = {i: 0 for i in range(num_vertices)}
+        self._vmask: int = (1 << num_vertices) - 1
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -40,56 +56,93 @@ class ConflictGraph:
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_masks(cls, masks: Dict[int, int] | List[int]) -> "ConflictGraph":
+        """Build a graph directly from neighbour bitmasks.
+
+        ``masks`` maps each vertex to its neighbour mask (a list is read as
+        vertices ``0..n-1``).  The masks must be symmetric and free of
+        self-bits; this is not re-verified (the caller is trusted), which is
+        what makes :func:`build_conflict_graph` allocation-free.
+        """
+        items = enumerate(masks) if isinstance(masks, list) else masks.items()
+        g = cls.__new__(cls)
+        g._nbr = dict(items)
+        g._vmask = mask_of(g._nbr)
+        return g
+
     def add_vertex(self, v: int) -> None:
-        """Add an isolated vertex."""
-        self._adj.setdefault(v, set())
+        """Add an isolated vertex (a non-negative integer)."""
+        if v not in self._nbr:
+            if not isinstance(v, int) or v < 0:
+                raise ValueError(
+                    f"conflict-graph vertices are non-negative ints, got {v!r}")
+            self._nbr[v] = 0
+            self._vmask |= 1 << v
 
     def add_edge(self, u: int, v: int) -> None:
         """Add an undirected edge (endpoints are created if needed)."""
         if u == v:
             raise ValueError("conflict graphs have no self-loops")
-        self._adj.setdefault(u, set()).add(v)
-        self._adj.setdefault(v, set()).add(u)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._nbr[u] |= 1 << v
+        self._nbr[v] |= 1 << u
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def vertices(self) -> List[int]:
         """The vertices, sorted."""
-        return sorted(self._adj)
+        return sorted(self._nbr)
+
+    @property
+    def vertex_mask(self) -> int:
+        """Bitmask with one bit set per vertex."""
+        return self._vmask
+
+    def neighbor_mask(self, v: int) -> int:
+        """Neighbours of ``v`` as a bitmask (O(1), no copy)."""
+        return self._nbr[v]
+
+    def adjacency_masks(self) -> Dict[int, int]:
+        """The internal ``vertex -> neighbour mask`` mapping (read-only)."""
+        return self._nbr
 
     def neighbors(self, v: int) -> Set[int]:
-        """Neighbours of ``v``."""
-        return set(self._adj[v])
+        """Neighbours of ``v``, decoded into a fresh set.
+
+        Compatibility accessor — hot loops should use :meth:`neighbor_mask`.
+        """
+        return set(iter_bits(self._nbr[v]))
 
     def degree(self, v: int) -> int:
         """Degree of ``v``."""
-        return len(self._adj[v])
+        return self._nbr[v].bit_count()
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge."""
-        return u in self._adj and v in self._adj[u]
+        return u in self._nbr and (self._nbr[u] >> v) & 1 == 1
 
     @property
     def num_vertices(self) -> int:
         """Number of vertices."""
-        return len(self._adj)
+        return len(self._nbr)
 
     @property
     def num_edges(self) -> int:
         """Number of edges."""
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        return sum(m.bit_count() for m in self._nbr.values()) // 2
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over edges as sorted pairs."""
-        for u, nbrs in self._adj.items():
-            for v in nbrs:
-                if u < v:
-                    yield (u, v)
+        for u, mask in self._nbr.items():
+            for j in iter_bits(mask >> (u + 1)):
+                yield (u, u + 1 + j)
 
     def adjacency(self) -> Dict[int, Set[int]]:
-        """A copy of the adjacency mapping (vertex -> neighbour set)."""
-        return {v: set(nbrs) for v, nbrs in self._adj.items()}
+        """A decoded copy of the adjacency mapping (vertex -> neighbour set)."""
+        return {v: set(iter_bits(m)) for v, m in self._nbr.items()}
 
     def __len__(self) -> int:
         return self.num_vertices
@@ -102,46 +155,41 @@ class ConflictGraph:
     # ------------------------------------------------------------------ #
     def subgraph(self, vertices: Iterable[int]) -> "ConflictGraph":
         """Induced subgraph on ``vertices`` (vertex labels are preserved)."""
-        keep = set(vertices)
-        g = ConflictGraph()
-        for v in keep:
-            g.add_vertex(v)
-        for u in keep:
-            for v in self._adj[u]:
-                if v in keep and u < v:
-                    g.add_edge(u, v)
+        keep = sorted(set(vertices))
+        keep_mask = mask_of(keep)
+        g = ConflictGraph.__new__(ConflictGraph)
+        g._nbr = {v: self._nbr[v] & keep_mask for v in keep}
+        g._vmask = keep_mask
         return g
 
     def complement(self) -> "ConflictGraph":
         """The complement graph (same vertex set)."""
-        verts = self.vertices()
-        g = ConflictGraph()
-        for v in verts:
-            g.add_vertex(v)
-        for i, u in enumerate(verts):
-            for v in verts[i + 1:]:
-                if v not in self._adj[u]:
-                    g.add_edge(u, v)
+        vmask = self._vmask
+        g = ConflictGraph.__new__(ConflictGraph)
+        g._nbr = {v: vmask & ~m & ~(1 << v) for v, m in self._nbr.items()}
+        g._vmask = vmask
         return g
+
+    def _component_mask(self, seed_bit: int) -> int:
+        """Mask flood-fill: the connected component containing ``seed_bit``."""
+        comp = seed_bit
+        frontier = seed_bit
+        while frontier:
+            reached = 0
+            for v in iter_bits(frontier):
+                reached |= self._nbr[v]
+            frontier = reached & ~comp
+            comp |= frontier
+        return comp
 
     def connected_components(self) -> List[Set[int]]:
         """Connected components of the conflict graph."""
-        seen: Set[int] = set()
         comps: List[Set[int]] = []
-        for root in self._adj:
-            if root in seen:
-                continue
-            comp = {root}
-            stack = [root]
-            seen.add(root)
-            while stack:
-                v = stack.pop()
-                for w in self._adj[v]:
-                    if w not in seen:
-                        seen.add(w)
-                        comp.add(w)
-                        stack.append(w)
-            comps.append(comp)
+        remaining = self._vmask
+        while remaining:
+            comp = self._component_mask(remaining & -remaining)
+            comps.append(set(iter_bits(comp)))
+            remaining &= ~comp
         return comps
 
     # ------------------------------------------------------------------ #
@@ -149,21 +197,21 @@ class ConflictGraph:
     # ------------------------------------------------------------------ #
     def is_complete(self) -> bool:
         """Whether every two vertices are adjacent (Figure 1: complete K_k)."""
-        n = self.num_vertices
-        return self.num_edges == n * (n - 1) // 2
+        vmask = self._vmask
+        return all(m == vmask ^ (1 << v) for v, m in self._nbr.items())
 
     def is_cycle_graph(self) -> bool:
         """Whether the graph is a single cycle C_n (n >= 3).
 
         Used to verify the structure claims for Figure 3 (C_5) and the
-        Theorem 2 gadget (C_{2k+1}).
+        Theorem 2 gadget (C_{2k+1}).  One degree sweep plus one mask
+        flood-fill — no materialised component list.
         """
-        n = self.num_vertices
-        if n < 3 or self.num_edges != n:
+        if self.num_vertices < 3:
             return False
-        if any(self.degree(v) != 2 for v in self._adj):
+        if any(m.bit_count() != 2 for m in self._nbr.values()):
             return False
-        return len(self.connected_components()) == 1
+        return self._component_mask(self._vmask & -self._vmask) == self._vmask
 
     def contains_k23(self) -> bool:
         """Whether the graph contains an **induced** ``K_{2,3}``.
@@ -177,27 +225,27 @@ class ConflictGraph:
         with three pairwise non-adjacent common neighbours.
         """
         verts = self.vertices()
+        nbr = self._nbr
         for i, u in enumerate(verts):
+            nu = nbr[u]
             for v in verts[i + 1:]:
-                if self.has_edge(u, v):
+                if (nu >> v) & 1:
                     continue
-                common = sorted((self._adj[u] & self._adj[v]) - {u, v})
-                if len(common) < 3:
+                common = nu & nbr[v]
+                if common.bit_count() < 3:
                     continue
                 # look for an independent triple among the common neighbours
-                for a_idx, a in enumerate(common):
-                    for b_idx in range(a_idx + 1, len(common)):
-                        b = common[b_idx]
-                        if self.has_edge(a, b):
-                            continue
-                        for c in common[b_idx + 1:]:
-                            if not self.has_edge(a, c) and not self.has_edge(b, c):
-                                return True
+                for a in iter_bits(common):
+                    # candidates after a, non-adjacent to a
+                    bs = common & ~nbr[a] & ~((1 << (a + 1)) - 1)
+                    for b in iter_bits(bs):
+                        if bs & ~nbr[b] & ~((1 << (b + 1)) - 1):
+                            return True
         return False
 
     def degree_sequence(self) -> List[int]:
         """Sorted (non-increasing) degree sequence."""
-        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+        return sorted((m.bit_count() for m in self._nbr.values()), reverse=True)
 
     def to_networkx(self):  # pragma: no cover - convenience passthrough
         """Convert to a ``networkx.Graph``."""
@@ -221,15 +269,14 @@ class ConflictGraph:
         """Chromatic number (exact)."""
         from ..coloring.exact import chromatic_number
 
-        return chromatic_number(self.adjacency())
+        return chromatic_number(self)
 
 
 def build_conflict_graph(family: DipathFamily) -> ConflictGraph:
     """Build the conflict graph of a dipath family.
 
     Two family members are adjacent iff their dipaths share at least one arc.
+    The adjacency masks come straight from the family's cached per-member
+    conflict bitmasks, so construction is O(arc-dipath incidences).
     """
-    g = ConflictGraph(num_vertices=len(family))
-    for i, j in family.conflicting_pairs():
-        g.add_edge(i, j)
-    return g
+    return ConflictGraph.from_masks(list(family.conflict_masks()))

@@ -5,12 +5,16 @@ dipaths — exactly the dipaths that may share one wavelength.  The
 independence number gives the simple lower bound ``w >= |P| / alpha`` used in
 Theorem 7 (the Havet gadget's conflict graph has ``alpha = 3``, hence
 ``w >= 8h/3``).
+
+Like :mod:`repro.conflict.cliques`, everything here runs on the graph's
+integer bitmasks.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Set
 
+from .._bitops import mask_of
 from .cliques import maximum_clique
 from .conflict_graph import ConflictGraph
 
@@ -24,25 +28,26 @@ __all__ = [
 
 
 def is_independent_set(graph: ConflictGraph, vertices: Set[int]) -> bool:
-    """Whether no two vertices of ``vertices`` are adjacent."""
-    verts = list(vertices)
-    for i, u in enumerate(verts):
-        for v in verts[i + 1:]:
-            if graph.has_edge(u, v):
-                return False
-    return True
+    """Whether no two vertices of ``vertices`` are adjacent.
+
+    Vertices absent from the graph are treated as isolated (no edges), like
+    ``has_edge`` does.
+    """
+    mask = mask_of(vertices)
+    nbr = graph.adjacency_masks()
+    return all(not (nbr.get(v, 0) & mask) for v in vertices)
 
 
 def greedy_independent_set(graph: ConflictGraph) -> Set[int]:
     """A maximal independent set built greedily by increasing degree."""
-    adj = graph.adjacency()
+    nbr = graph.adjacency_masks()
     chosen: Set[int] = set()
-    blocked: Set[int] = set()
-    for v in sorted(adj, key=lambda u: len(adj[u])):
-        if v not in blocked:
+    blocked = 0
+    for v in sorted(nbr, key=lambda u: nbr[u].bit_count()):
+        bit = 1 << v
+        if not (blocked & bit):
             chosen.add(v)
-            blocked.add(v)
-            blocked |= adj[v]
+            blocked |= bit | nbr[v]
     return chosen
 
 

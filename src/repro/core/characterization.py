@@ -81,7 +81,7 @@ def equality_certificate(graph: DiGraph) -> EqualityCertificate:
     family = witness_family_theorem2(graph, cycle)
     pi = load(graph, family)
     conflict = build_conflict_graph(family)
-    w = chromatic_number(conflict.adjacency())
+    w = chromatic_number(conflict)
     return EqualityCertificate(
         equality_holds=False,
         internal_cycle=list(cycle),

@@ -98,18 +98,19 @@ def _solve(graph: DiGraph, family: DipathFamily, method: AssignmentMethod
         return WavelengthSolution(coloring, num_colors(coloring), pi,
                                   "theorem6", optimal=False)
 
+    # The colouring front-ends take the ConflictGraph itself, so its bitmasks
+    # feed the mask cores directly (no dict-of-sets decoding on the hot path).
     conflict = build_conflict_graph(family)
-    adjacency = conflict.adjacency()
     if method == "exact":
-        coloring = optimal_coloring(adjacency)
+        coloring = optimal_coloring(conflict)
         return WavelengthSolution(dict(coloring), num_colors(coloring), pi,
                                   "exact", optimal=True)
     if method == "dsatur":
-        coloring = dsatur_coloring(adjacency)
+        coloring = dsatur_coloring(conflict)
         return WavelengthSolution(dict(coloring), num_colors(coloring), pi,
                                   "dsatur", optimal=False)
     if method == "greedy":
-        coloring = greedy_coloring(adjacency)
+        coloring = greedy_coloring(conflict)
         return WavelengthSolution(dict(coloring), num_colors(coloring), pi,
                                   "greedy", optimal=False)
     raise ValueError(f"unknown method {method!r}")

@@ -7,9 +7,13 @@ other since they share all their arcs.  The family indexes its members by
 position (0-based), which is also the vertex identity used by the conflict
 graph and by all colourings (a colouring is a mapping ``index -> colour``).
 
-The family maintains a per-arc index (arc -> list of member indices) so that
-load queries and conflict-graph construction are proportional to the number
-of (arc, dipath) incidences rather than quadratic in the family size.
+Arcs are *interned* to dense integer ids as members are added: every dipath
+is recorded as a tuple of arc ids, and each arc id keeps the sorted list of
+member indices that use it.  Load queries are therefore proportional to the
+number of (arc, dipath) incidences rather than quadratic in the family size,
+and conflict queries are served from cached per-member bitmasks (bit ``j``
+of ``conflict_masks()[i]`` set iff members ``i`` and ``j`` share an arc).
+The caches are invalidated by :meth:`add` and rebuilt lazily.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidDipathError
+from .._bitops import bit_list, iter_bits
 from .._typing import Arc, Vertex
 from ..graphs.digraph import DiGraph
 from .dipath import Dipath
@@ -43,13 +48,19 @@ class DipathFamily:
     2
     """
 
-    __slots__ = ("_paths", "_arc_index", "_graph")
+    __slots__ = ("_paths", "_graph", "_arc_ids", "_arcs", "_arc_members",
+                 "_path_arc_ids", "_conflict_masks", "_load_cache")
 
     def __init__(self, dipaths: Iterable[Dipath | Sequence[Vertex]] = (),
                  graph: Optional[DiGraph] = None) -> None:
         self._paths: List[Dipath] = []
-        self._arc_index: Dict[Arc, List[int]] = {}
         self._graph = graph
+        self._arc_ids: Dict[Arc, int] = {}          # arc -> dense arc id
+        self._arcs: List[Arc] = []                  # arc id -> arc
+        self._arc_members: List[List[int]] = []     # arc id -> member indices
+        self._path_arc_ids: List[Tuple[int, ...]] = []  # member -> arc ids
+        self._conflict_masks: Optional[List[int]] = None
+        self._load_cache: Optional[int] = None
         for p in dipaths:
             self.add(p)
 
@@ -65,8 +76,21 @@ class DipathFamily:
                 f"{dipath!r} is not a dipath of the attached digraph")
         idx = len(self._paths)
         self._paths.append(dipath)
+        arc_ids = self._arc_ids
+        ids: List[int] = []
         for arc in dipath.arcs():
-            self._arc_index.setdefault(arc, []).append(idx)
+            aid = arc_ids.get(arc)
+            if aid is None:
+                aid = len(self._arcs)
+                arc_ids[arc] = aid
+                self._arcs.append(arc)
+                self._arc_members.append([])
+            # member indices stay sorted because idx only ever grows
+            self._arc_members[aid].append(idx)
+            ids.append(aid)
+        self._path_arc_ids.append(tuple(ids))
+        self._conflict_masks = None
+        self._load_cache = None
         return idx
 
     def extend(self, dipaths: Iterable[Dipath | Sequence[Vertex]]) -> None:
@@ -119,67 +143,102 @@ class DipathFamily:
         return self._paths.index(dipath)
 
     # ------------------------------------------------------------------ #
+    # arc interning
+    # ------------------------------------------------------------------ #
+    @property
+    def num_arcs_used(self) -> int:
+        """Number of distinct arcs used by the family (= number of arc ids)."""
+        return len(self._arcs)
+
+    def arc_id(self, arc: Arc) -> int:
+        """The dense integer id of ``arc`` (raises ``KeyError`` if unused)."""
+        return self._arc_ids[arc]
+
+    def arc_of_id(self, arc_id: int) -> Arc:
+        """The arc with the given dense id."""
+        return self._arcs[arc_id]
+
+    def member_arc_ids(self, idx: int) -> Tuple[int, ...]:
+        """The arc ids of member ``idx``'s dipath, in path order."""
+        return self._path_arc_ids[idx]
+
+    # ------------------------------------------------------------------ #
     # load (the paper's pi)
     # ------------------------------------------------------------------ #
     def arcs_used(self) -> List[Arc]:
         """Arcs used by at least one dipath of the family."""
-        return list(self._arc_index)
+        return list(self._arcs)
 
     def members_on_arc(self, arc: Arc) -> List[int]:
-        """Indices of family members whose dipath contains ``arc``."""
-        return list(self._arc_index.get(arc, ()))
+        """Indices of family members whose dipath contains ``arc`` (sorted)."""
+        aid = self._arc_ids.get(arc)
+        return [] if aid is None else list(self._arc_members[aid])
 
     def load_of_arc(self, arc: Arc) -> int:
         """``load(G, P, e)``: number of dipaths of the family containing ``arc``."""
-        return len(self._arc_index.get(arc, ()))
+        aid = self._arc_ids.get(arc)
+        return 0 if aid is None else len(self._arc_members[aid])
 
     def load_per_arc(self) -> Dict[Arc, int]:
         """Mapping ``arc -> load`` restricted to arcs of positive load."""
-        return {arc: len(members) for arc, members in self._arc_index.items()}
+        return {arc: len(members)
+                for arc, members in zip(self._arcs, self._arc_members)}
 
     def load(self) -> int:
         """``pi(G, P)``: maximum load over all arcs (0 for an empty family)."""
-        if not self._arc_index:
-            return 0
-        return max(len(members) for members in self._arc_index.values())
+        if self._load_cache is None:
+            self._load_cache = max(
+                (len(members) for members in self._arc_members), default=0)
+        return self._load_cache
 
     def maximum_load_arcs(self) -> List[Arc]:
         """Arcs achieving the maximum load."""
         pi = self.load()
-        return [arc for arc, members in self._arc_index.items()
+        return [arc for arc, members in zip(self._arcs, self._arc_members)
                 if len(members) == pi]
 
     # ------------------------------------------------------------------ #
     # conflicts
     # ------------------------------------------------------------------ #
+    def conflict_masks(self) -> List[int]:
+        """Per-member conflict bitmasks (cached; rebuilt after :meth:`add`).
+
+        Bit ``j`` of entry ``i`` is set iff members ``i`` and ``j`` share at
+        least one arc (``i != j``).  The returned list is the internal cache —
+        treat it as read-only.
+        """
+        masks = self._conflict_masks
+        if masks is None:
+            masks = [0] * len(self._paths)
+            for members in self._arc_members:
+                if len(members) < 2:
+                    continue
+                arc_mask = 0
+                for i in members:
+                    arc_mask |= 1 << i
+                for i in members:
+                    masks[i] |= arc_mask
+            for i, m in enumerate(masks):
+                if m:
+                    masks[i] = m & ~(1 << i)
+            self._conflict_masks = masks
+        return masks
+
     def conflicting_pairs(self) -> Iterator[Tuple[int, int]]:
         """Iterate over conflicting index pairs ``(i, j)`` with ``i < j``.
 
-        Generated from the per-arc index so the cost is ``O(sum_e load(e)^2)``
-        rather than ``O(|P|^2 * path length)``; pairs sharing several arcs are
-        reported once.
+        Served from the cached per-member bitmasks, so each pair is reported
+        exactly once with O(n) auxiliary memory — there is no materialised
+        set of already-seen pairs.
         """
-        seen: set = set()
-        for members in self._arc_index.values():
-            if len(members) < 2:
-                continue
-            for a in range(len(members)):
-                for b in range(a + 1, len(members)):
-                    i, j = members[a], members[b]
-                    if i > j:
-                        i, j = j, i
-                    if (i, j) not in seen:
-                        seen.add((i, j))
-                        yield (i, j)
+        masks = self.conflict_masks()
+        for i, mask in enumerate(masks):
+            for j in iter_bits(mask >> (i + 1)):
+                yield (i, i + 1 + j)
 
     def conflicts_of(self, idx: int) -> List[int]:
-        """Indices of members in conflict with member ``idx``."""
-        out: set = set()
-        for arc in self._paths[idx].arcs():
-            for j in self._arc_index.get(arc, ()):
-                if j != idx:
-                    out.add(j)
-        return sorted(out)
+        """Indices of members in conflict with member ``idx`` (sorted)."""
+        return bit_list(self.conflict_masks()[idx])
 
     # ------------------------------------------------------------------ #
     # validation / transformation
@@ -214,9 +273,8 @@ class DipathFamily:
         detect whether the *used* sub-DAG has an internal cycle).
         """
         g = DiGraph()
-        for p in self._paths:
-            for u, v in p.arcs():
-                g.add_arc(u, v)
+        for u, v in self._arcs:
+            g.add_arc(u, v)
         return g
 
     # ------------------------------------------------------------------ #

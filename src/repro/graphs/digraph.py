@@ -148,16 +148,23 @@ class DiGraph:
                 yield (u, v)
 
     def successors(self, v: Vertex) -> Set[Vertex]:
-        """Return the set of out-neighbours of ``v`` (a live view copy)."""
+        """Return the set of out-neighbours of ``v``.
+
+        This is the **internal** set, exposed without copying because the
+        traversal/load/conflict hot loops call it once per visited arc —
+        treat it as a read-only view and copy (``set(...)``) before mutating
+        the graph while holding it.
+        """
         try:
-            return set(self._succ[v])
+            return self._succ[v]
         except KeyError:
             raise VertexNotFoundError(v) from None
 
     def predecessors(self, v: Vertex) -> Set[Vertex]:
-        """Return the set of in-neighbours of ``v``."""
+        """Return the set of in-neighbours of ``v`` (read-only view, see
+        :meth:`successors`)."""
         try:
-            return set(self._pred[v])
+            return self._pred[v]
         except KeyError:
             raise VertexNotFoundError(v) from None
 

@@ -1,0 +1,216 @@
+"""Equivalence tests: the bitset conflict engine vs the frozen seed engine.
+
+Property-style checks on seeded random instances: the bitset engine
+(:mod:`repro.dipaths.family` conflict masks, :class:`repro.conflict.ConflictGraph`,
+mask-based cliques/colouring) must agree with the pre-bitset reference
+implementation preserved in :mod:`repro.conflict.baseline` on
+
+* the conflict-graph edge set,
+* the clique number ``omega``,
+* the exact chromatic number ``w``,
+
+and UPP instances must satisfy Property 3 (``load == omega``).
+"""
+
+import pytest
+
+from repro.conflict import build_conflict_graph, clique_number, maximal_cliques
+from repro.conflict.baseline import (
+    baseline_build_adjacency,
+    baseline_chromatic_number,
+    baseline_clique_number,
+    baseline_dsatur_coloring,
+)
+from repro.conflict.conflict_graph import ConflictGraph
+from repro.coloring import chromatic_number, dsatur_coloring
+from repro.coloring.dsatur import _VECTOR_THRESHOLD, dsatur_coloring_masks
+from repro.coloring.verify import is_proper_coloring, num_colors
+from repro.dipaths.family import DipathFamily
+from repro.generators.families import random_walk_family
+from repro.generators.gadgets import figure5_family, havet_family
+from repro.generators.random_dags import random_dag, random_upp_one_cycle_dag
+
+NUM_INSTANCES = 50
+
+
+def _random_instance(seed: int) -> DipathFamily:
+    """A seeded random-DAG walk family, small enough for the exact solvers."""
+    graph = random_dag(10 + seed % 5, 0.25 + 0.02 * (seed % 4), seed=seed)
+    return random_walk_family(graph, 10 + seed % 9, seed=seed * 31 + 1)
+
+
+def _edge_set(adjacency):
+    return {(u, v) for u, nbrs in adjacency.items() for v in nbrs if u < v}
+
+
+@pytest.mark.parametrize("seed", range(NUM_INSTANCES))
+def test_engines_agree_on_seeded_instances(seed):
+    family = _random_instance(seed)
+    legacy_adj = baseline_build_adjacency(family)
+    conflict = build_conflict_graph(family)
+
+    # identical edge sets (and vertex sets)
+    assert set(conflict.vertices()) == set(legacy_adj)
+    assert set(conflict.edges()) == _edge_set(legacy_adj)
+    assert set(family.conflicting_pairs()) == _edge_set(legacy_adj)
+
+    # identical clique and chromatic numbers
+    assert clique_number(conflict) == baseline_clique_number(legacy_adj)
+    assert chromatic_number(conflict) == baseline_chromatic_number(legacy_adj)
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_INSTANCES, 7))
+def test_conflicts_of_and_masks_are_consistent(seed):
+    family = _random_instance(seed)
+    legacy_adj = baseline_build_adjacency(family)
+    masks = family.conflict_masks()
+    for i in range(len(family)):
+        assert family.conflicts_of(i) == sorted(legacy_adj[i])
+        assert not (masks[i] >> i) & 1          # no self-conflict
+        for j in family.conflicts_of(i):
+            assert (masks[j] >> i) & 1          # symmetry
+
+
+def test_conflicting_pairs_has_no_duplicates_and_matches_bruteforce():
+    family = _random_instance(11)
+    pairs = list(family.conflicting_pairs())
+    assert len(pairs) == len(set(pairs))
+    brute = {(i, j)
+             for i in range(len(family)) for j in range(i + 1, len(family))
+             if family[i].conflicts_with(family[j])}
+    assert set(pairs) == brute
+
+
+def test_cache_invalidated_on_add():
+    family = DipathFamily([["a", "b"], ["c", "d"]])
+    assert list(family.conflicting_pairs()) == []
+    assert family.load() == 1
+    family.add(["a", "b", "c"])                 # conflicts with member 0
+    assert list(family.conflicting_pairs()) == [(0, 2)]
+    assert family.load() == 2
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_property3_load_equals_omega_on_upp(seed):
+    """Property 3 (Helly): on UPP-DAGs the load equals the clique number."""
+    dag = random_upp_one_cycle_dag(k=2 + seed % 3, seed=seed)
+    family = random_walk_family(dag, 14, seed=seed)
+    conflict = build_conflict_graph(family)
+    assert family.load() == clique_number(conflict)
+
+
+@pytest.mark.parametrize("family", [havet_family(2), figure5_family(3)],
+                         ids=["havet-x2", "figure5-k3"])
+def test_property3_on_gadget_families(family):
+    conflict = build_conflict_graph(family)
+    assert family.load() == clique_number(conflict)
+
+
+def test_derived_graph_operations_match_naive_rebuild():
+    family = _random_instance(23)
+    conflict = build_conflict_graph(family)
+    naive = ConflictGraph(conflict.num_vertices, edges=conflict.edges())
+
+    keep = [v for v in conflict.vertices() if v % 2 == 0]
+    assert set(conflict.subgraph(keep).edges()) == {
+        (u, v) for u, v in naive.edges() if u in keep and v in keep}
+
+    n = conflict.num_vertices
+    assert (conflict.complement().num_edges
+            == n * (n - 1) // 2 - conflict.num_edges)
+    comp_edges = set(conflict.complement().edges())
+    assert all((u, v) not in comp_edges for u, v in conflict.edges())
+
+    components = conflict.connected_components()
+    assert sorted(v for comp in components for v in comp) == conflict.vertices()
+    assert all(not (comp_a & comp_b)
+               for i, comp_a in enumerate(components)
+               for comp_b in components[i + 1:])
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_dsatur_cores_produce_identical_colorings(seed):
+    """Both cores share one selection rule, so the colourings are identical."""
+    import random
+
+    from repro.coloring.dsatur import _dsatur_heap, _dsatur_vectorized
+
+    rng = random.Random(seed)
+    n = 70 + seed
+    masks = [0] * n
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.2:
+                masks[u] |= 1 << v
+                masks[v] |= 1 << u
+    heap_colors, heap_order = _dsatur_heap(masks)
+    vec_colors, vec_order = _dsatur_vectorized(masks)
+    assert heap_colors == vec_colors
+    assert heap_order == vec_order
+
+
+def test_unknown_vertices_treated_as_isolated():
+    """is_clique / is_independent_set follow has_edge semantics off-graph."""
+    from repro.conflict.cliques import is_clique
+    from repro.conflict.independent_sets import is_independent_set
+
+    g = ConflictGraph(3, edges=[(0, 1)])
+    assert is_independent_set(g, {5, 7})
+    assert is_independent_set(g, {2, 5})
+    assert not is_independent_set(g, {0, 1, 5})
+    assert not is_clique(g, {0, 7})
+    assert is_clique(g, {7})
+
+
+def test_coloring_annotations_resolve():
+    """GraphLike must survive runtime annotation introspection."""
+    import typing
+
+    from repro.coloring.masks import as_dense_masks
+
+    hints = typing.get_type_hints(as_dense_masks)
+    assert "graph" in hints
+
+
+def test_dsatur_cores_agree_across_threshold():
+    """Both DSATUR cores colour properly and hit the same count on blow-ups."""
+    family = havet_family(12)                   # 96 vertices: vectorised core
+    assert len(family) >= _VECTOR_THRESHOLD
+    conflict = build_conflict_graph(family)
+    masks = [conflict.neighbor_mask(v) for v in conflict.vertices()]
+
+    vec_colors, vec_order = dsatur_coloring_masks(masks)
+    assert sorted(vec_order) == list(range(len(masks)))
+
+    coloring = {v: vec_colors[v] for v in conflict.vertices()}
+    assert is_proper_coloring(conflict.adjacency(), coloring)
+
+    legacy = baseline_dsatur_coloring(conflict.adjacency())
+    assert num_colors(coloring) == num_colors(legacy)
+
+
+def test_dsatur_small_graphs_use_heap_core_and_match_seed():
+    family = _random_instance(5)
+    assert len(family) < _VECTOR_THRESHOLD
+    conflict = build_conflict_graph(family)
+    new = dsatur_coloring(conflict)
+    legacy = baseline_dsatur_coloring(conflict.adjacency())
+    assert is_proper_coloring(conflict.adjacency(), new)
+    assert num_colors(new) == num_colors(legacy)
+
+
+def test_maximal_cliques_match_seed_semantics():
+    family = _random_instance(17)
+    conflict = build_conflict_graph(family)
+    cliques = maximal_cliques(conflict)
+    as_sets = {frozenset(c) for c in cliques}
+    assert len(as_sets) == len(cliques)         # no duplicates
+    adj = conflict.adjacency()
+    for clique in cliques:
+        members = sorted(clique)
+        for i, u in enumerate(members):         # pairwise adjacent
+            for v in members[i + 1:]:
+                assert v in adj[u]
+        for w in adj:                           # maximal
+            if w not in clique:
+                assert not all(w in adj[u] for u in clique)
