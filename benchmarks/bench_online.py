@@ -1,0 +1,32 @@
+"""E13 — online conflict engine: incremental vs rebuild-per-event churn.
+
+Replays constant-concurrency churn traces (500+ concurrent dipaths, see
+``repro.online.events.churn_trace``) through the dynamic conflict engine
+twice — once rebuilding the conflict graph after every event (the
+pre-online cache policy) and once patching adjacency masks incrementally —
+and asserts the tentpole target: at least a 5x speedup, with both
+strategies ending on the same edge set and DSATUR colour count.
+
+``scripts/bench_report.py --suite online`` runs the same scenarios from
+the command line and records them in ``BENCH_online_engine.json``.
+"""
+
+from repro.analysis.bench_online import (
+    ONLINE_SPEEDUP_TARGET,
+    run_online_benchmark,
+)
+from .conftest import report
+
+COLUMNS = ("scenario", "num_dipaths", "num_events", "num_edges",
+           "legacy_event_us", "new_event_us", "speedup_total")
+
+
+def test_online_engine_churn(benchmark, run_once):
+    records = run_once(benchmark, run_online_benchmark, 3)
+    report(records, columns=COLUMNS,
+           title="E13 / online conflict engine — churn, rebuild vs incremental")
+    assert all(r["num_dipaths"] >= 500 for r in records)
+    assert all(r["edges_equal"] for r in records)
+    assert all(r["colors_equal"] for r in records)
+    assert all(r["speedup_total"] >= ONLINE_SPEEDUP_TARGET for r in records), \
+        [(r["scenario"], r["speedup_total"]) for r in records]

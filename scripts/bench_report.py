@@ -1,18 +1,23 @@
-"""Benchmark runner/regression gate for the bitset conflict engine.
+"""Benchmark runner/regression gate for the conflict + online engines.
 
 Runs the scaling scenarios of :mod:`repro.analysis.bench_scaling` (seed
-engine vs bitset engine on 500+ dipath families) and either records the
-results or checks them against the recorded baseline:
+engine vs bitset engine on 500+ dipath families) and the churn scenarios
+of :mod:`repro.analysis.bench_online` (rebuild-per-event vs incremental
+maintenance at 500+ concurrent dipaths), and either records the results or
+checks them against the recorded baselines:
 
-    python scripts/bench_report.py                 # run + write the report
-    python scripts/bench_report.py --check         # run + fail on regression
-    python scripts/bench_report.py --quick         # fewer repeats (noisier)
+    python scripts/bench_report.py                   # run + write reports
+    python scripts/bench_report.py --check           # run + fail on regression
+    python scripts/bench_report.py --suite online    # one suite only
+    python scripts/bench_report.py --quick           # fewer repeats (noisier)
 
-The report is written to ``BENCH_conflict_engine.json`` at the repository
-root (override with ``--output``).  ``--check`` exits non-zero when the
-bitset engine is more than 20% slower than the recorded baseline on any
-scenario, or when the two engines disagree on edges/colours — this is the
-gate ``scripts/run_all_experiments.py`` runs at the end of the experiment
+Reports are written to ``BENCH_conflict_engine.json`` and
+``BENCH_online_engine.json`` at the repository root (``--output`` overrides
+the path when a single suite is selected).  ``--check`` exits non-zero
+when an engine is more than 20% slower than its recorded baseline on any
+scenario, when a speedup falls under the 5x target, or when the paired
+strategies disagree on edges/colours — this is the gate
+``scripts/run_all_experiments.py`` runs at the end of the experiment
 sweep.  See PERFORMANCE.md for how to read the numbers.
 """
 
@@ -23,6 +28,12 @@ import json
 import sys
 from pathlib import Path
 
+from repro.analysis.bench_online import (
+    online_benchmark_document,
+    online_check_against_baseline,
+    online_speedup_problems,
+    run_online_benchmark,
+)
 from repro.analysis.bench_scaling import (
     benchmark_document,
     check_against_baseline,
@@ -30,7 +41,18 @@ from repro.analysis.bench_scaling import (
     speedup_problems,
 )
 
-DEFAULT_REPORT = Path(__file__).resolve().parents[1] / "BENCH_conflict_engine.json"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: suite name -> (default report path, runner, document builder,
+#:                baseline checker, speedup checker)
+SUITES = {
+    "conflict": (REPO_ROOT / "BENCH_conflict_engine.json",
+                 run_scaling_benchmark, benchmark_document,
+                 check_against_baseline, speedup_problems),
+    "online": (REPO_ROOT / "BENCH_online_engine.json",
+               run_online_benchmark, online_benchmark_document,
+               online_check_against_baseline, online_speedup_problems),
+}
 
 
 def _print_records(records) -> None:
@@ -44,15 +66,50 @@ def _print_records(records) -> None:
               f"{r['speedup_total']:7.1f}x")
 
 
+def _run_suite(name: str, args) -> int:
+    default_path, run, document, check, speedups = SUITES[name]
+    output: Path = args.output if args.output is not None else default_path
+    repeats = 2 if args.quick else 3
+
+    print(f"== suite: {name} ==")
+    records = run(repeats=repeats)
+    _print_records(records)
+
+    slow = speedups(records)
+    for problem in slow:
+        print(f"!! {problem}")
+
+    if args.check:
+        if not output.exists():
+            print(f"!! no recorded baseline at {output}; "
+                  f"run without --check first")
+            return 1
+        baseline = json.loads(output.read_text())
+        problems = check(records, baseline, tolerance=args.tolerance)
+        for problem in problems:
+            print(f"!! regression: {problem}")
+        if problems or slow:
+            return 1
+        print(f"{name} engine within {args.tolerance:.0%} of the recorded "
+              f"baseline ({output})")
+        return 0
+
+    output.write_text(json.dumps(document(records, repeats), indent=2) + "\n")
+    print(f"report written to {output}")
+    return 1 if slow else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Time the seed vs bitset conflict engine and record/check "
-                    "BENCH_conflict_engine.json")
-    parser.add_argument("--output", type=Path, default=DEFAULT_REPORT,
-                        help="report path (default: repo root)")
+        description="Time the conflict/online engines and record/check "
+                    "BENCH_*_engine.json")
+    parser.add_argument("--suite", choices=(*SUITES, "all"), default="all",
+                        help="which benchmark suite to run (default: all)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="report path override (single suite only)")
     parser.add_argument("--check", action="store_true",
-                        help="compare against the recorded report instead of "
-                             "overwriting it; exit 1 on >20%% regression")
+                        help="compare against the recorded reports instead of "
+                             "overwriting them; exit 1 on >20%% regression")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed slowdown vs the recorded baseline "
                              "(default 0.20 = 20%%)")
@@ -61,34 +118,15 @@ def main(argv=None) -> int:
                              "recommended together with --check)")
     args = parser.parse_args(argv)
 
-    repeats = 2 if args.quick else 3
-    records = run_scaling_benchmark(repeats=repeats)
-    _print_records(records)
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.output is not None and len(suites) > 1:
+        parser.error("--output needs a single --suite")
 
-    slow = speedup_problems(records)
-    for problem in slow:
-        print(f"!! {problem}")
-
-    if args.check:
-        if not args.output.exists():
-            print(f"!! no recorded baseline at {args.output}; "
-                  f"run without --check first")
-            return 1
-        baseline = json.loads(args.output.read_text())
-        problems = check_against_baseline(records, baseline,
-                                          tolerance=args.tolerance)
-        for problem in problems:
-            print(f"!! regression: {problem}")
-        if problems or slow:
-            return 1
-        print(f"bitset engine within {args.tolerance:.0%} of the recorded "
-              f"baseline ({args.output})")
-        return 0
-
-    args.output.write_text(
-        json.dumps(benchmark_document(records, repeats), indent=2) + "\n")
-    print(f"report written to {args.output}")
-    return 1 if slow else 0
+    status = 0
+    for name in suites:
+        status |= _run_suite(name, args)
+        print()
+    return status
 
 
 if __name__ == "__main__":

@@ -16,6 +16,11 @@ import sys
 import time
 from pathlib import Path
 
+from repro.analysis.bench_online import (
+    online_check_against_baseline,
+    online_speedup_problems,
+    run_online_benchmark,
+)
 from repro.analysis.bench_scaling import (
     check_against_baseline,
     run_scaling_benchmark,
@@ -82,17 +87,29 @@ def main() -> int:
                 if flag in record and not record[flag]:
                     failures += 1
                     print(f"!! {key}: claim flag {flag} is False in {record}")
-    # Final gate: the bitset conflict engine must stay within 20% of the
-    # recorded BENCH_conflict_engine.json baseline (see PERFORMANCE.md and
+    # Final gates: both engines must stay within 20% of their recorded
+    # BENCH_*_engine.json baselines (see PERFORMANCE.md and
     # scripts/bench_report.py).
-    bench_path = Path(__file__).resolve().parents[1] / "BENCH_conflict_engine.json"
-    if bench_path.exists():
+    repo_root = Path(__file__).resolve().parents[1]
+    gates = [
+        ("E12: bitset conflict engine vs recorded baseline ...",
+         repo_root / "BENCH_conflict_engine.json",
+         run_scaling_benchmark, check_against_baseline, speedup_problems),
+        ("E13: online conflict engine vs recorded baseline ...",
+         repo_root / "BENCH_online_engine.json",
+         run_online_benchmark, online_check_against_baseline,
+         online_speedup_problems),
+    ]
+    for title, bench_path, run_bench, check, speedups in gates:
+        if not bench_path.exists():
+            print(f"(no {bench_path.name}; run scripts/bench_report.py "
+                  f"to record one)")
+            continue
         print()
-        print("E12: bitset conflict engine vs recorded baseline ...")
-        records = run_scaling_benchmark(repeats=3)
-        problems = check_against_baseline(
-            records, json.loads(bench_path.read_text()))
-        problems += speedup_problems(records)
+        print(title)
+        records = run_bench(repeats=3)
+        problems = check(records, json.loads(bench_path.read_text()))
+        problems += speedups(records)
         for problem in problems:
             failures += 1
             print(f"!! bench regression: {problem}")
@@ -100,8 +117,6 @@ def main() -> int:
             print("   within tolerance "
                   + ", ".join(f"{r['scenario']}={r['speedup_total']:.1f}x"
                               for r in records))
-    else:
-        print(f"(no {bench_path.name}; run scripts/bench_report.py to record one)")
 
     print()
     print(f"reports written to {output_dir}/ "

@@ -16,14 +16,18 @@ lives in the subpackages:
   the Main Theorem characterisation, wavelength assignment front-end);
 * :mod:`repro.generators` — paper gadgets and random instance generators;
 * :mod:`repro.optical`    — the WDM optical-network motivation substrate;
+* :mod:`repro.online`     — event-driven online RWA: dynamic families,
+  incremental conflict maintenance, wavelength policies, Kempe repair;
 * :mod:`repro.parallel`   — parallel experiment execution;
 * :mod:`repro.analysis`   — experiment drivers, metrics and tables.
 
 The conflict/colouring pipeline is bitset-backed: arcs are interned to
 dense ids, conflict-graph adjacency lives in integer bitmasks, and the
-clique/colouring algorithms run directly on them.  See ``PERFORMANCE.md``
-at the repository root for the representation, its read-only-view
-contracts, and the ``BENCH_conflict_engine.json`` scaling benchmark.
+clique/colouring algorithms run directly on them; under churn the masks
+are patched per event instead of rebuilt (``repro.online``).  See
+``PERFORMANCE.md`` at the repository root for the representation, its
+read-only-view contracts, and the ``BENCH_conflict_engine.json`` /
+``BENCH_online_engine.json`` scaling benchmarks.
 
 Quickstart
 ----------
@@ -67,7 +71,12 @@ from .dipaths import (
     route_shortest,
     route_unique,
 )
-from .conflict import ConflictGraph, build_conflict_graph, clique_number
+from .conflict import (
+    ConflictGraph,
+    DynamicConflictGraph,
+    build_conflict_graph,
+    clique_number,
+)
 from .coloring import chromatic_number, dsatur_coloring, greedy_coloring
 from .upp import is_upp_dag
 from .core import (
@@ -119,6 +128,7 @@ __all__ = [
     "route_unique",
     # conflict & colouring
     "ConflictGraph",
+    "DynamicConflictGraph",
     "build_conflict_graph",
     "clique_number",
     "chromatic_number",

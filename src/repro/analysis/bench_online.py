@@ -1,0 +1,214 @@
+"""Incremental-vs-rebuild benchmark for the online conflict engine.
+
+Times conflict-graph maintenance under churn (constant-concurrency
+remove/add traces of 500+ concurrent dipaths, see
+:func:`repro.online.events.churn_trace`) under two strategies:
+
+* **rebuild-per-event** — the pre-online behaviour: every mutation drops
+  the family's caches wholesale and the conflict graph is rebuilt from
+  scratch (``invalidate_caches()`` + :func:`build_conflict_graph`);
+* **incremental** — the :class:`~repro.conflict.DynamicConflictGraph`
+  patches per-vertex adjacency masks in O(degree) per event.
+
+Both strategies replay the *same* trace through the same free-list
+dynamics, so they end on identically-labelled graphs; the records assert
+that (``edges_equal``) and that DSATUR agrees on the colour count
+(``colors_equal``).  The steady-state churn phase is the timed region —
+the warm-up that fills the system is shared setup.
+
+Record fields deliberately match :mod:`repro.analysis.bench_scaling`
+(``legacy_*`` = rebuild, ``new_*`` = incremental), so the baseline
+comparison and speedup gates are the same functions; results land in
+``BENCH_online_engine.json`` via ``scripts/bench_report.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..conflict.conflict_graph import ConflictGraph, build_conflict_graph
+from ..conflict.dynamic import DynamicConflictGraph
+from ..coloring.dsatur import dsatur_coloring
+from ..dipaths.family import DipathFamily
+from ..dipaths.routing import route_all
+from ..generators.families import random_walk_family
+from ..generators.random_dags import random_dag, random_internal_cycle_free_dag
+from ..online.events import ARRIVAL, Event, churn_trace
+from ..optical.traffic import hotspot_traffic
+from .bench_scaling import check_against_baseline, speedup_problems
+
+__all__ = [
+    "ONLINE_SCENARIOS",
+    "ONLINE_SPEEDUP_TARGET",
+    "build_online_scenario",
+    "measure_online_scenario",
+    "run_online_benchmark",
+    "online_benchmark_document",
+    "online_check_against_baseline",
+    "online_speedup_problems",
+]
+
+#: The tentpole target: incremental maintenance must beat rebuild-per-event
+#: by at least this factor on churn traces of 500+ concurrent dipaths
+#: (asserted by ``benchmarks/bench_online.py`` and the E13 gate).
+ONLINE_SPEEDUP_TARGET = 5.0
+
+#: Churn rounds in the timed steady-state phase of every scenario.
+CHURN_EVENTS = 150
+
+ScenarioBuilder = Callable[[], List[Event]]
+
+
+def _walks_churn() -> List[Event]:
+    graph = random_dag(48, 0.12, seed=20260730)
+    pool = random_walk_family(graph, 1200, seed=7)
+    return churn_trace(pool, 600, CHURN_EVENTS, seed=11)
+
+
+def _replicated_churn() -> List[Event]:
+    graph = random_dag(32, 0.16, seed=99)
+    pool = random_walk_family(graph, 26, seed=3).replicate(40)
+    return churn_trace(pool, 520, CHURN_EVENTS, seed=13)
+
+
+def _hotspot_routed_churn() -> List[Event]:
+    graph = random_internal_cycle_free_dag(40, 80, seed=5)
+    requests = hotspot_traffic(graph, 900, num_hotspots=3, seed=5)
+    pool = route_all(graph, requests, policy="shortest")
+    return churn_trace(pool, 500, CHURN_EVENTS, seed=17)
+
+
+ONLINE_SCENARIOS: Dict[str, ScenarioBuilder] = {
+    "churn-walks-600": _walks_churn,
+    "churn-replicated-520": _replicated_churn,
+    "churn-hotspot-routed-500": _hotspot_routed_churn,
+}
+
+
+def build_online_scenario(name: str) -> List[Event]:
+    """Materialise the named churn trace (deterministic seeds)."""
+    return ONLINE_SCENARIOS[name]()
+
+
+def _split_warmup(trace: List[Event]) -> Tuple[List[Event], List[Event]]:
+    """Split a churn trace into (warm-up arrivals, steady-state events)."""
+    cut = 0
+    while cut < len(trace) and trace[cut].kind == ARRIVAL:
+        cut += 1
+    return trace[:cut], trace[cut:]
+
+
+def _replay_incremental(warmup: List[Event], churn: List[Event]
+                        ) -> Tuple[float, ConflictGraph]:
+    """Timed churn replay through DynamicConflictGraph patching."""
+    conflict = DynamicConflictGraph(DipathFamily())
+    slot: Dict[int, int] = {}
+    for event in warmup:
+        slot[event.request_id] = conflict.add_dipath(event.dipath)
+    start = time.perf_counter()
+    for event in churn:
+        if event.kind == ARRIVAL:
+            slot[event.request_id] = conflict.add_dipath(event.dipath)
+        else:
+            conflict.remove_dipath(slot.pop(event.request_id))
+    return time.perf_counter() - start, conflict
+
+
+def _replay_rebuild(warmup: List[Event], churn: List[Event]
+                    ) -> Tuple[float, ConflictGraph]:
+    """Timed churn replay rebuilding the conflict graph after every event."""
+    family = DipathFamily()
+    slot: Dict[int, int] = {}
+    for event in warmup:
+        slot[event.request_id] = family.add(event.dipath)
+    conflict = build_conflict_graph(family)
+    start = time.perf_counter()
+    for event in churn:
+        # the pre-online cache policy: mutations drop the caches wholesale
+        # (invalidate *before* mutating so legacy never pays the new
+        # incremental patch work), then everything is rebuilt
+        family.invalidate_caches()
+        if event.kind == ARRIVAL:
+            slot[event.request_id] = family.add(event.dipath)
+        else:
+            family.remove(slot.pop(event.request_id))
+        conflict = build_conflict_graph(family)
+    return time.perf_counter() - start, conflict
+
+
+def _edge_set(graph: ConflictGraph) -> frozenset:
+    return frozenset(graph.edges())
+
+
+def measure_online_scenario(name: str, trace: List[Event], repeats: int = 3
+                            ) -> Dict[str, object]:
+    """Time rebuild-per-event vs incremental churn replay; return one record."""
+    warmup, churn = _split_warmup(trace)
+    legacy_total, legacy_graph = min(
+        (_replay_rebuild(warmup, churn) for _ in range(repeats)),
+        key=lambda sample: sample[0])
+    new_total, new_graph = min(
+        (_replay_incremental(warmup, churn) for _ in range(repeats)),
+        key=lambda sample: sample[0])
+    legacy_colors = len(set(dsatur_coloring(legacy_graph).values()))
+    new_colors = len(set(dsatur_coloring(new_graph).values()))
+    return {
+        "scenario": name,
+        "num_dipaths": new_graph.num_vertices,     # steady-state concurrency
+        "num_events": len(churn),
+        "num_edges": new_graph.num_edges,
+        "legacy_total_s": legacy_total,
+        "new_total_s": new_total,
+        "legacy_event_us": legacy_total / len(churn) * 1e6,
+        "new_event_us": new_total / len(churn) * 1e6,
+        "speedup_total": legacy_total / new_total if new_total else float("inf"),
+        "edges_equal": _edge_set(new_graph) == _edge_set(legacy_graph),
+        "colors_equal": new_colors == legacy_colors,
+    }
+
+
+def run_online_benchmark(repeats: int = 3,
+                         scenarios: Optional[Sequence[str]] = None
+                         ) -> List[Dict[str, object]]:
+    """Run every (or the selected) churn scenario and return the records."""
+    names = list(ONLINE_SCENARIOS) if scenarios is None else list(scenarios)
+    records = []
+    for name in names:
+        trace = build_online_scenario(name)
+        records.append(measure_online_scenario(name, trace, repeats=repeats))
+    return records
+
+
+def online_benchmark_document(records: List[Dict[str, object]], repeats: int
+                              ) -> Dict[str, object]:
+    """Wrap benchmark records in the ``BENCH_online_engine.json`` schema."""
+    return {
+        "benchmark": "online_engine_churn",
+        "speedup_target": ONLINE_SPEEDUP_TARGET,
+        "churn_events": CHURN_EVENTS,
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "results": records,
+    }
+
+
+def online_speedup_problems(records: List[Dict[str, object]]) -> List[str]:
+    """Scenarios falling short of :data:`ONLINE_SPEEDUP_TARGET`."""
+    # bench_scaling's SPEEDUP_TARGET and ONLINE_SPEEDUP_TARGET are both 5x,
+    # and the record schema is shared, so the check is too.
+    return speedup_problems(records)
+
+
+def online_check_against_baseline(records: List[Dict[str, object]],
+                                  baseline: Dict[str, object],
+                                  tolerance: float = 0.20) -> List[str]:
+    """Compare a fresh run against a recorded ``BENCH_online_engine.json``.
+
+    Same two-signal policy as the conflict-engine gate (see
+    :func:`repro.analysis.bench_scaling.check_against_baseline`): a
+    regression must show in both the absolute incremental time and the
+    speedup ratio, and the two strategies must agree on edges/colours.
+    """
+    return check_against_baseline(records, baseline, tolerance=tolerance)

@@ -14,6 +14,7 @@ from .cliques import (
     maximum_clique,
 )
 from .conflict_graph import ConflictGraph, build_conflict_graph
+from .dynamic import DynamicConflictGraph
 from .covering import (
     blowup_chromatic_number,
     independent_set_cover,
@@ -30,6 +31,7 @@ from .independent_sets import (
 
 __all__ = [
     "ConflictGraph",
+    "DynamicConflictGraph",
     "blowup_chromatic_number",
     "build_conflict_graph",
     "clique_number",

@@ -277,6 +277,12 @@ def build_conflict_graph(family: DipathFamily) -> ConflictGraph:
 
     Two family members are adjacent iff their dipaths share at least one arc.
     The adjacency masks come straight from the family's cached per-member
-    conflict bitmasks, so construction is O(arc-dipath incidences).
+    conflict bitmasks, so construction is O(arc-dipath incidences).  For a
+    family with removed members the vertex set is the *active* indices only
+    (freed slots are not vertices).
     """
-    return ConflictGraph.from_masks(list(family.conflict_masks()))
+    masks = family.conflict_masks()
+    active = family.active_indices()
+    if len(active) == len(masks):
+        return ConflictGraph.from_masks(list(masks))
+    return ConflictGraph.from_masks({i: masks[i] for i in active})

@@ -119,7 +119,7 @@ def replication_structure(family: DipathFamily
     same number of times (``copies >= 1``); ``None`` otherwise.
     """
     groups: Dict = {}
-    for idx, path in enumerate(family):
+    for idx, path in family.items():
         groups.setdefault(path.vertices, []).append(idx)
     counts = {len(idxs) for idxs in groups.values()}
     if len(counts) != 1:
@@ -150,7 +150,7 @@ def replicated_family_coloring(family: DipathFamily
     # Map back: group the original indices per distinct dipath, then hand the
     # k-th copy of base vertex v the colour of the k-th cover set containing v.
     groups: Dict = {}
-    for idx, path in enumerate(family):
+    for idx, path in family.items():
         groups.setdefault(path.vertices, []).append(idx)
     coloring: Dict[int, int] = {}
     for base_idx, rep in enumerate(representatives):

@@ -1,0 +1,84 @@
+"""Incrementally maintained conflict graphs.
+
+:class:`DynamicConflictGraph` keeps the conflict graph of a
+:class:`~repro.dipaths.family.DipathFamily` coherent under lightpath
+arrivals and departures.  It is a :class:`~repro.conflict.ConflictGraph`
+(so every mask-based algorithm — cliques, DSATUR, exact colouring — runs on
+it unchanged), but instead of being rebuilt per event its per-vertex
+adjacency bitmasks are *patched*:
+
+* :meth:`add_dipath` inserts the member into the family (which patches its
+  own conflict-mask cache incrementally), reads back the new member's mask
+  and ORs the new vertex bit into each neighbour — O(degree) mask updates
+  on top of the family's O(shared incidences) index update;
+* :meth:`remove_dipath` clears the vertex bit from each neighbour and drops
+  the vertex — again O(degree).
+
+Vertex labels are family member indices; after removals they are sparse
+(freed slots are recycled by later arrivals).  The mask consumers
+(colouring, cliques, independent sets) handle sparse labels natively;
+family-level algorithms that need dense indexing (`theorem1`/`theorem6`)
+compact sparse families at their entry points, and the per-member
+iterators (`DipathFamily.items`, `active_indices`) expose the true member
+indices.  At any point the graph equals ``build_conflict_graph(family)``
+built from scratch — the invariant the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .._bitops import iter_bits
+from .._typing import Vertex
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..graphs.digraph import DiGraph
+from .conflict_graph import ConflictGraph
+
+__all__ = ["DynamicConflictGraph"]
+
+
+class DynamicConflictGraph(ConflictGraph):
+    """The conflict graph of a dipath family, patched per add/remove event."""
+
+    __slots__ = ("_family",)
+
+    def __init__(self, family: Optional[DipathFamily] = None,
+                 graph: Optional[DiGraph] = None) -> None:
+        if family is None:
+            family = DipathFamily(graph=graph)
+        self._family = family
+        masks = family.conflict_masks()     # at most one cold build
+        self._nbr = {i: masks[i] for i in family.active_indices()}
+        vmask = 0
+        for i in self._nbr:
+            vmask |= 1 << i
+        self._vmask = vmask
+
+    @property
+    def family(self) -> DipathFamily:
+        """The underlying dipath family (mutate it only through this class)."""
+        return self._family
+
+    def add_dipath(self, dipath: Dipath | Sequence[Vertex]) -> int:
+        """Add a dipath to the family and patch the graph; returns its index."""
+        idx = self._family.add(dipath)
+        mask = self._family.conflict_masks()[idx]
+        bit = 1 << idx
+        self._nbr[idx] = mask
+        self._vmask |= bit
+        nbr = self._nbr
+        for j in iter_bits(mask):
+            nbr[j] |= bit
+        return idx
+
+    def remove_dipath(self, idx: int) -> Dipath:
+        """Remove member ``idx`` from family and graph; returns its dipath."""
+        path = self._family.remove(idx)     # raises IndexError if not active
+        bit = 1 << idx
+        mask = self._nbr.pop(idx)
+        self._vmask &= ~bit
+        nbr = self._nbr
+        for j in iter_bits(mask):
+            nbr[j] &= ~bit
+        return path

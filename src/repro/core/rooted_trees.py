@@ -83,7 +83,7 @@ def color_dipaths_rooted_tree(tree: DiGraph, family: DipathFamily,
     family.validate_against(tree)
     depths = tree_depths(tree)
 
-    order = sorted(range(len(family)),
+    order = sorted(family.active_indices(),
                    key=lambda i: (depths[family[i].source], i))
     coloring: Dict[int, int] = {}
     for i in order:

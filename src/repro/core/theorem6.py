@@ -159,6 +159,14 @@ def color_dipaths_theorem6(graph: DiGraph, family: DipathFamily,
     n = len(family)
     if n == 0:
         return {}
+    if family.num_slots != n:
+        # Sparse (online) family: the split/re-join below indexes members
+        # densely, so run on a compacted copy and map the colours back.
+        active = family.active_indices()
+        dense = color_dipaths_theorem6(
+            graph, family.copy(), check_hypothesis=check_hypothesis,
+            validate_result=validate_result)
+        return {active[pos]: c for pos, c in dense.items()}
     family.validate_against(graph)
     pi = family.load()
     if pi == 0:

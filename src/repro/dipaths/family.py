@@ -8,12 +8,20 @@ position (0-based), which is also the vertex identity used by the conflict
 graph and by all colourings (a colouring is a mapping ``index -> colour``).
 
 Arcs are *interned* to dense integer ids as members are added: every dipath
-is recorded as a tuple of arc ids, and each arc id keeps the sorted list of
+is recorded as a tuple of arc ids, and each arc id keeps the bitmask of
 member indices that use it.  Load queries are therefore proportional to the
 number of (arc, dipath) incidences rather than quadratic in the family size,
 and conflict queries are served from cached per-member bitmasks (bit ``j``
 of ``conflict_masks()[i]`` set iff members ``i`` and ``j`` share an arc).
-The caches are invalidated by :meth:`add` and rebuilt lazily.
+
+The family is *dynamic*: :meth:`remove` retires a member and recycles its
+index through a free-list, so the online engine (:mod:`repro.online`) can
+model lightpath departures without renumbering the survivors.  Both
+:meth:`add` and :meth:`remove` maintain the conflict-mask cache
+*incrementally* — only the masks of members sharing an arc with the mutated
+dipath are touched, O(shared incidences) per event rather than a full
+rebuild (the full rebuild happens at most once, lazily, and is counted by
+:attr:`mask_rebuilds`).
 """
 
 from __future__ import annotations
@@ -49,18 +57,21 @@ class DipathFamily:
     """
 
     __slots__ = ("_paths", "_graph", "_arc_ids", "_arcs", "_arc_members",
-                 "_path_arc_ids", "_conflict_masks", "_load_cache")
+                 "_path_arc_ids", "_conflict_masks", "_load_cache",
+                 "_free_slots", "_mask_rebuilds")
 
     def __init__(self, dipaths: Iterable[Dipath | Sequence[Vertex]] = (),
                  graph: Optional[DiGraph] = None) -> None:
-        self._paths: List[Dipath] = []
+        self._paths: List[Optional[Dipath]] = []    # None marks a freed slot
         self._graph = graph
         self._arc_ids: Dict[Arc, int] = {}          # arc -> dense arc id
         self._arcs: List[Arc] = []                  # arc id -> arc
-        self._arc_members: List[List[int]] = []     # arc id -> member indices
+        self._arc_members: List[int] = []           # arc id -> member bitmask
         self._path_arc_ids: List[Tuple[int, ...]] = []  # member -> arc ids
         self._conflict_masks: Optional[List[int]] = None
         self._load_cache: Optional[int] = None
+        self._free_slots: List[int] = []            # recycled member indices
+        self._mask_rebuilds: int = 0
         for p in dipaths:
             self.add(p)
 
@@ -68,15 +79,28 @@ class DipathFamily:
     # mutation
     # ------------------------------------------------------------------ #
     def add(self, dipath: Dipath | Sequence[Vertex]) -> int:
-        """Append a dipath to the family and return its index."""
+        """Add a dipath to the family and return its index.
+
+        Freed slots (see :meth:`remove`) are recycled before new indices are
+        allocated.  When the conflict-mask cache is live it is patched in
+        place: only the masks of members sharing an arc with the new dipath
+        are updated, never the whole cache.
+        """
         if not isinstance(dipath, Dipath):
             dipath = Dipath(dipath, graph=self._graph)
         elif self._graph is not None and not dipath.is_valid_in(self._graph):
             raise InvalidDipathError(
                 f"{dipath!r} is not a dipath of the attached digraph")
-        idx = len(self._paths)
-        self._paths.append(dipath)
+        if self._free_slots:
+            idx = self._free_slots.pop()
+            self._paths[idx] = dipath
+        else:
+            idx = len(self._paths)
+            self._paths.append(dipath)
+            self._path_arc_ids.append(())
         arc_ids = self._arc_ids
+        arc_members = self._arc_members
+        bit = 1 << idx
         ids: List[int] = []
         for arc in dipath.arcs():
             aid = arc_ids.get(arc)
@@ -84,14 +108,60 @@ class DipathFamily:
                 aid = len(self._arcs)
                 arc_ids[arc] = aid
                 self._arcs.append(arc)
-                self._arc_members.append([])
-            # member indices stay sorted because idx only ever grows
-            self._arc_members[aid].append(idx)
+                self._arc_members.append(0)
+            arc_members[aid] |= bit
             ids.append(aid)
-        self._path_arc_ids.append(tuple(ids))
-        self._conflict_masks = None
-        self._load_cache = None
+        self._path_arc_ids[idx] = tuple(ids)
+        masks = self._conflict_masks
+        if masks is not None:
+            if len(masks) < len(self._paths):
+                masks.extend([0] * (len(self._paths) - len(masks)))
+            mask = 0
+            for aid in ids:
+                mask |= arc_members[aid]
+            mask &= ~bit
+            masks[idx] = mask
+            for j in iter_bits(mask):
+                masks[j] |= bit
+        if self._load_cache is not None:
+            for aid in ids:
+                count = arc_members[aid].bit_count()
+                if count > self._load_cache:
+                    self._load_cache = count
         return idx
+
+    def remove(self, idx: int) -> Dipath:
+        """Remove member ``idx`` and return its dipath.
+
+        The index goes onto a free-list and is recycled by a later
+        :meth:`add`; surviving members keep their indices.  When the
+        conflict-mask cache is live, only the masks of the (former)
+        conflict partners of ``idx`` are patched.  Raises ``IndexError``
+        for an index that is not an active member.
+        """
+        if not 0 <= idx < len(self._paths) or self._paths[idx] is None:
+            raise IndexError(f"member {idx} is not an active member")
+        path = self._paths[idx]
+        bit = 1 << idx
+        unbit = ~bit
+        load_cache = self._load_cache
+        for aid in self._path_arc_ids[idx]:
+            if load_cache is not None and \
+                    self._arc_members[aid].bit_count() == load_cache:
+                # a maximum-load arc loses a member: the maximum may drop,
+                # recompute lazily in O(#arcs)
+                load_cache = None
+            self._arc_members[aid] &= unbit
+        self._load_cache = load_cache
+        masks = self._conflict_masks
+        if masks is not None:
+            for j in iter_bits(masks[idx]):
+                masks[j] &= unbit
+            masks[idx] = 0
+        self._paths[idx] = None
+        self._path_arc_ids[idx] = ()
+        self._free_slots.append(idx)
+        return path
 
     def extend(self, dipaths: Iterable[Dipath | Sequence[Vertex]]) -> None:
         """Append every dipath of ``dipaths``."""
@@ -109,6 +179,8 @@ class DipathFamily:
             raise ValueError("copies must be >= 1")
         out = DipathFamily(graph=self._graph)
         for p in self._paths:
+            if p is None:
+                continue
             for _ in range(copies):
                 out.add(p)
         return out
@@ -118,25 +190,75 @@ class DipathFamily:
     # ------------------------------------------------------------------ #
     @property
     def dipaths(self) -> Tuple[Dipath, ...]:
-        """The dipaths of the family, in index order."""
-        return tuple(self._paths)
+        """The active dipaths of the family, in index order.
+
+        After removals this skips freed slots, so positions in the returned
+        tuple need not equal member indices — use :meth:`active_indices` for
+        the index correspondence.
+        """
+        return tuple(p for p in self._paths if p is not None)
 
     @property
     def graph(self) -> Optional[DiGraph]:
         """The digraph the family is attached to (may be ``None``)."""
         return self._graph
 
-    def __len__(self) -> int:
+    @property
+    def num_slots(self) -> int:
+        """Number of member slots ever allocated (active + freed)."""
         return len(self._paths)
 
+    def active_indices(self) -> List[int]:
+        """Indices of the active (non-removed) members, sorted."""
+        return [i for i, p in enumerate(self._paths) if p is not None]
+
+    def items(self) -> Iterator[Tuple[int, Dipath]]:
+        """Iterate over ``(member index, dipath)`` pairs of active members.
+
+        Unlike ``enumerate(family)``, whose positions drift once slots have
+        been freed, the yielded indices are the member indices that conflict
+        masks and colourings are keyed by.
+        """
+        return ((i, p) for i, p in enumerate(self._paths) if p is not None)
+
+    def is_active(self, idx: int) -> bool:
+        """Whether ``idx`` is the index of an active member."""
+        return 0 <= idx < len(self._paths) and self._paths[idx] is not None
+
+    @property
+    def mask_rebuilds(self) -> int:
+        """How many times the conflict-mask cache was rebuilt from scratch.
+
+        :meth:`add` and :meth:`remove` patch a live cache incrementally, so
+        this counts only cold (re)builds — at most one unless
+        :meth:`invalidate_caches` is called.
+        """
+        return self._mask_rebuilds
+
+    def invalidate_caches(self) -> None:
+        """Drop the conflict-mask and load caches (next query rebuilds).
+
+        The library never needs this — mutations keep the caches coherent —
+        but the online benchmarks use it to time the rebuild-per-event
+        strategy the incremental engine replaces.
+        """
+        self._conflict_masks = None
+        self._load_cache = None
+
+    def __len__(self) -> int:
+        return len(self._paths) - len(self._free_slots)
+
     def __iter__(self) -> Iterator[Dipath]:
-        return iter(self._paths)
+        return (p for p in self._paths if p is not None)
 
     def __getitem__(self, idx: int) -> Dipath:
-        return self._paths[idx]
+        path = self._paths[idx]
+        if path is None:
+            raise IndexError(f"member {idx} has been removed")
+        return path
 
     def __repr__(self) -> str:
-        return f"DipathFamily(n={len(self._paths)}, load={self.load()})"
+        return f"DipathFamily(n={len(self)}, load={self.load()})"
 
     def index_of(self, dipath: Dipath) -> int:
         """Index of the first occurrence of ``dipath`` in the family."""
@@ -147,8 +269,12 @@ class DipathFamily:
     # ------------------------------------------------------------------ #
     @property
     def num_arcs_used(self) -> int:
-        """Number of distinct arcs used by the family (= number of arc ids)."""
-        return len(self._arcs)
+        """Number of distinct arcs used by at least one active member.
+
+        Removed members keep their arcs interned (ids are never recycled),
+        so this can be smaller than the number of interned arc ids.
+        """
+        return sum(1 for mask in self._arc_members if mask)
 
     def arc_id(self, arc: Arc) -> int:
         """The dense integer id of ``arc`` (raises ``KeyError`` if unused)."""
@@ -166,57 +292,61 @@ class DipathFamily:
     # load (the paper's pi)
     # ------------------------------------------------------------------ #
     def arcs_used(self) -> List[Arc]:
-        """Arcs used by at least one dipath of the family."""
-        return list(self._arcs)
+        """Arcs used by at least one active dipath of the family."""
+        return [arc for arc, mask in zip(self._arcs, self._arc_members)
+                if mask]
 
     def members_on_arc(self, arc: Arc) -> List[int]:
         """Indices of family members whose dipath contains ``arc`` (sorted)."""
         aid = self._arc_ids.get(arc)
-        return [] if aid is None else list(self._arc_members[aid])
+        return [] if aid is None else bit_list(self._arc_members[aid])
 
     def load_of_arc(self, arc: Arc) -> int:
         """``load(G, P, e)``: number of dipaths of the family containing ``arc``."""
         aid = self._arc_ids.get(arc)
-        return 0 if aid is None else len(self._arc_members[aid])
+        return 0 if aid is None else self._arc_members[aid].bit_count()
 
     def load_per_arc(self) -> Dict[Arc, int]:
         """Mapping ``arc -> load`` restricted to arcs of positive load."""
-        return {arc: len(members)
-                for arc, members in zip(self._arcs, self._arc_members)}
+        return {arc: mask.bit_count()
+                for arc, mask in zip(self._arcs, self._arc_members)
+                if mask}
 
     def load(self) -> int:
         """``pi(G, P)``: maximum load over all arcs (0 for an empty family)."""
         if self._load_cache is None:
             self._load_cache = max(
-                (len(members) for members in self._arc_members), default=0)
+                (mask.bit_count() for mask in self._arc_members), default=0)
         return self._load_cache
 
     def maximum_load_arcs(self) -> List[Arc]:
         """Arcs achieving the maximum load."""
         pi = self.load()
-        return [arc for arc, members in zip(self._arcs, self._arc_members)
-                if len(members) == pi]
+        if pi == 0:
+            return []
+        return [arc for arc, mask in zip(self._arcs, self._arc_members)
+                if mask.bit_count() == pi]
 
     # ------------------------------------------------------------------ #
     # conflicts
     # ------------------------------------------------------------------ #
     def conflict_masks(self) -> List[int]:
-        """Per-member conflict bitmasks (cached; rebuilt after :meth:`add`).
+        """Per-member conflict bitmasks (cached; patched in place by
+        :meth:`add` / :meth:`remove`).
 
         Bit ``j`` of entry ``i`` is set iff members ``i`` and ``j`` share at
-        least one arc (``i != j``).  The returned list is the internal cache —
-        treat it as read-only.
+        least one arc (``i != j``).  The list has one entry per *slot*
+        (:attr:`num_slots`); freed slots hold mask ``0``.  The returned list
+        is the internal cache — treat it as read-only.
         """
         masks = self._conflict_masks
         if masks is None:
+            self._mask_rebuilds += 1
             masks = [0] * len(self._paths)
-            for members in self._arc_members:
-                if len(members) < 2:
+            for arc_mask in self._arc_members:
+                if arc_mask.bit_count() < 2:
                     continue
-                arc_mask = 0
-                for i in members:
-                    arc_mask |= 1 << i
-                for i in members:
+                for i in iter_bits(arc_mask):
                     masks[i] |= arc_mask
             for i, m in enumerate(masks):
                 if m:
@@ -246,7 +376,7 @@ class DipathFamily:
     def validate_against(self, graph: DiGraph) -> None:
         """Raise :class:`InvalidDipathError` if some member is not a dipath of ``graph``."""
         for idx, p in enumerate(self._paths):
-            if not p.is_valid_in(graph):
+            if p is not None and not p.is_valid_in(graph):
                 raise InvalidDipathError(
                     f"family member {idx} ({p!r}) is not a dipath of the digraph")
 
@@ -254,15 +384,19 @@ class DipathFamily:
         """Family of members using at least one of the given arcs (same order)."""
         arcset = set(arcs)
         out = DipathFamily(graph=self._graph)
-        for p in self._paths:
+        for p in self:
             if any(a in arcset for a in p.arcs()):
                 out.add(p)
         return out
 
     def copy(self) -> "DipathFamily":
-        """Shallow copy (dipaths are immutable, so this is fully independent)."""
+        """Shallow copy (dipaths are immutable, so this is fully independent).
+
+        Freed slots are not copied: the copy is densely indexed ``0..n-1``
+        even if this family has holes.
+        """
         out = DipathFamily(graph=self._graph)
-        for p in self._paths:
+        for p in self:
             out.add(p)
         return out
 
@@ -273,7 +407,7 @@ class DipathFamily:
         detect whether the *used* sub-DAG has an internal cycle).
         """
         g = DiGraph()
-        for u, v in self._arcs:
+        for u, v in self.arcs_used():
             g.add_arc(u, v)
         return g
 

@@ -1,0 +1,45 @@
+"""Online RWA engine: dynamic dipath families, incremental conflict
+maintenance and event-driven admission simulation.
+
+The static pipeline (family -> conflict graph -> colouring) answers the
+paper's offline question; this package answers its operational one:
+lightpaths arrive and depart, and the gap between load and wavelengths
+shows up as avoidable blocking.  The moving parts:
+
+* :mod:`repro.online.events`     — seeded Poisson / replay / churn traces;
+* :class:`repro.conflict.DynamicConflictGraph` (re-exported here) — the
+  conflict graph patched in O(degree) per event;
+* :mod:`repro.online.assigner`   — first-fit / least-used / most-used /
+  random wavelength policies with optional Kempe-chain repair;
+* :mod:`repro.online.simulator`  — the event loop tying them together.
+
+:func:`repro.optical.simulation.simulate_admission` is a thin static-order
+front-end over this engine.  See the "Dynamic engine" section of
+PERFORMANCE.md for the mask-patching contract and per-event complexity.
+"""
+
+from ..conflict.dynamic import DynamicConflictGraph
+from .assigner import POLICIES, OnlineWavelengthAssigner
+from .events import (
+    ARRIVAL,
+    DEPARTURE,
+    Event,
+    churn_trace,
+    poisson_trace,
+    replay_trace,
+)
+from .simulator import OnlineResult, simulate_online
+
+__all__ = [
+    "ARRIVAL",
+    "DEPARTURE",
+    "DynamicConflictGraph",
+    "Event",
+    "OnlineResult",
+    "OnlineWavelengthAssigner",
+    "POLICIES",
+    "churn_trace",
+    "poisson_trace",
+    "replay_trace",
+    "simulate_online",
+]

@@ -1,0 +1,221 @@
+"""Online wavelength assignment over a dynamic conflict graph.
+
+:class:`OnlineWavelengthAssigner` colours conflict-graph vertices as they
+arrive, under a hard budget of ``wavelengths`` colours.  A colour is *free*
+for a vertex when no currently-coloured neighbour uses it; among the free
+colours the pluggable policy picks:
+
+* ``first_fit``   — the smallest free colour (the classical heuristic, and
+  exactly the per-fibre first-fit of the static admission loop);
+* ``least_used``  — the free colour with the fewest current users (spreads
+  lightpaths across wavelengths, keeping headroom on each);
+* ``most_used``   — the free colour with the most current users (packs
+  wavelengths, keeping whole channels free for long paths);
+* ``random``      — a uniformly random free colour from the assigner's
+  seeded RNG.
+
+When no colour is free the assigner can optionally attempt **one Kempe
+chain swap** (``kempe_repair=True``) before giving up: if for some colour
+pair ``(a, b)`` every ``a``-coloured neighbour of the blocked vertex lies
+in one Kempe component containing no ``b``-coloured neighbour, swapping
+that component frees ``a``.  This is the recolouring step of Theorem 1's
+proof (see :mod:`repro.coloring.kempe`) used operationally: a bounded
+amount of wavelength reconfiguration instead of blocking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional
+
+from .._bitops import bit_list, iter_bits, lowest_missing_bit
+from ..coloring.kempe import kempe_component
+from ..conflict.conflict_graph import ConflictGraph
+
+__all__ = ["POLICIES", "OnlineWavelengthAssigner"]
+
+#: The wavelength-selection policies understood by the assigner.
+POLICIES = ("first_fit", "least_used", "most_used", "random")
+
+
+class _AdjacencyView:
+    """Read-only ``vertex -> neighbour list`` view over a mask graph.
+
+    Decodes neighbour masks lazily so the Kempe search never materialises
+    the full adjacency; only vertices the chain actually reaches pay the
+    decode.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: ConflictGraph) -> None:
+        self._graph = graph
+
+    def __getitem__(self, v: int) -> List[int]:
+        return bit_list(self._graph.neighbor_mask(v))
+
+
+class OnlineWavelengthAssigner:
+    """Incremental colouring of arriving/departing conflict-graph vertices.
+
+    Parameters
+    ----------
+    wavelengths:
+        The colour budget ``W``; assigned colours are ``0..W-1``.
+    policy:
+        One of :data:`POLICIES`.
+    kempe_repair:
+        Attempt one Kempe chain swap before declaring a vertex blocked.
+    seed:
+        Seed for the ``random`` policy (ignored by the others).
+    """
+
+    def __init__(self, wavelengths: int, policy: str = "first_fit",
+                 kempe_repair: bool = False,
+                 seed: Optional[int] = None) -> None:
+        if wavelengths < 1:
+            raise ValueError("wavelengths must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {POLICIES}")
+        self._wavelengths = wavelengths
+        self._policy = policy
+        self._kempe_repair = kempe_repair
+        self._rng = random.Random(seed)
+        self._color: Dict[int, int] = {}
+        self._usage: List[int] = [0] * wavelengths
+        self._ever_used: int = 0            # bitmask of colours ever assigned
+        self._repairs = 0
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def wavelengths(self) -> int:
+        """The colour budget ``W``."""
+        return self._wavelengths
+
+    @property
+    def policy(self) -> str:
+        """The active selection policy."""
+        return self._policy
+
+    @property
+    def coloring(self) -> Mapping[int, int]:
+        """The current ``vertex -> colour`` assignment (live view)."""
+        return self._color
+
+    @property
+    def kempe_repairs(self) -> int:
+        """Number of successful Kempe repairs performed so far."""
+        return self._repairs
+
+    def color_of(self, vertex: int) -> int:
+        """The colour currently assigned to ``vertex``."""
+        return self._color[vertex]
+
+    def colors_in_use(self) -> int:
+        """Number of distinct colours with at least one current user."""
+        return sum(1 for count in self._usage if count)
+
+    def colors_ever_used(self) -> int:
+        """Number of distinct colours assigned at any point of the run."""
+        return self._ever_used.bit_count()
+
+    def usage(self) -> List[int]:
+        """Current user count per colour (a copy)."""
+        return list(self._usage)
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+    def assign(self, graph: ConflictGraph, vertex: int) -> Optional[int]:
+        """Colour ``vertex`` of ``graph``; return its colour or ``None``.
+
+        ``None`` means the vertex is blocked: every colour of the budget is
+        used by a neighbour and (if enabled) the Kempe repair found no
+        admissible swap.  A blocked vertex is left uncoloured — the caller
+        removes it from the graph.
+        """
+        forbidden = 0
+        color_of = self._color
+        for j in iter_bits(graph.neighbor_mask(vertex)):
+            c = color_of.get(j)
+            if c is not None:
+                forbidden |= 1 << c
+        color = self._pick(forbidden)
+        if color is None and self._kempe_repair:
+            color = self._try_kempe_repair(graph, vertex)
+        if color is None:
+            return None
+        color_of[vertex] = color
+        self._usage[color] += 1
+        self._ever_used |= 1 << color
+        return color
+
+    def release(self, vertex: int) -> int:
+        """Forget the colour of a departing vertex; return it."""
+        color = self._color.pop(vertex)
+        self._usage[color] -= 1
+        return color
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _pick(self, forbidden: int) -> Optional[int]:
+        """Choose a colour ``< W`` outside ``forbidden`` per the policy."""
+        wavelengths = self._wavelengths
+        if self._policy == "first_fit":
+            color = lowest_missing_bit(forbidden)
+            return color if color < wavelengths else None
+        free = [c for c in range(wavelengths) if not (forbidden >> c) & 1]
+        if not free:
+            return None
+        if self._policy == "least_used":
+            return min(free, key=lambda c: (self._usage[c], c))
+        if self._policy == "most_used":
+            return min(free, key=lambda c: (-self._usage[c], c))
+        return self._rng.choice(free)       # "random"
+
+    def _try_kempe_repair(self, graph: ConflictGraph,
+                          vertex: int) -> Optional[int]:
+        """One chain swap freeing a colour for ``vertex``, or ``None``.
+
+        For each colour pair ``(a, b)``: if the Kempe component (colours
+        ``a``/``b``) of the first ``a``-coloured neighbour contains *all*
+        ``a``-coloured neighbours of ``vertex`` and *no* ``b``-coloured
+        one, swapping it turns every such neighbour to ``b`` and frees
+        ``a``.  The first admissible pair is applied.
+        """
+        color_of = self._color
+        by_color: Dict[int, List[int]] = {}
+        for j in iter_bits(graph.neighbor_mask(vertex)):
+            c = color_of.get(j)
+            if c is not None:
+                by_color.setdefault(c, []).append(j)
+        adjacency = _AdjacencyView(graph)
+        for a in sorted(by_color):
+            holders = by_color[a]
+            for b in range(self._wavelengths):
+                if b == a:
+                    continue
+                component = kempe_component(adjacency, color_of, holders[0],
+                                            a, b)
+                if not all(u in component for u in holders):
+                    continue
+                if any(u in component for u in by_color.get(b, ())):
+                    continue
+                for u in component:
+                    old = color_of[u]
+                    if old == a:
+                        color_of[u] = b
+                    elif old == b:
+                        color_of[u] = a
+                    else:
+                        continue
+                    self._usage[old] -= 1
+                    self._usage[color_of[u]] += 1
+                    self._ever_used |= 1 << color_of[u]
+                self._repairs += 1
+                return a
+        return None

@@ -1,0 +1,167 @@
+"""Event traces for the online RWA engine.
+
+A *trace* is a time-ordered list of :class:`Event` objects — lightpath
+arrivals (carrying the request, or a pre-routed dipath) and departures
+(referencing the arrival by ``request_id``).  Three constructors cover the
+standard workloads:
+
+* :func:`replay_trace` — deterministic pure-arrival replay of a request
+  family or an already-routed dipath family (one arrival per unit request,
+  no departures).  This is the static-order workload
+  :func:`repro.optical.simulation.simulate_admission` feeds the engine;
+* :func:`poisson_trace` — the classical teletraffic model: Poisson
+  arrivals (exponential inter-arrival times at ``arrival_rate``),
+  exponential holding times with mean ``mean_holding``, requests sampled
+  from a pool (e.g. one of the :mod:`repro.optical.traffic` generators);
+* :func:`churn_trace` — warm up to a target number of concurrent
+  lightpaths, then alternate departure/arrival pairs so concurrency stays
+  constant; this is the steady-state workload the incremental-maintenance
+  benchmarks time.
+
+All randomness is a single seeded ``random.Random``, so every trace is
+reproducible from its arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..dipaths.requests import Request, RequestFamily
+
+__all__ = ["ARRIVAL", "DEPARTURE", "Event", "replay_trace", "poisson_trace",
+           "churn_trace"]
+
+ARRIVAL = "arrival"
+DEPARTURE = "departure"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event of a trace.
+
+    Attributes
+    ----------
+    time:
+        Event timestamp (arbitrary units; traces are sorted by time, with
+        departures before arrivals at equal timestamps so capacity freed at
+        ``t`` is available to requests arriving at ``t``).
+    kind:
+        :data:`ARRIVAL` or :data:`DEPARTURE`.
+    request_id:
+        Identifier shared by an arrival and its departure (the arrival's
+        position in the request stream).
+    request:
+        The request to route (arrivals only, unless ``dipath`` is given).
+    dipath:
+        A pre-routed dipath (arrivals only); when present the simulator
+        uses it verbatim and skips routing.
+    """
+
+    time: float
+    kind: str
+    request_id: int
+    request: Optional[Request] = None
+    dipath: Optional[Dipath] = None
+
+
+def _sort_events(events: List[Event]) -> List[Event]:
+    return sorted(events, key=lambda e: (e.time, e.kind == ARRIVAL,
+                                         e.request_id))
+
+
+def replay_trace(workload: Union[RequestFamily, DipathFamily]) -> List[Event]:
+    """Pure-arrival trace replaying a request or dipath family in order.
+
+    Unit requests (multiplicities expanded) arrive at times ``0, 1, 2, ...``
+    and never depart; ``request_id`` is the arrival order, matching the
+    index convention of :func:`~repro.optical.simulation.simulate_admission`.
+    """
+    events: List[Event] = []
+    if isinstance(workload, DipathFamily):
+        for i, dipath in enumerate(workload):
+            events.append(Event(float(i), ARRIVAL, i, dipath=dipath))
+    else:
+        for i, (source, target) in enumerate(workload.pairs()):
+            events.append(Event(float(i), ARRIVAL, i,
+                                request=Request(source, target)))
+    return events
+
+
+def poisson_trace(pool: RequestFamily, num_arrivals: int,
+                  arrival_rate: float = 1.0, mean_holding: float = 1.0,
+                  seed: Optional[int] = None) -> List[Event]:
+    """Seeded Poisson arrival / exponential holding-time trace.
+
+    Each arrival picks a request uniformly from ``pool`` (multiplicities
+    weight the draw through :meth:`~repro.dipaths.requests.RequestFamily.pairs`),
+    arrives an ``Exp(arrival_rate)`` interval after the previous one and
+    holds for an ``Exp(1/mean_holding)`` duration, after which its
+    departure event fires.  The offered load is
+    ``arrival_rate * mean_holding`` Erlang.
+    """
+    if num_arrivals < 0:
+        raise ValueError("num_arrivals must be >= 0")
+    if arrival_rate <= 0 or mean_holding <= 0:
+        raise ValueError("arrival_rate and mean_holding must be positive")
+    pairs = pool.pairs()
+    if not pairs:
+        raise ValueError("the request pool is empty")
+    rng = random.Random(seed)
+    events: List[Event] = []
+    now = 0.0
+    for i in range(num_arrivals):
+        now += rng.expovariate(arrival_rate)
+        holding = rng.expovariate(1.0 / mean_holding)
+        source, target = rng.choice(pairs)
+        events.append(Event(now, ARRIVAL, i, request=Request(source, target)))
+        events.append(Event(now + holding, DEPARTURE, i))
+    return _sort_events(events)
+
+
+def churn_trace(pool: Union[RequestFamily, DipathFamily], concurrent: int,
+                churn_events: int, seed: Optional[int] = None) -> List[Event]:
+    """Constant-concurrency churn: warm up, then departure/arrival pairs.
+
+    The first ``concurrent`` arrivals (times ``0..concurrent-1``) fill the
+    system; each subsequent unit of time removes one uniformly random
+    active lightpath and admits the next item of ``pool`` (cycled), for
+    ``churn_events`` remove+add rounds.  With a :class:`DipathFamily` pool
+    the arrivals carry pre-routed dipaths.
+    """
+    if concurrent < 1:
+        raise ValueError("concurrent must be >= 1")
+    if churn_events < 0:
+        raise ValueError("churn_events must be >= 0")
+    if isinstance(pool, DipathFamily):
+        items: List = list(pool)
+        def arrival(time: float, rid: int) -> Event:
+            return Event(time, ARRIVAL, rid,
+                         dipath=items[rid % len(items)])
+    else:
+        items = pool.pairs()
+        def arrival(time: float, rid: int) -> Event:
+            source, target = items[rid % len(items)]
+            return Event(time, ARRIVAL, rid,
+                         request=Request(source, target))
+    if not items:
+        raise ValueError("the workload pool is empty")
+    rng = random.Random(seed)
+    events: List[Event] = []
+    active: List[int] = []
+    for i in range(concurrent):
+        events.append(arrival(float(i), i))
+        active.append(i)
+    now = float(concurrent)
+    next_id = concurrent
+    for _ in range(churn_events):
+        victim = active.pop(rng.randrange(len(active)))
+        events.append(Event(now, DEPARTURE, victim))
+        events.append(arrival(now, next_id))
+        active.append(next_id)
+        next_id += 1
+        now += 1.0
+    return events

@@ -13,6 +13,7 @@ from .traffic import (
     all_to_all_traffic,
     hotspot_traffic,
     multicast_traffic,
+    traffic_rng,
     uniform_random_traffic,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "provision_solution",
     "simulate_admission",
     "solve_rwa",
+    "traffic_rng",
     "uniform_random_traffic",
 ]

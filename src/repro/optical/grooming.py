@@ -37,7 +37,7 @@ def adm_count(family: DipathFamily, coloring: Mapping[int, int]) -> int:
     saving).
     """
     adm_sites: Set[Tuple[int, Vertex]] = set()
-    for idx, path in enumerate(family):
+    for idx, path in family.items():
         wavelength = coloring[idx]
         adm_sites.add((wavelength, path.source))
         adm_sites.add((wavelength, path.target))
@@ -76,7 +76,7 @@ def groom_requests(family: DipathFamily, grooming_factor: int) -> GroomingResult
     # per-wavelength per-arc used sub-capacity
     usage: Dict[int, Dict[Tuple[Vertex, Vertex], int]] = defaultdict(
         lambda: defaultdict(int))
-    for idx, path in enumerate(family):
+    for idx, path in family.items():
         placed = False
         for wavelength in sorted(result.assignment):
             if all(usage[wavelength][arc] < grooming_factor for arc in path.arcs()):
@@ -108,7 +108,7 @@ def max_requests_within_wavelengths(family: DipathFamily, wavelengths: int
     """
     if wavelengths < 0:
         raise ValueError("wavelengths must be >= 0")
-    order = sorted(range(len(family)), key=lambda i: family[i].length)
+    order = sorted(family.active_indices(), key=lambda i: family[i].length)
     selected: List[int] = []
     load: Dict[Tuple[Vertex, Vertex], int] = defaultdict(int)
     for idx in order:

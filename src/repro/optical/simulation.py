@@ -9,20 +9,29 @@ operational meaning of the paper's result: on internal-cycle-free topologies,
 ``W`` equal to the (offline) load suffices to serve the whole family, whereas
 on topologies with internal cycles the gap between load and wavelengths shows
 up as avoidable blocking.
+
+Since the online engine landed, this module is a thin static-order front-end
+over :mod:`repro.online`: requests are routed in batch (static routing on the
+bare topology, exactly as before), replayed as a pure-arrival trace and
+admitted by the incremental engine.  Selecting a wavelength that is free on
+every fibre of the route is the same thing as selecting a colour unused by
+every conflicting lightpath, so the blocking decisions are identical to the
+historical per-fibre loop — the equivalence tests in ``tests/test_online.py``
+assert this against a network-level reference.  For arrival/departure
+dynamics (Poisson traffic, holding times, churn) use
+:func:`repro.online.simulate_online` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
-from ..exceptions import RoutingError
-from ..dipaths.dipath import Dipath
-from ..dipaths.family import DipathFamily
 from ..dipaths.requests import RequestFamily
 from ..dipaths.routing import RoutingPolicy, route_all
 from ..graphs.digraph import DiGraph
-from .network import OpticalNetwork
+from ..online.events import replay_trace
+from ..online.simulator import simulate_online
 
 __all__ = ["AdmissionResult", "simulate_admission"]
 
@@ -59,31 +68,25 @@ def simulate_admission(graph: DiGraph, requests: RequestFamily,
                        first_fit: bool = True) -> AdmissionResult:
     """Provision requests online with ``wavelengths`` channels per fibre.
 
-    Each unit request is routed with the given policy, then assigned the
-    first wavelength (first-fit) that is free on every fibre of its route; if
-    none exists the request is blocked.  The routing is computed on the bare
-    topology (routes do not adapt to the current allocation), which matches
-    the static-routing assumption of the paper.
+    Each unit request is routed with the given policy, then assigned a
+    wavelength that is free on every fibre of its route; if none exists the
+    request is blocked.  The routing is computed on the bare topology
+    (routes do not adapt to the current allocation), which matches the
+    static-routing assumption of the paper.
+
+    ``first_fit=True`` assigns the lowest free wavelength (the classical
+    heuristic); ``first_fit=False`` selects the **least-used** free
+    wavelength instead, spreading lightpaths across the spectrum — see
+    :mod:`repro.online.assigner` for the policy semantics (and for the
+    ``most_used`` / ``random`` policies of the full engine).
     """
     if wavelengths < 1:
         raise ValueError("wavelengths must be >= 1")
     family = route_all(graph, requests, policy=routing)
-    network = OpticalNetwork.from_digraph(graph, capacity=wavelengths)
-    result = AdmissionResult(wavelengths_available=wavelengths)
-
-    for idx, dipath in enumerate(family):
-        chosen: Optional[int] = None
-        for wavelength in range(wavelengths):
-            if all(network.is_wavelength_free(arc, wavelength)
-                   for arc in dipath.arcs()):
-                chosen = wavelength
-                break
-            if not first_fit:
-                continue
-        if chosen is None:
-            result.blocked.append(idx)
-        else:
-            network.provision(dipath, chosen, request_id=idx)
-            result.accepted.append(idx)
-    result.wavelengths_used = network.wavelengths_used()
-    return result
+    online = simulate_online(
+        graph, replay_trace(family), wavelengths,
+        policy="first_fit" if first_fit else "least_used",
+        record_timeline=False)
+    return AdmissionResult(accepted=online.accepted, blocked=online.blocked,
+                           wavelengths_available=wavelengths,
+                           wavelengths_used=online.wavelengths_used)

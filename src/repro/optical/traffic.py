@@ -8,7 +8,7 @@ hotspot (a few nodes concentrate most of the demand).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import random
 
@@ -22,7 +22,24 @@ __all__ = [
     "multicast_traffic",
     "uniform_random_traffic",
     "hotspot_traffic",
+    "traffic_rng",
 ]
+
+
+def traffic_rng(seed: Union[int, random.Random, None]) -> random.Random:
+    """The shared seeded RNG behind every randomised traffic generator.
+
+    ``seed`` may be an int (or ``None``) as usual, or an existing
+    ``random.Random``, which is passed through unchanged — that lets the
+    online simulator thread one RNG through traffic generation and event
+    sampling so a whole scenario replays from a single seed.  Equal integer
+    seeds give identical request streams across runs and platforms
+    (``random.Random`` is version-stable for the methods used here), which
+    the reproducibility tests assert.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
 
 
 def _connected_pairs(graph: DiGraph) -> List[Tuple[Vertex, Vertex]]:
@@ -46,14 +63,15 @@ def multicast_traffic(graph: DiGraph, origin: Optional[Vertex] = None
 
 
 def uniform_random_traffic(graph: DiGraph, num_requests: int,
-                           seed: Optional[int] = None,
+                           seed: Union[int, random.Random, None] = None,
                            max_multiplicity: int = 1) -> RequestFamily:
     """Uniformly random satisfiable requests.
 
     Each request picks a connected pair uniformly at random, with a uniform
-    multiplicity in ``1..max_multiplicity``.
+    multiplicity in ``1..max_multiplicity``.  ``seed`` follows the
+    :func:`traffic_rng` convention (int, ``None`` or a shared RNG).
     """
-    rng = random.Random(seed)
+    rng = traffic_rng(seed)
     pairs = _connected_pairs(graph)
     if not pairs:
         raise ValueError("the network has no connected node pair")
@@ -68,14 +86,17 @@ def uniform_random_traffic(graph: DiGraph, num_requests: int,
 def hotspot_traffic(graph: DiGraph, num_requests: int,
                     num_hotspots: int = 1,
                     hotspot_fraction: float = 0.7,
-                    seed: Optional[int] = None) -> RequestFamily:
+                    seed: Union[int, random.Random, None] = None
+                    ) -> RequestFamily:
     """Skewed traffic: a fraction of requests target a few hotspot nodes.
 
     ``hotspot_fraction`` of the requests have their destination drawn from
     ``num_hotspots`` randomly chosen nodes (weighted towards nodes with many
     ancestors so the requests are satisfiable); the rest are uniform.
+    ``seed`` follows the :func:`traffic_rng` convention (int, ``None`` or a
+    shared RNG).
     """
-    rng = random.Random(seed)
+    rng = traffic_rng(seed)
     pairs = _connected_pairs(graph)
     if not pairs:
         raise ValueError("the network has no connected node pair")

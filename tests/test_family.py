@@ -90,6 +90,112 @@ class TestConflicts:
         assert list(fam.conflicting_pairs()) == []
 
 
+class TestDynamicFamily:
+    """remove(), free-list recycling and incremental cache maintenance."""
+
+    def test_remove_returns_dipath_and_updates_load(self, simple_family):
+        removed = simple_family.remove(0)
+        assert removed == Dipath(["a", "b", "c", "d"])
+        assert len(simple_family) == 2
+        assert simple_family.load() == 2
+        assert simple_family.load_of_arc(("a", "b")) == 0
+        assert simple_family.members_on_arc(("c", "d")) == [1, 2]
+
+    def test_remove_invalid_index(self, simple_family):
+        with pytest.raises(IndexError):
+            simple_family.remove(7)
+        simple_family.remove(1)
+        with pytest.raises(IndexError):
+            simple_family.remove(1)  # already freed
+
+    def test_free_slot_is_recycled(self, simple_family):
+        simple_family.remove(1)
+        assert simple_family.active_indices() == [0, 2]
+        assert not simple_family.is_active(1)
+        idx = simple_family.add(["b", "e"])
+        assert idx == 1
+        assert simple_family.is_active(1)
+        assert simple_family.num_slots == 3
+        # fresh indices resume after the slots are exhausted
+        assert simple_family.add(["a", "b"]) == 3
+
+    def test_getitem_and_iteration_skip_freed_slots(self, simple_family):
+        simple_family.remove(1)
+        with pytest.raises(IndexError):
+            simple_family[1]
+        assert len(list(simple_family)) == 2
+        assert len(simple_family.dipaths) == 2
+
+    def test_arcs_used_shrinks_after_removal(self):
+        fam = DipathFamily([["a", "b"], ["b", "c"]])
+        fam.remove(0)
+        assert fam.arcs_used() == [("b", "c")]
+        assert fam.num_arcs_used == 1
+        assert fam.load_per_arc() == {("b", "c"): 1}
+        assert fam.maximum_load_arcs() == [("b", "c")]
+        assert fam.union_digraph().num_arcs == 1
+
+    def test_empty_after_removals(self):
+        fam = DipathFamily([["a", "b"]])
+        fam.remove(0)
+        assert len(fam) == 0
+        assert fam.load() == 0
+        assert fam.maximum_load_arcs() == []
+
+    def test_conflict_masks_patch_on_remove_and_readd(self, simple_family):
+        assert set(simple_family.conflicting_pairs()) == {(0, 1), (0, 2), (1, 2)}
+        simple_family.remove(1)
+        assert set(simple_family.conflicting_pairs()) == {(0, 2)}
+        assert simple_family.conflicts_of(0) == [2]
+        idx = simple_family.add(["b", "c", "d"])
+        assert idx == 1
+        assert set(simple_family.conflicting_pairs()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_add_remove_never_trigger_full_mask_rebuild(self):
+        """Regression: PR 1 dropped the mask cache on every add."""
+        fam = DipathFamily([["a", "b", "c"], ["b", "c", "d"]])
+        fam.conflict_masks()
+        assert fam.mask_rebuilds == 1
+        for _ in range(5):
+            idx = fam.add(["c", "d", "e"])
+            fam.conflict_masks()
+            fam.remove(idx)
+            fam.conflict_masks()
+        fam.add(["a", "b"])
+        fam.conflict_masks()
+        assert fam.mask_rebuilds == 1
+        fam.invalidate_caches()
+        fam.conflict_masks()
+        assert fam.mask_rebuilds == 2
+
+    def test_incremental_masks_match_fresh_family(self):
+        import random
+
+        rng = random.Random(5)
+        fam = DipathFamily()
+        fam.conflict_masks()            # warm the cache so mutations patch it
+        pool = [["a", "b", "c"], ["b", "c", "d"], ["c", "d", "e"],
+                ["a", "b"], ["d", "e"], ["b", "c"]]
+        active = []
+        for _ in range(120):
+            if active and rng.random() < 0.45:
+                victim = rng.choice(active)
+                active.remove(victim)
+                fam.remove(victim)
+            else:
+                active.append(fam.add(rng.choice(pool)))
+        # compare against a from-scratch family over the active dipaths
+        fresh = DipathFamily([fam[i] for i in sorted(fam.active_indices())])
+        remap = {slot: pos for pos, slot in
+                 enumerate(sorted(fam.active_indices()))}
+        got = {(remap[i], remap[j])
+               for i, j in fam.conflicting_pairs()
+               if fam.is_active(i) and fam.is_active(j)}
+        assert got == set(fresh.conflicting_pairs())
+        assert fam.mask_rebuilds == 1
+        assert fam.load() == fresh.load()
+
+
 class TestTransformations:
     def test_restricted_to_arcs(self, simple_family):
         sub = simple_family.restricted_to_arcs([("a", "b")])
