@@ -1,0 +1,50 @@
+"""E14 — adaptive online routing + transactional what-if admission.
+
+Two claims, both recorded in ``BENCH_online_routing.json`` by
+``scripts/bench_report.py --suite routing``:
+
+* at equal offered load, load-aware online routing (``least_loaded``,
+  ``k_shortest``) blocks strictly less than fixed shortest-path routing on
+  every benchmark topology;
+* evaluating admission candidates through
+  :class:`~repro.online.transaction.WhatIfTransaction` speculation
+  (admit → score → rollback in O(touched)) beats rebuild-per-candidate by
+  at least 5x on 500+ concurrent dipaths, with both strategies reaching
+  identical decisions.
+"""
+
+import pytest
+
+from repro.analysis.erlang import (
+    SPECULATION_SPEEDUP_TARGET,
+    run_routing_benchmark,
+)
+from .conftest import report
+
+pytestmark = pytest.mark.bench
+
+BLOCKING_COLUMNS = ("scenario", "wavelengths", "offered_load",
+                    "blocking_shortest", "blocking_least_loaded",
+                    "blocking_k_shortest", "adaptive_beats_fixed")
+SPECULATION_COLUMNS = ("scenario", "num_dipaths", "legacy_candidate_us",
+                       "new_candidate_us", "speedup_total", "decisions_equal")
+
+
+def test_adaptive_routing_and_speculation(benchmark, run_once):
+    records = run_once(benchmark, run_routing_benchmark, 3)
+    blocking = [r for r in records if r["kind"] == "blocking"]
+    speculation = [r for r in records if r["kind"] == "speculation"]
+    report(blocking, columns=BLOCKING_COLUMNS,
+           title="E14a / adaptive vs fixed routing — Erlang blocking")
+    report(speculation, columns=SPECULATION_COLUMNS,
+           title="E14b / what-if speculation — rollback vs rebuild")
+    assert len(blocking) >= 2
+    assert all(r["adaptive_beats_fixed"] for r in blocking), \
+        [(r["scenario"], r["blocking_shortest"]) for r in blocking]
+    assert all(r["num_dipaths"] >= 500 for r in speculation)
+    assert all(r["decisions_equal"] for r in speculation)
+    # speculation leaves the engine caches intact: the one cold build only
+    assert all(r["mask_rebuilds"] <= 1 for r in speculation)
+    assert all(r["speedup_total"] >= SPECULATION_SPEEDUP_TARGET
+               for r in speculation), \
+        [(r["scenario"], r["speedup_total"]) for r in speculation]

@@ -1,19 +1,22 @@
 """Benchmark runner/regression gate for the conflict + online engines.
 
 Runs the scaling scenarios of :mod:`repro.analysis.bench_scaling` (seed
-engine vs bitset engine on 500+ dipath families) and the churn scenarios
+engine vs bitset engine on 500+ dipath families), the churn scenarios
 of :mod:`repro.analysis.bench_online` (rebuild-per-event vs incremental
-maintenance at 500+ concurrent dipaths), and either records the results or
-checks them against the recorded baselines:
+maintenance at 500+ concurrent dipaths) and the adaptive-routing suite of
+:mod:`repro.analysis.erlang` (blocking of adaptive vs fixed routing, plus
+speculative what-if admission vs rebuild-per-candidate), and either
+records the results or checks them against the recorded baselines:
 
     python scripts/bench_report.py                   # run + write reports
     python scripts/bench_report.py --check           # run + fail on regression
-    python scripts/bench_report.py --suite online    # one suite only
+    python scripts/bench_report.py --suite routing   # one suite only
     python scripts/bench_report.py --quick           # fewer repeats (noisier)
 
-Reports are written to ``BENCH_conflict_engine.json`` and
-``BENCH_online_engine.json`` at the repository root (``--output`` overrides
-the path when a single suite is selected).  ``--check`` exits non-zero
+Reports are written to ``BENCH_conflict_engine.json``,
+``BENCH_online_engine.json`` and ``BENCH_online_routing.json`` at the
+repository root (``--output`` overrides the path when a single suite is
+selected).  ``--check`` exits non-zero
 when an engine is more than 20% slower than its recorded baseline on any
 scenario, when a speedup falls under the 5x target, or when the paired
 strategies disagree on edges/colours — this is the gate
@@ -40,22 +43,17 @@ from repro.analysis.bench_scaling import (
     run_scaling_benchmark,
     speedup_problems,
 )
+from repro.analysis.erlang import (
+    routing_benchmark_document,
+    routing_check_against_baseline,
+    routing_speedup_problems,
+    run_routing_benchmark,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: suite name -> (default report path, runner, document builder,
-#:                baseline checker, speedup checker)
-SUITES = {
-    "conflict": (REPO_ROOT / "BENCH_conflict_engine.json",
-                 run_scaling_benchmark, benchmark_document,
-                 check_against_baseline, speedup_problems),
-    "online": (REPO_ROOT / "BENCH_online_engine.json",
-               run_online_benchmark, online_benchmark_document,
-               online_check_against_baseline, online_speedup_problems),
-}
 
-
-def _print_records(records) -> None:
+def _print_engine_records(records) -> None:
     header = (f"{'scenario':28s} {'n':>5s} {'edges':>7s} "
               f"{'legacy(ms)':>11s} {'new(ms)':>9s} {'speedup':>8s}")
     print(header)
@@ -66,14 +64,52 @@ def _print_records(records) -> None:
               f"{r['speedup_total']:7.1f}x")
 
 
+def _print_routing_records(records) -> None:
+    for r in records:
+        if r["kind"] == "blocking":
+            adaptive = "  ".join(
+                f"{key.removeprefix('blocking_')}={r[key]:.4f}"
+                for key in r if key.startswith("blocking_")
+                and key != "blocking_shortest")
+            verdict = "ok" if r["adaptive_beats_fixed"] else "NOT BEATEN"
+            print(f"{r['scenario']:28s} W={r['wavelengths']} "
+                  f"load={r['offered_load']:.0f}E "
+                  f"shortest={r['blocking_shortest']:.4f}  {adaptive}  "
+                  f"[{verdict}]")
+        else:
+            print(f"{r['scenario']:28s} n={r['num_dipaths']} "
+                  f"legacy={r['legacy_total_s'] * 1000:.2f}ms "
+                  f"tx={r['new_total_s'] * 1000:.2f}ms "
+                  f"speedup={r['speedup_total']:.1f}x "
+                  f"agree={r['decisions_equal']}")
+
+
+#: suite name -> (default report path, runner, document builder,
+#:                baseline checker, speedup checker, record printer)
+SUITES = {
+    "conflict": (REPO_ROOT / "BENCH_conflict_engine.json",
+                 run_scaling_benchmark, benchmark_document,
+                 check_against_baseline, speedup_problems,
+                 _print_engine_records),
+    "online": (REPO_ROOT / "BENCH_online_engine.json",
+               run_online_benchmark, online_benchmark_document,
+               online_check_against_baseline, online_speedup_problems,
+               _print_engine_records),
+    "routing": (REPO_ROOT / "BENCH_online_routing.json",
+                run_routing_benchmark, routing_benchmark_document,
+                routing_check_against_baseline, routing_speedup_problems,
+                _print_routing_records),
+}
+
+
 def _run_suite(name: str, args) -> int:
-    default_path, run, document, check, speedups = SUITES[name]
+    default_path, run, document, check, speedups, print_records = SUITES[name]
     output: Path = args.output if args.output is not None else default_path
     repeats = 2 if args.quick else 3
 
     print(f"== suite: {name} ==")
     records = run(repeats=repeats)
-    _print_records(records)
+    print_records(records)
 
     slow = speedups(records)
     for problem in slow:

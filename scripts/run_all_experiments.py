@@ -6,13 +6,17 @@ CSV + JSON reports under ``results/`` so the numbers can be tracked across
 versions or plotted externally.
 
 Usage:
-    python scripts/run_all_experiments.py [output_dir]
+    python scripts/run_all_experiments.py [output_dir] [--skip-slow]
+
+``--skip-slow`` mirrors the test suite's ``slow`` pytest marker (see
+``pytest.ini``): the long-horizon gates — currently E14's Erlang blocking
+sweeps — are skipped so a quick sweep stays quick.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
 import time
 from pathlib import Path
 
@@ -25,6 +29,11 @@ from repro.analysis.bench_scaling import (
     check_against_baseline,
     run_scaling_benchmark,
     speedup_problems,
+)
+from repro.analysis.erlang import (
+    routing_check_against_baseline,
+    routing_speedup_problems,
+    run_routing_benchmark,
 )
 from repro.analysis import (
     algorithm_comparison_experiment,
@@ -67,7 +76,17 @@ EXPERIMENTS = [
 
 
 def main() -> int:
-    output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    parser = argparse.ArgumentParser(
+        description="Run every reproduction experiment and the bench gates")
+    parser.add_argument("output_dir", nargs="?", type=Path,
+                        default=Path("results"),
+                        help="where to write the CSV/JSON reports")
+    parser.add_argument("--skip-slow", action="store_true",
+                        help="skip the gates marked slow (the Erlang "
+                             "blocking sweeps of E14), mirroring the "
+                             "test suite's 'slow' marker")
+    args = parser.parse_args()
+    output_dir = args.output_dir
     output_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
     for key, title, driver in EXPERIMENTS:
@@ -94,13 +113,24 @@ def main() -> int:
     gates = [
         ("E12: bitset conflict engine vs recorded baseline ...",
          repo_root / "BENCH_conflict_engine.json",
-         run_scaling_benchmark, check_against_baseline, speedup_problems),
+         run_scaling_benchmark, check_against_baseline, speedup_problems,
+         False),
         ("E13: online conflict engine vs recorded baseline ...",
          repo_root / "BENCH_online_engine.json",
          run_online_benchmark, online_check_against_baseline,
-         online_speedup_problems),
+         online_speedup_problems, False),
+        # E14 replays Erlang blocking sweeps + the speculation benchmark —
+        # the long-horizon gate, skippable like the tests' `slow` marker.
+        ("E14: adaptive routing + what-if speculation vs recorded "
+         "baseline ...",
+         repo_root / "BENCH_online_routing.json",
+         run_routing_benchmark, routing_check_against_baseline,
+         routing_speedup_problems, True),
     ]
-    for title, bench_path, run_bench, check, speedups in gates:
+    for title, bench_path, run_bench, check, speedups, slow in gates:
+        if slow and args.skip_slow:
+            print(f"(--skip-slow: skipping {title.split(':')[0]})")
+            continue
         if not bench_path.exists():
             print(f"(no {bench_path.name}; run scripts/bench_report.py "
                   f"to record one)")
@@ -115,8 +145,9 @@ def main() -> int:
             print(f"!! bench regression: {problem}")
         if not problems:
             print("   within tolerance "
-                  + ", ".join(f"{r['scenario']}={r['speedup_total']:.1f}x"
-                              for r in records))
+                  + ", ".join(
+                      f"{r['scenario']}={r['speedup_total']:.1f}x"
+                      for r in records if "speedup_total" in r))
 
     print()
     print(f"reports written to {output_dir}/ "

@@ -1,0 +1,395 @@
+"""Erlang-load sweeps and the adaptive-routing benchmark (E14).
+
+Two questions, one record file (``BENCH_online_routing.json``):
+
+* **Does adaptive routing pay?**  :func:`erlang_sweep` drives the same
+  seeded Poisson trace (offered load ``arrival_rate * mean_holding``
+  Erlang) through the online engine once per routing policy and reports
+  the steady-state blocking probability of each — the curves the paper's
+  load/wavelength bounds frame.  :func:`run_routing_benchmark` pins two
+  deterministic hotspot scenarios and asserts the tentpole claim: at equal
+  offered load, ``least_loaded`` and ``k_shortest`` block *strictly less*
+  than fixed shortest-path routing.
+
+* **Is what-if speculation cheap?**  The speculation scenarios time the
+  evaluation of candidate admissions two ways on a 500+-concurrent warm
+  system: through :class:`~repro.online.transaction.WhatIfTransaction`
+  admit→score→rollback (O(touched) per candidate) versus the
+  rebuild-per-candidate strategy (copy the family, rebuild the conflict
+  graph, re-derive the colour constraints).  Both strategies must agree on
+  every decision and the transactional path must be at least
+  :data:`SPECULATION_SPEEDUP_TARGET` times faster.
+
+Record kinds share one list: ``kind == "blocking"`` rows carry the
+blocking comparison, ``kind == "speculation"`` rows the familiar
+``legacy_* / new_* / speedup_total`` timing schema of the other suites.
+``scripts/bench_report.py --suite routing`` records/checks the file and
+``scripts/run_all_experiments.py`` runs the same checks as gate E14.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .._bitops import iter_bits, lowest_missing_bit
+from ..conflict.conflict_graph import build_conflict_graph
+from ..conflict.dynamic import DynamicConflictGraph
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..dipaths.requests import RequestFamily
+from ..generators.families import random_walk_family
+from ..generators.random_dags import random_dag, random_internal_cycle_free_dag
+from ..graphs.digraph import DiGraph
+from ..online.assigner import OnlineWavelengthAssigner
+from ..online.events import poisson_trace
+from ..online.routing import live_load_cost
+from ..online.simulator import simulate_online
+from ..online.transaction import WhatIfTransaction
+from ..optical.traffic import hotspot_traffic
+
+__all__ = [
+    "ADAPTIVE_ROUTINGS",
+    "SPECULATION_SPEEDUP_TARGET",
+    "erlang_sweep",
+    "run_routing_benchmark",
+    "routing_benchmark_document",
+    "routing_check_against_baseline",
+    "routing_speedup_problems",
+]
+
+#: Speculative admit+rollback must beat rebuild-per-candidate by at least
+#: this factor on 500+ concurrent dipaths (gate E14 and
+#: ``benchmarks/bench_routing.py``).
+SPECULATION_SPEEDUP_TARGET = 5.0
+
+#: The adaptive policies the blocking records compare against ``shortest``.
+ADAPTIVE_ROUTINGS = ("least_loaded", "k_shortest")
+
+#: Allowed absolute drift of a recorded blocking probability before the
+#: baseline check flags a behaviour change (traces are seeded, so the
+#: numbers are deterministic; the slack covers cross-version RNG shifts).
+_BLOCKING_TOLERANCE = 0.02
+
+
+# ---------------------------------------------------------------------- #
+# Erlang sweeps
+# ---------------------------------------------------------------------- #
+def erlang_sweep(graph: DiGraph, pool: RequestFamily, wavelengths: int,
+                 offered_loads: Sequence[float],
+                 routings: Sequence[str] = ("shortest",) + ADAPTIVE_ROUTINGS,
+                 policy: str = "first_fit", num_arrivals: int = 400,
+                 mean_holding: float = 3.0, seed: Optional[int] = 0,
+                 kempe_repair: bool = False,
+                 speculative: bool = False) -> List[Dict[str, object]]:
+    """Steady-state blocking per (offered load, routing policy).
+
+    For each offered load ``L`` (Erlang) one seeded Poisson trace with
+    ``arrival_rate = L / mean_holding`` is generated and replayed once per
+    routing policy — same arrivals, same holding times, so the blocking
+    probabilities are directly comparable.  Returns one record per
+    (load, routing) pair with the blocking rate split by rejection reason.
+    """
+    records: List[Dict[str, object]] = []
+    for load in offered_loads:
+        if load <= 0:
+            raise ValueError("offered loads must be positive")
+        trace = poisson_trace(pool, num_arrivals,
+                              arrival_rate=load / mean_holding,
+                              mean_holding=mean_holding, seed=seed)
+        for routing in routings:
+            result = simulate_online(
+                graph, trace, wavelengths, routing=routing, policy=policy,
+                kempe_repair=kempe_repair, record_timeline=False,
+                speculative=speculative and routing == "k_shortest")
+            records.append({
+                "offered_load": float(load),
+                "routing": routing,
+                "policy": policy,
+                "wavelengths": wavelengths,
+                "arrivals": num_arrivals,
+                "blocking": result.blocking_rate,
+                "blocked_no_route": len(result.blocked_no_route),
+                "blocked_no_wavelength": len(result.blocked_no_wavelength),
+                "wavelengths_used": result.wavelengths_used,
+            })
+    return records
+
+
+# ---------------------------------------------------------------------- #
+# benchmark scenarios
+# ---------------------------------------------------------------------- #
+def _icf_hotspot() -> Tuple[DiGraph, RequestFamily, int, float]:
+    graph = random_internal_cycle_free_dag(36, 90, seed=23)
+    pool = hotspot_traffic(graph, 400, num_hotspots=3, seed=23)
+    return graph, pool, 5, 75.0
+
+
+def _dag_hotspot() -> Tuple[DiGraph, RequestFamily, int, float]:
+    graph = random_dag(30, 0.25, seed=11)
+    pool = hotspot_traffic(graph, 400, num_hotspots=2, seed=11)
+    return graph, pool, 5, 75.0
+
+
+BLOCKING_SCENARIOS: Dict[str, Callable[
+    [], Tuple[DiGraph, RequestFamily, int, float]]] = {
+    "erlang-icf36-hotspot": _icf_hotspot,
+    "erlang-dag30-hotspot": _dag_hotspot,
+}
+
+#: Arrivals per blocking scenario (enough for stable steady-state rates).
+_BLOCKING_ARRIVALS = 600
+_BLOCKING_SEED = 42
+
+
+def measure_blocking_scenario(name: str) -> Dict[str, object]:
+    """One deterministic blocking comparison record for scenario ``name``."""
+    graph, pool, wavelengths, offered_load = BLOCKING_SCENARIOS[name]()
+    rows = erlang_sweep(graph, pool, wavelengths, [offered_load],
+                        num_arrivals=_BLOCKING_ARRIVALS, seed=_BLOCKING_SEED)
+    blocking = {row["routing"]: float(row["blocking"]) for row in rows}
+    fixed = blocking["shortest"]
+    record: Dict[str, object] = {
+        "scenario": name,
+        "kind": "blocking",
+        "wavelengths": wavelengths,
+        "offered_load": offered_load,
+        "arrivals": _BLOCKING_ARRIVALS,
+        "blocking_shortest": fixed,
+    }
+    for routing in ADAPTIVE_ROUTINGS:
+        record[f"blocking_{routing}"] = blocking[routing]
+    record["adaptive_beats_fixed"] = all(
+        blocking[routing] < fixed for routing in ADAPTIVE_ROUTINGS)
+    return record
+
+
+# ---------------------------------------------------------------------- #
+# speculation benchmark
+# ---------------------------------------------------------------------- #
+def _warm_engine(concurrent: int, seed: int
+                 ) -> Tuple[DynamicConflictGraph, OnlineWavelengthAssigner,
+                            List[Dipath]]:
+    """A 500+-concurrent warm engine plus a pool of candidate dipaths."""
+    graph = random_dag(48, 0.12, seed=20260730)
+    pool = list(random_walk_family(graph, 1200, seed=seed))
+    conflict = DynamicConflictGraph(DipathFamily())
+    # first_fit with a roomy budget: the warm-up admits everything, so both
+    # evaluation strategies start from an identical provisioned state.
+    assigner = OnlineWavelengthAssigner(96, policy="first_fit")
+    admitted = 0
+    for dipath in pool:
+        if admitted >= concurrent:
+            break
+        idx = conflict.add_dipath(dipath)
+        if assigner.assign(conflict, idx) is None:   # pragma: no cover
+            conflict.remove_dipath(idx)
+        else:
+            admitted += 1
+    return conflict, assigner, pool
+
+
+def _evaluate_transactional(conflict: DynamicConflictGraph,
+                            assigner: OnlineWavelengthAssigner,
+                            candidates: Sequence[Dipath]) -> Optional[int]:
+    """Best admissible candidate via admit→score→rollback speculation."""
+    best: Optional[Tuple[Tuple[int, int, int], int]] = None
+    family = conflict.family
+    for pos, dipath in enumerate(candidates):
+        with WhatIfTransaction(conflict, assigner) as tx:
+            _, color = tx.admit(dipath)
+            if color is not None:
+                value = live_load_cost(family, dipath)
+                if best is None or value < best[0]:
+                    best = (value, pos)
+    return None if best is None else best[1]
+
+
+def _evaluate_rebuild(conflict: DynamicConflictGraph,
+                      assigner: OnlineWavelengthAssigner,
+                      candidates: Sequence[Dipath]) -> Optional[int]:
+    """Best admissible candidate via copy + conflict-graph rebuild each.
+
+    The pre-transaction strategy: every what-if clones the family, rebuilds
+    the conflict graph from scratch and re-derives the candidate's colour
+    constraints from the live colouring.  Decision-equivalent to the
+    transactional path (same first-fit colour, same score), just paid in
+    O(family) per candidate instead of O(touched).
+    """
+    family = conflict.family
+    wavelengths = assigner.wavelengths
+    color_of_slot = assigner.coloring
+    best: Optional[Tuple[Tuple[int, int, int], int]] = None
+    for pos, dipath in enumerate(candidates):
+        fresh = family.copy()               # dense 0..n-1 reindex
+        idx = fresh.add(dipath)
+        rebuilt = build_conflict_graph(fresh)
+        slot_of_pos = family.active_indices()
+        forbidden = 0
+        for j in iter_bits(rebuilt.neighbor_mask(idx)):
+            color = color_of_slot.get(slot_of_pos[j])
+            if color is not None:           # pragma: no branch
+                forbidden |= 1 << color
+        if lowest_missing_bit(forbidden) >= wavelengths:
+            continue
+        value = live_load_cost(fresh, dipath)
+        if best is None or value < best[0]:
+            best = (value, pos)
+    return None if best is None else best[1]
+
+
+SPECULATION_SCENARIOS: Dict[str, Tuple[int, int, int, int]] = {
+    # name -> (concurrent, what_ifs, candidates per what-if, seed)
+    "speculate-walks-550": (550, 60, 4, 7),
+    "speculate-walks-620": (620, 60, 4, 9),
+}
+
+
+def measure_speculation_scenario(name: str, repeats: int = 3
+                                 ) -> Dict[str, object]:
+    """Time rebuild-per-candidate vs transactional what-if evaluation."""
+    concurrent, what_ifs, num_candidates, seed = SPECULATION_SCENARIOS[name]
+    conflict, assigner, pool = _warm_engine(concurrent, seed)
+    candidate_sets = [
+        [pool[(i * num_candidates + j) % len(pool)]
+         for j in range(num_candidates)]
+        for i in range(what_ifs)]
+
+    def run(evaluate) -> Tuple[float, List[Optional[int]]]:
+        start = time.perf_counter()
+        decisions = [evaluate(conflict, assigner, cands)
+                     for cands in candidate_sets]
+        return time.perf_counter() - start, decisions
+
+    legacy_total, legacy_decisions = min(
+        (run(_evaluate_rebuild) for _ in range(repeats)),
+        key=lambda sample: sample[0])
+    new_total, new_decisions = min(
+        (run(_evaluate_transactional) for _ in range(repeats)),
+        key=lambda sample: sample[0])
+    evaluations = what_ifs * num_candidates
+    return {
+        "scenario": name,
+        "kind": "speculation",
+        "num_dipaths": len(conflict.family),
+        "what_ifs": what_ifs,
+        "candidates_per_what_if": num_candidates,
+        "legacy_total_s": legacy_total,
+        "new_total_s": new_total,
+        "legacy_candidate_us": legacy_total / evaluations * 1e6,
+        "new_candidate_us": new_total / evaluations * 1e6,
+        "speedup_total": legacy_total / new_total if new_total
+        else float("inf"),
+        "decisions_equal": new_decisions == legacy_decisions,
+        "mask_rebuilds": conflict.family.mask_rebuilds,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# suite plumbing (bench_report.py --suite routing, gate E14)
+# ---------------------------------------------------------------------- #
+def run_routing_benchmark(repeats: int = 3,
+                          scenarios: Optional[Sequence[str]] = None
+                          ) -> List[Dict[str, object]]:
+    """Run every (or the selected) routing scenario and return the records."""
+    names = (list(BLOCKING_SCENARIOS) + list(SPECULATION_SCENARIOS)
+             if scenarios is None else list(scenarios))
+    records: List[Dict[str, object]] = []
+    for name in names:
+        if name in BLOCKING_SCENARIOS:
+            records.append(measure_blocking_scenario(name))
+        else:
+            records.append(measure_speculation_scenario(name, repeats=repeats))
+    return records
+
+
+def routing_benchmark_document(records: List[Dict[str, object]], repeats: int
+                               ) -> Dict[str, object]:
+    """Wrap benchmark records in the ``BENCH_online_routing.json`` schema."""
+    return {
+        "benchmark": "online_adaptive_routing",
+        "speedup_target": SPECULATION_SPEEDUP_TARGET,
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "results": records,
+    }
+
+
+def routing_speedup_problems(records: List[Dict[str, object]]) -> List[str]:
+    """Records missing their tentpole target, as messages.
+
+    Blocking records must show every adaptive policy strictly below fixed
+    shortest-path blocking; speculation records must hit
+    :data:`SPECULATION_SPEEDUP_TARGET` with both strategies agreeing.
+    """
+    problems: List[str] = []
+    for record in records:
+        name = record["scenario"]
+        if record["kind"] == "blocking":
+            if not record["adaptive_beats_fixed"]:
+                rates = ", ".join(
+                    f"{routing}={record[f'blocking_{routing}']:.4f}"
+                    for routing in ADAPTIVE_ROUTINGS)
+                problems.append(
+                    f"{name}: adaptive routing does not strictly beat fixed "
+                    f"shortest (shortest={record['blocking_shortest']:.4f}, "
+                    f"{rates})")
+            continue
+        if float(record["speedup_total"]) < SPECULATION_SPEEDUP_TARGET:
+            problems.append(
+                f"{name}: speculation speedup {record['speedup_total']:.1f}x "
+                f"is below the {SPECULATION_SPEEDUP_TARGET:.0f}x target")
+        if not record["decisions_equal"]:
+            problems.append(
+                f"{name}: transactional and rebuild evaluation disagree")
+    return problems
+
+
+def routing_check_against_baseline(records: List[Dict[str, object]],
+                                   baseline: Dict[str, object],
+                                   tolerance: float = 0.20) -> List[str]:
+    """Compare a fresh run against a recorded ``BENCH_online_routing.json``.
+
+    Blocking records are deterministic (seeded traces, deterministic
+    engine), so they must reproduce the recorded probabilities to within
+    a small absolute slack.  Speculation records use the same two-signal
+    policy as the other engine gates: a regression must show in both the
+    absolute transactional time (10 ms slack) and the speedup ratio.
+    Like its conflict/online counterparts this checker does *not* include
+    :func:`routing_speedup_problems` — the callers run both.
+    """
+    recorded = {r["scenario"]: r for r in baseline.get("results", [])}
+    problems: List[str] = []
+    for record in records:
+        name = record["scenario"]
+        base = recorded.get(name)
+        if base is None:
+            continue
+        if record["kind"] == "blocking":
+            for key in ("blocking_shortest",
+                        *(f"blocking_{r}" for r in ADAPTIVE_ROUTINGS)):
+                drift = abs(float(record[key]) - float(base[key]))
+                if drift > _BLOCKING_TOLERANCE:
+                    problems.append(
+                        f"{name}: {key} drifted to {record[key]:.4f} "
+                        f"(recorded {base[key]:.4f}) — the engine's "
+                        "decisions changed")
+            continue
+        current = float(record["new_total_s"])
+        # 10 ms of absolute slack: the transactional side is so fast that
+        # its total stays within scheduler-noise territory even with 60
+        # what-ifs per scenario, and the speedup-ratio signal plus the
+        # separate 5x target still catch any real regression.
+        allowed = float(base["new_total_s"]) * (1.0 + tolerance) + 0.010
+        ratio = float(record["speedup_total"])
+        ratio_floor = float(base["speedup_total"]) / (1.0 + tolerance)
+        if current > allowed and ratio < ratio_floor:
+            problems.append(
+                f"{name}: transactional evaluation took "
+                f"{current * 1000:.2f}ms (recorded "
+                f"{float(base['new_total_s']) * 1000:.2f}ms) and its speedup "
+                f"fell to {ratio:.1f}x (recorded "
+                f"{base['speedup_total']:.1f}x) — beyond {tolerance:.0%} on "
+                "both")
+    return problems

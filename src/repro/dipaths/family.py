@@ -245,6 +245,55 @@ class DipathFamily:
         self._conflict_masks = None
         self._load_cache = None
 
+    # ------------------------------------------------------------------ #
+    # speculation support (see repro.online.transaction)
+    # ------------------------------------------------------------------ #
+    def _spec_state(self) -> Tuple[bool, int, Optional[int]]:
+        """O(1) pre-:meth:`add` state capture for the transaction layer.
+
+        Records whether the next add will allocate a fresh slot, the arc
+        watermark (arcs interned so far) and the load cache, which is
+        everything :meth:`remove` cannot restore by itself.
+        """
+        return (not self._free_slots, len(self._arcs), self._load_cache)
+
+    def _retract_add(self, idx: int, state: Tuple[bool, int, Optional[int]]
+                     ) -> None:
+        """Erase the structural traces of an :meth:`add` after its
+        :meth:`remove`, restoring the family bit-identically to the state
+        captured by ``state``.
+
+        :meth:`remove` already clears the member's bits everywhere but
+        leaves three traces a plain remove is allowed to keep: the recycled
+        index on the free-list (when the add allocated a fresh slot), any
+        arcs the dipath interned first, and a possibly-changed load cache.
+        Undoing them is O(new arcs) — the transaction layer calls this
+        last-in-first-out, so the traces are guaranteed to sit at the tails
+        of their lists.
+        """
+        slot_was_new, arc_watermark, load_cache = state
+        if slot_was_new:
+            if not self._free_slots or self._free_slots[-1] != idx:
+                raise RuntimeError(
+                    f"retract of member {idx} is out of LIFO order")
+            self._free_slots.pop()
+            self._paths.pop()
+            self._path_arc_ids.pop()
+            masks = self._conflict_masks
+            if masks is not None and len(masks) > len(self._paths):
+                del masks[len(self._paths):]
+        while len(self._arcs) > arc_watermark:
+            arc = self._arcs.pop()
+            if self._arc_members.pop():
+                raise RuntimeError(
+                    f"retract would drop arc {arc!r} still in use")
+            del self._arc_ids[arc]
+        self._load_cache = load_cache
+
+    def _restore_load_cache(self, value: Optional[int]) -> None:
+        """Reinstate a recorded load cache (transaction remove-undo)."""
+        self._load_cache = value
+
     def __len__(self) -> int:
         return len(self._paths) - len(self._free_slots)
 

@@ -19,7 +19,7 @@ dipath families from request families:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Literal, Optional, Tuple
+from typing import Dict, List, Literal, Mapping, Optional, Tuple
 
 from ..exceptions import RoutingError
 from .._typing import Arc, Vertex
@@ -30,6 +30,7 @@ from .family import DipathFamily
 from .requests import RequestFamily
 
 __all__ = [
+    "min_load_dipath",
     "route_unique",
     "route_shortest",
     "route_min_load",
@@ -77,13 +78,16 @@ def route_shortest(graph: DiGraph, requests: RequestFamily) -> DipathFamily:
     return family
 
 
-def _min_load_dipath(graph: DiGraph, source: Vertex, target: Vertex,
-                     load: Dict[Arc, int]) -> Optional[List[Vertex]]:
+def min_load_dipath(graph: DiGraph, source: Vertex, target: Vertex,
+                    load: Mapping[Arc, int]) -> Optional[List[Vertex]]:
     """Dipath minimising (max arc load along the path, then total load, then length).
 
     Dijkstra-like search where the cost of a path is the lexicographic tuple
     ``(max load of its arcs, sum of loads, number of arcs)`` — this favours
     paths avoiding already-loaded arcs, which keeps the routing load low.
+    ``load`` only needs ``.get(arc, 0)``, so both a plain dict and a live
+    view over a :class:`~repro.dipaths.family.DipathFamily` work (the
+    adaptive online routers pass the latter).
     """
     if source == target:
         return None
@@ -132,7 +136,7 @@ def route_min_load(graph: DiGraph, requests: RequestFamily,
     load: Dict[Arc, int] = {}
     family = DipathFamily(graph=graph)
     for source, target in unit_requests:
-        path = _min_load_dipath(graph, source, target, load)
+        path = min_load_dipath(graph, source, target, load)
         if path is None or len(path) < 2:
             raise RoutingError(f"no dipath from {source!r} to {target!r}")
         for arc in zip(path, path[1:]):

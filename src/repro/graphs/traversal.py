@@ -28,6 +28,7 @@ __all__ = [
     "count_dipaths",
     "enumerate_dipaths",
     "shortest_dipath",
+    "k_shortest_dipaths",
     "longest_path_length",
 ]
 
@@ -290,6 +291,48 @@ def shortest_dipath(graph: DiGraph, source: Vertex, target: Vertex
             seen.add(w)
             queue.append(w)
     return None
+
+
+def k_shortest_dipaths(graph: DiGraph, source: Vertex, target: Vertex,
+                       k: int) -> List[List[Vertex]]:
+    """The ``k`` shortest (fewest arcs) dipaths of a DAG, shortest first.
+
+    Computed by a dynamic program over a topological order: each vertex
+    keeps its (up to) ``k`` shortest partial dipaths from ``source``, and a
+    vertex's bucket is final by the time the order reaches it.  Ties are
+    broken stably by discovery order, so the result is deterministic.
+    Returns fewer than ``k`` paths when the DAG has fewer; the empty list
+    when ``target`` is unreachable.
+
+    Raises
+    ------
+    NotADAGError
+        If the digraph contains a directed cycle (the dynamic program
+        needs a topological order).
+    """
+    _check_vertex(graph, source)
+    _check_vertex(graph, target)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if source == target:
+        return [[source]]
+    useful = co_reachable_to(graph, target)
+    if source not in useful:
+        return []
+    order = topological_order(graph)
+    buckets: Dict[Vertex, List[List[Vertex]]] = {source: [[source]]}
+    for v in order:
+        bucket = buckets.get(v)
+        if not bucket:
+            continue
+        bucket.sort(key=len)        # stable: discovery order breaks ties
+        del bucket[k:]
+        if v == target:
+            continue
+        for w in graph.successors(v):
+            if w in useful:
+                buckets.setdefault(w, []).extend(p + [w] for p in bucket)
+    return buckets.get(target, [])
 
 
 def longest_path_length(graph: DiGraph) -> int:

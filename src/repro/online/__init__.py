@@ -9,17 +9,25 @@ shows up as avoidable blocking.  The moving parts:
 * :mod:`repro.online.events`     — seeded Poisson / replay / churn traces;
 * :class:`repro.conflict.DynamicConflictGraph` (re-exported here) — the
   conflict graph patched in O(degree) per event;
+* :mod:`repro.online.routing`    — static (shortest / unique) and adaptive
+  (least-loaded / k-shortest / widest) online routers consulting the live
+  per-arc load;
 * :mod:`repro.online.assigner`   — first-fit / least-used / most-used /
   random wavelength policies with optional Kempe-chain repair;
-* :mod:`repro.online.simulator`  — the event loop tying them together.
+* :mod:`repro.online.transaction` — what-if speculation: checkpoint /
+  O(touched) rollback over family + conflict graph + assigner, and
+  :func:`admit_best` committing the best of an arrival's candidates;
+* :mod:`repro.online.simulator`  — the event loop tying them together
+  (:class:`OnlineEngine` is the reusable per-event core).
 
 :func:`repro.optical.simulation.simulate_admission` is a thin static-order
-front-end over this engine.  See the "Dynamic engine" section of
-PERFORMANCE.md for the mask-patching contract and per-event complexity.
+front-end over this engine.  See the "Dynamic engine" and "What-if
+transaction" sections of PERFORMANCE.md for the mask-patching and
+rollback contracts and per-event complexity.
 """
 
 from ..conflict.dynamic import DynamicConflictGraph
-from .assigner import POLICIES, OnlineWavelengthAssigner
+from .assigner import POLICIES, AssignerCheckpoint, OnlineWavelengthAssigner
 from .events import (
     ARRIVAL,
     DEPARTURE,
@@ -28,17 +36,41 @@ from .events import (
     poisson_trace,
     replay_trace,
 )
-from .simulator import OnlineResult, simulate_online
+from .routing import ONLINE_ROUTINGS, OnlineRouter, make_online_router
+from .simulator import (
+    NO_ROUTE,
+    NO_WAVELENGTH,
+    OnlineEngine,
+    OnlineResult,
+    simulate_online,
+)
+from .transaction import (
+    AdmissionDecision,
+    WhatIfTransaction,
+    admit_best,
+    default_admission_score,
+)
 
 __all__ = [
     "ARRIVAL",
+    "AdmissionDecision",
+    "AssignerCheckpoint",
     "DEPARTURE",
     "DynamicConflictGraph",
     "Event",
+    "NO_ROUTE",
+    "NO_WAVELENGTH",
+    "ONLINE_ROUTINGS",
+    "OnlineEngine",
     "OnlineResult",
+    "OnlineRouter",
     "OnlineWavelengthAssigner",
     "POLICIES",
+    "WhatIfTransaction",
+    "admit_best",
     "churn_trace",
+    "default_admission_score",
+    "make_online_router",
     "poisson_trace",
     "replay_trace",
     "simulate_online",

@@ -26,16 +26,41 @@ amount of wavelength reconfiguration instead of blocking.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from .._bitops import bit_list, iter_bits, lowest_missing_bit
 from ..coloring.kempe import kempe_component
 from ..conflict.conflict_graph import ConflictGraph
 
-__all__ = ["POLICIES", "OnlineWavelengthAssigner"]
+__all__ = ["POLICIES", "AssignerCheckpoint", "OnlineWavelengthAssigner"]
 
 #: The wavelength-selection policies understood by the assigner.
 POLICIES = ("first_fit", "least_used", "most_used", "random")
+
+
+#: One colour change: ``(vertex, old colour or None, new colour or None)``.
+#: ``old is None`` records a fresh assignment, ``new is None`` a release,
+#: both set a Kempe recolouring.
+JournalEntry = Tuple[int, Optional[int], Optional[int]]
+
+
+@dataclass
+class AssignerCheckpoint:
+    """Undo token for the transaction layer (:mod:`repro.online.transaction`).
+
+    While a checkpoint is active every colour change of the assigner is
+    journalled; :meth:`OnlineWavelengthAssigner.rollback` replays the
+    journal in reverse and restores the two monotone counters and the
+    policy RNG state (the ``random`` policy draws during speculation),
+    leaving the assigner exactly as it was when the checkpoint was taken —
+    in O(changes since the checkpoint), never a rebuild.
+    """
+
+    ever_used: int
+    repairs: int
+    rng_state: object
+    journal: List[JournalEntry] = field(default_factory=list)
 
 
 class _AdjacencyView:
@@ -86,6 +111,7 @@ class OnlineWavelengthAssigner:
         self._usage: List[int] = [0] * wavelengths
         self._ever_used: int = 0            # bitmask of colours ever assigned
         self._repairs = 0
+        self._journal: Optional[List[JournalEntry]] = None
 
     # ------------------------------------------------------------------ #
     # state
@@ -151,13 +177,69 @@ class OnlineWavelengthAssigner:
         color_of[vertex] = color
         self._usage[color] += 1
         self._ever_used |= 1 << color
+        if self._journal is not None:
+            self._journal.append((vertex, None, color))
         return color
 
     def release(self, vertex: int) -> int:
         """Forget the colour of a departing vertex; return it."""
         color = self._color.pop(vertex)
         self._usage[color] -= 1
+        if self._journal is not None:
+            self._journal.append((vertex, color, None))
         return color
+
+    # ------------------------------------------------------------------ #
+    # speculation (see repro.online.transaction)
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> AssignerCheckpoint:
+        """Start journalling colour changes; return the undo token.
+
+        Only one checkpoint can be active at a time (the transaction layer
+        is single-level); every subsequent :meth:`assign` / :meth:`release`
+        / Kempe recolouring is recorded until :meth:`commit` or
+        :meth:`rollback` consumes the token.
+        """
+        if self._journal is not None:
+            raise RuntimeError("a checkpoint is already active")
+        token = AssignerCheckpoint(self._ever_used, self._repairs,
+                                   self._rng.getstate())
+        self._journal = token.journal
+        return token
+
+    def commit(self, token: AssignerCheckpoint) -> None:
+        """Accept the changes since ``token``; stop journalling.  O(1)."""
+        if self._journal is not token.journal:
+            raise RuntimeError("token does not match the active checkpoint")
+        self._journal = None
+
+    def rollback(self, token: AssignerCheckpoint) -> None:
+        """Undo every colour change since ``token`` was taken.
+
+        Replays the journal in reverse — O(changes) — and restores the
+        ``colors_ever_used`` / ``kempe_repairs`` counters and the policy
+        RNG state, leaving the assigner bit-identical to its state at
+        :meth:`checkpoint` time.
+        """
+        if self._journal is not token.journal:
+            raise RuntimeError("token does not match the active checkpoint")
+        self._journal = None
+        color_of = self._color
+        usage = self._usage
+        for vertex, old, new in reversed(token.journal):
+            if old is None:                 # fresh assignment: take it back
+                del color_of[vertex]
+                usage[new] -= 1
+            elif new is None:               # release: colour comes back
+                color_of[vertex] = old
+                usage[old] += 1
+            else:                           # Kempe recolouring: swap back
+                color_of[vertex] = old
+                usage[new] -= 1
+                usage[old] += 1
+        self._ever_used = token.ever_used
+        self._repairs = token.repairs
+        self._rng.setstate(token.rng_state)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -216,6 +298,8 @@ class OnlineWavelengthAssigner:
                     self._usage[old] -= 1
                     self._usage[color_of[u]] += 1
                     self._ever_used |= 1 << color_of[u]
+                    if self._journal is not None:
+                        self._journal.append((u, old, color_of[u]))
                 self._repairs += 1
                 return a
         return None

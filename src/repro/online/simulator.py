@@ -3,15 +3,28 @@
 :func:`simulate_online` drives a trace of arrivals and departures (see
 :mod:`repro.online.events`) through the incremental engine:
 
-1. each arrival is routed on the bare topology (static routing, as the
-   paper assumes — routes are cached per endpoint pair) unless the event
-   carries a pre-routed dipath;
+1. each arrival is routed by the selected *online router*
+   (:mod:`repro.online.routing`) — statically on the bare topology
+   (``shortest`` / ``unique``, as the paper assumes) or adaptively against
+   the live per-arc load (``least_loaded`` / ``k_shortest`` / ``widest``)
+   — unless the event carries a pre-routed dipath;
 2. the routed dipath joins the :class:`~repro.conflict.DynamicConflictGraph`
    (O(degree) mask patching, no rebuild);
 3. the :class:`~repro.online.assigner.OnlineWavelengthAssigner` picks a
    wavelength under the budget ``W`` — or blocks the request, in which case
-   the dipath leaves the graph again;
+   the dipath leaves the graph again.  With ``speculative=True`` the
+   arrival's candidate routes are instead admitted one by one inside
+   :class:`~repro.online.transaction.WhatIfTransaction` speculations and
+   the best admissible one is committed
+   (:func:`~repro.online.transaction.admit_best`);
 4. departures release the wavelength and detach the dipath.
+
+Blocked arrivals carry a *rejection reason*: :data:`NO_ROUTE` when the
+topology offers no dipath at all, :data:`NO_WAVELENGTH` when a route
+exists but no wavelength fits the budget (even after an optional Kempe
+repair).  The distinction matters operationally — no amount of extra
+spectrum fixes a :data:`NO_ROUTE` rejection, while the paper's
+load/wavelength gap shows up entirely in the :data:`NO_WAVELENGTH` ones.
 
 The result records acceptance/blocking per request plus per-event time
 series (active lightpaths, wavelengths in use, maximum fibre load), which
@@ -19,25 +32,36 @@ is the blocking-vs-budget data the paper's load/wavelength gap shows up in:
 on internal-cycle-free topologies a budget equal to the offline load
 admits everything in static order, while internal cycles make the gap
 appear as avoidable blocking.
+
+:class:`OnlineEngine` is the reusable core — the live family, conflict
+graph, router and assigner plus the per-arrival admission logic — exposed
+so tests, benchmarks and what-if tooling can drive and inspect the state
+directly instead of round-tripping through event lists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from ..exceptions import RoutingError, SimulationError
-from .._typing import Vertex
+from ..exceptions import SimulationError
 from ..conflict.dynamic import DynamicConflictGraph
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request
 from ..graphs.digraph import DiGraph
-from ..graphs.traversal import enumerate_dipaths, shortest_dipath
 from .assigner import OnlineWavelengthAssigner
 from .events import ARRIVAL, DEPARTURE, Event
+from .routing import make_online_router
+from .transaction import admit_best
 
-__all__ = ["OnlineResult", "simulate_online"]
+__all__ = ["NO_ROUTE", "NO_WAVELENGTH", "OnlineEngine", "OnlineResult",
+           "simulate_online"]
+
+#: Rejection reason: the topology has no dipath for the request at all.
+NO_ROUTE = "no_route"
+#: Rejection reason: routed, but no wavelength fits the budget.
+NO_WAVELENGTH = "no_wavelength"
 
 
 @dataclass
@@ -48,12 +72,17 @@ class OnlineResult:
     ----------
     accepted, blocked:
         ``request_id`` of admitted / blocked arrivals, in arrival order.
+    rejections:
+        ``request_id -> reason`` for every blocked arrival —
+        :data:`NO_ROUTE` or :data:`NO_WAVELENGTH`.
     wavelengths_available:
         The per-fibre budget ``W``.
     wavelengths_used:
         Distinct wavelengths assigned at any point of the run.
-    policy:
-        The wavelength-selection policy used.
+    routing, policy:
+        The routing and wavelength-selection policies used.
+    speculative:
+        Whether arrivals were admitted through what-if speculation.
     kempe_repairs:
         Successful Kempe chain swaps (0 unless ``kempe_repair=True``).
     timeline:
@@ -65,9 +94,12 @@ class OnlineResult:
 
     accepted: List[int] = field(default_factory=list)
     blocked: List[int] = field(default_factory=list)
+    rejections: Dict[int, str] = field(default_factory=dict)
     wavelengths_available: int = 0
     wavelengths_used: int = 0
+    routing: str = "shortest"
     policy: str = "first_fit"
+    speculative: bool = False
     kempe_repairs: int = 0
     timeline: List[Dict[str, float]] = field(default_factory=list)
 
@@ -77,49 +109,109 @@ class OnlineResult:
         total = len(self.accepted) + len(self.blocked)
         return len(self.blocked) / total if total else 0.0
 
+    @property
+    def blocked_no_route(self) -> List[int]:
+        """Blocked arrivals the topology could not route at all."""
+        return [rid for rid in self.blocked
+                if self.rejections.get(rid) == NO_ROUTE]
+
+    @property
+    def blocked_no_wavelength(self) -> List[int]:
+        """Blocked arrivals that routed but found no free wavelength."""
+        return [rid for rid in self.blocked
+                if self.rejections.get(rid) == NO_WAVELENGTH]
+
     def peak_active(self) -> int:
         """Maximum number of concurrent lightpaths (0 without a timeline)."""
         return max((int(s["active"]) for s in self.timeline), default=0)
 
 
-class _StaticRouter:
-    """Route requests on the bare topology, caching one route per pair."""
+class OnlineEngine:
+    """Live state of an online RWA run, one admission decision at a time.
 
-    def __init__(self, graph: DiGraph, policy: str) -> None:
-        if policy not in ("unique", "shortest"):
-            raise ValueError(
-                f"online routing must be static ('unique' or 'shortest'), "
-                f"got {policy!r}")
-        self._graph = graph
-        self._policy = policy
-        self._cache: Dict[Tuple[Vertex, Vertex], Dipath] = {}
+    Owns the dynamic quartet — :class:`~repro.dipaths.family.DipathFamily`,
+    :class:`~repro.conflict.DynamicConflictGraph`, an online router bound
+    to the live family, and the
+    :class:`~repro.online.assigner.OnlineWavelengthAssigner` — and exposes
+    :meth:`admit` / :meth:`depart` as the two state transitions.
+    :func:`simulate_online` is a trace loop over an engine; tests and
+    benchmarks use the engine directly to inspect (or speculate on) the
+    state between events.
+    """
 
-    def route(self, request: Request) -> Dipath:
-        key = (request.source, request.target)
-        dipath = self._cache.get(key)
-        if dipath is None:
-            if self._policy == "unique":
-                paths = enumerate_dipaths(self._graph, *key, limit=2)
-                if not paths:
-                    raise RoutingError(f"no dipath from {key[0]!r} to {key[1]!r}")
-                if len(paths) > 1:
-                    raise RoutingError(
-                        f"more than one dipath from {key[0]!r} to {key[1]!r}; "
-                        "the digraph is not a UPP-DAG, use 'shortest'")
-                vertices = paths[0]
-            else:
-                vertices = shortest_dipath(self._graph, *key)
-                if vertices is None or len(vertices) < 2:
-                    raise RoutingError(f"no dipath from {key[0]!r} to {key[1]!r}")
-            dipath = Dipath(vertices)
-            self._cache[key] = dipath
-        return dipath
+    def __init__(self, graph: DiGraph, wavelengths: int,
+                 routing: str = "shortest", policy: str = "first_fit",
+                 kempe_repair: bool = False, seed: Optional[int] = None,
+                 k_candidates: int = 4, speculative: bool = False) -> None:
+        if wavelengths < 1:
+            raise ValueError("wavelengths must be >= 1")
+        self.family = DipathFamily()
+        self.conflict = DynamicConflictGraph(self.family)
+        self.router = make_online_router(graph, routing, family=self.family,
+                                         wavelengths=wavelengths,
+                                         k=k_candidates)
+        self.assigner = OnlineWavelengthAssigner(
+            wavelengths, policy=policy, kempe_repair=kempe_repair, seed=seed)
+        self.speculative = speculative
+        self.vertex_of: Dict[int, int] = {}     # request_id -> member index
+
+    @property
+    def active(self) -> int:
+        """Number of currently provisioned lightpaths."""
+        return len(self.vertex_of)
+
+    def admit(self, request_id: int, request: Optional[Request] = None,
+              dipath: Optional[Dipath] = None) -> Optional[str]:
+        """Try to provision one arrival; return the rejection reason.
+
+        ``None`` means admitted.  A pre-routed ``dipath`` skips routing;
+        otherwise the engine's router picks the route (or the candidate
+        set, under speculation) from the live state.
+        """
+        if request_id in self.vertex_of:
+            raise SimulationError(
+                f"duplicate arrival for request {request_id}")
+        if dipath is not None:
+            candidates = [dipath]
+        elif request is None:
+            raise SimulationError(
+                f"arrival {request_id} has no request or dipath")
+        elif self.speculative:
+            candidates = self.router.candidates(request)
+        else:
+            routed = self.router.route(request)
+            candidates = [] if routed is None else [routed]
+        if not candidates:
+            return NO_ROUTE
+        if self.speculative and len(candidates) > 1:
+            decision = admit_best(self.conflict, self.assigner, candidates)
+            if decision is None:
+                return NO_WAVELENGTH
+            self.vertex_of[request_id] = decision.index
+            return None
+        idx = self.conflict.add_dipath(candidates[0])
+        if self.assigner.assign(self.conflict, idx) is None:
+            self.conflict.remove_dipath(idx)
+            return NO_WAVELENGTH
+        self.vertex_of[request_id] = idx
+        return None
+
+    def depart(self, request_id: int) -> bool:
+        """Tear down a provisioned lightpath; ``False`` if it never held one
+        (blocked arrivals depart silently)."""
+        idx = self.vertex_of.pop(request_id, None)
+        if idx is None:
+            return False
+        self.assigner.release(idx)
+        self.conflict.remove_dipath(idx)
+        return True
 
 
 def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     routing: str = "shortest", policy: str = "first_fit",
                     kempe_repair: bool = False, seed: Optional[int] = None,
-                    record_timeline: bool = True) -> OnlineResult:
+                    record_timeline: bool = True, k_candidates: int = 4,
+                    speculative: bool = False) -> OnlineResult:
     """Run an event trace through the incremental online RWA engine.
 
     Parameters
@@ -131,8 +223,11 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     wavelengths:
         Per-fibre wavelength budget ``W`` (>= 1).
     routing:
-        Static routing policy, ``"shortest"`` or ``"unique"`` — ignored for
-        arrivals carrying a pre-routed dipath.
+        Routing policy, one of
+        :data:`~repro.online.routing.ONLINE_ROUTINGS` — static
+        (``"shortest"`` / ``"unique"``) or adaptive (``"least_loaded"`` /
+        ``"k_shortest"`` / ``"widest"``).  Ignored for arrivals carrying a
+        pre-routed dipath.
     policy:
         Wavelength policy, one of
         :data:`~repro.online.assigner.POLICIES`.
@@ -142,16 +237,19 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         RNG seed for the ``random`` policy.
     record_timeline:
         Record one sample per event (turn off for benchmarking hot loops).
+    k_candidates:
+        Candidate budget per endpoint pair for ``k_shortest`` routing.
+    speculative:
+        Admit arrivals by speculating each candidate route inside a
+        what-if transaction and committing the best
+        (:func:`~repro.online.transaction.admit_best`); only routers with
+        a real candidate set (``k_shortest``) offer more than one.
     """
-    if wavelengths < 1:
-        raise ValueError("wavelengths must be >= 1")
-    router = _StaticRouter(graph, routing)
-    family = DipathFamily()
-    conflict = DynamicConflictGraph(family)
-    assigner = OnlineWavelengthAssigner(wavelengths, policy=policy,
-                                        kempe_repair=kempe_repair, seed=seed)
-    result = OnlineResult(wavelengths_available=wavelengths, policy=policy)
-    vertex_of: Dict[int, int] = {}          # request_id -> member index
+    engine = OnlineEngine(graph, wavelengths, routing=routing, policy=policy,
+                          kempe_repair=kempe_repair, seed=seed,
+                          k_candidates=k_candidates, speculative=speculative)
+    result = OnlineResult(wavelengths_available=wavelengths, routing=routing,
+                          policy=policy, speculative=speculative)
     last_time = float("-inf")
     for event in events:
         if event.time < last_time:
@@ -159,37 +257,25 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                 f"trace is not time-ordered at request {event.request_id}")
         last_time = event.time
         if event.kind == ARRIVAL:
-            if event.request_id in vertex_of:
-                raise SimulationError(
-                    f"duplicate arrival for request {event.request_id}")
-            dipath = event.dipath
-            if dipath is None:
-                if event.request is None:
-                    raise SimulationError(
-                        f"arrival {event.request_id} has no request or dipath")
-                dipath = router.route(event.request)
-            idx = conflict.add_dipath(dipath)
-            if assigner.assign(conflict, idx) is None:
-                conflict.remove_dipath(idx)
-                result.blocked.append(event.request_id)
-            else:
-                vertex_of[event.request_id] = idx
+            reason = engine.admit(event.request_id, request=event.request,
+                                  dipath=event.dipath)
+            if reason is None:
                 result.accepted.append(event.request_id)
+            else:
+                result.blocked.append(event.request_id)
+                result.rejections[event.request_id] = reason
         elif event.kind == DEPARTURE:
-            idx = vertex_of.pop(event.request_id, None)
-            if idx is not None:             # blocked arrivals depart silently
-                assigner.release(idx)
-                conflict.remove_dipath(idx)
+            engine.depart(event.request_id)
         else:
             raise SimulationError(f"unknown event kind {event.kind!r}")
         if record_timeline:
             result.timeline.append({
                 "time": event.time,
-                "active": float(len(vertex_of)),
-                "wavelengths_active": float(assigner.colors_in_use()),
-                "max_fibre_load": float(family.load()),
+                "active": float(engine.active),
+                "wavelengths_active": float(engine.assigner.colors_in_use()),
+                "max_fibre_load": float(engine.family.load()),
                 "blocked_total": float(len(result.blocked)),
             })
-    result.wavelengths_used = assigner.colors_ever_used()
-    result.kempe_repairs = assigner.kempe_repairs
+    result.wavelengths_used = engine.assigner.colors_ever_used()
+    result.kempe_repairs = engine.assigner.kempe_repairs
     return result

@@ -1,0 +1,247 @@
+"""Transactional what-if admission: checkpoint, speculate, commit/rollback.
+
+The online engine can answer "what happens if I admit this candidate?"
+only by actually admitting it — routing fixes the dipath, the conflict
+graph gains a vertex, the assigner picks a wavelength (possibly via a
+Kempe repair that recolours other lightpaths).  Before this module the
+only way to *un*-ask the question was to rebuild family + conflict graph
+from scratch.  :class:`WhatIfTransaction` instead journals every mutation
+and undoes them in reverse:
+
+* **commit is O(1)** — drop the journal;
+* **rollback is O(touched)** — one inverse operation per mutation: the
+  added member leaves again, arcs it interned first are un-interned, the
+  freed slot / load cache / conflict masks are restored, and the
+  assigner's colour changes (including whole Kempe chains) are replayed
+  backwards.  No cache is ever dropped, so ``mask_rebuilds`` stays put —
+  the invariant the differential harness pins down.
+
+After rollback the family, the dynamic conflict graph and the assigner
+are **bit-identical** to a never-touched twin: every internal mask,
+list, free-slot stack, cache and counter compares equal
+(``tests/test_differential_online.py`` asserts exactly this).
+
+:func:`admit_best` builds the paper-level feature on top: speculatively
+admit each candidate route of an arrival (route × wavelength × Kempe
+repair), score the resulting state, roll every attempt back and commit
+only the winner.  This is what makes ``k_shortest`` routing with
+``speculative=True`` in :func:`repro.online.simulator.simulate_online`
+a genuine what-if search rather than a heuristic pre-scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..conflict.dynamic import DynamicConflictGraph
+from ..dipaths.dipath import Dipath
+from .assigner import AssignerCheckpoint, OnlineWavelengthAssigner
+from .routing import live_load_cost
+
+__all__ = ["AdmissionDecision", "WhatIfTransaction", "admit_best",
+           "default_admission_score"]
+
+#: Journal entry tags for the structural (family + conflict graph) log.
+_ADD, _REMOVE = "add", "remove"
+
+
+class WhatIfTransaction:
+    """Single-level checkpoint/rollback over the online engine state.
+
+    Wraps a :class:`~repro.conflict.DynamicConflictGraph` (and optionally
+    the :class:`~repro.online.assigner.OnlineWavelengthAssigner` colouring
+    it) and journals every mutation made *through the transaction*.
+    ``commit()`` keeps them (O(1)); ``rollback()`` — or leaving a ``with``
+    block without committing — undoes them in O(touched).
+
+    Mutations must go through the transaction's methods while it is open;
+    reads (loads, masks, colours) can use the underlying objects freely.
+    Transactions do not nest: one at a time per engine.
+
+    Examples
+    --------
+    >>> from repro.conflict import DynamicConflictGraph
+    >>> from repro.dipaths.family import DipathFamily
+    >>> dyn = DynamicConflictGraph(DipathFamily([["a", "b"]]))
+    >>> with WhatIfTransaction(dyn) as tx:
+    ...     _ = tx.add_dipath(["a", "b", "c"])   # speculative: not committed
+    >>> len(dyn.family)
+    1
+    """
+
+    def __init__(self, conflict: DynamicConflictGraph,
+                 assigner: Optional[OnlineWavelengthAssigner] = None) -> None:
+        self._conflict = conflict
+        self._family = conflict.family
+        self._assigner = assigner
+        self._log: List[Tuple] = []
+        self._checkpoint: Optional[AssignerCheckpoint] = \
+            assigner.checkpoint() if assigner is not None else None
+        self._open = True
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def is_open(self) -> bool:
+        """Whether the transaction is still accepting operations."""
+        return self._open
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise RuntimeError("the transaction is already closed")
+
+    # ------------------------------------------------------------------ #
+    # journalled operations
+    # ------------------------------------------------------------------ #
+    def add_dipath(self, dipath) -> int:
+        """Speculatively add a dipath to family + conflict graph."""
+        self._require_open()
+        state = self._family._spec_state()
+        idx = self._conflict.add_dipath(dipath)
+        self._log.append((_ADD, idx, state))
+        return idx
+
+    def remove_dipath(self, idx: int) -> Dipath:
+        """Speculatively remove member ``idx`` (release its colour first)."""
+        self._require_open()
+        load_cache = self._family._spec_state()[2]
+        path = self._conflict.remove_dipath(idx)
+        self._log.append((_REMOVE, idx, path, load_cache))
+        return path
+
+    def assign(self, idx: int) -> Optional[int]:
+        """Colour member ``idx`` (journalled, Kempe repair included)."""
+        self._require_open()
+        if self._assigner is None:
+            raise RuntimeError("transaction opened without an assigner")
+        return self._assigner.assign(self._conflict, idx)
+
+    def release(self, idx: int) -> int:
+        """Release member ``idx``'s colour (journalled)."""
+        self._require_open()
+        if self._assigner is None:
+            raise RuntimeError("transaction opened without an assigner")
+        return self._assigner.release(idx)
+
+    def admit(self, dipath) -> Tuple[int, Optional[int]]:
+        """Add + colour in one step; returns ``(index, colour or None)``.
+
+        A ``None`` colour means the candidate is not admissible under the
+        current budget — the caller typically rolls the transaction back.
+        """
+        idx = self.add_dipath(dipath)
+        return idx, self.assign(idx)
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+    def commit(self) -> None:
+        """Keep every journalled mutation.  O(1)."""
+        self._require_open()
+        if self._checkpoint is not None:
+            self._assigner.commit(self._checkpoint)
+        self._log.clear()
+        self._open = False
+
+    def rollback(self) -> None:
+        """Undo every journalled mutation, newest first.  O(touched)."""
+        self._require_open()
+        self._open = False
+        if self._checkpoint is not None:
+            # Colour state is disjoint from the structural state, so the
+            # whole colour journal can be unwound before the structure.
+            self._assigner.rollback(self._checkpoint)
+        conflict, family = self._conflict, self._family
+        for entry in reversed(self._log):
+            if entry[0] is _ADD:
+                _, idx, state = entry
+                conflict.remove_dipath(idx)
+                family._retract_add(idx, state)
+            else:
+                _, idx, path, load_cache = entry
+                readded = conflict.add_dipath(path)
+                if readded != idx:
+                    raise RuntimeError(
+                        f"rollback re-added member at slot {readded}, "
+                        f"expected {idx}")
+                family._restore_load_cache(load_cache)
+        self._log.clear()
+
+    def __enter__(self) -> "WhatIfTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._open:
+            self.rollback()
+
+
+# ---------------------------------------------------------------------- #
+# speculative admission
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of :func:`admit_best`: the committed candidate."""
+
+    index: int          #: member index of the admitted dipath
+    color: int          #: wavelength assigned to it
+    candidate: int      #: position of the winner in the candidate list
+    dipath: Dipath      #: the admitted dipath
+
+
+#: ``score(conflict, assigner, idx, color, dipath) -> comparable`` —
+#: evaluated *inside* the speculation, i.e. with the candidate admitted.
+ScoreFunction = Callable[
+    [DynamicConflictGraph, OnlineWavelengthAssigner, int, int, Dipath],
+    Tuple]
+
+
+def default_admission_score(conflict: DynamicConflictGraph,
+                            assigner: OnlineWavelengthAssigner,
+                            idx: int, color: int, dipath: Dipath) -> Tuple:
+    """Prefer the candidate leaving the least-congested fibres behind.
+
+    Lexicographic: maximum live load over the candidate's arcs (with the
+    candidate counted), then total load, then hops — the same
+    :func:`~repro.online.routing.live_load_cost` objective the load-aware
+    routers minimise, now measured on the speculated state.
+    """
+    return live_load_cost(conflict.family, dipath)
+
+
+def admit_best(conflict: DynamicConflictGraph,
+               assigner: OnlineWavelengthAssigner,
+               candidates: Sequence[Dipath],
+               score: Optional[ScoreFunction] = None
+               ) -> Optional[AdmissionDecision]:
+    """Speculatively admit every candidate, commit the best, or none.
+
+    Each candidate is admitted inside a :class:`WhatIfTransaction` (route ×
+    wavelength × Kempe repair, exactly as a real arrival), scored on the
+    speculated state, and rolled back.  The lowest-scoring admissible
+    candidate is then re-admitted for real; ``None`` means no candidate
+    fits the wavelength budget.  Ties keep the earliest candidate, so with
+    candidates ordered shortest-first the tie-break matches static routing.
+    """
+    if score is None:
+        score = default_admission_score
+    best: Optional[Tuple[Tuple, int]] = None
+    for pos, dipath in enumerate(candidates):
+        with WhatIfTransaction(conflict, assigner) as tx:
+            idx, color = tx.admit(dipath)
+            if color is not None:
+                value = score(conflict, assigner, idx, color, dipath)
+                if best is None or value < best[0]:
+                    best = (value, pos)
+            # leaving the block uncommitted rolls the speculation back
+    if best is None:
+        return None
+    dipath = candidates[best[1]]
+    idx = conflict.add_dipath(dipath)
+    color = assigner.assign(conflict, idx)
+    if color is None:       # pragma: no cover - deterministic replay
+        conflict.remove_dipath(idx)
+        return None
+    return AdmissionDecision(index=idx, color=color, candidate=best[1],
+                             dipath=dipath)

@@ -1,0 +1,252 @@
+"""Tests for adaptive online routing (repro.online.routing), per-event
+rejection reasons and the what-if transaction API surface.
+
+The differential harness (tests/test_differential_online.py) covers the
+bit-identity contract; these tests pin the behavioural corners: which
+route each policy picks under load, how blocked arrivals are classified
+(no-route vs no-wavelength), and how the transaction object reacts to
+misuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflict import DynamicConflictGraph
+from repro.dipaths.dipath import Dipath
+from repro.dipaths.family import DipathFamily
+from repro.dipaths.requests import Request
+from repro.exceptions import RoutingError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import k_shortest_dipaths
+from repro.online import (
+    ARRIVAL,
+    Event,
+    NO_ROUTE,
+    NO_WAVELENGTH,
+    OnlineWavelengthAssigner,
+    WhatIfTransaction,
+    admit_best,
+    make_online_router,
+    replay_trace,
+    simulate_online,
+)
+
+
+def diamond():
+    """a -> b -> d and a -> c -> d: two arc-disjoint routes per request."""
+    return DiGraph(arcs=[("a", "b"), ("b", "d"), ("a", "c"), ("c", "d")])
+
+
+def diamond_with_detour():
+    """The diamond plus a 3-hop detour a -> x -> y -> d."""
+    g = diamond()
+    for u, v in [("a", "x"), ("x", "y"), ("y", "d")]:
+        g.add_arc(u, v)
+    return g
+
+
+class TestKShortestDipaths:
+    def test_orders_paths_shortest_first(self):
+        paths = k_shortest_dipaths(diamond_with_detour(), "a", "d", 5)
+        assert len(paths) == 3
+        assert sorted(map(len, paths)) == [3, 3, 4]
+        assert len(paths[0]) == 3 and len(paths[-1]) == 4
+
+    def test_respects_k(self):
+        assert len(k_shortest_dipaths(diamond_with_detour(), "a", "d", 2)) == 2
+
+    def test_unreachable_and_identical_endpoints(self):
+        g = diamond()
+        assert k_shortest_dipaths(g, "d", "a", 3) == []
+        assert k_shortest_dipaths(g, "a", "a", 3) == [["a"]]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            k_shortest_dipaths(diamond(), "a", "d", 0)
+
+
+class TestRouters:
+    def _router(self, name, graph=None, family=None, **kwargs):
+        graph = graph or diamond()
+        family = family if family is not None else DipathFamily()
+        return make_online_router(graph, name, family=family, **kwargs), family
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError):
+            make_online_router(diamond(), "mystery", family=DipathFamily())
+
+    def test_adaptive_routing_requires_family(self):
+        with pytest.raises(ValueError):
+            make_online_router(diamond(), "least_loaded")
+
+    def test_widest_requires_budget(self):
+        with pytest.raises(ValueError):
+            make_online_router(diamond(), "widest", family=DipathFamily())
+
+    def test_static_router_caches_and_returns_none_off_topology(self):
+        router, _ = self._router("shortest")
+        assert router.route(Request("a", "d")).vertices[0] == "a"
+        assert router.route(Request("d", "a")) is None     # unreachable
+
+    def test_unique_router_raises_on_ambiguity(self):
+        router, _ = self._router("unique")
+        with pytest.raises(RoutingError):
+            router.route(Request("a", "d"))                # two routes
+
+    def test_least_loaded_steers_around_congestion(self):
+        router, family = self._router("least_loaded")
+        first = router.route(Request("a", "d"))
+        family.add(first)                                  # congest it
+        second = router.route(Request("a", "d"))
+        assert set(first.arcs()).isdisjoint(second.arcs())
+
+    def test_widest_prefers_residual_capacity(self):
+        router, family = self._router("widest", wavelengths=2)
+        first = router.route(Request("a", "d"))
+        family.add(first)
+        family.add(first)                                  # saturated at W=2
+        second = router.route(Request("a", "d"))
+        assert set(first.arcs()).isdisjoint(second.arcs())
+
+    def test_widest_still_routes_through_saturation(self):
+        g = DiGraph(arcs=[("a", "b"), ("b", "c")])
+        family = DipathFamily([["a", "b", "c"]] * 3)
+        router = make_online_router(g, "widest", family=family, wavelengths=2)
+        assert router.route(Request("a", "c")) is not None  # blocked later
+        assert router.route(Request("c", "a")) is None      # truly no route
+
+    def test_k_shortest_picks_least_loaded_candidate(self):
+        router, family = self._router("k_shortest",
+                                      graph=diamond_with_detour(), k=3)
+        cands = router.candidates(Request("a", "d"))
+        assert len(cands) == 3
+        first = router.route(Request("a", "d"))
+        assert len(first.vertices) == 3                    # a 2-hop route
+        family.add(first)
+        second = router.route(Request("a", "d"))
+        assert set(first.arcs()).isdisjoint(second.arcs())
+        assert len(second.vertices) == 3                   # the other 2-hop
+
+    def test_k_shortest_candidates_are_cached(self):
+        router, _ = self._router("k_shortest", k=2)
+        a = router.candidates(Request("a", "d"))
+        b = router.candidates(Request("a", "d"))
+        assert a is b
+
+
+class TestRejectionReasons:
+    def test_no_route_vs_no_wavelength(self):
+        """Regression: the two blocking causes are reported separately."""
+        g = DiGraph(arcs=[("a", "b")])
+        g.add_vertex("z")
+        trace = [
+            Event(0.0, ARRIVAL, 0, request=Request("a", "b")),   # admitted
+            Event(1.0, ARRIVAL, 1, request=Request("a", "b")),   # no colour
+            Event(2.0, ARRIVAL, 2, request=Request("a", "z")),   # no route
+        ]
+        result = simulate_online(g, trace, 1)
+        assert result.accepted == [0]
+        assert result.blocked == [1, 2]
+        assert result.rejections == {1: NO_WAVELENGTH, 2: NO_ROUTE}
+        assert result.blocked_no_wavelength == [1]
+        assert result.blocked_no_route == [2]
+
+    def test_unroutable_requests_block_instead_of_raising(self):
+        g = DiGraph(arcs=[("a", "b")])
+        trace = [Event(0.0, ARRIVAL, 0, request=Request("b", "a"))]
+        for routing in ("shortest", "least_loaded", "k_shortest", "widest"):
+            result = simulate_online(g, trace, 2, routing=routing)
+            assert result.blocked == [0]
+            assert result.rejections[0] == NO_ROUTE
+
+    def test_adaptive_routing_lowers_blocking_on_diamond(self):
+        # four identical requests, W = 2: static shortest routing stacks
+        # them all on one route (2 admitted), load-aware routing splits
+        # them across the two arc-disjoint routes (4 admitted).
+        g = diamond()
+        trace = [Event(float(i), ARRIVAL, i, request=Request("a", "d"))
+                 for i in range(4)]
+        static = simulate_online(g, trace, 2, routing="shortest")
+        assert len(static.accepted) == 2
+        for routing in ("least_loaded", "k_shortest", "widest"):
+            adaptive = simulate_online(g, trace, 2, routing=routing)
+            assert adaptive.blocked == [], routing
+
+    def test_speculative_matches_direct_on_single_candidate(self):
+        g = diamond()
+        family = DipathFamily([["a", "b", "d"], ["a", "c", "d"]] * 2)
+        trace = replay_trace(family)
+        direct = simulate_online(g, trace, 2)
+        speculative = simulate_online(g, trace, 2, speculative=True)
+        assert (direct.accepted, direct.blocked) == \
+            (speculative.accepted, speculative.blocked)
+
+    def test_speculative_k_shortest_spreads_load(self):
+        g = diamond()
+        trace = [Event(float(i), ARRIVAL, i, request=Request("a", "d"))
+                 for i in range(4)]
+        result = simulate_online(g, trace, 2, routing="k_shortest",
+                                 speculative=True)
+        assert result.blocked == []
+        assert result.speculative and result.routing == "k_shortest"
+
+
+class TestTransactionSurface:
+    def _engine(self):
+        conflict = DynamicConflictGraph(DipathFamily())
+        assigner = OnlineWavelengthAssigner(2)
+        return conflict, assigner
+
+    def test_closed_transaction_rejects_operations(self):
+        conflict, assigner = self._engine()
+        tx = WhatIfTransaction(conflict, assigner)
+        tx.commit()
+        assert not tx.is_open
+        for call in (lambda: tx.add_dipath(["a", "b"]), tx.commit,
+                     tx.rollback, lambda: tx.assign(0)):
+            with pytest.raises(RuntimeError):
+                call()
+
+    def test_transactions_do_not_nest(self):
+        conflict, assigner = self._engine()
+        with WhatIfTransaction(conflict, assigner):
+            with pytest.raises(RuntimeError):
+                WhatIfTransaction(conflict, assigner)
+
+    def test_structure_only_transaction(self):
+        conflict, _ = self._engine()
+        with WhatIfTransaction(conflict) as tx:     # no assigner
+            idx = tx.add_dipath(["a", "b"])
+            with pytest.raises(RuntimeError):
+                tx.assign(idx)
+        assert len(conflict.family) == 0
+
+    def test_admit_best_prefers_spread(self):
+        conflict, assigner = self._engine()
+        taken = conflict.add_dipath(["a", "b", "d"])
+        assert assigner.assign(conflict, taken) is not None
+        decision = admit_best(conflict, assigner,
+                              [Dipath(["a", "b", "d"]),
+                               Dipath(["a", "c", "d"])])
+        assert decision is not None
+        assert decision.candidate == 1              # the empty route wins
+        assert conflict.family.is_active(decision.index)
+
+    def test_admit_best_returns_none_when_budget_exhausted(self):
+        conflict, assigner = self._engine()
+        for _ in range(2):
+            idx = conflict.add_dipath(["a", "b"])
+            assert assigner.assign(conflict, idx) is not None
+        before = len(conflict.family)
+        assert admit_best(conflict, assigner, [Dipath(["a", "b"])]) is None
+        assert len(conflict.family) == before       # nothing leaked
+
+    def test_assigner_checkpoint_misuse(self):
+        _, assigner = self._engine()
+        token = assigner.checkpoint()
+        with pytest.raises(RuntimeError):
+            assigner.checkpoint()                   # no nesting
+        assigner.commit(token)
+        with pytest.raises(RuntimeError):
+            assigner.rollback(token)                # already consumed
