@@ -3,18 +3,21 @@
 Runs the scaling scenarios of :mod:`repro.analysis.bench_scaling` (seed
 engine vs bitset engine on 500+ dipath families), the churn scenarios
 of :mod:`repro.analysis.bench_online` (rebuild-per-event vs incremental
-maintenance at 500+ concurrent dipaths) and the adaptive-routing suite of
+maintenance at 500+ concurrent dipaths), the adaptive-routing suite of
 :mod:`repro.analysis.erlang` (blocking of adaptive vs fixed routing, plus
-speculative what-if admission vs rebuild-per-candidate), and either
+speculative what-if admission vs rebuild-per-candidate) and the
+defragmentation suite of the same module (blocking with vs without defrag
+triggers, wavelengths reclaimed vs the recolouring bounds), and either
 records the results or checks them against the recorded baselines:
 
     python scripts/bench_report.py                   # run + write reports
     python scripts/bench_report.py --check           # run + fail on regression
-    python scripts/bench_report.py --suite routing   # one suite only
+    python scripts/bench_report.py --suite defrag    # one suite only
     python scripts/bench_report.py --quick           # fewer repeats (noisier)
 
 Reports are written to ``BENCH_conflict_engine.json``,
-``BENCH_online_engine.json`` and ``BENCH_online_routing.json`` at the
+``BENCH_online_engine.json``, ``BENCH_online_routing.json`` and
+``BENCH_defrag.json`` at the
 repository root (``--output`` overrides the path when a single suite is
 selected).  ``--check`` exits non-zero
 when an engine is more than 20% slower than its recorded baseline on any
@@ -44,9 +47,13 @@ from repro.analysis.bench_scaling import (
     speedup_problems,
 )
 from repro.analysis.erlang import (
+    defrag_benchmark_document,
+    defrag_check_against_baseline,
+    defrag_problems,
     routing_benchmark_document,
     routing_check_against_baseline,
     routing_speedup_problems,
+    run_defrag_benchmark,
     run_routing_benchmark,
 )
 
@@ -84,6 +91,27 @@ def _print_routing_records(records) -> None:
                   f"agree={r['decisions_equal']}")
 
 
+def _print_defrag_records(records) -> None:
+    for r in records:
+        if r["kind"] == "defrag_blocking":
+            verdict = "ok" if r["defrag_not_worse"] else "WORSE"
+            print(f"{r['scenario']:28s} W={r['wavelengths']} "
+                  f"load={r['offered_load']:.0f}E "
+                  f"off={r['blocking_no_defrag']:.4f} "
+                  f"on={r['blocking_defrag']:.4f} "
+                  f"moves={r['defrag_moves']} "
+                  f"reclaimed={r['wavelengths_reclaimed']}  [{verdict}]")
+        else:
+            verdict = "ok" if (r["reclaims_capacity"]
+                               and r["coloring_proper_after"]
+                               and r["within_load_bound"]) else "STUCK"
+            print(f"{r['scenario']:28s} W={r['wavelengths']} "
+                  f"colors {r['colors_before']} -> {r['colors_after_best']} "
+                  f"(recolour-only {r['recolor_from_scratch']}, "
+                  f"load {r['load_before']} -> "
+                  f"{r['load_after_highest_wavelength']})  [{verdict}]")
+
+
 #: suite name -> (default report path, runner, document builder,
 #:                baseline checker, speedup checker, record printer)
 SUITES = {
@@ -99,6 +127,10 @@ SUITES = {
                 run_routing_benchmark, routing_benchmark_document,
                 routing_check_against_baseline, routing_speedup_problems,
                 _print_routing_records),
+    "defrag": (REPO_ROOT / "BENCH_defrag.json",
+               run_defrag_benchmark, defrag_benchmark_document,
+               defrag_check_against_baseline, defrag_problems,
+               _print_defrag_records),
 }
 
 

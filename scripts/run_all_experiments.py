@@ -9,8 +9,9 @@ Usage:
     python scripts/run_all_experiments.py [output_dir] [--skip-slow]
 
 ``--skip-slow`` mirrors the test suite's ``slow`` pytest marker (see
-``pytest.ini``): the long-horizon gates — currently E14's Erlang blocking
-sweeps — are skipped so a quick sweep stays quick.
+``pytest.ini``): the long-horizon gates — E14's Erlang blocking sweeps
+and E15's defrag blocking/reclaim replays — are skipped so a quick sweep
+stays quick.
 """
 
 from __future__ import annotations
@@ -31,8 +32,11 @@ from repro.analysis.bench_scaling import (
     speedup_problems,
 )
 from repro.analysis.erlang import (
+    defrag_check_against_baseline,
+    defrag_problems,
     routing_check_against_baseline,
     routing_speedup_problems,
+    run_defrag_benchmark,
     run_routing_benchmark,
 )
 from repro.analysis import (
@@ -83,8 +87,9 @@ def main() -> int:
                         help="where to write the CSV/JSON reports")
     parser.add_argument("--skip-slow", action="store_true",
                         help="skip the gates marked slow (the Erlang "
-                             "blocking sweeps of E14), mirroring the "
-                             "test suite's 'slow' marker")
+                             "blocking sweeps of E14 and the defrag "
+                             "replays of E15), mirroring the test "
+                             "suite's 'slow' marker")
     args = parser.parse_args()
     output_dir = args.output_dir
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -126,6 +131,12 @@ def main() -> int:
          repo_root / "BENCH_online_routing.json",
          run_routing_benchmark, routing_check_against_baseline,
          routing_speedup_problems, True),
+        # E15 replays the defrag blocking/reclaim scenarios — deterministic
+        # but long-horizon, so it is skippable like E14.
+        ("E15: defragmentation blocking + reclaim vs recorded baseline ...",
+         repo_root / "BENCH_defrag.json",
+         run_defrag_benchmark, defrag_check_against_baseline,
+         defrag_problems, True),
     ]
     for title, bench_path, run_bench, check, speedups, slow in gates:
         if slow and args.skip_slow:

@@ -1,4 +1,5 @@
-"""Erlang-load sweeps and the adaptive-routing benchmark (E14).
+"""Erlang-load sweeps, the adaptive-routing benchmark (E14) and the
+defragmentation benchmark (E15).
 
 Two questions, one record file (``BENCH_online_routing.json``):
 
@@ -25,15 +26,35 @@ blocking comparison, ``kind == "speculation"`` rows the familiar
 ``legacy_* / new_* / speedup_total`` timing schema of the other suites.
 ``scripts/bench_report.py --suite routing`` records/checks the file and
 ``scripts/run_all_experiments.py`` runs the same checks as gate E14.
+
+**E15 — does defragmentation pay?**  ``BENCH_defrag.json`` holds two
+record kinds: ``kind == "defrag_blocking"`` replays the same hotspot
+scenarios with and without defrag triggers and asserts blocking with
+defrag never exceeds blocking without; ``kind == "defrag_reclaim"``
+fragments a warm engine, runs one :class:`~repro.online.defrag.DefragPass`
+per walk order and reports the wavelengths reclaimed against the
+from-scratch recolouring (DSATUR on the rebuilt conflict graph) and the
+true lower bound (the fibre load).  ``scripts/bench_report.py --suite
+defrag`` records/checks the file and ``scripts/run_all_experiments.py``
+runs the same checks as gate E15.
+
+:func:`erlang_sweep` can also fan the (offered load × routing) grid out
+across worker processes (``workers=``) through
+:func:`repro.parallel.sweep.run_sweep`; the parallel path is record-for-
+record byte-identical to the serial one (the tests assert it), it only
+changes where the simulations run.
 """
 
 from __future__ import annotations
 
+import functools
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .._bitops import iter_bits, lowest_missing_bit
+from ..coloring.dsatur import dsatur_coloring_masks
+from ..coloring.verify import is_proper_coloring
 from ..conflict.conflict_graph import build_conflict_graph
 from ..conflict.dynamic import DynamicConflictGraph
 from ..dipaths.dipath import Dipath
@@ -43,20 +64,26 @@ from ..generators.families import random_walk_family
 from ..generators.random_dags import random_dag, random_internal_cycle_free_dag
 from ..graphs.digraph import DiGraph
 from ..online.assigner import OnlineWavelengthAssigner
-from ..online.events import poisson_trace
+from ..online.events import ARRIVAL, poisson_trace
 from ..online.routing import live_load_cost
-from ..online.simulator import simulate_online
+from ..online.simulator import OnlineEngine, simulate_online
 from ..online.transaction import WhatIfTransaction
 from ..optical.traffic import hotspot_traffic
+from ..parallel.sweep import Sweep, run_sweep
 
 __all__ = [
     "ADAPTIVE_ROUTINGS",
+    "DEFRAG_TRIGGERS",
     "SPECULATION_SPEEDUP_TARGET",
     "erlang_sweep",
     "run_routing_benchmark",
     "routing_benchmark_document",
     "routing_check_against_baseline",
     "routing_speedup_problems",
+    "run_defrag_benchmark",
+    "defrag_benchmark_document",
+    "defrag_check_against_baseline",
+    "defrag_problems",
 ]
 
 #: Speculative admit+rollback must beat rebuild-per-candidate by at least
@@ -76,13 +103,45 @@ _BLOCKING_TOLERANCE = 0.02
 # ---------------------------------------------------------------------- #
 # Erlang sweeps
 # ---------------------------------------------------------------------- #
+def _erlang_point(offered_load: float, routing: str, seed: int = 0, *,
+                  graph: DiGraph, pool: RequestFamily, wavelengths: int,
+                  policy: str, num_arrivals: int, mean_holding: float,
+                  trace_seed: Optional[int], kempe_repair: bool,
+                  speculative: bool) -> Dict[str, object]:
+    """One (offered load, routing) record of :func:`erlang_sweep`.
+
+    Module-level and fully determined by its arguments so the sweep can
+    dispatch it to worker processes; the positional ``seed`` injected by
+    :func:`repro.parallel.sweep.run_sweep` is ignored — the trace seed is
+    pinned by the caller so every grid point replays the same arrivals.
+    """
+    trace = poisson_trace(pool, num_arrivals,
+                          arrival_rate=offered_load / mean_holding,
+                          mean_holding=mean_holding, seed=trace_seed)
+    result = simulate_online(
+        graph, trace, wavelengths, routing=routing, policy=policy,
+        kempe_repair=kempe_repair, record_timeline=False,
+        speculative=speculative and routing == "k_shortest")
+    return {"record": {
+        "offered_load": float(offered_load),
+        "routing": routing,
+        "policy": policy,
+        "wavelengths": wavelengths,
+        "arrivals": num_arrivals,
+        "blocking": result.blocking_rate,
+        "blocked_no_route": len(result.blocked_no_route),
+        "blocked_no_wavelength": len(result.blocked_no_wavelength),
+        "wavelengths_used": result.wavelengths_used,
+    }}
+
+
 def erlang_sweep(graph: DiGraph, pool: RequestFamily, wavelengths: int,
                  offered_loads: Sequence[float],
                  routings: Sequence[str] = ("shortest",) + ADAPTIVE_ROUTINGS,
                  policy: str = "first_fit", num_arrivals: int = 400,
                  mean_holding: float = 3.0, seed: Optional[int] = 0,
-                 kempe_repair: bool = False,
-                 speculative: bool = False) -> List[Dict[str, object]]:
+                 kempe_repair: bool = False, speculative: bool = False,
+                 workers: Optional[int] = 1) -> List[Dict[str, object]]:
     """Steady-state blocking per (offered load, routing policy).
 
     For each offered load ``L`` (Erlang) one seeded Poisson trace with
@@ -90,31 +149,25 @@ def erlang_sweep(graph: DiGraph, pool: RequestFamily, wavelengths: int,
     routing policy — same arrivals, same holding times, so the blocking
     probabilities are directly comparable.  Returns one record per
     (load, routing) pair with the blocking rate split by rejection reason.
+
+    ``workers`` fans the (load, routing) grid out across processes via
+    :func:`repro.parallel.sweep.run_sweep` (``None`` = one per CPU,
+    ``1`` = serial).  Every grid point is an independent seeded
+    simulation, so the parallel records are byte-identical to the serial
+    ones, in the same (load-major) order; on platforms without process
+    support the executor transparently degrades to the serial path.
     """
-    records: List[Dict[str, object]] = []
     for load in offered_loads:
         if load <= 0:
             raise ValueError("offered loads must be positive")
-        trace = poisson_trace(pool, num_arrivals,
-                              arrival_rate=load / mean_holding,
-                              mean_holding=mean_holding, seed=seed)
-        for routing in routings:
-            result = simulate_online(
-                graph, trace, wavelengths, routing=routing, policy=policy,
-                kempe_repair=kempe_repair, record_timeline=False,
-                speculative=speculative and routing == "k_shortest")
-            records.append({
-                "offered_load": float(load),
-                "routing": routing,
-                "policy": policy,
-                "wavelengths": wavelengths,
-                "arrivals": num_arrivals,
-                "blocking": result.blocking_rate,
-                "blocked_no_route": len(result.blocked_no_route),
-                "blocked_no_wavelength": len(result.blocked_no_wavelength),
-                "wavelengths_used": result.wavelengths_used,
-            })
-    return records
+    point = functools.partial(
+        _erlang_point, graph=graph, pool=pool, wavelengths=wavelengths,
+        policy=policy, num_arrivals=num_arrivals, mean_holding=mean_holding,
+        trace_seed=seed, kempe_repair=kempe_repair, speculative=speculative)
+    grid = Sweep({"offered_load": [float(load) for load in offered_loads],
+                  "routing": list(routings)})
+    rows = run_sweep(point, grid, workers=workers)
+    return [row["record"] for row in rows]
 
 
 # ---------------------------------------------------------------------- #
@@ -284,6 +337,260 @@ def measure_speculation_scenario(name: str, repeats: int = 3
         "decisions_equal": new_decisions == legacy_decisions,
         "mask_rebuilds": conflict.family.mask_rebuilds,
     }
+
+
+# ---------------------------------------------------------------------- #
+# defragmentation benchmark (E15)
+# ---------------------------------------------------------------------- #
+#: The trigger configuration the E15 blocking comparison switches on:
+#: a periodic pass every 25 events plus an on-block pass with a single
+#: re-try of the blocked arrival.
+DEFRAG_TRIGGERS: Dict[str, object] = {
+    "defrag_every": 25,
+    "defrag_on_block": True,
+    "defrag_order": "highest_wavelength",
+}
+
+#: Multi-candidate router for the defrag runs, so moves can re-route, not
+#: only recolour.
+_DEFRAG_ROUTING = "k_shortest"
+
+
+def _blocking_trace(name: str):
+    graph, pool, wavelengths, offered_load = BLOCKING_SCENARIOS[name]()
+    trace = poisson_trace(pool, _BLOCKING_ARRIVALS,
+                          arrival_rate=offered_load / 3.0, mean_holding=3.0,
+                          seed=_BLOCKING_SEED)
+    return graph, trace, wavelengths, offered_load
+
+
+def measure_defrag_blocking_scenario(name: str) -> Dict[str, object]:
+    """Blocking with vs without defrag triggers on one hotspot scenario."""
+    graph, trace, wavelengths, offered_load = _blocking_trace(name)
+    base = simulate_online(graph, trace, wavelengths,
+                           routing=_DEFRAG_ROUTING, record_timeline=False)
+    defrag = simulate_online(graph, trace, wavelengths,
+                             routing=_DEFRAG_ROUTING, record_timeline=False,
+                             **DEFRAG_TRIGGERS)
+    return {
+        "scenario": name,
+        "kind": "defrag_blocking",
+        "wavelengths": wavelengths,
+        "offered_load": offered_load,
+        "arrivals": _BLOCKING_ARRIVALS,
+        "routing": _DEFRAG_ROUTING,
+        "blocking_no_defrag": base.blocking_rate,
+        "blocking_defrag": defrag.blocking_rate,
+        "defrag_passes": defrag.defrag_passes,
+        "defrag_moves": defrag.defrag_moves,
+        "wavelengths_reclaimed": defrag.wavelengths_reclaimed,
+        "defrag_not_worse": defrag.blocking_rate <= base.blocking_rate,
+    }
+
+
+#: name -> (blocking scenario supplying topology+traffic, wavelength
+#: budget, events to replay before measuring).  The budget is roomier
+#: than the blocking scenarios' so churn leaves genuine fragmentation to
+#: reclaim instead of just blocking.
+RECLAIM_SCENARIOS: Dict[str, Tuple[str, int, int]] = {
+    "reclaim-icf36-hotspot": ("erlang-icf36-hotspot", 12, 500),
+    "reclaim-dag30-hotspot": ("erlang-dag30-hotspot", 12, 500),
+}
+
+
+def _fragmented_engine(base_name: str, wavelengths: int,
+                       events: int) -> OnlineEngine:
+    """A warm engine after ``events`` churn events of the base scenario."""
+    graph, pool, _, offered_load = BLOCKING_SCENARIOS[base_name]()
+    trace = poisson_trace(pool, _BLOCKING_ARRIVALS,
+                          arrival_rate=offered_load / 3.0, mean_holding=3.0,
+                          seed=_BLOCKING_SEED)
+    engine = OnlineEngine(graph, wavelengths, routing=_DEFRAG_ROUTING)
+    for event in trace[:events]:
+        if event.kind == ARRIVAL:
+            engine.admit(event.request_id, request=event.request,
+                         dipath=event.dipath)
+        else:
+            engine.depart(event.request_id)
+    return engine
+
+
+def _proper_after_defrag(engine: OnlineEngine) -> bool:
+    """Post-defrag colouring verifies against a from-scratch rebuild."""
+    active = engine.family.active_indices()
+    rebuilt = build_conflict_graph(
+        DipathFamily([engine.family[i] for i in active]))
+    remap = {slot: pos for pos, slot in enumerate(active)}
+    dense = {remap[slot]: color
+             for slot, color in engine.assigner.coloring.items()}
+    return set(dense) == set(range(len(active))) and \
+        is_proper_coloring(rebuilt.adjacency(), dense)
+
+
+def _recolor_from_scratch(engine: OnlineEngine) -> int:
+    """Wavelengths DSATUR needs recolouring the engine's current routes."""
+    family = engine.family
+    active = [family[i] for i in family.active_indices()]
+    if not active:
+        return 0
+    rebuilt = build_conflict_graph(DipathFamily(active))
+    colors, _ = dsatur_coloring_masks(
+        [rebuilt.neighbor_mask(v) for v in range(len(active))])
+    return len(set(colors))
+
+
+def measure_defrag_reclaim_scenario(name: str) -> Dict[str, object]:
+    """Wavelengths reclaimed per walk order vs the recolouring bounds.
+
+    For each walk order a fresh twin of the fragmented engine runs defrag
+    passes to quiescence (a pass committing no move — the strictly
+    decreasing move potential guarantees this terminates).  The reclaim is
+    compared against two numbers measured on the **fragmented pre-defrag
+    state**: DSATUR recolouring the fragmented routes from scratch (what a
+    maintenance-window recolouring — no rerouting — could do) and the
+    fragmented maximum fibre load.  Defrag moves also *re-route*, so it
+    can legitimately beat both; what no proper assignment can beat is the
+    final state's own fibre load, recorded per order as
+    ``load_after_<order>`` and enforced by :func:`defrag_problems`.
+    """
+    base_name, wavelengths, events = RECLAIM_SCENARIOS[name]
+    record: Dict[str, object] = {
+        "scenario": name,
+        "kind": "defrag_reclaim",
+        "wavelengths": wavelengths,
+        "events": events,
+    }
+    # fragmented-state facts, before any defrag pass
+    fragmented = _fragmented_engine(base_name, wavelengths, events)
+    record["colors_before"] = fragmented.assigner.colors_in_use()
+    record["load_before"] = fragmented.family.load()
+    record["recolor_from_scratch"] = _recolor_from_scratch(fragmented)
+    proper = True
+    bounded = True
+    best_after: Optional[int] = None
+    for order in ("highest_wavelength", "longest_route", "most_conflicted"):
+        engine = _fragmented_engine(base_name, wavelengths, events)
+        moves = 0
+        while True:
+            report = engine.defrag(order=order)
+            moves += len(report.moves)
+            if not report.moves:
+                break
+        after = engine.assigner.colors_in_use()
+        load_after = engine.family.load()
+        record[f"colors_after_{order}"] = after
+        record[f"load_after_{order}"] = load_after
+        record[f"moves_{order}"] = moves
+        proper = proper and _proper_after_defrag(engine)
+        bounded = bounded and after >= load_after
+        best_after = after if best_after is None else min(best_after, after)
+    record["colors_after_best"] = best_after
+    record["reclaimed_best"] = record["colors_before"] - best_after
+    record["coloring_proper_after"] = proper
+    record["within_load_bound"] = bounded
+    record["reclaims_capacity"] = record["reclaimed_best"] >= 1
+    return record
+
+
+def run_defrag_benchmark(repeats: int = 3,
+                         scenarios: Optional[Sequence[str]] = None
+                         ) -> List[Dict[str, object]]:
+    """Run every (or the selected) E15 scenario and return the records.
+
+    ``repeats`` is accepted for suite-plumbing symmetry; the records are
+    deterministic replays, so repeating cannot change them.
+    """
+    del repeats
+    names = (list(BLOCKING_SCENARIOS) + list(RECLAIM_SCENARIOS)
+             if scenarios is None else list(scenarios))
+    records: List[Dict[str, object]] = []
+    for name in names:
+        if name in BLOCKING_SCENARIOS:
+            records.append(measure_defrag_blocking_scenario(name))
+        else:
+            records.append(measure_defrag_reclaim_scenario(name))
+    return records
+
+
+def defrag_benchmark_document(records: List[Dict[str, object]], repeats: int
+                              ) -> Dict[str, object]:
+    """Wrap benchmark records in the ``BENCH_defrag.json`` schema."""
+    return {
+        "benchmark": "online_defrag",
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "results": records,
+    }
+
+
+def defrag_problems(records: List[Dict[str, object]]) -> List[str]:
+    """Records missing the E15 claims, as messages.
+
+    Blocking records must show defrag-enabled blocking no worse than
+    defrag-off; reclaim records must reclaim at least one wavelength,
+    keep the colouring proper and keep every order's final colour count
+    at or above that final state's own fibre load.
+    """
+    problems: List[str] = []
+    for record in records:
+        name = record["scenario"]
+        if record["kind"] == "defrag_blocking":
+            if not record["defrag_not_worse"]:
+                problems.append(
+                    f"{name}: defrag made blocking worse "
+                    f"({record['blocking_defrag']:.4f} vs "
+                    f"{record['blocking_no_defrag']:.4f} without)")
+            continue
+        if not record["coloring_proper_after"]:
+            problems.append(f"{name}: post-defrag colouring is not proper")
+        if not record["reclaims_capacity"]:
+            problems.append(
+                f"{name}: defrag reclaimed no wavelength "
+                f"({record['colors_before']} before, best "
+                f"{record['colors_after_best']} after)")
+        if not record["within_load_bound"]:
+            problems.append(
+                f"{name}: impossible reclaim — some order ended with fewer "
+                "colours in use than its own final fibre load")
+    return problems
+
+
+def defrag_check_against_baseline(records: List[Dict[str, object]],
+                                  baseline: Dict[str, object],
+                                  tolerance: float = 0.20) -> List[str]:
+    """Compare a fresh E15 run against a recorded ``BENCH_defrag.json``.
+
+    Everything in this suite is a deterministic seeded replay: blocking
+    probabilities must reproduce within the same small absolute slack as
+    the routing suite, reclaimed-wavelength counts within one wavelength
+    (integer drift can only come from an engine behaviour change).
+    ``tolerance`` is accepted for plumbing symmetry but unused — there is
+    no timing in these records.
+    """
+    del tolerance
+    recorded = {r["scenario"]: r for r in baseline.get("results", [])}
+    problems: List[str] = []
+    for record in records:
+        name = record["scenario"]
+        base = recorded.get(name)
+        if base is None:
+            continue
+        if record["kind"] == "defrag_blocking":
+            for key in ("blocking_no_defrag", "blocking_defrag"):
+                drift = abs(float(record[key]) - float(base[key]))
+                if drift > _BLOCKING_TOLERANCE:
+                    problems.append(
+                        f"{name}: {key} drifted to {record[key]:.4f} "
+                        f"(recorded {base[key]:.4f}) — the engine's "
+                        "decisions changed")
+            continue
+        for key in ("colors_before", "colors_after_best"):
+            if abs(int(record[key]) - int(base[key])) > 1:
+                problems.append(
+                    f"{name}: {key} drifted to {record[key]} "
+                    f"(recorded {base[key]}) — the defrag engine's "
+                    "decisions changed")
+    return problems
 
 
 # ---------------------------------------------------------------------- #

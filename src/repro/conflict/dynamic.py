@@ -41,13 +41,16 @@ __all__ = ["DynamicConflictGraph"]
 class DynamicConflictGraph(ConflictGraph):
     """The conflict graph of a dipath family, patched per add/remove event."""
 
-    __slots__ = ("_family",)
+    __slots__ = ("_family", "_tx_stack")
 
     def __init__(self, family: Optional[DipathFamily] = None,
                  graph: Optional[DiGraph] = None) -> None:
         if family is None:
             family = DipathFamily(graph=graph)
         self._family = family
+        #: Open WhatIfTransactions over this graph, outermost first (owned
+        #: by repro.online.transaction; empty outside speculation).
+        self._tx_stack: list = []
         masks = family.conflict_masks()     # at most one cold build
         self._nbr = {i: masks[i] for i in family.active_indices()}
         vmask = 0

@@ -14,11 +14,17 @@ shows up as avoidable blocking.  The moving parts:
   per-arc load;
 * :mod:`repro.online.assigner`   — first-fit / least-used / most-used /
   random wavelength policies with optional Kempe-chain repair;
-* :mod:`repro.online.transaction` — what-if speculation: checkpoint /
-  O(touched) rollback over family + conflict graph + assigner, and
-  :func:`admit_best` committing the best of an arrival's candidates;
+* :mod:`repro.online.transaction` — what-if speculation: nestable
+  checkpoint / O(touched) rollback over family + conflict graph +
+  assigner, :func:`admit_best` committing the best of an arrival's
+  candidates and :func:`admit_batch` admitting a burst atomically under
+  a partial-commit policy;
+* :mod:`repro.online.defrag`     — defragmentation passes speculatively
+  re-admitting provisioned lightpaths and committing only strict
+  improvements (wavelengths reclaimed, never a service interruption);
 * :mod:`repro.online.simulator`  — the event loop tying them together
-  (:class:`OnlineEngine` is the reusable per-event core).
+  (:class:`OnlineEngine` is the reusable per-event core, with periodic /
+  on-block / utilisation-triggered defrag and timestamp batching).
 
 :func:`repro.optical.simulation.simulate_admission` is a thin static-order
 front-end over this engine.  See the "Dynamic engine" and "What-if
@@ -28,6 +34,14 @@ rollback contracts and per-event complexity.
 
 from ..conflict.dynamic import DynamicConflictGraph
 from .assigner import POLICIES, AssignerCheckpoint, OnlineWavelengthAssigner
+from .defrag import (
+    DEFRAG_ORDERINGS,
+    DefragMove,
+    DefragPass,
+    DefragReport,
+    defrag_objective,
+    max_color_in_use,
+)
 from .events import (
     ARRIVAL,
     DEPARTURE,
@@ -35,6 +49,7 @@ from .events import (
     churn_trace,
     poisson_trace,
     replay_trace,
+    sort_events,
 )
 from .routing import ONLINE_ROUTINGS, OnlineRouter, make_online_router
 from .simulator import (
@@ -45,8 +60,12 @@ from .simulator import (
     simulate_online,
 )
 from .transaction import (
+    BATCH_POLICIES,
     AdmissionDecision,
+    BatchResult,
+    BatchTransaction,
     WhatIfTransaction,
+    admit_batch,
     admit_best,
     default_admission_score,
 )
@@ -55,7 +74,14 @@ __all__ = [
     "ARRIVAL",
     "AdmissionDecision",
     "AssignerCheckpoint",
+    "BATCH_POLICIES",
+    "BatchResult",
+    "BatchTransaction",
+    "DEFRAG_ORDERINGS",
     "DEPARTURE",
+    "DefragMove",
+    "DefragPass",
+    "DefragReport",
     "DynamicConflictGraph",
     "Event",
     "NO_ROUTE",
@@ -67,11 +93,15 @@ __all__ = [
     "OnlineWavelengthAssigner",
     "POLICIES",
     "WhatIfTransaction",
+    "admit_batch",
     "admit_best",
     "churn_trace",
     "default_admission_score",
+    "defrag_objective",
     "make_online_router",
+    "max_color_in_use",
     "poisson_trace",
     "replay_trace",
     "simulate_online",
+    "sort_events",
 ]

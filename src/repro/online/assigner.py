@@ -55,6 +55,11 @@ class AssignerCheckpoint:
     policy RNG state (the ``random`` policy draws during speculation),
     leaving the assigner exactly as it was when the checkpoint was taken —
     in O(changes since the checkpoint), never a rebuild.
+
+    Checkpoints *stack*: a nested checkpoint journals on top of its parent,
+    and committing it splices its journal into the parent's, so a later
+    parent rollback still undoes the committed inner changes.  Commit and
+    rollback must consume checkpoints innermost-first (LIFO).
     """
 
     ever_used: int
@@ -111,7 +116,9 @@ class OnlineWavelengthAssigner:
         self._usage: List[int] = [0] * wavelengths
         self._ever_used: int = 0            # bitmask of colours ever assigned
         self._repairs = 0
-        self._journal: Optional[List[JournalEntry]] = None
+        # Active checkpoints, outermost first; mutations journal into the
+        # innermost one (see repro.online.transaction for the nesting rules).
+        self._checkpoints: List[AssignerCheckpoint] = []
 
     # ------------------------------------------------------------------ #
     # state
@@ -177,16 +184,16 @@ class OnlineWavelengthAssigner:
         color_of[vertex] = color
         self._usage[color] += 1
         self._ever_used |= 1 << color
-        if self._journal is not None:
-            self._journal.append((vertex, None, color))
+        if self._checkpoints:
+            self._checkpoints[-1].journal.append((vertex, None, color))
         return color
 
     def release(self, vertex: int) -> int:
         """Forget the colour of a departing vertex; return it."""
         color = self._color.pop(vertex)
         self._usage[color] -= 1
-        if self._journal is not None:
-            self._journal.append((vertex, color, None))
+        if self._checkpoints:
+            self._checkpoints[-1].journal.append((vertex, color, None))
         return color
 
     # ------------------------------------------------------------------ #
@@ -195,23 +202,30 @@ class OnlineWavelengthAssigner:
     def checkpoint(self) -> AssignerCheckpoint:
         """Start journalling colour changes; return the undo token.
 
-        Only one checkpoint can be active at a time (the transaction layer
-        is single-level); every subsequent :meth:`assign` / :meth:`release`
-        / Kempe recolouring is recorded until :meth:`commit` or
-        :meth:`rollback` consumes the token.
+        Checkpoints nest: each call pushes a new journal and every
+        subsequent :meth:`assign` / :meth:`release` / Kempe recolouring is
+        recorded in the innermost one until :meth:`commit` or
+        :meth:`rollback` consumes its token.  Tokens must be consumed
+        innermost-first — resolving an outer checkpoint while an inner one
+        is still open raises.
         """
-        if self._journal is not None:
-            raise RuntimeError("a checkpoint is already active")
         token = AssignerCheckpoint(self._ever_used, self._repairs,
                                    self._rng.getstate())
-        self._journal = token.journal
+        self._checkpoints.append(token)
         return token
 
     def commit(self, token: AssignerCheckpoint) -> None:
-        """Accept the changes since ``token``; stop journalling.  O(1)."""
-        if self._journal is not token.journal:
+        """Accept the changes since ``token``; stop journalling.  O(1).
+
+        With a parent checkpoint still active the committed journal is
+        spliced into the parent's, so rolling the parent back later still
+        undoes the inner, committed changes.
+        """
+        if not self._checkpoints or self._checkpoints[-1] is not token:
             raise RuntimeError("token does not match the active checkpoint")
-        self._journal = None
+        self._checkpoints.pop()
+        if self._checkpoints:
+            self._checkpoints[-1].journal.extend(token.journal)
 
     def rollback(self, token: AssignerCheckpoint) -> None:
         """Undo every colour change since ``token`` was taken.
@@ -221,9 +235,9 @@ class OnlineWavelengthAssigner:
         RNG state, leaving the assigner bit-identical to its state at
         :meth:`checkpoint` time.
         """
-        if self._journal is not token.journal:
+        if not self._checkpoints or self._checkpoints[-1] is not token:
             raise RuntimeError("token does not match the active checkpoint")
-        self._journal = None
+        self._checkpoints.pop()
         color_of = self._color
         usage = self._usage
         for vertex, old, new in reversed(token.journal):
@@ -298,8 +312,9 @@ class OnlineWavelengthAssigner:
                     self._usage[old] -= 1
                     self._usage[color_of[u]] += 1
                     self._ever_used |= 1 << color_of[u]
-                    if self._journal is not None:
-                        self._journal.append((u, old, color_of[u]))
+                    if self._checkpoints:
+                        self._checkpoints[-1].journal.append(
+                            (u, old, color_of[u]))
                 self._repairs += 1
                 return a
         return None

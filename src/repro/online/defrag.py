@@ -1,0 +1,263 @@
+"""Defragmentation passes: reclaiming wavelengths on the live engine.
+
+After enough churn an online system is *fragmented*: lightpaths sit on
+longer routes and higher wavelengths than a fresh assignment would give
+them, because each was admitted against whatever the state happened to be
+at its arrival.  The paper's offline bound (wavelengths = load on
+internal-cycle-free topologies) says how good a from-scratch assignment
+could be; the gap between that and the live colouring is capacity the
+network is paying for but not using — it shows up operationally as
+avoidable ``no_wavelength`` blocking.
+
+:class:`DefragPass` walks the provisioned lightpaths (three orderings:
+highest wavelength first, longest route first, most conflicted first) and
+*speculatively re-admits* each one on the live engine: the lightpath is
+released and removed inside an outer :class:`~repro.online.transaction.
+WhatIfTransaction`, :func:`~repro.online.transaction.admit_best` then
+speculates every candidate route (nested what-ifs) and commits the best
+admissible one into the outer transaction, and the outer transaction
+commits only if the move is a **strict improvement** of the lexicographic
+objective
+
+    ``(distinct wavelengths in use, highest wavelength in use,
+       maximum fibre load, the moved lightpath's wavelength)``
+
+— otherwise the whole move rolls back bit-identically and the lightpath
+keeps its route and colour.  Every accepted move strictly decreases that
+potential (each component is a non-negative integer), so repeated passes
+terminate; ``max_moves`` and ``time_budget`` bound a single pass for
+engines that defragment inside a latency budget.
+
+The pass never disconnects a lightpath for good: a move is an atomic
+remove + re-admit, and the remove is only committed together with a
+successful, strictly better re-admission.  Blocked re-admissions (the
+candidate set no longer fits the budget — possible, since the member's own
+old colour is speculatively freed but other lightpaths moved meanwhile)
+simply leave the lightpath untouched.
+
+:func:`repro.online.simulator.simulate_online` triggers passes every N
+events, on blocking (with a single re-try of the blocked arrival after a
+fruitful pass) or on a wavelength-utilisation threshold; see the E15
+benchmark in :mod:`repro.analysis.erlang` for measured reclaim numbers
+against the from-scratch recolouring lower bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..conflict.dynamic import DynamicConflictGraph
+from ..dipaths.dipath import Dipath
+from .assigner import OnlineWavelengthAssigner
+from .transaction import ScoreFunction, WhatIfTransaction, admit_best
+
+__all__ = ["DEFRAG_ORDERINGS", "DefragMove", "DefragPass", "DefragReport",
+           "defrag_objective", "max_color_in_use"]
+
+#: Walk orders for a pass — which provisioned lightpath to try to move
+#: first.  ``highest_wavelength`` attacks the spectrum tail (the classic
+#: first-fit compaction), ``longest_route`` frees the most arc capacity
+#: per successful move, ``most_conflicted`` targets the lightpaths whose
+#: colour constrains the most neighbours.
+DEFRAG_ORDERINGS = ("highest_wavelength", "longest_route", "most_conflicted")
+
+
+def max_color_in_use(assigner: OnlineWavelengthAssigner) -> int:
+    """Highest wavelength index with a current user (``-1`` when idle)."""
+    return max((c for c, users in enumerate(assigner.usage()) if users),
+               default=-1)
+
+
+def defrag_objective(conflict: DynamicConflictGraph,
+                     assigner: OnlineWavelengthAssigner) -> Tuple[int, int, int]:
+    """The global part of the move-acceptance objective.
+
+    ``(distinct wavelengths in use, highest wavelength in use, maximum
+    fibre load)`` — :class:`DefragPass` appends the moved lightpath's own
+    wavelength as the final tie-breaker and requires a strict lexicographic
+    decrease before committing a move.
+    """
+    return (assigner.colors_in_use(), max_color_in_use(assigner),
+            conflict.family.load())
+
+
+@dataclass(frozen=True)
+class DefragMove:
+    """One committed defragmentation move."""
+
+    index: int          #: member index before the move
+    new_index: int      #: member index after the move (normally unchanged)
+    old_color: int      #: wavelength before the move
+    new_color: int      #: wavelength after the move
+    old_route: Dipath   #: route before the move
+    new_route: Dipath   #: route after the move
+
+    @property
+    def rerouted(self) -> bool:
+        """Whether the move changed the route (not just the wavelength)."""
+        return self.old_route != self.new_route
+
+
+@dataclass
+class DefragReport:
+    """Outcome of one :meth:`DefragPass.run`.
+
+    ``colors_*`` count distinct wavelengths in use, ``max_color_*`` the
+    highest wavelength index in use and ``load_*`` the maximum fibre load,
+    each sampled immediately before and after the pass.
+    """
+
+    order: str
+    attempted: int = 0
+    moves: List[DefragMove] = field(default_factory=list)
+    colors_before: int = 0
+    colors_after: int = 0
+    max_color_before: int = -1
+    max_color_after: int = -1
+    load_before: int = 0
+    load_after: int = 0
+    budget_exhausted: bool = False
+
+    @property
+    def moves_committed(self) -> int:
+        """Number of committed moves."""
+        return len(self.moves)
+
+    @property
+    def reclaimed(self) -> int:
+        """Distinct wavelengths freed by the pass."""
+        return self.colors_before - self.colors_after
+
+
+#: ``candidates(index, dipath) -> candidate routes`` for re-admitting one
+#: provisioned lightpath.  ``None`` re-admits on the current route only
+#: (pure wavelength compaction).
+CandidateFunction = Callable[[int, Dipath], Sequence[Dipath]]
+
+
+class DefragPass:
+    """One bounded walk over the provisioned lightpaths, moving improvers.
+
+    Parameters
+    ----------
+    conflict, assigner:
+        The live engine state (as owned by
+        :class:`~repro.online.simulator.OnlineEngine`).
+    candidates:
+        Candidate routes per lightpath (see :data:`CandidateFunction`);
+        the current route is always added as a candidate so a pure
+        recolouring stays possible.  Default: current route only.
+    order:
+        One of :data:`DEFRAG_ORDERINGS`.
+    max_moves:
+        Commit at most this many moves per pass (``None`` = unbounded).
+    time_budget:
+        Wall-clock budget in seconds for one pass (``None`` = unbounded).
+    score:
+        Candidate score handed to :func:`~repro.online.transaction.
+        admit_best` (default: the shared live-load objective).
+    """
+
+    def __init__(self, conflict: DynamicConflictGraph,
+                 assigner: OnlineWavelengthAssigner,
+                 candidates: Optional[CandidateFunction] = None,
+                 order: str = "highest_wavelength",
+                 max_moves: Optional[int] = None,
+                 time_budget: Optional[float] = None,
+                 score: Optional[ScoreFunction] = None) -> None:
+        if order not in DEFRAG_ORDERINGS:
+            raise ValueError(f"unknown defrag ordering {order!r}; "
+                             f"expected one of {DEFRAG_ORDERINGS}")
+        if max_moves is not None and max_moves < 0:
+            raise ValueError("max_moves must be >= 0")
+        if time_budget is not None and time_budget < 0:
+            raise ValueError("time_budget must be >= 0")
+        self._conflict = conflict
+        self._assigner = assigner
+        self._candidates = candidates
+        self._order = order
+        self._max_moves = max_moves
+        self._time_budget = time_budget
+        self._score = score
+
+    # ------------------------------------------------------------------ #
+    # walk order
+    # ------------------------------------------------------------------ #
+    def _ordered_members(self) -> List[int]:
+        """Coloured members in move-attempt order (ties: lower index first)."""
+        conflict, assigner = self._conflict, self._assigner
+        family = conflict.family
+        coloring = assigner.coloring
+        members = [i for i in family.active_indices() if i in coloring]
+        if self._order == "highest_wavelength":
+            key = lambda i: (-coloring[i], i)
+        elif self._order == "longest_route":
+            key = lambda i: (-len(family[i]), i)
+        else:                                   # most_conflicted
+            key = lambda i: (-conflict.degree(i), i)
+        return sorted(members, key=key)
+
+    # ------------------------------------------------------------------ #
+    # one move
+    # ------------------------------------------------------------------ #
+    def _candidate_routes(self, idx: int, current: Dipath) -> List[Dipath]:
+        if self._candidates is None:
+            return [current]
+        routes = list(self._candidates(idx, current))
+        if current not in routes:
+            routes.append(current)
+        return routes
+
+    def _try_move(self, idx: int) -> Optional[DefragMove]:
+        """Speculatively re-admit member ``idx``; commit a strict improver."""
+        conflict, assigner = self._conflict, self._assigner
+        old_route = conflict.family[idx]
+        old_color = assigner.color_of(idx)
+        routes = self._candidate_routes(idx, old_route)
+        before = defrag_objective(conflict, assigner) + (old_color,)
+        with WhatIfTransaction(conflict, assigner) as move:
+            move.release(idx)
+            move.remove_dipath(idx)
+            decision = admit_best(conflict, assigner, routes,
+                                  score=self._score)
+            if decision is None:        # no longer admissible: keep as-is
+                return None
+            after = defrag_objective(conflict, assigner) + (decision.color,)
+            if not after < before:      # not a strict improvement
+                return None
+            move.commit()
+        return DefragMove(index=idx, new_index=decision.index,
+                          old_color=old_color, new_color=decision.color,
+                          old_route=old_route, new_route=decision.dipath)
+
+    # ------------------------------------------------------------------ #
+    # the pass
+    # ------------------------------------------------------------------ #
+    def run(self) -> DefragReport:
+        """Walk the provisioned lightpaths once; return the move report."""
+        conflict, assigner = self._conflict, self._assigner
+        report = DefragReport(
+            order=self._order,
+            colors_before=assigner.colors_in_use(),
+            max_color_before=max_color_in_use(assigner),
+            load_before=conflict.family.load())
+        deadline = (None if self._time_budget is None
+                    else time.monotonic() + self._time_budget)
+        for idx in self._ordered_members():
+            if self._max_moves is not None and \
+                    len(report.moves) >= self._max_moves:
+                report.budget_exhausted = True
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                report.budget_exhausted = True
+                break
+            report.attempted += 1
+            move = self._try_move(idx)
+            if move is not None:
+                report.moves.append(move)
+        report.colors_after = assigner.colors_in_use()
+        report.max_color_after = max_color_in_use(assigner)
+        report.load_after = conflict.family.load()
+        return report

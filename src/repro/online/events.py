@@ -32,8 +32,8 @@ from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request, RequestFamily
 
-__all__ = ["ARRIVAL", "DEPARTURE", "Event", "replay_trace", "poisson_trace",
-           "churn_trace"]
+__all__ = ["ARRIVAL", "DEPARTURE", "Event", "sort_events", "replay_trace",
+           "poisson_trace", "churn_trace"]
 
 ARRIVAL = "arrival"
 DEPARTURE = "departure"
@@ -68,9 +68,24 @@ class Event:
     dipath: Optional[Dipath] = None
 
 
-def _sort_events(events: List[Event]) -> List[Event]:
+def sort_events(events: List[Event]) -> List[Event]:
+    """Time-order a trace with the engine's tie-breaking convention.
+
+    At equal timestamps **departures sort before arrivals** — capacity
+    freed at time ``t`` must be usable by a request arriving at time ``t``,
+    otherwise a trace in which a lightpath is replaced back-to-back blocks
+    spuriously (the regression tests craft exactly such a trace).  Events
+    of the same time and kind keep ``request_id`` order, so sorting is
+    fully deterministic.  Every trace constructor in this module returns
+    traces in this order; external traces should be passed through here
+    before :func:`repro.online.simulator.simulate_online`.
+    """
     return sorted(events, key=lambda e: (e.time, e.kind == ARRIVAL,
                                          e.request_id))
+
+
+#: Backwards-compatible private alias (pre-PR 4 name).
+_sort_events = sort_events
 
 
 def replay_trace(workload: Union[RequestFamily, DipathFamily]) -> List[Event]:
@@ -119,7 +134,7 @@ def poisson_trace(pool: RequestFamily, num_arrivals: int,
         source, target = rng.choice(pairs)
         events.append(Event(now, ARRIVAL, i, request=Request(source, target)))
         events.append(Event(now + holding, DEPARTURE, i))
-    return _sort_events(events)
+    return sort_events(events)
 
 
 def churn_trace(pool: Union[RequestFamily, DipathFamily], concurrent: int,

@@ -44,15 +44,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..exceptions import SimulationError
+from ..exceptions import RoutingError, SimulationError
 from ..conflict.dynamic import DynamicConflictGraph
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request
 from ..graphs.digraph import DiGraph
 from .assigner import OnlineWavelengthAssigner
+from .defrag import DefragPass, DefragReport
 from .events import ARRIVAL, DEPARTURE, Event
 from .routing import make_online_router
+from .transaction import BATCH_POLICIES
+from .transaction import admit_batch as _admit_dipath_batch
 from .transaction import admit_best
 
 __all__ = ["NO_ROUTE", "NO_WAVELENGTH", "OnlineEngine", "OnlineResult",
@@ -85,6 +88,15 @@ class OnlineResult:
         Whether arrivals were admitted through what-if speculation.
     kempe_repairs:
         Successful Kempe chain swaps (0 unless ``kempe_repair=True``).
+    batch_policy:
+        The partial-commit policy applied to equal-timestamp arrival
+        bursts (``None`` = arrivals admitted one by one).
+    defrag_passes, defrag_moves:
+        Defragmentation passes run and moves they committed (0 unless a
+        defrag trigger is configured).
+    wavelengths_reclaimed:
+        Total distinct wavelengths freed by defrag passes (sum of each
+        pass's reclaim, fragmentation can rebuild between passes).
     timeline:
         One sample per processed event: ``time``, ``active`` (concurrent
         lightpaths), ``wavelengths_active`` (colours currently in use),
@@ -101,6 +113,10 @@ class OnlineResult:
     policy: str = "first_fit"
     speculative: bool = False
     kempe_repairs: int = 0
+    batch_policy: Optional[str] = None
+    defrag_passes: int = 0
+    defrag_moves: int = 0
+    wavelengths_reclaimed: int = 0
     timeline: List[Dict[str, float]] = field(default_factory=list)
 
     @property
@@ -154,6 +170,9 @@ class OnlineEngine:
             wavelengths, policy=policy, kempe_repair=kempe_repair, seed=seed)
         self.speculative = speculative
         self.vertex_of: Dict[int, int] = {}     # request_id -> member index
+        self.defrag_passes = 0
+        self.defrag_moves = 0
+        self.wavelengths_reclaimed = 0
 
     @property
     def active(self) -> int:
@@ -196,6 +215,48 @@ class OnlineEngine:
         self.vertex_of[request_id] = idx
         return None
 
+    def admit_batch(self, arrivals: List[Event],
+                    policy: str = "all_or_nothing"
+                    ) -> Dict[int, Optional[str]]:
+        """Admit a burst of arrival events atomically; reasons per request.
+
+        Each arrival is routed first (pre-routed dipaths are used verbatim;
+        unroutable requests are rejected with :data:`NO_ROUTE` without
+        touching the batch); the routed burst is then admitted through
+        :func:`repro.online.transaction.admit_batch` under the given
+        partial-commit policy.  Returns ``request_id -> None`` (admitted)
+        or a rejection reason.
+        """
+        reasons: Dict[int, Optional[str]] = {}
+        routed: List[tuple] = []
+        for event in arrivals:
+            if event.request_id in self.vertex_of:
+                raise SimulationError(
+                    f"duplicate arrival for request {event.request_id}")
+            dipath = event.dipath
+            if dipath is None:
+                if event.request is None:
+                    raise SimulationError(
+                        f"arrival {event.request_id} has no request or "
+                        f"dipath")
+                dipath = self.router.route(event.request)
+            if dipath is None:
+                reasons[event.request_id] = NO_ROUTE
+            else:
+                routed.append((event.request_id, dipath))
+        outcome = _admit_dipath_batch(
+            self.conflict, self.assigner, [d for _, d in routed],
+            policy=policy)
+        admitted = {pos: (idx, color)
+                    for pos, idx, color in outcome.admitted}
+        for pos, (request_id, _) in enumerate(routed):
+            if pos in admitted:
+                self.vertex_of[request_id] = admitted[pos][0]
+                reasons[request_id] = None
+            else:
+                reasons[request_id] = NO_WAVELENGTH
+        return reasons
+
     def depart(self, request_id: int) -> bool:
         """Tear down a provisioned lightpath; ``False`` if it never held one
         (blocked arrivals depart silently)."""
@@ -206,12 +267,58 @@ class OnlineEngine:
         self.conflict.remove_dipath(idx)
         return True
 
+    # ------------------------------------------------------------------ #
+    # defragmentation
+    # ------------------------------------------------------------------ #
+    def _defrag_candidates(self, idx: int, dipath: Dipath) -> List[Dipath]:
+        """Candidate routes for re-admitting lightpath ``idx``."""
+        try:
+            request = Request(dipath.source, dipath.target)
+            routes = list(self.router.candidates(request))
+        except RoutingError:        # e.g. 'unique' routing on an ambiguous pair
+            routes = []
+        if dipath not in routes:
+            routes.append(dipath)
+        return routes
+
+    def defrag(self, order: str = "highest_wavelength",
+               max_moves: Optional[int] = None,
+               time_budget: Optional[float] = None) -> DefragReport:
+        """Run one defragmentation pass over the provisioned lightpaths.
+
+        Candidate routes come from the engine's router (the current route
+        is always kept as a candidate), moves commit only on a strict
+        improvement — see :class:`~repro.online.defrag.DefragPass`.  The
+        ``request_id -> member`` map is kept coherent and the engine's
+        defrag counters are updated.
+        """
+        report = DefragPass(self.conflict, self.assigner,
+                            candidates=self._defrag_candidates, order=order,
+                            max_moves=max_moves,
+                            time_budget=time_budget).run()
+        remapped = {m.index: m.new_index for m in report.moves
+                    if m.new_index != m.index}
+        if remapped:    # pragma: no cover - moves recycle their own slot
+            for request_id, idx in list(self.vertex_of.items()):
+                if idx in remapped:
+                    self.vertex_of[request_id] = remapped[idx]
+        self.defrag_passes += 1
+        self.defrag_moves += len(report.moves)
+        self.wavelengths_reclaimed += max(0, report.reclaimed)
+        return report
+
 
 def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     routing: str = "shortest", policy: str = "first_fit",
                     kempe_repair: bool = False, seed: Optional[int] = None,
                     record_timeline: bool = True, k_candidates: int = 4,
-                    speculative: bool = False) -> OnlineResult:
+                    speculative: bool = False,
+                    batch_policy: Optional[str] = None,
+                    defrag_every: Optional[int] = None,
+                    defrag_on_block: bool = False,
+                    defrag_utilization: Optional[float] = None,
+                    defrag_order: str = "highest_wavelength",
+                    defrag_max_moves: Optional[int] = None) -> OnlineResult:
     """Run an event trace through the incremental online RWA engine.
 
     Parameters
@@ -244,21 +351,89 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         what-if transaction and committing the best
         (:func:`~repro.online.transaction.admit_best`); only routers with
         a real candidate set (``k_shortest``) offer more than one.
+    batch_policy:
+        When set (one of :data:`~repro.online.transaction.BATCH_POLICIES`),
+        consecutive arrivals sharing a timestamp are admitted as one
+        atomic burst through :meth:`OnlineEngine.admit_batch` instead of
+        one by one.
+    defrag_every:
+        Run a defragmentation pass every this many processed events.
+    defrag_on_block:
+        On a ``no_wavelength`` rejection, run a defragmentation pass and
+        re-try the blocked arrival once if the pass committed any move.
+    defrag_utilization:
+        Run a pass whenever the fraction of wavelengths in use crosses
+        this threshold from below (re-armed once utilisation drops back).
+    defrag_order, defrag_max_moves:
+        Walk order and per-pass move budget for every triggered pass
+        (see :class:`~repro.online.defrag.DefragPass`).
     """
     engine = OnlineEngine(graph, wavelengths, routing=routing, policy=policy,
                           kempe_repair=kempe_repair, seed=seed,
                           k_candidates=k_candidates, speculative=speculative)
     result = OnlineResult(wavelengths_available=wavelengths, routing=routing,
-                          policy=policy, speculative=speculative)
+                          policy=policy, speculative=speculative,
+                          batch_policy=batch_policy)
+    if batch_policy is not None and batch_policy not in BATCH_POLICIES:
+        raise ValueError(f"unknown batch policy {batch_policy!r}; "
+                         f"expected one of {BATCH_POLICIES}")
+    if defrag_every is not None and defrag_every < 1:
+        raise ValueError("defrag_every must be >= 1")
+    if defrag_utilization is not None and \
+            not 0.0 < defrag_utilization <= 1.0:
+        raise ValueError("defrag_utilization must be in (0, 1]")
+
+    def run_defrag() -> None:
+        engine.defrag(order=defrag_order, max_moves=defrag_max_moves)
+
     last_time = float("-inf")
-    for event in events:
+    processed = 0
+    above_threshold = False
+    index = 0
+    while index < len(events):
+        event = events[index]
         if event.time < last_time:
             raise SimulationError(
                 f"trace is not time-ordered at request {event.request_id}")
         last_time = event.time
-        if event.kind == ARRIVAL:
+        group = [event]
+        if batch_policy is not None and event.kind == ARRIVAL:
+            j = index + 1
+            while j < len(events) and events[j].kind == ARRIVAL and \
+                    events[j].time == event.time:
+                group.append(events[j])
+                j += 1
+        if len(group) > 1:
+            reasons = engine.admit_batch(group, policy=batch_policy)
+            if defrag_on_block and NO_WAVELENGTH in reasons.values():
+                # Same contract as the singleton path: defragment, and if
+                # the pass moved anything give the spectrum-blocked part
+                # of the burst one more shot (under the same policy).
+                if engine.defrag(order=defrag_order,
+                                 max_moves=defrag_max_moves).moves:
+                    retry = [e for e in group
+                             if reasons[e.request_id] == NO_WAVELENGTH]
+                    reasons.update(
+                        engine.admit_batch(retry, policy=batch_policy))
+            for arrival in group:
+                reason = reasons[arrival.request_id]
+                if reason is None:
+                    result.accepted.append(arrival.request_id)
+                else:
+                    result.blocked.append(arrival.request_id)
+                    result.rejections[arrival.request_id] = reason
+        elif event.kind == ARRIVAL:
             reason = engine.admit(event.request_id, request=event.request,
                                   dipath=event.dipath)
+            if reason == NO_WAVELENGTH and defrag_on_block:
+                # Defragment and give the blocked arrival one more chance —
+                # a fruitless pass (no move committed) cannot change the
+                # admission decision, so only a fruitful one re-tries.
+                if engine.defrag(order=defrag_order,
+                                 max_moves=defrag_max_moves).moves:
+                    reason = engine.admit(event.request_id,
+                                          request=event.request,
+                                          dipath=event.dipath)
             if reason is None:
                 result.accepted.append(event.request_id)
             else:
@@ -268,14 +443,28 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
             engine.depart(event.request_id)
         else:
             raise SimulationError(f"unknown event kind {event.kind!r}")
+        index += len(group)
+        processed += len(group)
+        if defrag_every is not None and processed % defrag_every < len(group):
+            run_defrag()
+        if defrag_utilization is not None:
+            above = engine.assigner.colors_in_use() >= \
+                defrag_utilization * wavelengths
+            if above and not above_threshold:
+                run_defrag()
+            above_threshold = above
         if record_timeline:
-            result.timeline.append({
+            sample = {
                 "time": event.time,
                 "active": float(engine.active),
                 "wavelengths_active": float(engine.assigner.colors_in_use()),
                 "max_fibre_load": float(engine.family.load()),
                 "blocked_total": float(len(result.blocked)),
-            })
+            }
+            result.timeline.extend(dict(sample) for _ in group)
     result.wavelengths_used = engine.assigner.colors_ever_used()
     result.kempe_repairs = engine.assigner.kempe_repairs
+    result.defrag_passes = engine.defrag_passes
+    result.defrag_moves = engine.defrag_moves
+    result.wavelengths_reclaimed = engine.wavelengths_reclaimed
     return result

@@ -27,11 +27,21 @@ repair), score the resulting state, roll every attempt back and commit
 only the winner.  This is what makes ``k_shortest`` routing with
 ``speculative=True`` in :func:`repro.online.simulator.simulate_online`
 a genuine what-if search rather than a heuristic pre-scoring.
+
+Transactions **nest**: opening a transaction while another is active makes
+it a child of the innermost open one.  A child must resolve before its
+parent (LIFO); committing a child splices its journal into the parent, so
+the parent's rollback still undoes the child's committed mutations.  This
+is what lets :class:`~repro.online.defrag.DefragPass` wrap a whole
+remove → :func:`admit_best` → compare move in an outer transaction and
+drop it bit-identically when the move is not a strict improvement, and
+what :func:`admit_batch` uses to admit a burst of arrivals atomically
+under the partial-commit policies (:data:`BATCH_POLICIES`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..conflict.dynamic import DynamicConflictGraph
@@ -39,15 +49,16 @@ from ..dipaths.dipath import Dipath
 from .assigner import AssignerCheckpoint, OnlineWavelengthAssigner
 from .routing import live_load_cost
 
-__all__ = ["AdmissionDecision", "WhatIfTransaction", "admit_best",
-           "default_admission_score"]
+__all__ = ["AdmissionDecision", "BATCH_POLICIES", "BatchResult",
+           "BatchTransaction", "WhatIfTransaction", "admit_batch",
+           "admit_best", "default_admission_score"]
 
 #: Journal entry tags for the structural (family + conflict graph) log.
 _ADD, _REMOVE = "add", "remove"
 
 
 class WhatIfTransaction:
-    """Single-level checkpoint/rollback over the online engine state.
+    """Checkpoint/rollback over the online engine state, nestable.
 
     Wraps a :class:`~repro.conflict.DynamicConflictGraph` (and optionally
     the :class:`~repro.online.assigner.OnlineWavelengthAssigner` colouring
@@ -57,7 +68,12 @@ class WhatIfTransaction:
 
     Mutations must go through the transaction's methods while it is open;
     reads (loads, masks, colours) can use the underlying objects freely.
-    Transactions do not nest: one at a time per engine.
+    Transactions nest per engine: a transaction opened while another is
+    active becomes its child and must resolve first (LIFO — resolving an
+    outer transaction while a child is open raises).  Committing a child
+    merges its journal into the parent, so the parent's rollback undoes
+    the child's committed mutations too.  Nested transactions over the
+    same engine must share the same assigner (or consistently use none).
 
     Examples
     --------
@@ -75,10 +91,15 @@ class WhatIfTransaction:
         self._conflict = conflict
         self._family = conflict.family
         self._assigner = assigner
+        stack: List["WhatIfTransaction"] = conflict._tx_stack
+        self._stack = stack
+        self._parent: Optional["WhatIfTransaction"] = \
+            stack[-1] if stack else None
         self._log: List[Tuple] = []
         self._checkpoint: Optional[AssignerCheckpoint] = \
             assigner.checkpoint() if assigner is not None else None
         self._open = True
+        stack.append(self)
 
     # ------------------------------------------------------------------ #
     # state
@@ -91,6 +112,18 @@ class WhatIfTransaction:
     def _require_open(self) -> None:
         if not self._open:
             raise RuntimeError("the transaction is already closed")
+
+    def _detach(self) -> None:
+        """Close this transaction and leave the engine's nesting stack.
+
+        Resolution is LIFO: a parent cannot resolve while a child is still
+        open (the child's journal would be stranded half-applied).
+        """
+        if self._stack[-1] is not self:
+            raise RuntimeError(
+                "a nested transaction is still open; resolve it first")
+        self._open = False
+        self._stack.pop()
 
     # ------------------------------------------------------------------ #
     # journalled operations
@@ -138,17 +171,24 @@ class WhatIfTransaction:
     # resolution
     # ------------------------------------------------------------------ #
     def commit(self) -> None:
-        """Keep every journalled mutation.  O(1)."""
+        """Keep every journalled mutation.  O(1).
+
+        With a parent transaction open the journal is handed to the parent
+        instead of dropped, so a later parent rollback undoes this
+        transaction's committed mutations as well.
+        """
         self._require_open()
+        self._detach()
         if self._checkpoint is not None:
             self._assigner.commit(self._checkpoint)
+        if self._parent is not None:
+            self._parent._log.extend(self._log)
         self._log.clear()
-        self._open = False
 
     def rollback(self) -> None:
         """Undo every journalled mutation, newest first.  O(touched)."""
         self._require_open()
-        self._open = False
+        self._detach()
         if self._checkpoint is not None:
             # Colour state is disjoint from the structural state, so the
             # whole colour journal can be unwound before the structure.
@@ -172,9 +212,34 @@ class WhatIfTransaction:
     def __enter__(self) -> "WhatIfTransaction":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        if self._open:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Roll back unless committed; never mask an in-flight exception.
+
+        Leaving the block without :meth:`commit` rolls the speculation
+        back — *also* when an exception is propagating (an exception can
+        never commit a speculation).  If the rollback itself fails while an
+        exception is in flight, the rollback failure is attached to the
+        original exception as a note instead of replacing it: the caller
+        sees the error that actually broke the block, annotated with the
+        (graver) fact that the engine state could not be restored.
+        """
+        if not self._open:
+            return False
+        if exc is None:
             self.rollback()
+            return False
+        try:
+            self.rollback()
+        except BaseException as rollback_exc:   # noqa: BLE001 - re-attached
+            note = (f"[WhatIfTransaction] rollback failed while handling "
+                    f"the exception above: {rollback_exc!r} — engine state "
+                    f"may be inconsistent")
+            add_note = getattr(exc, "add_note", None)
+            if add_note is not None:            # Python >= 3.11
+                add_note(note)
+            else:       # pragma: no cover - pre-3.11 interpreters only
+                exc.__context__ = rollback_exc  # chained, never replaces
+        return False
 
 
 # ---------------------------------------------------------------------- #
@@ -238,10 +303,141 @@ def admit_best(conflict: DynamicConflictGraph,
     if best is None:
         return None
     dipath = candidates[best[1]]
-    idx = conflict.add_dipath(dipath)
-    color = assigner.assign(conflict, idx)
+    # Re-admit the winner through a transaction of its own: standalone this
+    # is just an admit+commit, but under an enclosing transaction (defrag
+    # moves, batches) the commit hands the journal upwards so the outer
+    # rollback can still undo the admission.
+    with WhatIfTransaction(conflict, assigner) as tx:
+        idx, color = tx.admit(dipath)
+        if color is not None:
+            tx.commit()
     if color is None:       # pragma: no cover - deterministic replay
-        conflict.remove_dipath(idx)
         return None
     return AdmissionDecision(index=idx, color=color, candidate=best[1],
                              dipath=dipath)
+
+
+# ---------------------------------------------------------------------- #
+# batched admission
+# ---------------------------------------------------------------------- #
+#: Partial-commit policies for :func:`admit_batch`:
+#:
+#: * ``all_or_nothing``  — the whole burst is admitted or the engine is
+#:   rolled back to its pre-batch state (one blocked arrival blocks all);
+#: * ``best_prefix``     — arrivals are admitted in order up to (not
+#:   including) the first inadmissible one; the rest of the burst is
+#:   blocked unattempted;
+#: * ``greedy``          — maximum-cardinality greedy: every arrival is
+#:   attempted, inadmissible ones are skipped, the rest commit.
+BATCH_POLICIES = ("all_or_nothing", "best_prefix", "greedy")
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one atomic batch admission.
+
+    Attributes
+    ----------
+    policy:
+        The partial-commit policy that produced this result.
+    admitted:
+        ``(position, member index, colour)`` per admitted arrival, in
+        batch order.  Empty when the batch rolled back.
+    blocked:
+        Batch positions that were not admitted (inadmissible, skipped
+        after an ``all_or_nothing`` failure, or unattempted past a
+        ``best_prefix`` cut).
+    committed:
+        Whether the batch transaction committed (``all_or_nothing``
+        batches roll back entirely on the first failure).
+    """
+
+    policy: str
+    admitted: List[Tuple[int, int, Optional[int]]] = field(
+        default_factory=list)
+    blocked: List[int] = field(default_factory=list)
+    committed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in BATCH_POLICIES:
+            raise ValueError(f"unknown batch policy {self.policy!r}; "
+                             f"expected one of {BATCH_POLICIES}")
+
+
+def admit_batch(conflict: DynamicConflictGraph,
+                assigner: OnlineWavelengthAssigner,
+                dipaths: Sequence[Dipath],
+                policy: str = "all_or_nothing") -> BatchResult:
+    """Admit a burst of pre-routed arrivals atomically.
+
+    The whole batch runs inside one outer :class:`WhatIfTransaction`; each
+    arrival is attempted in a nested child transaction that commits into
+    the outer one on success and rolls back on failure, so the engine never
+    holds a half-admitted arrival and an ``all_or_nothing`` failure unwinds
+    every earlier admission of the burst bit-identically.  See
+    :data:`BATCH_POLICIES` for the partial-commit semantics.
+    """
+    result = BatchResult(policy=policy)       # validates the policy name
+    batch = [d if isinstance(d, Dipath) else Dipath(d) for d in dipaths]
+    outer = WhatIfTransaction(conflict, assigner)
+    try:
+        for pos, dipath in enumerate(batch):
+            with WhatIfTransaction(conflict, assigner) as inner:
+                idx, color = inner.admit(dipath)
+                if color is not None:
+                    inner.commit()
+            if color is not None:
+                result.admitted.append((pos, idx, color))
+                continue
+            if policy == "all_or_nothing":
+                return BatchResult(policy=policy, admitted=[],
+                                   blocked=list(range(len(batch))),
+                                   committed=False)
+            if policy == "best_prefix":
+                result.blocked.extend(range(pos, len(batch)))
+                break
+            result.blocked.append(pos)        # greedy: skip and carry on
+        outer.commit()
+        return result
+    finally:
+        if outer.is_open:                     # all_or_nothing failure path
+            outer.rollback()
+
+
+class BatchTransaction:
+    """Reusable batched-admission front-end bound to one engine.
+
+    Thin object wrapper over :func:`admit_batch` for callers that admit
+    many bursts against the same conflict graph + assigner (the online
+    engine's timestamp batching, tests, examples):
+
+    >>> from repro.conflict import DynamicConflictGraph
+    >>> from repro.dipaths.family import DipathFamily
+    >>> from repro.online.assigner import OnlineWavelengthAssigner
+    >>> dyn = DynamicConflictGraph(DipathFamily())
+    >>> batcher = BatchTransaction(dyn, OnlineWavelengthAssigner(2),
+    ...                            policy="greedy")
+    >>> batcher.admit([["a", "b"], ["b", "c"]]).committed
+    True
+    """
+
+    def __init__(self, conflict: DynamicConflictGraph,
+                 assigner: OnlineWavelengthAssigner,
+                 policy: str = "all_or_nothing") -> None:
+        if policy not in BATCH_POLICIES:
+            raise ValueError(f"unknown batch policy {policy!r}; "
+                             f"expected one of {BATCH_POLICIES}")
+        self._conflict = conflict
+        self._assigner = assigner
+        self._policy = policy
+
+    @property
+    def policy(self) -> str:
+        """The partial-commit policy applied to every batch."""
+        return self._policy
+
+    def admit(self, dipaths: Sequence[Dipath],
+              policy: Optional[str] = None) -> BatchResult:
+        """Admit one burst (``policy`` overrides the default for this call)."""
+        return admit_batch(self._conflict, self._assigner, dipaths,
+                           policy=self._policy if policy is None else policy)

@@ -11,22 +11,36 @@ process-pool map with
 * chunking (to amortise inter-process communication, per the HPC guidance of
   profiling first and keeping per-task work around the 10s-100ms sweet spot),
 * a sequential fallback (``workers=1`` or ``workers=None`` on platforms where
-  process pools are unavailable), used automatically for tiny workloads.
+  process pools are unavailable), used automatically for tiny workloads,
+* a nested-pool guard: a :func:`parallel_map` call made *from inside a
+  worker process* (e.g. a parallel sweep whose task function itself calls
+  ``parallel_map``) silently degrades to the serial path instead of
+  spawning grandchild processes — on spawn-only platforms a nested pool
+  can deadlock waiting for workers the child is not allowed to start.
 
-Only picklable callables and arguments may be used with ``workers > 1``
-(standard :mod:`multiprocessing` constraint).
+Results are identical to the serial ``map`` in content and order no matter
+which path executes — the fallback never changes semantics, only where the
+work runs.  Only picklable callables and arguments may be used with
+``workers > 1`` (standard :mod:`multiprocessing` constraint).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "default_workers", "chunked"]
+__all__ = ["parallel_map", "default_workers", "chunked", "in_worker_process"]
+
+
+def in_worker_process() -> bool:
+    """Whether this process is a multiprocessing worker (nested-pool guard)."""
+    return multiprocessing.parent_process() is not None
 
 
 def default_workers() -> int:
@@ -63,7 +77,8 @@ def parallel_map(func: Callable[..., R], tasks: Iterable,
         Number of worker processes.  ``None`` uses :func:`default_workers`;
         ``1`` forces sequential execution (also used automatically when there
         are at most ``sequential_threshold`` tasks, where process start-up
-        would dominate).
+        would dominate, when called from inside a worker process, and when
+        the platform cannot start a process pool at all).
     chunk_size:
         Number of tasks per inter-process work unit; defaults to an even
         split across workers.
@@ -78,7 +93,8 @@ def parallel_map(func: Callable[..., R], tasks: Iterable,
         return []
     if workers is None:
         workers = default_workers()
-    if workers <= 1 or len(task_list) <= sequential_threshold:
+    if workers <= 1 or len(task_list) <= sequential_threshold \
+            or in_worker_process():
         return _run_chunk(func, task_list)
 
     if chunk_size is None:
@@ -90,7 +106,12 @@ def parallel_map(func: Callable[..., R], tasks: Iterable,
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for piece in pool.map(_run_chunk_star, [(func, c) for c in chunks]):
                 results.extend(piece)
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed platforms
+    except (OSError, PermissionError, NotImplementedError,
+            BrokenProcessPool):         # pragma: no cover - platform-dependent
+        # Pool unavailable (sandbox, missing /dev/shm, spawn failure) or it
+        # broke mid-run: recompute everything serially.  Exceptions raised
+        # by ``func`` itself are NOT caught here — the serial re-run would
+        # re-raise them anyway, and they must surface either way.
         return _run_chunk(func, task_list)
     return results
 

@@ -105,7 +105,12 @@ class _Twin:
 
 
 def _speculate(twin, rng, paths, num_ops):
-    """Run a random what-if on ``twin`` and roll every bit of it back."""
+    """Run a random what-if on ``twin`` and roll every bit of it back.
+
+    Some operations run inside a *nested* child transaction that commits
+    (or rolls back) into this one — the outer rollback must still erase
+    everything, including the committed children (PR 4 nesting contract).
+    """
     with WhatIfTransaction(twin.conflict, twin.assigner) as tx:
         local = list(twin.active)
         for _ in range(num_ops):
@@ -113,6 +118,13 @@ def _speculate(twin, rng, paths, num_ops):
                 victim = local.pop(rng.randrange(len(local)))
                 tx.release(victim)
                 tx.remove_dipath(victim)
+            elif rng.random() < 0.3:
+                with WhatIfTransaction(twin.conflict, twin.assigner) as sub:
+                    idx, color = sub.admit(rng.choice(paths))
+                    if color is not None and rng.random() < 0.5:
+                        sub.commit()        # spliced into tx's journal
+                        local.append(idx)
+                    # else: the child rolls back by itself
             else:
                 idx, color = tx.admit(rng.choice(paths))
                 if color is None:

@@ -9,12 +9,16 @@ load and adaptive routing never does worse than fixed shortest-path.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis.erlang import (
     ADAPTIVE_ROUTINGS,
     erlang_sweep,
     measure_blocking_scenario,
+    measure_defrag_blocking_scenario,
+    measure_defrag_reclaim_scenario,
     measure_speculation_scenario,
 )
 from repro.generators.random_dags import random_dag
@@ -61,6 +65,28 @@ class TestErlangSweep:
         assert record["mask_rebuilds"] <= 1
 
 
+class TestParallelSweep:
+    """The ``workers`` fan-out must be invisible in the records."""
+
+    def test_parallel_records_are_byte_identical_to_serial(self,
+                                                           small_instance):
+        graph, pool = small_instance
+        kwargs = dict(routings=("shortest", "least_loaded"),
+                      num_arrivals=60, seed=7)
+        serial = erlang_sweep(graph, pool, 3, [2.0, 5.0, 9.0], workers=1,
+                              **kwargs)
+        parallel = erlang_sweep(graph, pool, 3, [2.0, 5.0, 9.0], workers=2,
+                                **kwargs)
+        assert json.dumps(serial) == json.dumps(parallel)
+
+    def test_default_workers_path_matches_serial(self, small_instance):
+        graph, pool = small_instance
+        kwargs = dict(routings=("shortest",), num_arrivals=40, seed=2)
+        serial = erlang_sweep(graph, pool, 3, [3.0], workers=1, **kwargs)
+        auto = erlang_sweep(graph, pool, 3, [3.0], workers=None, **kwargs)
+        assert json.dumps(serial) == json.dumps(auto)
+
+
 @pytest.mark.slow
 class TestLongHorizonSweeps:
     def test_blocking_grows_with_load_and_adaptive_helps(self):
@@ -84,3 +110,18 @@ class TestLongHorizonSweeps:
         for name in ("erlang-icf36-hotspot", "erlang-dag30-hotspot"):
             record = measure_blocking_scenario(name)
             assert record["adaptive_beats_fixed"], record
+
+    def test_defrag_blocking_scenarios_hold(self):
+        """E15a: blocking with defrag triggers never exceeds without."""
+        for name in ("erlang-icf36-hotspot", "erlang-dag30-hotspot"):
+            record = measure_defrag_blocking_scenario(name)
+            assert record["defrag_not_worse"], record
+            assert record["defrag_moves"] >= 1, record
+
+    def test_defrag_reclaim_scenarios_hold(self):
+        """E15b: passes reclaim wavelengths, never below the load bound."""
+        for name in ("reclaim-icf36-hotspot", "reclaim-dag30-hotspot"):
+            record = measure_defrag_reclaim_scenario(name)
+            assert record["reclaims_capacity"], record
+            assert record["coloring_proper_after"], record
+            assert record["within_load_bound"], record

@@ -19,6 +19,7 @@ import pytest
 
 from repro.conflict import DynamicConflictGraph, build_conflict_graph
 from repro.coloring.verify import is_proper_coloring
+from repro.dipaths.dipath import Dipath
 from repro.dipaths.family import DipathFamily
 from repro.dipaths.requests import RequestFamily
 from repro.dipaths.routing import route_all
@@ -36,7 +37,9 @@ from repro.online import (
     poisson_trace,
     replay_trace,
     simulate_online,
+    sort_events,
 )
+from repro.graphs.dag import DAG
 from repro.optical.network import OpticalNetwork
 from repro.optical.simulation import simulate_admission
 from repro.optical.traffic import (
@@ -245,17 +248,36 @@ class TestPolicies:
         assert ff.wavelengths_used == 1      # disjoint paths all take colour 0
         assert lu.wavelengths_used == 3      # least-used rotates the spectrum
 
-    def test_first_fit_flag_selects_policy(self):
-        """simulate_admission(first_fit=False) routes to least-used."""
+    def test_policy_parameter_selects_policy(self):
+        """simulate_admission(policy=...) picks the wavelength policy."""
         graph = out_tree(3, 1)               # root -> three leaves, disjoint
         traffic = RequestFamily.multicast(graph, ())
         assert traffic.total_demand() == 3
         ff = simulate_admission(graph, traffic, 3, routing="unique")
         lu = simulate_admission(graph, traffic, 3, routing="unique",
-                                first_fit=False)
+                                policy="least_used")
         assert ff.blocked == [] and lu.blocked == []
         assert ff.wavelengths_used == 1
         assert lu.wavelengths_used == 3
+
+    def test_first_fit_flag_deprecated_but_equivalent(self):
+        """The legacy boolean warns and maps onto the policy names."""
+        graph = out_tree(3, 1)
+        traffic = RequestFamily.multicast(graph, ())
+        with pytest.warns(DeprecationWarning, match="least-used"):
+            legacy_lu = simulate_admission(graph, traffic, 3,
+                                           routing="unique", first_fit=False)
+        with pytest.warns(DeprecationWarning):
+            legacy_ff = simulate_admission(graph, traffic, 3,
+                                           routing="unique", first_fit=True)
+        lu = simulate_admission(graph, traffic, 3, routing="unique",
+                                policy="least_used")
+        ff = simulate_admission(graph, traffic, 3, routing="unique")
+        assert legacy_lu == lu
+        assert legacy_ff == ff
+        with pytest.raises(TypeError):
+            simulate_admission(graph, traffic, 3, routing="unique",
+                               policy="least_used", first_fit=False)
 
     def test_all_policies_produce_proper_colourings(self):
         graph = random_dag(14, 0.25, seed=7)
@@ -409,6 +431,68 @@ class TestEvents:
         assert result.peak_active() >= 1
         final = result.timeline[-1]
         assert final["blocked_total"] == float(len(result.blocked))
+
+
+class TestEventTieBreaking:
+    """Departures must sort before arrivals at equal timestamps: capacity
+    freed at time ``t`` is usable by a request arriving at time ``t``."""
+
+    def _contested_arc(self):
+        graph = DAG(arcs=[("a", "b")])
+        dipath = Dipath(["a", "b"])
+        return graph, dipath
+
+    def _handover_events(self, dipath, t=5.0):
+        """Request 0 leaves at ``t``, request 1 wants the same arc at ``t``."""
+        return [Event(0.0, ARRIVAL, 0, dipath=dipath),
+                Event(t, DEPARTURE, 0),
+                Event(t, ARRIVAL, 1, dipath=dipath)]
+
+    def test_sort_events_puts_departures_first(self):
+        graph, dipath = self._contested_arc()
+        correct = self._handover_events(dipath)
+        shuffled = [correct[2], correct[0], correct[1]]
+        assert sort_events(shuffled) == correct
+        # same time + kind: request_id breaks the remaining ties
+        storm = [Event(1.0, ARRIVAL, i, dipath=dipath)
+                 for i in (3, 1, 2)] + [Event(1.0, DEPARTURE, 0)]
+        ordered = sort_events(storm)
+        assert [(e.kind, e.request_id) for e in ordered] == \
+            [(DEPARTURE, 0), (ARRIVAL, 1), (ARRIVAL, 2), (ARRIVAL, 3)]
+
+    def test_handover_blocks_iff_the_order_is_wrong(self):
+        """The crafted equal-timestamp trace of the regression: W=1, one
+        arc; the back-to-back handover only works departures-first."""
+        graph, dipath = self._contested_arc()
+        correct = self._handover_events(dipath)
+        good = simulate_online(graph, correct, 1)
+        assert good.blocked == []           # freed at t, reused at t
+        wrong = [correct[0], correct[2], correct[1]]    # arrival first
+        bad = simulate_online(graph, wrong, 1)          # legal: times rise
+        assert bad.blocked == [1]
+        assert bad.rejections[1] == "no_wavelength"
+        # sort_events repairs exactly that mis-ordering
+        assert simulate_online(graph, sort_events(wrong), 1).blocked == []
+
+    def test_poisson_trace_orders_departures_before_arrivals(self):
+        tree = out_tree(2, 3)
+        pool = uniform_random_traffic(tree, 20, seed=11)
+        trace = poisson_trace(pool, 200, arrival_rate=5.0, mean_holding=1.0,
+                              seed=11)
+        assert trace == sort_events(trace)
+        for first, second in zip(trace, trace[1:]):
+            if first.time == second.time:
+                assert not (first.kind == ARRIVAL and
+                            second.kind == DEPARTURE)
+
+    def test_churn_trace_orders_departures_before_arrivals(self):
+        tree = out_tree(2, 3)
+        pool = uniform_random_traffic(tree, 30, seed=4)
+        trace = churn_trace(pool, 8, 20, seed=4)
+        for first, second in zip(trace, trace[1:]):
+            if first.time == second.time:
+                assert not (first.kind == ARRIVAL and
+                            second.kind == DEPARTURE)
 
 
 class TestTrafficDeterminism:

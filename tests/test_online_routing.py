@@ -208,11 +208,17 @@ class TestTransactionSurface:
             with pytest.raises(RuntimeError):
                 call()
 
-    def test_transactions_do_not_nest(self):
+    def test_transactions_nest_and_resolve_lifo(self):
         conflict, assigner = self._engine()
-        with WhatIfTransaction(conflict, assigner):
+        with WhatIfTransaction(conflict, assigner) as outer:
+            inner = WhatIfTransaction(conflict, assigner)
+            inner.add_dipath(["a", "b"])
             with pytest.raises(RuntimeError):
-                WhatIfTransaction(conflict, assigner)
+                outer.rollback()                    # child still open
+            inner.commit()                          # merges into outer
+            assert len(conflict.family) == 1
+        # outer rollback undoes the committed child too
+        assert len(conflict.family) == 0
 
     def test_structure_only_transaction(self):
         conflict, _ = self._engine()
@@ -245,8 +251,12 @@ class TestTransactionSurface:
     def test_assigner_checkpoint_misuse(self):
         _, assigner = self._engine()
         token = assigner.checkpoint()
+        inner = assigner.checkpoint()               # checkpoints stack
         with pytest.raises(RuntimeError):
-            assigner.checkpoint()                   # no nesting
+            assigner.commit(token)                  # but resolve LIFO
+        with pytest.raises(RuntimeError):
+            assigner.rollback(token)
+        assigner.rollback(inner)
         assigner.commit(token)
         with pytest.raises(RuntimeError):
             assigner.rollback(token)                # already consumed

@@ -14,7 +14,12 @@ from repro.analysis.experiments import (
 )
 from repro.generators.families import random_walk_family
 from repro.generators.random_dags import random_internal_cycle_free_dag
-from repro.parallel.executor import chunked, default_workers, parallel_map
+from repro.parallel.executor import (
+    chunked,
+    default_workers,
+    in_worker_process,
+    parallel_map,
+)
 from repro.parallel.sweep import Sweep, run_sweep
 
 
@@ -28,6 +33,17 @@ def add(x, y):
 
 def record_fn(n, seed):
     return {"value": n * 10 + seed}
+
+
+def nested_sum(n):
+    """A task that itself fans out — exercises the nested-pool guard."""
+    inner = parallel_map(square, list(range(n)), workers=2,
+                         sequential_threshold=0)
+    return (sum(inner), in_worker_process())
+
+
+def _raise(x):
+    raise ValueError(f"task blew up on {x}")
 
 
 class TestExecutor:
@@ -58,6 +74,28 @@ class TestExecutor:
         tasks = list(range(25))
         assert parallel_map(square, tasks, workers=3, chunk_size=4,
                             sequential_threshold=0) == [x * x for x in tasks]
+
+    def test_not_in_worker_in_main_process(self):
+        assert not in_worker_process()
+
+    def test_nested_parallel_map_degrades_to_serial(self):
+        """A parallel_map issued from inside a worker must not spawn a
+        grandchild pool (spawn-only platforms deadlock); it runs the
+        serial path and returns order-identical results."""
+        tasks = list(range(10, 22))
+        serial = [nested_sum(n) for n in tasks]
+        assert all(not flag for _, flag in serial)   # main process: no guard
+        nested = parallel_map(nested_sum, tasks, workers=2,
+                              sequential_threshold=0)
+        assert [total for total, _ in nested] == \
+            [total for total, _ in serial]
+        # the inner calls really ran under the guard, inside workers
+        assert all(flag for _, flag in nested)
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="task blew up"):
+            parallel_map(_raise, list(range(20)), workers=2,
+                         sequential_threshold=0)
 
 
 class TestSweep:
