@@ -46,6 +46,12 @@ from repro.analysis.bench_scaling import (
     run_scaling_benchmark,
     speedup_problems,
 )
+from repro.analysis.bench_sharding import (
+    run_sharding_benchmark,
+    sharding_benchmark_document,
+    sharding_check_against_baseline,
+    sharding_problems,
+)
 from repro.analysis.erlang import (
     defrag_benchmark_document,
     defrag_check_against_baseline,
@@ -112,6 +118,28 @@ def _print_defrag_records(records) -> None:
                   f"{r['load_after_highest_wavelength']})  [{verdict}]")
 
 
+def _print_sharding_records(records) -> None:
+    for r in records:
+        if r["kind"] == "throughput":
+            verdict = "ok" if r["outcomes_equal"] else "DIVERGED"
+            print(f"{r['scenario']:28s} n={r['concurrent']} "
+                  f"W={r['wavelengths']} "
+                  f"legacy={r['legacy_total_s'] * 1000:.0f}ms "
+                  f"sharded={r['new_total_s'] * 1000:.0f}ms "
+                  f"speedup={r['speedup_total']:.1f}x "
+                  f"shards={r['shards']} "
+                  f"merge/split/rebuild={r['component_merges']}/"
+                  f"{r['component_splits']}/{r['shard_rebuilds']}  "
+                  f"[{verdict}]")
+        else:
+            verdict = ("ok" if r["identical"] and r["parallel_identical"]
+                       else "DIVERGED")
+            print(f"{r['scenario']:28s} arrivals={r['arrivals']} "
+                  f"blocking={r['blocking']:.4f} "
+                  f"identical={r['identical']} "
+                  f"parallel={r['parallel_identical']}  [{verdict}]")
+
+
 #: suite name -> (default report path, runner, document builder,
 #:                baseline checker, speedup checker, record printer)
 SUITES = {
@@ -131,6 +159,10 @@ SUITES = {
                run_defrag_benchmark, defrag_benchmark_document,
                defrag_check_against_baseline, defrag_problems,
                _print_defrag_records),
+    "sharding": (REPO_ROOT / "BENCH_sharding.json",
+                 run_sharding_benchmark, sharding_benchmark_document,
+                 sharding_check_against_baseline, sharding_problems,
+                 _print_sharding_records),
 }
 
 
@@ -140,8 +172,20 @@ def _run_suite(name: str, args) -> int:
     repeats = 2 if args.quick else 3
 
     print(f"== suite: {name} ==")
-    records = run(repeats=repeats)
-    print_records(records)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        records = run(repeats=repeats)
+        profiler.disable()
+        print_records(records)
+        print(f"-- cProfile top 20 (cumulative) for suite {name} --")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    else:
+        records = run(repeats=repeats)
+        print_records(records)
 
     slow = speedups(records)
     for problem in slow:
@@ -162,6 +206,13 @@ def _run_suite(name: str, args) -> int:
               f"baseline ({output})")
         return 0
 
+    if args.profile:
+        # profiled timings are inflated 2-5x by instrumentation overhead;
+        # recording them would turn every later --check into a free pass,
+        # and failing on them would flag phantom speedup misses
+        print(f"(--profile: not writing {output.name} — profiled timings "
+              f"are not baseline material)")
+        return 0
     output.write_text(json.dumps(document(records, repeats), indent=2) + "\n")
     print(f"report written to {output}")
     return 1 if slow else 0
@@ -184,11 +235,20 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="fewer timing repeats (faster, noisier; not "
                              "recommended together with --check)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each selected suite under cProfile and "
+                             "print the top-20 cumulative entries (timings "
+                             "are inflated; do not combine with --check or "
+                             "record baselines from a profiled run)")
     args = parser.parse_args(argv)
 
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     if args.output is not None and len(suites) > 1:
         parser.error("--output needs a single --suite")
+    if args.profile and args.check:
+        parser.error("--profile inflates timings 2-5x; checking them "
+                     "against a recorded baseline would flag phantom "
+                     "regressions — run the flags separately")
 
     status = 0
     for name in suites:

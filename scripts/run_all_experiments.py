@@ -31,6 +31,11 @@ from repro.analysis.bench_scaling import (
     run_scaling_benchmark,
     speedup_problems,
 )
+from repro.analysis.bench_sharding import (
+    run_sharding_benchmark,
+    sharding_check_against_baseline,
+    sharding_problems,
+)
 from repro.analysis.erlang import (
     defrag_check_against_baseline,
     defrag_problems,
@@ -137,6 +142,13 @@ def main() -> int:
          repo_root / "BENCH_defrag.json",
          run_defrag_benchmark, defrag_check_against_baseline,
          defrag_problems, True),
+        # E16 times the component-sharded engine against the unsharded one
+        # at 800+ concurrent lightpaths and replays the differential
+        # identity traces — long-horizon, skippable like E14/E15.
+        ("E16: component-sharded engine vs recorded baseline ...",
+         repo_root / "BENCH_sharding.json",
+         run_sharding_benchmark, sharding_check_against_baseline,
+         sharding_problems, True),
     ]
     for title, bench_path, run_bench, check, speedups, slow in gates:
         if slow and args.skip_slow:

@@ -8,6 +8,22 @@ one to two orders of magnitude faster than ``set`` objects for the dense
 index spaces used by conflict graphs.
 
 All helpers assume non-negative vertex indices.
+
+Micro-benchmark — :func:`lowest_missing_bit` (CPython 3.11, min of 5 x
+100 runs over 1000 masks each; see PR 5):
+
+==================  ===========  ====================  =======
+mask population     bit-scan loop  ``(~m & (m+1))`` form  speedup
+==================  ===========  ====================  =======
+dense low bits         977 ns            88 ns          11.1x
+random 600-bit         245 ns           153 ns           1.6x
+==================  ===========  ====================  =======
+
+The branch-free form wins everywhere because it runs entirely inside the
+big-int C loops (one complement, one increment, one AND, one
+``bit_length``) instead of one Python-level shift+test per occupied low
+bit — and the dense-low-bits case is exactly the first-fit wavelength
+workload, where every colour below the answer is taken.
 """
 
 from __future__ import annotations

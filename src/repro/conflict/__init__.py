@@ -14,7 +14,8 @@ from .cliques import (
     maximum_clique,
 )
 from .conflict_graph import ConflictGraph, build_conflict_graph
-from .dynamic import DynamicConflictGraph
+from .dynamic import DynamicConflictGraph, ShardedConflictGraph
+from .sharding import Shard, ShardTracker, ShardView
 from .covering import (
     blowup_chromatic_number,
     independent_set_cover,
@@ -32,6 +33,10 @@ from .independent_sets import (
 __all__ = [
     "ConflictGraph",
     "DynamicConflictGraph",
+    "Shard",
+    "ShardTracker",
+    "ShardView",
+    "ShardedConflictGraph",
     "blowup_chromatic_number",
     "build_conflict_graph",
     "clique_number",

@@ -58,7 +58,7 @@ class DipathFamily:
 
     __slots__ = ("_paths", "_graph", "_arc_ids", "_arcs", "_arc_members",
                  "_path_arc_ids", "_conflict_masks", "_load_cache",
-                 "_free_slots", "_mask_rebuilds")
+                 "_load_hist", "_free_slots", "_mask_rebuilds")
 
     def __init__(self, dipaths: Iterable[Dipath | Sequence[Vertex]] = (),
                  graph: Optional[DiGraph] = None) -> None:
@@ -70,6 +70,9 @@ class DipathFamily:
         self._path_arc_ids: List[Tuple[int, ...]] = []  # member -> arc ids
         self._conflict_masks: Optional[List[int]] = None
         self._load_cache: Optional[int] = None
+        # positive load -> number of arcs at that load; maintained together
+        # with _load_cache so load() is O(1) under arbitrary churn
+        self._load_hist: Optional[Dict[int, int]] = None
         self._free_slots: List[int] = []            # recycled member indices
         self._mask_rebuilds: int = 0
         for p in dipaths:
@@ -123,11 +126,17 @@ class DipathFamily:
             masks[idx] = mask
             for j in iter_bits(mask):
                 masks[j] |= bit
-        if self._load_cache is not None:
+        hist = self._load_hist
+        if hist is not None:
+            cache = self._load_cache
             for aid in ids:
                 count = arc_members[aid].bit_count()
-                if count > self._load_cache:
-                    self._load_cache = count
+                if count > 1:
+                    hist[count - 1] -= 1
+                hist[count] = hist.get(count, 0) + 1
+                if count > cache:
+                    cache = count
+            self._load_cache = cache
         return idx
 
     def remove(self, idx: int) -> Dipath:
@@ -144,15 +153,24 @@ class DipathFamily:
         path = self._paths[idx]
         bit = 1 << idx
         unbit = ~bit
-        load_cache = self._load_cache
-        for aid in self._path_arc_ids[idx]:
-            if load_cache is not None and \
-                    self._arc_members[aid].bit_count() == load_cache:
-                # a maximum-load arc loses a member: the maximum may drop,
-                # recompute lazily in O(#arcs)
-                load_cache = None
-            self._arc_members[aid] &= unbit
-        self._load_cache = load_cache
+        hist = self._load_hist
+        if hist is None:
+            for aid in self._path_arc_ids[idx]:
+                self._arc_members[aid] &= unbit
+        else:
+            # O(1) histogram maintenance per arc: drop each arc one load
+            # level and walk the maximum down while its level is empty
+            cache = self._load_cache
+            arc_members = self._arc_members
+            for aid in self._path_arc_ids[idx]:
+                count = arc_members[aid].bit_count()
+                arc_members[aid] &= unbit
+                hist[count] -= 1
+                if count > 1:
+                    hist[count - 1] = hist.get(count - 1, 0) + 1
+            while cache and not hist.get(cache, 0):
+                cache -= 1
+            self._load_cache = cache
         masks = self._conflict_masks
         if masks is not None:
             for j in iter_bits(masks[idx]):
@@ -244,6 +262,7 @@ class DipathFamily:
         """
         self._conflict_masks = None
         self._load_cache = None
+        self._load_hist = None
 
     # ------------------------------------------------------------------ #
     # speculation support (see repro.online.transaction)
@@ -288,11 +307,18 @@ class DipathFamily:
                 raise RuntimeError(
                     f"retract would drop arc {arc!r} still in use")
             del self._arc_ids[arc]
-        self._load_cache = load_cache
+        self._restore_load_cache(load_cache)
 
     def _restore_load_cache(self, value: Optional[int]) -> None:
-        """Reinstate a recorded load cache (transaction remove-undo)."""
-        self._load_cache = value
+        """Reinstate a recorded load cache (transaction remove-undo).
+
+        A ``None`` captured before the load histogram existed must not
+        clobber a histogram built since (a mid-speculation ``load()``):
+        the histogram is maintained symmetrically through add/remove, so
+        once it exists the scalar it derives is already correct.
+        """
+        if value is not None or self._load_hist is None:
+            self._load_cache = value
 
     def __len__(self) -> int:
         return len(self._paths) - len(self._free_slots)
@@ -362,10 +388,19 @@ class DipathFamily:
                 if mask}
 
     def load(self) -> int:
-        """``pi(G, P)``: maximum load over all arcs (0 for an empty family)."""
-        if self._load_cache is None:
-            self._load_cache = max(
-                (mask.bit_count() for mask in self._arc_members), default=0)
+        """``pi(G, P)``: maximum load over all arcs (0 for an empty family).
+
+        O(1) once warm: the first call builds a load histogram that
+        :meth:`add` / :meth:`remove` then maintain incrementally.
+        """
+        if self._load_hist is None:
+            hist: Dict[int, int] = {}
+            for mask in self._arc_members:
+                count = mask.bit_count()
+                if count:
+                    hist[count] = hist.get(count, 0) + 1
+            self._load_hist = hist
+            self._load_cache = max(hist, default=0)
         return self._load_cache
 
     def maximum_load_arcs(self) -> List[Arc]:

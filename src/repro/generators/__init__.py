@@ -23,6 +23,11 @@ from .pathological import (
     pathological_family,
     pathological_instance,
 )
+from .regions import (
+    multi_region_topology,
+    multi_region_traffic,
+    region_of_vertex,
+)
 from .random_dags import (
     random_dag,
     random_dag_with_internal_cycle,
@@ -52,6 +57,8 @@ __all__ = [
     "havet_family",
     "havet_instance",
     "in_tree",
+    "multi_region_topology",
+    "multi_region_traffic",
     "multicast_family",
     "out_path",
     "out_tree",
@@ -66,6 +73,7 @@ __all__ = [
     "random_request_family",
     "random_upp_one_cycle_dag",
     "random_walk_family",
+    "region_of_vertex",
     "spider",
     "theorem2_gadget",
 ]

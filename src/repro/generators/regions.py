@@ -1,0 +1,123 @@
+"""Multi-region topologies: k weakly-coupled regions of fibre.
+
+The scenario axis behind the sharding benchmark (E16): a wide-area
+network is usually a federation of dense regional meshes joined by a few
+long-haul fibres.  Lightpaths overwhelmingly stay inside their region, so
+the live conflict graph decomposes into per-region components that only
+occasionally merge through inter-region traffic — exactly the structure
+the component-sharded engine exploits.
+
+:func:`multi_region_topology` builds the substrate: ``regions`` disjoint
+random DAGs over vertices ``(region, i)`` plus ``coupling`` forward
+bridge arcs between each consecutive region pair (bridges respect the
+per-region topological order, so the union stays a DAG).
+
+:func:`multi_region_traffic` builds the matching demand: each request is
+intra-region with probability ``1 - inter_fraction`` and inter-region
+otherwise, sampled uniformly from the connected pairs of its class.  The
+``inter_fraction`` knob tunes how often the sharded engine's components
+merge: ``0.0`` keeps the regions permanently independent, larger values
+exercise the merge/split machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple, Union
+
+from .._typing import Vertex
+from ..dipaths.requests import RequestFamily
+from ..graphs.digraph import DiGraph
+from ..graphs.traversal import transitive_closure_sets
+from .random_dags import random_dag
+
+__all__ = ["multi_region_topology", "multi_region_traffic",
+           "region_of_vertex"]
+
+
+def region_of_vertex(vertex: Vertex) -> int:
+    """The region tag of a multi-region vertex ``(region, i)``."""
+    return vertex[0]
+
+
+def multi_region_topology(regions: int = 4, region_size: int = 40,
+                          arc_probability: float = 0.12,
+                          coupling: int = 2,
+                          seed: Optional[int] = None) -> DiGraph:
+    """``regions`` random-DAG regions joined by a few bridge fibres.
+
+    Parameters
+    ----------
+    regions:
+        Number of regions (>= 1).
+    region_size, arc_probability:
+        Size and density of each region's :func:`~repro.generators.
+        random_dags.random_dag` (vertices ``(r, 0) .. (r, size-1)``).
+    coupling:
+        Bridge arcs added from each region ``r`` to region ``r + 1``
+        (``0`` keeps the regions fully disjoint).  A bridge runs from a
+        vertex of ``r`` to a vertex of ``r + 1``, so the union remains a
+        DAG and bridges are usable by inter-region dipaths.
+    seed:
+        Seeds both the per-region DAGs and the bridge endpoints.
+    """
+    if regions < 1:
+        raise ValueError("regions must be >= 1")
+    if coupling < 0:
+        raise ValueError("coupling must be >= 0")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for region in range(regions):
+        sub = random_dag(region_size, arc_probability,
+                         seed=rng.randrange(2 ** 30))
+        for i in range(region_size):
+            graph.add_vertex((region, i))
+        for u, v in sub.arcs():
+            graph.add_arc((region, u), (region, v))
+    for region in range(regions - 1):
+        added = 0
+        attempts = 0
+        while added < coupling and attempts < 50 * max(coupling, 1):
+            attempts += 1
+            tail = (region, rng.randrange(region_size))
+            head = (region + 1, rng.randrange(region_size))
+            if not graph.has_arc(tail, head):
+                graph.add_arc(tail, head)
+                added += 1
+    return graph
+
+
+def multi_region_traffic(graph: DiGraph, num_requests: int,
+                         inter_fraction: float = 0.1,
+                         seed: Union[int, random.Random, None] = None
+                         ) -> RequestFamily:
+    """Requests over a multi-region topology, mostly intra-region.
+
+    Each of the ``num_requests`` unit requests is drawn intra-region with
+    probability ``1 - inter_fraction`` and inter-region otherwise, from
+    the uniform distribution over the connected pairs of its class.  When
+    the topology offers no inter-region pair at all (``coupling=0``),
+    every request falls back to intra-region.
+    """
+    if not 0.0 <= inter_fraction <= 1.0:
+        raise ValueError("inter_fraction must be in [0, 1]")
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    reach = transitive_closure_sets(graph)
+    intra: List[Tuple[Vertex, Vertex]] = []
+    inter: List[Tuple[Vertex, Vertex]] = []
+    for source, targets in reach.items():
+        for target in sorted(targets, key=repr):
+            pair = (source, target)
+            if region_of_vertex(source) == region_of_vertex(target):
+                intra.append(pair)
+            else:
+                inter.append(pair)
+    if not intra and not inter:
+        raise ValueError("the topology has no connected pair of vertices")
+    requests = RequestFamily()
+    for _ in range(num_requests):
+        use_inter = inter and (not intra or rng.random() < inter_fraction)
+        requests.add(rng.choice(inter if use_inter else intra))
+    return requests

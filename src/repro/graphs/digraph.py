@@ -46,13 +46,14 @@ class DiGraph:
     2
     """
 
-    __slots__ = ("_succ", "_pred", "_num_arcs")
+    __slots__ = ("_succ", "_pred", "_num_arcs", "_version")
 
     def __init__(self, arcs: ArcIterable | None = None,
                  vertices: Iterable[Vertex] | None = None) -> None:
         self._succ: Dict[Vertex, Set[Vertex]] = {}
         self._pred: Dict[Vertex, Set[Vertex]] = {}
         self._num_arcs: int = 0
+        self._version: int = 0
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -95,6 +96,7 @@ class DiGraph:
         self._succ[u].add(v)
         self._pred[v].add(u)
         self._num_arcs += 1
+        self._version += 1
 
     def add_arcs(self, arcs: ArcIterable) -> None:
         """Add every arc of ``arcs`` (duplicates are ignored)."""
@@ -114,6 +116,7 @@ class DiGraph:
         self._succ[u].discard(v)
         self._pred[v].discard(u)
         self._num_arcs -= 1
+        self._version += 1
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove vertex ``v`` together with all incident arcs."""
@@ -129,6 +132,17 @@ class DiGraph:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Monotone arc-structure stamp, bumped on every arc add/remove.
+
+        Route caches key their validity on this: a cached dipath (or
+        candidate list) computed at version ``k`` is stale iff
+        ``graph.version != k``.  Vertex-only additions do not bump it —
+        an isolated vertex cannot create or destroy a dipath.
+        """
+        return self._version
+
     def has_vertex(self, v: Vertex) -> bool:
         """Return whether ``v`` is a vertex of the graph."""
         return v in self._succ
@@ -226,6 +240,7 @@ class DiGraph:
         g._succ = {v: set(s) for v, s in self._succ.items()}
         g._pred = {v: set(p) for v, p in self._pred.items()}
         g._num_arcs = self._num_arcs
+        g._version = self._version
         return g
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "DiGraph":

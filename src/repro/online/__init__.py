@@ -32,8 +32,10 @@ transaction" sections of PERFORMANCE.md for the mask-patching and
 rollback contracts and per-event complexity.
 """
 
-from ..conflict.dynamic import DynamicConflictGraph
+from ..conflict.dynamic import DynamicConflictGraph, ShardedConflictGraph
+from ..conflict.sharding import Shard, ShardTracker, ShardView
 from .assigner import POLICIES, AssignerCheckpoint, OnlineWavelengthAssigner
+from .sharding import ArcColorIndex
 from .defrag import (
     DEFRAG_ORDERINGS,
     DefragMove,
@@ -73,6 +75,7 @@ from .transaction import (
 __all__ = [
     "ARRIVAL",
     "AdmissionDecision",
+    "ArcColorIndex",
     "AssignerCheckpoint",
     "BATCH_POLICIES",
     "BatchResult",
@@ -92,6 +95,10 @@ __all__ = [
     "OnlineRouter",
     "OnlineWavelengthAssigner",
     "POLICIES",
+    "Shard",
+    "ShardTracker",
+    "ShardView",
+    "ShardedConflictGraph",
     "WhatIfTransaction",
     "admit_batch",
     "admit_best",

@@ -114,11 +114,34 @@ class OnlineWavelengthAssigner:
         self._rng = random.Random(seed)
         self._color: Dict[int, int] = {}
         self._usage: List[int] = [0] * wavelengths
+        self._used_mask: int = 0            # bitmask of colours in use now
         self._ever_used: int = 0            # bitmask of colours ever assigned
         self._repairs = 0
         # Active checkpoints, outermost first; mutations journal into the
         # innermost one (see repro.online.transaction for the nesting rules).
         self._checkpoints: List[AssignerCheckpoint] = []
+        # Optional per-fibre colour occupancy (the sharded engine's O(arcs)
+        # forbidden-mask source, see repro.online.sharding.ArcColorIndex).
+        self._color_index = None
+
+    def attach_color_index(self, index) -> None:
+        """Source forbidden masks from a per-arc colour occupancy index.
+
+        ``index`` must implement the :class:`repro.online.sharding.
+        ArcColorIndex` protocol: ``forbidden_mask(vertex)``,
+        ``record(vertex, old, new)`` and ``checkpoint``/``commit``/
+        ``rollback`` mirroring this assigner's.  With an index attached,
+        :meth:`assign` computes the forbidden colours of a vertex as the
+        union of its arcs' occupancy masks — O(arcs) — instead of walking
+        its conflict neighbours, and every colour change (including Kempe
+        chains and journal rollbacks) is mirrored into the index.  The
+        forbidden set is identical by construction: a colour is used by a
+        conflicting lightpath iff it is in use on a shared fibre.
+        """
+        if self._color or self._checkpoints:
+            raise RuntimeError(
+                "attach the colour index before any assignment")
+        self._color_index = index
 
     # ------------------------------------------------------------------ #
     # state
@@ -134,6 +157,11 @@ class OnlineWavelengthAssigner:
         return self._policy
 
     @property
+    def kempe_repair(self) -> bool:
+        """Whether blocked vertices get one Kempe chain swap attempt."""
+        return self._kempe_repair
+
+    @property
     def coloring(self) -> Mapping[int, int]:
         """The current ``vertex -> colour`` assignment (live view)."""
         return self._color
@@ -143,13 +171,27 @@ class OnlineWavelengthAssigner:
         """Number of successful Kempe repairs performed so far."""
         return self._repairs
 
+    def note_repair(self) -> None:
+        """Count one externally replayed Kempe repair.
+
+        The shard-parallel replay applies a committed repair's recolour
+        entries through :meth:`adopt`; this keeps the repairs statistic
+        in step without reaching into the counter from outside.
+        """
+        self._repairs += 1
+
     def color_of(self, vertex: int) -> int:
         """The colour currently assigned to ``vertex``."""
         return self._color[vertex]
 
     def colors_in_use(self) -> int:
-        """Number of distinct colours with at least one current user."""
-        return sum(1 for count in self._usage if count)
+        """Number of distinct colours with at least one current user.  O(1)."""
+        return self._used_mask.bit_count()
+
+    @property
+    def used_mask(self) -> int:
+        """Bitmask of the colours with at least one current user."""
+        return self._used_mask
 
     def colors_ever_used(self) -> int:
         """Number of distinct colours assigned at any point of the run."""
@@ -170,12 +212,16 @@ class OnlineWavelengthAssigner:
         admissible swap.  A blocked vertex is left uncoloured — the caller
         removes it from the graph.
         """
-        forbidden = 0
         color_of = self._color
-        for j in iter_bits(graph.neighbor_mask(vertex)):
-            c = color_of.get(j)
-            if c is not None:
-                forbidden |= 1 << c
+        index = self._color_index
+        if index is not None:
+            forbidden = index.forbidden_mask(vertex)
+        else:
+            forbidden = 0
+            for j in iter_bits(graph.neighbor_mask(vertex)):
+                c = color_of.get(j)
+                if c is not None:
+                    forbidden |= 1 << c
         color = self._pick(forbidden)
         if color is None and self._kempe_repair:
             color = self._try_kempe_repair(graph, vertex)
@@ -183,17 +229,49 @@ class OnlineWavelengthAssigner:
             return None
         color_of[vertex] = color
         self._usage[color] += 1
+        self._used_mask |= 1 << color
         self._ever_used |= 1 << color
         if self._checkpoints:
             self._checkpoints[-1].journal.append((vertex, None, color))
+        if index is not None:
+            index.record(vertex, None, color)
         return color
+
+    def adopt(self, vertex: int, color: int) -> None:
+        """Apply an externally decided colour change (replay/preload).
+
+        Used by the shard-parallel apply step to replay a colour decision
+        computed on a worker snapshot: a fresh assignment when ``vertex``
+        is uncoloured, a recolouring otherwise.  Journalled and mirrored
+        into the colour index exactly like :meth:`assign`, so replayed
+        state is bit-identical to having decided locally.
+        """
+        if not 0 <= color < self._wavelengths:
+            raise ValueError(f"colour {color} outside the budget")
+        old = self._color.get(vertex)
+        self._color[vertex] = color
+        self._usage[color] += 1
+        self._used_mask |= 1 << color
+        if old is not None:
+            self._usage[old] -= 1
+            if not self._usage[old]:
+                self._used_mask &= ~(1 << old)
+        self._ever_used |= 1 << color
+        if self._checkpoints:
+            self._checkpoints[-1].journal.append((vertex, old, color))
+        if self._color_index is not None:
+            self._color_index.record(vertex, old, color)
 
     def release(self, vertex: int) -> int:
         """Forget the colour of a departing vertex; return it."""
         color = self._color.pop(vertex)
         self._usage[color] -= 1
+        if not self._usage[color]:
+            self._used_mask &= ~(1 << color)
         if self._checkpoints:
             self._checkpoints[-1].journal.append((vertex, color, None))
+        if self._color_index is not None:
+            self._color_index.record(vertex, color, None)
         return color
 
     # ------------------------------------------------------------------ #
@@ -209,9 +287,14 @@ class OnlineWavelengthAssigner:
         innermost-first — resolving an outer checkpoint while an inner one
         is still open raises.
         """
-        token = AssignerCheckpoint(self._ever_used, self._repairs,
-                                   self._rng.getstate())
+        # getstate() builds a 625-element tuple; only the "random" policy
+        # ever draws from the RNG, so the other policies skip the capture
+        # (rollback restores the state only when one was taken).
+        rng_state = self._rng.getstate() if self._policy == "random" else None
+        token = AssignerCheckpoint(self._ever_used, self._repairs, rng_state)
         self._checkpoints.append(token)
+        if self._color_index is not None:
+            self._color_index.checkpoint()
         return token
 
     def commit(self, token: AssignerCheckpoint) -> None:
@@ -226,6 +309,8 @@ class OnlineWavelengthAssigner:
         self._checkpoints.pop()
         if self._checkpoints:
             self._checkpoints[-1].journal.extend(token.journal)
+        if self._color_index is not None:
+            self._color_index.commit()
 
     def rollback(self, token: AssignerCheckpoint) -> None:
         """Undo every colour change since ``token`` was taken.
@@ -240,20 +325,31 @@ class OnlineWavelengthAssigner:
         self._checkpoints.pop()
         color_of = self._color
         usage = self._usage
+        used = self._used_mask
         for vertex, old, new in reversed(token.journal):
             if old is None:                 # fresh assignment: take it back
                 del color_of[vertex]
                 usage[new] -= 1
+                if not usage[new]:
+                    used &= ~(1 << new)
             elif new is None:               # release: colour comes back
                 color_of[vertex] = old
                 usage[old] += 1
+                used |= 1 << old
             else:                           # Kempe recolouring: swap back
                 color_of[vertex] = old
                 usage[new] -= 1
+                if not usage[new]:
+                    used &= ~(1 << new)
                 usage[old] += 1
+                used |= 1 << old
+        self._used_mask = used
         self._ever_used = token.ever_used
         self._repairs = token.repairs
-        self._rng.setstate(token.rng_state)
+        if token.rng_state is not None:
+            self._rng.setstate(token.rng_state)
+        if self._color_index is not None:
+            self._color_index.rollback()
 
     # ------------------------------------------------------------------ #
     # internals
@@ -310,11 +406,16 @@ class OnlineWavelengthAssigner:
                     else:
                         continue
                     self._usage[old] -= 1
+                    if not self._usage[old]:
+                        self._used_mask &= ~(1 << old)
                     self._usage[color_of[u]] += 1
+                    self._used_mask |= 1 << color_of[u]
                     self._ever_used |= 1 << color_of[u]
                     if self._checkpoints:
                         self._checkpoints[-1].journal.append(
                             (u, old, color_of[u]))
+                    if self._color_index is not None:
+                        self._color_index.record(u, old, color_of[u])
                 self._repairs += 1
                 return a
         return None

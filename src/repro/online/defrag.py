@@ -66,8 +66,7 @@ DEFRAG_ORDERINGS = ("highest_wavelength", "longest_route", "most_conflicted")
 
 def max_color_in_use(assigner: OnlineWavelengthAssigner) -> int:
     """Highest wavelength index with a current user (``-1`` when idle)."""
-    return max((c for c, users in enumerate(assigner.usage()) if users),
-               default=-1)
+    return assigner.used_mask.bit_length() - 1
 
 
 def defrag_objective(conflict: DynamicConflictGraph,
@@ -158,6 +157,13 @@ class DefragPass:
     score:
         Candidate score handed to :func:`~repro.online.transaction.
         admit_best` (default: the shared live-load objective).
+    members:
+        Restrict the walk to these member indices (e.g. one shard of the
+        conflict graph, see :meth:`~repro.conflict.DynamicConflictGraph.
+        shard_map`); ``None`` walks every provisioned lightpath.  The
+        move-acceptance objective stays global either way — a restricted
+        pass attempts fewer moves, it does not change what counts as an
+        improvement.
     """
 
     def __init__(self, conflict: DynamicConflictGraph,
@@ -166,7 +172,8 @@ class DefragPass:
                  order: str = "highest_wavelength",
                  max_moves: Optional[int] = None,
                  time_budget: Optional[float] = None,
-                 score: Optional[ScoreFunction] = None) -> None:
+                 score: Optional[ScoreFunction] = None,
+                 members: Optional[Sequence[int]] = None) -> None:
         if order not in DEFRAG_ORDERINGS:
             raise ValueError(f"unknown defrag ordering {order!r}; "
                              f"expected one of {DEFRAG_ORDERINGS}")
@@ -181,6 +188,7 @@ class DefragPass:
         self._max_moves = max_moves
         self._time_budget = time_budget
         self._score = score
+        self._members = None if members is None else list(members)
 
     # ------------------------------------------------------------------ #
     # walk order
@@ -190,7 +198,9 @@ class DefragPass:
         conflict, assigner = self._conflict, self._assigner
         family = conflict.family
         coloring = assigner.coloring
-        members = [i for i in family.active_indices() if i in coloring]
+        pool = (family.active_indices() if self._members is None
+                else [i for i in self._members if family.is_active(i)])
+        members = [i for i in pool if i in coloring]
         if self._order == "highest_wavelength":
             key = lambda i: (-coloring[i], i)
         elif self._order == "longest_route":

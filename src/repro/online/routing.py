@@ -133,8 +133,13 @@ class StaticRouter(OnlineRouter):
         self._graph = graph
         self._policy = policy
         self._cache: Dict[Tuple[Vertex, Vertex], Optional[Dipath]] = {}
+        self._cache_version = graph.version
 
     def route(self, request: Request) -> Optional[Dipath]:
+        if self._graph.version != self._cache_version:
+            # the topology changed under us: every cached route is suspect
+            self._cache.clear()
+            self._cache_version = self._graph.version
         key = (request.source, request.target)
         if key in self._cache:
             return self._cache[key]
@@ -185,8 +190,11 @@ class KShortestRouter(OnlineRouter):
     The candidate dipaths are a static property of the topology, so they
     are computed once per endpoint pair
     (:func:`~repro.graphs.traversal.k_shortest_dipaths`, shortest first)
-    and cached; only the *choice* among them consults the live load.  The
-    cached list is also what speculative what-if admission iterates over.
+    and cached *against the graph's arc-structure version*: an arc added
+    or removed under a live engine drops the whole candidate cache, so no
+    stale (or newly suboptimal) route survives a topology change.  Only
+    the *choice* among the candidates consults the live load.  The cached
+    list is also what speculative what-if admission iterates over.
     """
 
     name = "k_shortest"
@@ -199,6 +207,7 @@ class KShortestRouter(OnlineRouter):
         self._family = family
         self._k = k
         self._cache: Dict[Tuple[Vertex, Vertex], List[Dipath]] = {}
+        self._cache_version = graph.version
 
     @property
     def k(self) -> int:
@@ -206,6 +215,9 @@ class KShortestRouter(OnlineRouter):
         return self._k
 
     def candidates(self, request: Request) -> List[Dipath]:
+        if self._graph.version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = self._graph.version
         key = (request.source, request.target)
         cands = self._cache.get(key)
         if cands is None:

@@ -45,15 +45,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..exceptions import RoutingError, SimulationError
-from ..conflict.dynamic import DynamicConflictGraph
+from ..conflict.dynamic import DynamicConflictGraph, ShardedConflictGraph
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request
 from ..graphs.digraph import DiGraph
+from ..parallel.executor import parallel_map
 from .assigner import OnlineWavelengthAssigner
-from .defrag import DefragPass, DefragReport
+from .defrag import DefragMove, DefragPass, DefragReport, max_color_in_use
 from .events import ARRIVAL, DEPARTURE, Event
 from .routing import make_online_router
+from .sharding import (
+    PARALLEL_SAFE_POLICY,
+    ArcColorIndex,
+    apply_batch_decisions,
+    apply_defrag_moves,
+    batch_shard_task,
+    defrag_shard_task,
+)
 from .transaction import BATCH_POLICIES
 from .transaction import admit_batch as _admit_dipath_batch
 from .transaction import admit_best
@@ -97,6 +106,12 @@ class OnlineResult:
     wavelengths_reclaimed:
         Total distinct wavelengths freed by defrag passes (sum of each
         pass's reclaim, fragmentation can rebuild between passes).
+    sharded:
+        Whether the run used the component-sharded engine.
+    component_merges, component_splits, shard_rebuilds:
+        Shard-tracker counters at the end of the run (always recorded —
+        the unsharded engine tracks components too, it just does not
+        route its hot paths through them).
     timeline:
         One sample per processed event: ``time``, ``active`` (concurrent
         lightpaths), ``wavelengths_active`` (colours currently in use),
@@ -117,6 +132,10 @@ class OnlineResult:
     defrag_passes: int = 0
     defrag_moves: int = 0
     wavelengths_reclaimed: int = 0
+    sharded: bool = False
+    component_merges: int = 0
+    component_splits: int = 0
+    shard_rebuilds: int = 0
     timeline: List[Dict[str, float]] = field(default_factory=list)
 
     @property
@@ -158,16 +177,28 @@ class OnlineEngine:
     def __init__(self, graph: DiGraph, wavelengths: int,
                  routing: str = "shortest", policy: str = "first_fit",
                  kempe_repair: bool = False, seed: Optional[int] = None,
-                 k_candidates: int = 4, speculative: bool = False) -> None:
+                 k_candidates: int = 4, speculative: bool = False,
+                 sharded: bool = False) -> None:
         if wavelengths < 1:
             raise ValueError("wavelengths must be >= 1")
         self.family = DipathFamily()
-        self.conflict = DynamicConflictGraph(self.family)
+        self.sharded = sharded
+        if sharded:
+            # The component-sharded fast path: O(arcs) structural events
+            # (lazy adjacency, no neighbourhood walks) and O(arcs)
+            # forbidden masks from the per-fibre colour occupancy.
+            # Decision-identical to the unsharded engine on every trace —
+            # the differential suite asserts it.
+            self.conflict = ShardedConflictGraph(self.family)
+        else:
+            self.conflict = DynamicConflictGraph(self.family)
         self.router = make_online_router(graph, routing, family=self.family,
                                          wavelengths=wavelengths,
                                          k=k_candidates)
         self.assigner = OnlineWavelengthAssigner(
             wavelengths, policy=policy, kempe_repair=kempe_repair, seed=seed)
+        if sharded:
+            self.assigner.attach_color_index(ArcColorIndex(self.family))
         self.speculative = speculative
         self.vertex_of: Dict[int, int] = {}     # request_id -> member index
         self.defrag_passes = 0
@@ -178,6 +209,14 @@ class OnlineEngine:
     def active(self) -> int:
         """Number of currently provisioned lightpaths."""
         return len(self.vertex_of)
+
+    def shard_map(self) -> Dict[int, List[int]]:
+        """``anchor -> member indices`` of the live conflict components.
+
+        Runs the pending lazy split-checks first, so the returned shards
+        are the exact connected components of the conflict graph.
+        """
+        return self.conflict.shard_map()
 
     def admit(self, request_id: int, request: Optional[Request] = None,
               dipath: Optional[Dipath] = None) -> Optional[str]:
@@ -216,7 +255,8 @@ class OnlineEngine:
         return None
 
     def admit_batch(self, arrivals: List[Event],
-                    policy: str = "all_or_nothing"
+                    policy: str = "all_or_nothing",
+                    workers: Optional[int] = None
                     ) -> Dict[int, Optional[str]]:
         """Admit a burst of arrival events atomically; reasons per request.
 
@@ -226,6 +266,16 @@ class OnlineEngine:
         :func:`repro.online.transaction.admit_batch` under the given
         partial-commit policy.  Returns ``request_id -> None`` (admitted)
         or a rejection reason.
+
+        With ``workers`` set on a sharded first-fit engine, the burst is
+        partitioned by conflict component and the per-component slices
+        are evaluated on compact shard snapshots through
+        :func:`repro.parallel.parallel_map`; decisions are identical to
+        the serial path (first-fit choices are component-local) and
+        byte-identical across ``workers`` values.  Bursts the partition
+        cannot decompose (an arrival bridging two components, or two
+        slices meeting on a not-yet-provisioned fibre) fall back to the
+        serial path transparently.
         """
         reasons: Dict[int, Optional[str]] = {}
         routed: List[tuple] = []
@@ -244,11 +294,15 @@ class OnlineEngine:
                 reasons[event.request_id] = NO_ROUTE
             else:
                 routed.append((event.request_id, dipath))
-        outcome = _admit_dipath_batch(
-            self.conflict, self.assigner, [d for _, d in routed],
-            policy=policy)
-        admitted = {pos: (idx, color)
-                    for pos, idx, color in outcome.admitted}
+        admitted = None
+        if workers is not None:
+            admitted = self._admit_routed_sharded(routed, policy, workers)
+        if admitted is None:
+            outcome = _admit_dipath_batch(
+                self.conflict, self.assigner, [d for _, d in routed],
+                policy=policy)
+            admitted = {pos: (idx, color)
+                        for pos, idx, color in outcome.admitted}
         for pos, (request_id, _) in enumerate(routed):
             if pos in admitted:
                 self.vertex_of[request_id] = admitted[pos][0]
@@ -256,6 +310,78 @@ class OnlineEngine:
             else:
                 reasons[request_id] = NO_WAVELENGTH
         return reasons
+
+    def _admit_routed_sharded(self, routed: List[tuple], policy: str,
+                              workers: Optional[int]
+                              ) -> Optional[Dict[int, tuple]]:
+        """Shard-partitioned burst admission; ``None`` = not decomposable.
+
+        Groups the routed burst by the conflict component owning each
+        dipath's fibres, evaluates every group on a snapshot through
+        :func:`repro.parallel.parallel_map` and replays the colours the
+        batch policy commits.  Falls back (returns ``None``) whenever the
+        partition argument does not hold: a non-sharded or non-first-fit
+        engine, an arrival whose fibres span two components, or two
+        groups meeting on a fibre no current lightpath uses.
+        """
+        if not self.sharded or \
+                self.assigner.policy != PARALLEL_SAFE_POLICY or \
+                policy not in BATCH_POLICIES:
+            return None
+        if self.conflict._tx_stack or self.assigner._checkpoints:
+            # inside an open what-if transaction the replay's bare
+            # add_dipath calls would not be journalled (only the colours
+            # would), so a rollback could strand coloured-then-stripped
+            # members; the serial path nests correctly — use it
+            return None
+        if not routed:
+            return {}
+        family, tracker = self.family, self.conflict._shards
+        groups: Dict[object, List[tuple]] = {}
+        shard_of_group: Dict[object, object] = {}
+        fresh_owner: Dict[tuple, object] = {}
+        for pos, (_, dipath) in enumerate(routed):
+            shards: List[object] = []
+            new_arcs: List[tuple] = []
+            for arc in dipath.arcs():
+                aid = family._arc_ids.get(arc)
+                shard = None if aid is None else tracker.owner_of_arc(aid)
+                if shard is None:
+                    new_arcs.append(arc)
+                elif shard not in shards:
+                    shards.append(shard)
+            if len(shards) > 1:
+                return None             # the arrival would merge components
+            key = id(shards[0]) if shards else "fresh"
+            for arc in new_arcs:
+                if fresh_owner.setdefault(arc, key) != key:
+                    return None         # two groups meet on a fresh fibre
+            shard_of_group[key] = shards[0] if shards else None
+            groups.setdefault(key, []).append((pos, dipath))
+        assigner = self.assigner
+        tasks = []
+        for key in sorted(groups, key=lambda k: groups[k][0][0]):
+            shard = shard_of_group[key]
+            members = [] if shard is None else shard.members()
+            tasks.append((
+                members,
+                [tuple(family[i].vertices) for i in members],
+                [assigner.color_of(i) for i in members],
+                assigner.wavelengths, assigner.policy,
+                assigner.kempe_repair,
+                [(pos, tuple(d.vertices)) for pos, d in groups[key]]))
+        outcomes = parallel_map(batch_shard_task, tasks, workers=workers,
+                                sequential_threshold=0, reuse_pool=True)
+        decisions = {d["pos"]: d for result in outcomes for d in result}
+        failed = sorted(pos for pos, d in decisions.items()
+                        if d["color"] is None)
+        if policy == "all_or_nothing" and failed:
+            return {}
+        cut = failed[0] if policy == "best_prefix" and failed \
+            else len(routed)
+        commit = [decisions[pos] for pos in sorted(decisions)
+                  if pos < cut and decisions[pos]["color"] is not None]
+        return apply_batch_decisions(self.conflict, assigner, commit)
 
     def depart(self, request_id: int) -> bool:
         """Tear down a provisioned lightpath; ``False`` if it never held one
@@ -283,7 +409,8 @@ class OnlineEngine:
 
     def defrag(self, order: str = "highest_wavelength",
                max_moves: Optional[int] = None,
-               time_budget: Optional[float] = None) -> DefragReport:
+               time_budget: Optional[float] = None,
+               shard: Optional[int] = None) -> DefragReport:
         """Run one defragmentation pass over the provisioned lightpaths.
 
         Candidate routes come from the engine's router (the current route
@@ -291,17 +418,115 @@ class OnlineEngine:
         improvement — see :class:`~repro.online.defrag.DefragPass`.  The
         ``request_id -> member`` map is kept coherent and the engine's
         defrag counters are updated.
+
+        ``shard`` restricts the walk to one conflict component (an anchor
+        from :meth:`shard_map`): only that component's lightpaths are
+        attempted, under the unchanged global acceptance objective.
         """
+        # a pass is the natural maintenance point: settle the pending
+        # lazy split-checks so per-shard scheduling sees true components
+        self.conflict.refresh_shards()
+        members = None
+        if shard is not None:
+            members = self.shard_map().get(shard)
+            if members is None:
+                raise ValueError(f"no shard anchored at member {shard}")
         report = DefragPass(self.conflict, self.assigner,
                             candidates=self._defrag_candidates, order=order,
                             max_moves=max_moves,
-                            time_budget=time_budget).run()
+                            time_budget=time_budget, members=members).run()
         remapped = {m.index: m.new_index for m in report.moves
                     if m.new_index != m.index}
         if remapped:    # pragma: no cover - moves recycle their own slot
             for request_id, idx in list(self.vertex_of.items()):
                 if idx in remapped:
                     self.vertex_of[request_id] = remapped[idx]
+        self.defrag_passes += 1
+        self.defrag_moves += len(report.moves)
+        self.wavelengths_reclaimed += max(0, report.reclaimed)
+        return report
+
+    def defrag_sharded(self, order: str = "highest_wavelength",
+                       max_moves: Optional[int] = None,
+                       workers: Optional[int] = 1) -> DefragReport:
+        """One shard-scoped defragmentation pass, optionally in parallel.
+
+        Every conflict component is defragmented independently on a
+        compact snapshot (members remapped to shard-local indices, the
+        acceptance objective evaluated *within the shard*), the per-shard
+        tasks are fanned out through :func:`repro.parallel.parallel_map`
+        — serial fallback, nested-pool guard and all — and the committed
+        moves are replayed onto the live engine in deterministic shard
+        order.  Results are byte-identical for every ``workers`` value
+        because the identical task functions run either way; only where
+        they run changes.
+
+        Differs from :meth:`defrag` in objective scope: a shard-scoped
+        move counts colours and fibre loads within its component, so it
+        can commit a move the global objective would reject (the freed
+        colour may still be in use in another component) — and that is
+        precisely what makes the shards independent.  ``max_moves``
+        bounds the whole pass exactly as in :meth:`defrag`: shard tasks
+        each compute up to the budget, and the replay applies at most
+        ``max_moves`` of them in shard order, discarding the surplus.
+        Requires the ``first_fit`` policy (the only one whose choices
+        are functions of the component alone).
+        """
+        if self.assigner.policy != PARALLEL_SAFE_POLICY:
+            raise ValueError(
+                "shard-scoped defragmentation requires the "
+                f"{PARALLEL_SAFE_POLICY!r} policy; {self.assigner.policy!r} "
+                "consults cross-shard state — use defrag() instead")
+        assigner, family = self.assigner, self.family
+        report = DefragReport(
+            order=order,
+            colors_before=assigner.colors_in_use(),
+            max_color_before=max_color_in_use(assigner),
+            load_before=family.load())
+        tasks = []
+        for shard in self.conflict.shards():
+            members = shard.members()
+            routes = [tuple(family[i].vertices) for i in members]
+            colors = [assigner.color_of(i) for i in members]
+            candidates = [
+                [tuple(d.vertices)
+                 for d in self._defrag_candidates(i, family[i])]
+                for i in members]
+            tasks.append((members, routes, colors, assigner.wavelengths,
+                          assigner.policy, assigner.kempe_repair,
+                          candidates, order, max_moves))
+        # sequential_threshold=0: the caller asked for this worker count
+        # explicitly, and per-shard tasks are whole defrag passes — heavy
+        # enough to ship even when there are only a few shards
+        outcomes = parallel_map(defrag_shard_task, tasks, workers=workers,
+                                sequential_threshold=0, reuse_pool=True)
+        for outcome in outcomes:
+            for move in outcome["moves"]:
+                if max_moves is not None and \
+                        len(report.moves) >= max_moves:
+                    # max_moves bounds the whole pass, like defrag():
+                    # surplus moves the (independent) shard tasks
+                    # computed are discarded — dropping a suffix of a
+                    # shard's move sequence is safe because each move is
+                    # atomic and later moves never enable earlier ones
+                    report.budget_exhausted = True
+                    break
+                idx = move["index"]
+                old_route = family[idx]
+                old_color = assigner.color_of(idx)
+                apply_defrag_moves(self.conflict, assigner, [move])
+                if move["repaired"]:
+                    assigner.note_repair()
+                report.moves.append(DefragMove(
+                    index=idx, new_index=idx, old_color=old_color,
+                    new_color=assigner.color_of(idx),
+                    old_route=old_route, new_route=family[idx]))
+            report.attempted += outcome["attempted"]
+            report.budget_exhausted = (report.budget_exhausted
+                                       or outcome["budget_exhausted"])
+        report.colors_after = assigner.colors_in_use()
+        report.max_color_after = max_color_in_use(assigner)
+        report.load_after = family.load()
         self.defrag_passes += 1
         self.defrag_moves += len(report.moves)
         self.wavelengths_reclaimed += max(0, report.reclaimed)
@@ -318,7 +543,9 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     defrag_on_block: bool = False,
                     defrag_utilization: Optional[float] = None,
                     defrag_order: str = "highest_wavelength",
-                    defrag_max_moves: Optional[int] = None) -> OnlineResult:
+                    defrag_max_moves: Optional[int] = None,
+                    sharded: bool = False,
+                    shard_workers: Optional[int] = None) -> OnlineResult:
     """Run an event trace through the incremental online RWA engine.
 
     Parameters
@@ -367,13 +594,32 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     defrag_order, defrag_max_moves:
         Walk order and per-pass move budget for every triggered pass
         (see :class:`~repro.online.defrag.DefragPass`).
+    sharded:
+        Run on the component-sharded engine: O(arcs) structural events
+        and per-fibre forbidden masks instead of neighbourhood walks.
+        Decision-identical to the unsharded engine on every trace.
+    shard_workers:
+        When set (requires ``sharded=True`` and ``policy="first_fit"``),
+        triggered defrag passes run shard-scoped
+        (:meth:`OnlineEngine.defrag_sharded`) and equal-timestamp bursts
+        are admitted shard-partitioned, both fanned out through
+        :func:`repro.parallel.parallel_map` with this worker count.
+        Results are byte-identical for every worker count (``1`` = the
+        same tasks, run serially).  Note the defrag semantics change:
+        shard-scoped passes accept moves on the *component-local*
+        objective (that independence is what parallelises them).
     """
     engine = OnlineEngine(graph, wavelengths, routing=routing, policy=policy,
                           kempe_repair=kempe_repair, seed=seed,
-                          k_candidates=k_candidates, speculative=speculative)
+                          k_candidates=k_candidates, speculative=speculative,
+                          sharded=sharded)
     result = OnlineResult(wavelengths_available=wavelengths, routing=routing,
                           policy=policy, speculative=speculative,
-                          batch_policy=batch_policy)
+                          batch_policy=batch_policy, sharded=sharded)
+    if shard_workers is not None and \
+            (not sharded or policy != "first_fit"):
+        raise ValueError("shard_workers needs sharded=True and the "
+                         "'first_fit' policy")
     if batch_policy is not None and batch_policy not in BATCH_POLICIES:
         raise ValueError(f"unknown batch policy {batch_policy!r}; "
                          f"expected one of {BATCH_POLICIES}")
@@ -383,8 +629,12 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
             not 0.0 < defrag_utilization <= 1.0:
         raise ValueError("defrag_utilization must be in (0, 1]")
 
-    def run_defrag() -> None:
-        engine.defrag(order=defrag_order, max_moves=defrag_max_moves)
+    def run_defrag() -> DefragReport:
+        if shard_workers is not None:
+            return engine.defrag_sharded(order=defrag_order,
+                                         max_moves=defrag_max_moves,
+                                         workers=shard_workers)
+        return engine.defrag(order=defrag_order, max_moves=defrag_max_moves)
 
     last_time = float("-inf")
     processed = 0
@@ -404,17 +654,18 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                 group.append(events[j])
                 j += 1
         if len(group) > 1:
-            reasons = engine.admit_batch(group, policy=batch_policy)
+            reasons = engine.admit_batch(group, policy=batch_policy,
+                                         workers=shard_workers)
             if defrag_on_block and NO_WAVELENGTH in reasons.values():
                 # Same contract as the singleton path: defragment, and if
                 # the pass moved anything give the spectrum-blocked part
                 # of the burst one more shot (under the same policy).
-                if engine.defrag(order=defrag_order,
-                                 max_moves=defrag_max_moves).moves:
+                if run_defrag().moves:
                     retry = [e for e in group
                              if reasons[e.request_id] == NO_WAVELENGTH]
                     reasons.update(
-                        engine.admit_batch(retry, policy=batch_policy))
+                        engine.admit_batch(retry, policy=batch_policy,
+                                           workers=shard_workers))
             for arrival in group:
                 reason = reasons[arrival.request_id]
                 if reason is None:
@@ -429,8 +680,7 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                 # Defragment and give the blocked arrival one more chance —
                 # a fruitless pass (no move committed) cannot change the
                 # admission decision, so only a fruitful one re-tries.
-                if engine.defrag(order=defrag_order,
-                                 max_moves=defrag_max_moves).moves:
+                if run_defrag().moves:
                     reason = engine.admit(event.request_id,
                                           request=event.request,
                                           dipath=event.dipath)
@@ -467,4 +717,10 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     result.defrag_passes = engine.defrag_passes
     result.defrag_moves = engine.defrag_moves
     result.wavelengths_reclaimed = engine.wavelengths_reclaimed
+    # settle the pending lazy split-checks so the component counters
+    # describe the final decomposition, not the conservative supersets
+    engine.conflict.refresh_shards()
+    result.component_merges = engine.conflict.component_merges
+    result.component_splits = engine.conflict.component_splits
+    result.shard_rebuilds = engine.conflict.shard_rebuilds
     return result

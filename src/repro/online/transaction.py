@@ -198,7 +198,9 @@ class WhatIfTransaction:
             if entry[0] is _ADD:
                 _, idx, state = entry
                 conflict.remove_dipath(idx)
-                family._retract_add(idx, state)
+                # the graph-level retract keeps shard arc-ownership in
+                # step with the arcs the family un-interns
+                conflict._retract_add(idx, state)
             else:
                 _, idx, path, load_cache = entry
                 readded = conflict.add_dipath(path)

@@ -1,6 +1,13 @@
 """Parallel experiment execution (process-pool map and parameter sweeps)."""
 
-from .executor import chunked, default_workers, parallel_map
+from .executor import (
+    chunked,
+    default_workers,
+    in_worker_process,
+    parallel_map,
+    shutdown_shared_pool,
+)
 from .sweep import Sweep, run_sweep
 
-__all__ = ["Sweep", "chunked", "default_workers", "parallel_map", "run_sweep"]
+__all__ = ["Sweep", "chunked", "default_workers", "in_worker_process",
+           "parallel_map", "run_sweep", "shutdown_shared_pool"]
