@@ -7,7 +7,10 @@ maintenance at 500+ concurrent dipaths), the adaptive-routing suite of
 :mod:`repro.analysis.erlang` (blocking of adaptive vs fixed routing, plus
 speculative what-if admission vs rebuild-per-candidate) and the
 defragmentation suite of the same module (blocking with vs without defrag
-triggers, wavelengths reclaimed vs the recolouring bounds), and either
+triggers, wavelengths reclaimed vs the recolouring bounds) and the
+fault-tolerance suite of :mod:`repro.analysis.recovery` (journal-replay
+crash recovery bit-identity and timing, fibre-cut restoration blocking,
+admission-guard load shedding), and either
 records the results or checks them against the recorded baselines:
 
     python scripts/bench_report.py                   # run + write reports
@@ -16,8 +19,9 @@ records the results or checks them against the recorded baselines:
     python scripts/bench_report.py --quick           # fewer repeats (noisier)
 
 Reports are written to ``BENCH_conflict_engine.json``,
-``BENCH_online_engine.json``, ``BENCH_online_routing.json`` and
-``BENCH_defrag.json`` at the
+``BENCH_online_engine.json``, ``BENCH_online_routing.json``,
+``BENCH_defrag.json``, ``BENCH_sharding.json`` and
+``BENCH_recovery.json`` at the
 repository root (``--output`` overrides the path when a single suite is
 selected).  ``--check`` exits non-zero
 when an engine is more than 20% slower than its recorded baseline on any
@@ -61,6 +65,12 @@ from repro.analysis.erlang import (
     routing_speedup_problems,
     run_defrag_benchmark,
     run_routing_benchmark,
+)
+from repro.analysis.recovery import (
+    recovery_benchmark_document,
+    recovery_check_against_baseline,
+    recovery_problems,
+    run_recovery_benchmark,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -140,6 +150,35 @@ def _print_sharding_records(records) -> None:
                   f"parallel={r['parallel_identical']}  [{verdict}]")
 
 
+def _print_recovery_records(records) -> None:
+    for r in records:
+        if r["kind"] == "crash_recovery":
+            verdict = "ok" if r["bit_identical"] else "DIVERGED"
+            cadence = (f"snap={r['snapshot_every']}"
+                       if r["snapshot_every"] else "no-snap")
+            print(f"{r['scenario']:28s} {cadence:10s} "
+                  f"records={r['journal_records']} "
+                  f"kills={r['trials']} mismatches={r['mismatches']} "
+                  f"recover={r['recover_full_s'] * 1000:.1f}ms "
+                  f"({r['records_per_second']:.0f} rec/s)  [{verdict}]")
+        elif r["kind"] == "restoration":
+            verdict = "ok" if r["restoration_pays"] else "NOT PAYING"
+            print(f"{r['scenario']:28s} W={r['wavelengths']} "
+                  f"cuts={r['fibre_cuts']} "
+                  f"stranded={r['stranded_restoration']} "
+                  f"restored={r['restored_restoration']} "
+                  f"off={r['blocking_baseline']:.4f} "
+                  f"on={r['blocking_restoration']:.4f}  [{verdict}]")
+        else:
+            verdict = ("ok" if r["guard_sheds"] and r["work_bounded"]
+                       else "UNBOUNDED")
+            print(f"{r['scenario']:28s} W={r['wavelengths']} "
+                  f"bursts={r['bursts']}x{r['burst_size']} "
+                  f"shed={r['shed']} "
+                  f"p99 work {r['p99_work_unguarded']:.0f} -> "
+                  f"{r['p99_work_guarded']:.0f}  [{verdict}]")
+
+
 #: suite name -> (default report path, runner, document builder,
 #:                baseline checker, speedup checker, record printer)
 SUITES = {
@@ -163,6 +202,10 @@ SUITES = {
                  run_sharding_benchmark, sharding_benchmark_document,
                  sharding_check_against_baseline, sharding_problems,
                  _print_sharding_records),
+    "recovery": (REPO_ROOT / "BENCH_recovery.json",
+                 run_recovery_benchmark, recovery_benchmark_document,
+                 recovery_check_against_baseline, recovery_problems,
+                 _print_recovery_records),
 }
 
 

@@ -9,9 +9,10 @@ Usage:
     python scripts/run_all_experiments.py [output_dir] [--skip-slow]
 
 ``--skip-slow`` mirrors the test suite's ``slow`` pytest marker (see
-``pytest.ini``): the long-horizon gates — E14's Erlang blocking sweeps
-and E15's defrag blocking/reclaim replays — are skipped so a quick sweep
-stays quick.
+``pytest.ini``): the long-horizon gates — E14's Erlang blocking sweeps,
+E15's defrag blocking/reclaim replays, E16's sharded-engine replays and
+E17's crash-recovery/restoration/shedding suite — are skipped so a
+quick sweep stays quick.
 """
 
 from __future__ import annotations
@@ -43,6 +44,11 @@ from repro.analysis.erlang import (
     routing_speedup_problems,
     run_defrag_benchmark,
     run_routing_benchmark,
+)
+from repro.analysis.recovery import (
+    recovery_check_against_baseline,
+    recovery_problems,
+    run_recovery_benchmark,
 )
 from repro.analysis import (
     algorithm_comparison_experiment,
@@ -92,8 +98,10 @@ def main() -> int:
                         help="where to write the CSV/JSON reports")
     parser.add_argument("--skip-slow", action="store_true",
                         help="skip the gates marked slow (the Erlang "
-                             "blocking sweeps of E14 and the defrag "
-                             "replays of E15), mirroring the test "
+                             "blocking sweeps of E14, the defrag "
+                             "replays of E15, the sharded-engine "
+                             "replays of E16 and the fault-tolerance "
+                             "suite of E17), mirroring the test "
                              "suite's 'slow' marker")
     args = parser.parse_args()
     output_dir = args.output_dir
@@ -149,6 +157,16 @@ def main() -> int:
          repo_root / "BENCH_sharding.json",
          run_sharding_benchmark, sharding_check_against_baseline,
          sharding_problems, True),
+        # E17 replays the fault-tolerance suite: random kill-point crash
+        # recovery must stay bit-identical, fibre-cut restoration must
+        # keep blocking strictly below the restoration-off baseline at
+        # equal move budget, and the admission guard must bound p99
+        # admission work — long-horizon, skippable like E14–E16.
+        ("E17: crash recovery + restoration + shedding vs recorded "
+         "baseline ...",
+         repo_root / "BENCH_recovery.json",
+         run_recovery_benchmark, recovery_check_against_baseline,
+         recovery_problems, True),
     ]
     for title, bench_path, run_bench, check, speedups, slow in gates:
         if slow and args.skip_slow:

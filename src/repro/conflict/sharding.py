@@ -250,6 +250,67 @@ class ShardTracker:
         """
         return {shard.anchor(): shard.members() for shard in self.shards()}
 
+    def audit(self) -> List[str]:
+        """Check the tracker's invariants; return the violations found.
+
+        An empty list means the bookkeeping is coherent:
+
+        * every member is filed in exactly one shard, and that shard's
+          ``member_mask`` contains it;
+        * shard member masks are pairwise disjoint and each shard holds
+          at least one member (no zombie shards reachable from the maps);
+        * every owned arc's owner is a live shard and the arc is set in
+          the owner's ``arc_mask``, and conversely every bit of a shard's
+          ``arc_mask`` maps back to that shard;
+        * a clean (non-dirty) shard's members are connected through its
+          arcs — conservatively checked via each member's filed arcs: a
+          member all of whose arcs some *other* shard owns cannot belong
+          here.
+
+        The fault-injection and crash-recovery suites run this after arc
+        removals and journal replays, where an incoherent tracker would
+        otherwise only surface as a wrong admission much later.
+        """
+        problems: List[str] = []
+        covered = 0
+        for shard in self.shards():
+            if not shard.member_mask:
+                problems.append("shard with empty member_mask is reachable")
+                continue
+            if covered & shard.member_mask:
+                problems.append(
+                    f"members {bit_list(covered & shard.member_mask)} "
+                    f"appear in more than one shard")
+            covered |= shard.member_mask
+            for aid in iter_bits(shard.arc_mask):
+                if self._shard_of_arc.get(aid) is not shard:
+                    problems.append(
+                        f"arc {aid} is in shard {shard.anchor()}'s "
+                        f"arc_mask but owned elsewhere")
+        for idx, shard in self._shard_of_member.items():
+            if not shard.member_mask >> idx & 1:
+                problems.append(
+                    f"member {idx} filed in a shard whose member_mask "
+                    f"lacks it")
+        for aid, shard in self._shard_of_arc.items():
+            if not shard.arc_mask >> aid & 1:
+                problems.append(
+                    f"arc {aid} owned by shard {shard.anchor()} but "
+                    f"missing from its arc_mask")
+            if not shard.member_mask:
+                problems.append(f"arc {aid} owned by an empty shard")
+        for idx, shard in self._shard_of_member.items():
+            if shard.dirty:
+                continue
+            arcs = self._arcs_of(idx)
+            if arcs and all(self._shard_of_arc.get(a) is not None
+                            and self._shard_of_arc[a] is not shard
+                            for a in arcs):
+                problems.append(
+                    f"member {idx} shares no arc with its clean shard "
+                    f"{shard.anchor()}")
+        return problems
+
     # ------------------------------------------------------------------ #
     # lazy split repair
     # ------------------------------------------------------------------ #

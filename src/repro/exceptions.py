@@ -162,3 +162,48 @@ class CapacityError(ReproError):
 
 class SimulationError(ReproError):
     """An optical-network admission simulation reached an inconsistent state."""
+
+
+class TransactionError(ReproError, RuntimeError, ValueError):
+    """A what-if transaction or defragmentation pass violated its contract.
+
+    Raised for lifecycle violations (operating on a closed transaction,
+    resolving a parent while a child is open, a rollback that does not
+    restore the captured state) and for argument validation (unknown batch
+    policies, negative move budgets).  The transaction layer historically
+    raised bare ``RuntimeError`` for the former and bare ``ValueError``
+    for the latter; deriving from both keeps every existing ``except``
+    clause working while ``except ReproError`` now also sees these
+    failures.
+    """
+
+
+class RecoveryError(ReproError):
+    """Journal replay could not rebuild the pre-crash engine state.
+
+    Raised by :func:`repro.online.persistence.recover` when the journal is
+    unreadable (a torn line anywhere but the tail, a missing genesis
+    record) or when re-executing a journalled decision produces a
+    different outcome than the one recorded — the recovered state would
+    then silently diverge from the pre-crash engine.
+
+    Attributes
+    ----------
+    record:
+        Index of the journal record that failed to replay (``None`` when
+        the failure is not tied to one record).
+    """
+
+    def __init__(self, message: str, record: int | None = None) -> None:
+        if record is not None:
+            message = f"journal record {record}: {message}"
+        super().__init__(message)
+        self.record = record
+
+
+class FaultError(ReproError):
+    """An invalid fault-injection operation on the online engine.
+
+    Cutting a fibre that is already cut (or absent from the topology),
+    or repairing one that is not cut.
+    """

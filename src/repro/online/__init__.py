@@ -24,7 +24,13 @@ shows up as avoidable blocking.  The moving parts:
   improvements (wavelengths reclaimed, never a service interruption);
 * :mod:`repro.online.simulator`  — the event loop tying them together
   (:class:`OnlineEngine` is the reusable per-event core, with periodic /
-  on-block / utilisation-triggered defrag and timestamp batching).
+  on-block / utilisation-triggered defrag, timestamp batching and
+  :class:`AdmissionGuard` load shedding);
+* :mod:`repro.online.faults`     — fibre-cut / repair injection with
+  bounded mass re-route restoration and optional reversion;
+* :mod:`repro.online.persistence` — :class:`DurableEngine`'s append-only
+  decision journal with snapshots, and verified journal-replay crash
+  recovery (:func:`recover`).
 
 :func:`repro.optical.simulation.simulate_admission` is a thin static-order
 front-end over this engine.  See the "Dynamic engine" and "What-if
@@ -46,17 +52,26 @@ from .defrag import (
 )
 from .events import (
     ARRIVAL,
+    CUT,
     DEPARTURE,
+    REPAIR,
     Event,
     churn_trace,
+    cut_event,
     poisson_trace,
+    repair_event,
     replay_trace,
     sort_events,
 )
+from .faults import FaultInjector, FaultReport
+from .persistence import DurableEngine, engine_fingerprint, recover
 from .routing import ONLINE_ROUTINGS, OnlineRouter, make_online_router
 from .simulator import (
+    FIBRE_CUT,
     NO_ROUTE,
     NO_WAVELENGTH,
+    SHED,
+    AdmissionGuard,
     OnlineEngine,
     OnlineResult,
     simulate_online,
@@ -75,18 +90,24 @@ from .transaction import (
 __all__ = [
     "ARRIVAL",
     "AdmissionDecision",
+    "AdmissionGuard",
     "ArcColorIndex",
     "AssignerCheckpoint",
     "BATCH_POLICIES",
     "BatchResult",
     "BatchTransaction",
+    "CUT",
     "DEFRAG_ORDERINGS",
     "DEPARTURE",
     "DefragMove",
     "DefragPass",
     "DefragReport",
+    "DurableEngine",
     "DynamicConflictGraph",
     "Event",
+    "FIBRE_CUT",
+    "FaultInjector",
+    "FaultReport",
     "NO_ROUTE",
     "NO_WAVELENGTH",
     "ONLINE_ROUTINGS",
@@ -95,6 +116,8 @@ __all__ = [
     "OnlineRouter",
     "OnlineWavelengthAssigner",
     "POLICIES",
+    "REPAIR",
+    "SHED",
     "Shard",
     "ShardTracker",
     "ShardView",
@@ -103,11 +126,15 @@ __all__ = [
     "admit_batch",
     "admit_best",
     "churn_trace",
+    "cut_event",
     "default_admission_score",
     "defrag_objective",
+    "engine_fingerprint",
     "make_online_router",
     "max_color_in_use",
     "poisson_trace",
+    "recover",
+    "repair_event",
     "replay_trace",
     "simulate_online",
     "sort_events",

@@ -50,6 +50,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..conflict.dynamic import DynamicConflictGraph
 from ..dipaths.dipath import Dipath
+from ..exceptions import TransactionError
 from .assigner import OnlineWavelengthAssigner
 from .transaction import ScoreFunction, WhatIfTransaction, admit_best
 
@@ -175,12 +176,12 @@ class DefragPass:
                  score: Optional[ScoreFunction] = None,
                  members: Optional[Sequence[int]] = None) -> None:
         if order not in DEFRAG_ORDERINGS:
-            raise ValueError(f"unknown defrag ordering {order!r}; "
-                             f"expected one of {DEFRAG_ORDERINGS}")
+            raise TransactionError(f"unknown defrag ordering {order!r}; "
+                                   f"expected one of {DEFRAG_ORDERINGS}")
         if max_moves is not None and max_moves < 0:
-            raise ValueError("max_moves must be >= 0")
+            raise TransactionError("max_moves must be >= 0")
         if time_budget is not None and time_budget < 0:
-            raise ValueError("time_budget must be >= 0")
+            raise TransactionError("time_budget must be >= 0")
         self._conflict = conflict
         self._assigner = assigner
         self._candidates = candidates

@@ -28,15 +28,31 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
+from .._typing import Arc
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request, RequestFamily
 
-__all__ = ["ARRIVAL", "DEPARTURE", "Event", "sort_events", "replay_trace",
-           "poisson_trace", "churn_trace"]
+__all__ = ["ARRIVAL", "CUT", "DEPARTURE", "REPAIR", "Event", "cut_event",
+           "repair_event", "sort_events", "replay_trace", "poisson_trace",
+           "churn_trace"]
 
 ARRIVAL = "arrival"
 DEPARTURE = "departure"
+#: A fibre-cut event: the arc leaves the topology, lightpaths using it are
+#: stranded and (when restoration is on) mass re-routed.
+CUT = "fibre_cut"
+#: A fibre-repair event: the arc rejoins the topology; still-stranded
+#: lightpaths are retried and rerouted survivors may revert.
+REPAIR = "fibre_repair"
+
+#: Processing rank at equal timestamps: capacity-freeing events first
+#: (departures, then repairs), capacity-destroying cuts next, arrivals
+#: last — so capacity freed or restored at ``t`` serves requests arriving
+#: at ``t``, and an arrival never lands on a fibre cut at the same
+#: instant.  Departure-before-arrival is the pre-fault convention the
+#: regression tests pin down; cuts and repairs slot in between.
+_KIND_RANK = {DEPARTURE: 0, REPAIR: 1, CUT: 2, ARRIVAL: 3}
 
 
 @dataclass(frozen=True)
@@ -50,15 +66,19 @@ class Event:
         departures before arrivals at equal timestamps so capacity freed at
         ``t`` is available to requests arriving at ``t``).
     kind:
-        :data:`ARRIVAL` or :data:`DEPARTURE`.
+        :data:`ARRIVAL`, :data:`DEPARTURE`, :data:`CUT` or :data:`REPAIR`.
     request_id:
         Identifier shared by an arrival and its departure (the arrival's
-        position in the request stream).
+        position in the request stream).  Fault events do not reference a
+        request; use any stable id (e.g. a fault counter) — it only
+        disambiguates the sort order of same-time faults.
     request:
         The request to route (arrivals only, unless ``dipath`` is given).
     dipath:
         A pre-routed dipath (arrivals only); when present the simulator
         uses it verbatim and skips routing.
+    arc:
+        The fibre ``(u, v)`` a :data:`CUT` / :data:`REPAIR` event acts on.
     """
 
     time: float
@@ -66,6 +86,7 @@ class Event:
     request_id: int
     request: Optional[Request] = None
     dipath: Optional[Dipath] = None
+    arc: Optional[Arc] = None
 
 
 def sort_events(events: List[Event]) -> List[Event]:
@@ -74,18 +95,31 @@ def sort_events(events: List[Event]) -> List[Event]:
     At equal timestamps **departures sort before arrivals** — capacity
     freed at time ``t`` must be usable by a request arriving at time ``t``,
     otherwise a trace in which a lightpath is replaced back-to-back blocks
-    spuriously (the regression tests craft exactly such a trace).  Events
-    of the same time and kind keep ``request_id`` order, so sorting is
-    fully deterministic.  Every trace constructor in this module returns
-    traces in this order; external traces should be passed through here
-    before :func:`repro.online.simulator.simulate_online`.
+    spuriously (the regression tests craft exactly such a trace).  Fault
+    events slot in between (see ``_KIND_RANK``): repairs right after
+    departures (restored capacity serves same-time arrivals), cuts right
+    before arrivals (an arrival never routes over a fibre cut at the same
+    instant).  Events of the same time and kind keep ``request_id`` order,
+    so sorting is fully deterministic.  Every trace constructor in this
+    module returns traces in this order; external traces should be passed
+    through here before :func:`repro.online.simulator.simulate_online`.
     """
-    return sorted(events, key=lambda e: (e.time, e.kind == ARRIVAL,
+    return sorted(events, key=lambda e: (e.time, _KIND_RANK.get(e.kind, 4),
                                          e.request_id))
 
 
 #: Backwards-compatible private alias (pre-PR 4 name).
 _sort_events = sort_events
+
+
+def cut_event(time: float, arc: Arc, fault_id: int = 0) -> Event:
+    """A :data:`CUT` event removing fibre ``arc`` at ``time``."""
+    return Event(time, CUT, fault_id, arc=(arc[0], arc[1]))
+
+
+def repair_event(time: float, arc: Arc, fault_id: int = 0) -> Event:
+    """A :data:`REPAIR` event restoring fibre ``arc`` at ``time``."""
+    return Event(time, REPAIR, fault_id, arc=(arc[0], arc[1]))
 
 
 def replay_trace(workload: Union[RequestFamily, DipathFamily]) -> List[Event]:

@@ -1,0 +1,735 @@
+"""Durable journal and crash recovery for the online engine.
+
+:class:`DurableEngine` wraps :class:`~repro.online.simulator.OnlineEngine`
+with a **write-behind append-only JSONL journal**: every state transition
+(admission, batched admission, departure, defragmentation pass, fibre cut,
+fibre repair) executes first and is then appended as one JSON line
+recording both the *inputs* and the *decision* the engine took.
+:func:`recover` rebuilds a crashed engine by re-executing the journal
+through the very same engine code paths and **verifying** each replayed
+decision against the recorded one — recovered state is something to
+check, not to trust: any divergence raises
+:class:`~repro.exceptions.RecoveryError` instead of silently running on a
+state the pre-crash engine never had.
+
+Periodically (``snapshot_every`` journal records) a **snapshot** record
+captures the full engine state — the dipath family's slot/arc tables, the
+assigner's colouring and monotone counters (via its own
+:class:`~repro.online.assigner.AssignerCheckpoint` capture), the
+``request -> member`` map, the fault injector's stranded registry and the
+graph-operation history — so recovery jumps to the last snapshot and
+replays only the tail.  During a from-genesis replay each snapshot record
+doubles as an integrity gate: the replayed state must reproduce the
+snapshot bit-for-bit.
+
+**Determinism contract.**  Routing tie-breaks depend on the adjacency-set
+iteration order of the topology, which depends on the graph's full
+mutation history.  The durable engine therefore *canonicalizes* the
+topology at genesis: the journal records the graph's vertices and arcs in
+iteration order, and both the live engine and every recovered engine run
+on a private graph rebuilt from that record (vertices first, then arcs,
+in recorded order) — identical mutation history, identical set layouts,
+identical routing.  Fibre cuts/repairs extend the history and are
+replayed in order.  Within one process this makes replay bit-identical;
+across processes it additionally requires the vertex labels' hashes to be
+stable (ints and tuples of ints are; strings need ``PYTHONHASHSEED``
+pinned).
+
+What is *not* journalled: wall-clock-bounded defrag passes
+(``time_budget`` is refused — a replay cannot reproduce a clock) and
+shard-parallel execution (replay always runs the serial paths; by the
+sharding layer's byte-identity contract the decisions are the same).
+
+Torn tails are expected: a crash mid-append leaves a final line without
+its newline (or an unparsable fragment).  :func:`recover` discards the
+torn tail, truncates the file to the last clean record boundary and
+resumes appending from there — the op that was being journalled when the
+crash hit is simply not durable, exactly like a database WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from .._typing import Arc
+from ..conflict.dynamic import DynamicConflictGraph, ShardedConflictGraph
+from ..dipaths.dipath import Dipath
+from ..dipaths.family import DipathFamily
+from ..dipaths.requests import Request
+from ..exceptions import RecoveryError, TransactionError
+from ..graphs.digraph import DiGraph
+from .assigner import OnlineWavelengthAssigner
+from .defrag import DefragReport
+from .events import ARRIVAL, Event
+from .faults import FaultInjector, FaultReport
+from .routing import make_online_router
+from .sharding import ArcColorIndex
+from .simulator import OnlineEngine
+
+__all__ = ["JOURNAL_VERSION", "DurableEngine", "engine_fingerprint",
+           "recover"]
+
+#: Journal format version, checked by :func:`recover`.
+JOURNAL_VERSION = 1
+
+
+# ---------------------------------------------------------------------- #
+# vertex / arc JSON codec
+# ---------------------------------------------------------------------- #
+def _encode_vertex(v: Any) -> Any:
+    """JSON-encode one vertex label (tuples become nested lists)."""
+    if isinstance(v, tuple):
+        return [_encode_vertex(x) for x in v]
+    return v
+
+
+def _decode_vertex(v: Any) -> Any:
+    """Invert :func:`_encode_vertex` (lists become nested tuples).
+
+    Safe because vertex labels must be hashable: a JSON array in a vertex
+    position can only have been a tuple.
+    """
+    if isinstance(v, list):
+        return tuple(_decode_vertex(x) for x in v)
+    return v
+
+
+def _encode_arc(arc: Arc) -> list:
+    return [_encode_vertex(arc[0]), _encode_vertex(arc[1])]
+
+
+def _decode_arc(obj: list) -> Arc:
+    return (_decode_vertex(obj[0]), _decode_vertex(obj[1]))
+
+
+def _encode_path(vertices) -> list:
+    return [_encode_vertex(v) for v in vertices]
+
+
+def _decode_path(obj: list) -> Dipath:
+    return Dipath([_decode_vertex(v) for v in obj])
+
+
+def _encode_rng(state) -> Optional[list]:
+    """``random.Random.getstate()`` -> JSON (``None`` passes through)."""
+    if state is None:
+        return None
+    return [state[0], list(state[1]), state[2]]
+
+
+def _decode_rng(obj):
+    return (obj[0], tuple(int(x) for x in obj[1]), obj[2])
+
+
+# ---------------------------------------------------------------------- #
+# fingerprinting
+# ---------------------------------------------------------------------- #
+def engine_fingerprint(engine: OnlineEngine) -> Dict[str, Any]:
+    """Canonical state of an engine, for bit-identity comparisons.
+
+    Covers everything a future decision can depend on plus the replayed
+    counters: the family's slot/arc tables (including free-slot recycling
+    order), the colouring with its ``ever_used`` / Kempe counters (and the
+    RNG state under the ``random`` policy), the ``request -> member`` map,
+    the topology's vertex/arc iteration order (the routing tie-break
+    source), the exact conflict components and the defrag counters.  Two
+    engines with equal fingerprints make identical decisions on any
+    subsequent trace.
+
+    Deliberately excluded: shard-tracker heuristic internals (join
+    stamps, dirty flags, merge/split counters) — they never influence a
+    decision and are canonicalized at snapshot boundaries via
+    ``refresh_shards`` — and lazy-cache warmness counters.
+    """
+    family, assigner = engine.family, engine.assigner
+    rng = assigner._rng.getstate() if assigner.policy == "random" else None
+    return {
+        "paths": [None if p is None else tuple(p.vertices)
+                  for p in family._paths],
+        "arcs": list(family._arcs),
+        "arc_members": list(family._arc_members),
+        "path_arc_ids": [tuple(t) for t in family._path_arc_ids],
+        "free_slots": list(family._free_slots),
+        "coloring": dict(assigner.coloring),
+        "used_mask": assigner.used_mask,
+        "ever_used_mask": assigner._ever_used,
+        "kempe_repairs": assigner.kempe_repairs,
+        "rng_state": rng,
+        "vertex_of": dict(engine.vertex_of),
+        "shard_map": engine.conflict.shard_map(),
+        "graph_vertices": tuple(engine.graph.vertices()),
+        "graph_arcs": list(engine.graph.arcs()),
+        "defrag": (engine.defrag_passes, engine.defrag_moves,
+                   engine.wavelengths_reclaimed),
+    }
+
+
+def _engine_from_genesis(genesis: Dict[str, Any]):
+    """Build the canonical engine + injector a genesis record describes."""
+    graph = DiGraph()
+    for v in genesis["vertices"]:
+        graph.add_vertex(_decode_vertex(v))
+    for a in genesis["arcs"]:
+        graph.add_arc(*_decode_arc(a))
+    engine = OnlineEngine(
+        graph, genesis["wavelengths"], routing=genesis["routing"],
+        policy=genesis["policy"], kempe_repair=genesis["kempe_repair"],
+        seed=genesis["seed"], k_candidates=genesis["k_candidates"],
+        speculative=genesis["speculative"], sharded=genesis["sharded"])
+    injector = FaultInjector(
+        engine, restoration=genesis["restoration"],
+        retries=genesis["restore_retries"],
+        move_budget=genesis["restore_move_budget"],
+        revert_on_repair=genesis["revert_on_repair"],
+        order=genesis["restore_order"])
+    return engine, injector
+
+
+class DurableEngine:
+    """An :class:`~repro.online.simulator.OnlineEngine` with a durable
+    journal: every op is executed, then appended; :func:`recover` replays.
+
+    Parameters mirror the engine's, plus:
+
+    path:
+        Journal file.  The constructor starts a **fresh** journal
+        (truncating any existing file); use :func:`recover` to resume an
+        existing one.
+    snapshot_every:
+        Append a full state snapshot every this many journal records
+        (``None`` = never; recovery then replays from genesis).
+    restoration, restore_retries, restore_move_budget, revert_on_repair,
+    restore_order:
+        Fault-injector configuration (see
+        :class:`~repro.online.faults.FaultInjector`), journalled in the
+        genesis record so recovery rebuilds the same injector.
+    fsync:
+        ``os.fsync`` after every append (durability against OS crashes,
+        not just process crashes; slow).
+    """
+
+    def __init__(self, graph: DiGraph, path: str, wavelengths: int,
+                 routing: str = "shortest", policy: str = "first_fit",
+                 kempe_repair: bool = False, seed: Optional[int] = None,
+                 k_candidates: int = 4, speculative: bool = False,
+                 sharded: bool = False,
+                 snapshot_every: Optional[int] = None,
+                 restoration: bool = True, restore_retries: int = 2,
+                 restore_move_budget: Optional[int] = None,
+                 revert_on_repair: bool = False,
+                 restore_order: str = "highest_wavelength",
+                 fsync: bool = False) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        genesis = {
+            "type": "genesis", "version": JOURNAL_VERSION,
+            "wavelengths": wavelengths, "routing": routing, "policy": policy,
+            "kempe_repair": kempe_repair, "seed": seed,
+            "k_candidates": k_candidates, "speculative": speculative,
+            "sharded": sharded, "snapshot_every": snapshot_every,
+            "restoration": restoration, "restore_retries": restore_retries,
+            "restore_move_budget": restore_move_budget,
+            "revert_on_repair": revert_on_repair,
+            "restore_order": restore_order,
+            "vertices": [_encode_vertex(v) for v in graph.vertices()],
+            "arcs": [_encode_arc(a) for a in graph.arcs()],
+        }
+        self._bootstrap(genesis, path, mode="w", fsync=fsync)
+        self._append(genesis)
+
+    def _bootstrap(self, genesis: Dict[str, Any], path: str, mode: str,
+                   fsync: bool = False) -> None:
+        self._genesis = genesis
+        self._path = path
+        self._fsync = fsync
+        self._engine, self._injector = _engine_from_genesis(genesis)
+        self._graph_ops: List[list] = []
+        self._records = 0
+        self._since_snapshot = 0
+        self._file = open(path, mode, encoding="utf-8")
+
+    @classmethod
+    def _resume(cls, genesis: Dict[str, Any], path: str) -> "DurableEngine":
+        """A recovery skeleton: canonical genesis engine, journal appended
+        to (not truncated), no genesis record written."""
+        self = cls.__new__(cls)
+        self._bootstrap(genesis, path, mode="a")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> OnlineEngine:
+        """The wrapped live engine."""
+        return self._engine
+
+    @property
+    def injector(self) -> FaultInjector:
+        """The fault injector bound to the engine."""
+        return self._injector
+
+    @property
+    def path(self) -> str:
+        """The journal file path."""
+        return self._path
+
+    @property
+    def records(self) -> int:
+        """Journal records written (or replayed) so far, genesis included."""
+        return self._records
+
+    @property
+    def family(self):
+        return self._engine.family
+
+    @property
+    def conflict(self):
+        return self._engine.conflict
+
+    @property
+    def assigner(self):
+        return self._engine.assigner
+
+    @property
+    def graph(self) -> DiGraph:
+        return self._engine.graph
+
+    @property
+    def vertex_of(self) -> Dict[int, int]:
+        return self._engine.vertex_of
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """:func:`engine_fingerprint` of the wrapped engine."""
+        return engine_fingerprint(self._engine)
+
+    def close(self) -> None:
+        """Close the journal file (the engine stays usable in memory)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # journalled operations
+    # ------------------------------------------------------------------ #
+    def admit(self, request_id: int, request: Optional[Request] = None,
+              dipath: Optional[Dipath] = None) -> Optional[str]:
+        """Journalled :meth:`OnlineEngine.admit`."""
+        reason = self._engine.admit(request_id, request=request,
+                                    dipath=dipath)
+        idx = self._engine.vertex_of.get(request_id)
+        color = None if idx is None else self._engine.assigner.color_of(idx)
+        self._append({
+            "type": "admit", "rid": request_id,
+            "request": None if request is None
+            else [_encode_vertex(request.source),
+                  _encode_vertex(request.target)],
+            "dipath": None if dipath is None else _encode_path(
+                dipath.vertices),
+            "outcome": reason, "index": idx, "color": color})
+        self._maybe_snapshot()
+        return reason
+
+    def admit_batch(self, arrivals: List[Event],
+                    policy: str = "all_or_nothing"
+                    ) -> Dict[int, Optional[str]]:
+        """Journalled :meth:`OnlineEngine.admit_batch` (serial path)."""
+        reasons = self._engine.admit_batch(arrivals, policy=policy)
+        placements = {}
+        for event in arrivals:
+            rid = event.request_id
+            if reasons[rid] is None:
+                idx = self._engine.vertex_of[rid]
+                placements[str(rid)] = [idx,
+                                        self._engine.assigner.color_of(idx)]
+        self._append({
+            "type": "admit_batch", "policy": policy,
+            "arrivals": [
+                [e.request_id,
+                 None if e.request is None
+                 else [_encode_vertex(e.request.source),
+                       _encode_vertex(e.request.target)],
+                 None if e.dipath is None
+                 else _encode_path(e.dipath.vertices)]
+                for e in arrivals],
+            "outcome": {str(rid): r for rid, r in reasons.items()},
+            "placements": placements})
+        self._maybe_snapshot()
+        return reasons
+
+    def depart(self, request_id: int) -> bool:
+        """Journalled :meth:`OnlineEngine.depart` (+ injector forget)."""
+        held = self._engine.depart(request_id)
+        self._injector.forget(request_id)
+        self._append({"type": "depart", "rid": request_id, "outcome": held})
+        self._maybe_snapshot()
+        return held
+
+    def defrag(self, order: str = "highest_wavelength",
+               max_moves: Optional[int] = None,
+               time_budget: Optional[float] = None,
+               shard: Optional[int] = None) -> DefragReport:
+        """Journalled :meth:`OnlineEngine.defrag`; refuses ``time_budget``
+        (a wall-clock bound cannot be replayed deterministically)."""
+        if time_budget is not None:
+            raise TransactionError(
+                "time_budget is wall-clock-bounded and cannot be "
+                "journalled; bound durable defrag passes with max_moves")
+        report = self._engine.defrag(order=order, max_moves=max_moves,
+                                     shard=shard)
+        self._append({"type": "defrag", "order": order,
+                      "max_moves": max_moves, "shard": shard,
+                      "moves": len(report.moves),
+                      "reclaimed": report.reclaimed})
+        self._maybe_snapshot()
+        return report
+
+    def cut(self, arc: Arc) -> FaultReport:
+        """Journalled :meth:`~repro.online.faults.FaultInjector.cut`."""
+        report = self._injector.cut(arc)
+        self._graph_ops.append(["cut", _encode_arc(report.arc)])
+        self._append({"type": "cut", "arc": _encode_arc(report.arc),
+                      "stranded": report.stranded,
+                      "restored": report.restored,
+                      "retries": report.retries,
+                      "defrag_moves": report.defrag_moves})
+        self._maybe_snapshot()
+        return report
+
+    def repair(self, arc: Arc) -> FaultReport:
+        """Journalled :meth:`~repro.online.faults.FaultInjector.repair`."""
+        report = self._injector.repair(arc)
+        self._graph_ops.append(["repair", _encode_arc(report.arc)])
+        self._append({"type": "repair", "arc": _encode_arc(report.arc),
+                      "restored": report.restored,
+                      "reverted": report.reverted,
+                      "defrag_moves": report.defrag_moves})
+        self._maybe_snapshot()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # journalling internals
+    # ------------------------------------------------------------------ #
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(record, separators=(",", ":"),
+                                    sort_keys=True) + "\n")
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        self._records += 1
+        self._since_snapshot += 1
+
+    def _maybe_snapshot(self) -> None:
+        every = self._genesis["snapshot_every"]
+        if every is not None and self._since_snapshot >= every:
+            self.snapshot()
+
+    def snapshot(self) -> None:
+        """Append a full state snapshot record now."""
+        self._append({"type": "snapshot", "state": self._capture()})
+        self._since_snapshot = 0
+
+    def _capture(self) -> Dict[str, Any]:
+        """The engine state as a JSON-clean dict (canonicalizes shards)."""
+        engine = self._engine
+        # settle the lazy split-checks: snapshot restore rebuilds the
+        # tracker by flood fill, so the live engine must pass through the
+        # same canonical component state at this journal offset
+        engine.conflict.refresh_shards()
+        family, assigner = engine.family, engine.assigner
+        # AssignerCheckpoint is the one sanctioned capture of the
+        # assigner's monotone counters + RNG; committing it immediately
+        # leaves no journalling frame behind
+        token = assigner.checkpoint()
+        assigner.commit(token)
+        return {
+            "paths": [None if p is None else _encode_path(p.vertices)
+                      for p in family._paths],
+            "arcs": [_encode_arc(a) for a in family._arcs],
+            "free_slots": list(family._free_slots),
+            "load_warm": family._load_hist is not None,
+            "masks_warm": family._conflict_masks is not None,
+            "mask_rebuilds": family._mask_rebuilds,
+            "coloring": {str(i): c for i, c in
+                         sorted(assigner.coloring.items())},
+            "ever_used": token.ever_used,
+            "repairs": token.repairs,
+            "rng_state": _encode_rng(token.rng_state),
+            "vertex_of": {str(r): i for r, i in
+                          sorted(engine.vertex_of.items())},
+            "defrag": [engine.defrag_passes, engine.defrag_moves,
+                       engine.wavelengths_reclaimed],
+            "graph_ops": [list(op) for op in self._graph_ops],
+            "cut_arcs": [_encode_arc(a) for a in self._injector.cut_arcs()],
+            "stranded": {str(r): _encode_path(d.vertices) for r, d in
+                         sorted(self._injector._stranded.items())},
+            "rerouted": {str(r): _encode_path(d.vertices) for r, d in
+                         sorted(self._injector._rerouted.items())},
+        }
+
+    # ------------------------------------------------------------------ #
+    # recovery internals
+    # ------------------------------------------------------------------ #
+    def _apply_snapshot(self, state: Dict[str, Any]) -> None:
+        """Field-level restore of a snapshot onto the genesis skeleton."""
+        engine, genesis = self._engine, self._genesis
+        # 1. topology: genesis build already happened; replay the cut /
+        #    repair history so the adjacency sets relive the exact same
+        #    mutation sequence as the pre-crash graph
+        for op, arc in state["graph_ops"]:
+            u, v = _decode_arc(arc)
+            if op == "cut":
+                engine.graph.remove_arc(u, v)
+            else:
+                engine.graph.add_arc(u, v)
+        self._graph_ops = [list(op) for op in state["graph_ops"]]
+        # 2. family: rebuild the slot/arc tables exactly — arc ids in
+        #    historical interning order, freed slots in recycling order
+        family = DipathFamily()
+        arcs = [_decode_arc(a) for a in state["arcs"]]
+        family._arcs = list(arcs)
+        family._arc_ids = {a: i for i, a in enumerate(arcs)}
+        paths: List[Optional[Dipath]] = [
+            None if p is None else _decode_path(p) for p in state["paths"]]
+        family._paths = paths
+        family._path_arc_ids = [
+            () if p is None else tuple(family._arc_ids[a] for a in p.arcs())
+            for p in paths]
+        members = [0] * len(arcs)
+        for idx, p in enumerate(paths):
+            if p is not None:
+                for aid in family._path_arc_ids[idx]:
+                    members[aid] |= 1 << idx
+        family._arc_members = members
+        family._free_slots = list(state["free_slots"])
+        # 3. conflict graph, rebuilt over the restored family
+        if genesis["sharded"]:
+            conflict = ShardedConflictGraph(family)
+        else:
+            conflict = DynamicConflictGraph(family)
+        # lazy-cache warmness back to the captured flags (construction may
+        # have warmed the masks), then the counter the warming bumped
+        if state["load_warm"]:
+            family.load()
+        else:
+            family._load_hist = None
+            family._load_cache = None
+        if state["masks_warm"]:
+            family.conflict_masks()
+        else:
+            family._conflict_masks = None
+        family._mask_rebuilds = state["mask_rebuilds"]
+        # 4. assigner: fresh instance, colour index attached while still
+        #    virgin, colours re-adopted, monotone counters + RNG restored
+        assigner = OnlineWavelengthAssigner(
+            genesis["wavelengths"], policy=genesis["policy"],
+            kempe_repair=genesis["kempe_repair"], seed=genesis["seed"])
+        if genesis["sharded"]:
+            assigner.attach_color_index(ArcColorIndex(family))
+        for key in sorted(state["coloring"], key=int):
+            assigner.adopt(int(key), state["coloring"][key])
+        assigner._ever_used = state["ever_used"]
+        assigner._repairs = state["repairs"]
+        if state["rng_state"] is not None:
+            assigner._rng.setstate(_decode_rng(state["rng_state"]))
+        # 5. swap into the engine; the router must be rebound to the
+        #    restored family (live-load costs read it)
+        engine.family = family
+        engine.conflict = conflict
+        engine.assigner = assigner
+        engine.router = make_online_router(
+            engine.graph, genesis["routing"], family=family,
+            wavelengths=genesis["wavelengths"], k=genesis["k_candidates"])
+        engine.vertex_of = {int(r): i
+                            for r, i in state["vertex_of"].items()}
+        (engine.defrag_passes, engine.defrag_moves,
+         engine.wavelengths_reclaimed) = state["defrag"]
+        # 6. injector registries
+        self._injector._cut = {_decode_arc(a): True
+                               for a in state["cut_arcs"]}
+        self._injector._stranded = {int(r): _decode_path(p)
+                                    for r, p in state["stranded"].items()}
+        self._injector._rerouted = {int(r): _decode_path(p)
+                                    for r, p in state["rerouted"].items()}
+
+    def _replay(self, record: Dict[str, Any], index: int) -> None:
+        """Re-execute one journal record, verifying the recorded outcome."""
+        engine, injector = self._engine, self._injector
+        rtype = record.get("type")
+        try:
+            if rtype == "admit":
+                request = None
+                if record["request"] is not None:
+                    s, t = record["request"]
+                    request = Request(_decode_vertex(s), _decode_vertex(t))
+                dipath = (None if record["dipath"] is None
+                          else _decode_path(record["dipath"]))
+                reason = engine.admit(record["rid"], request=request,
+                                      dipath=dipath)
+                if reason != record["outcome"]:
+                    raise RecoveryError(
+                        f"admit({record['rid']}) replayed to {reason!r}, "
+                        f"journal says {record['outcome']!r}", record=index)
+                if reason is None:
+                    idx = engine.vertex_of[record["rid"]]
+                    color = engine.assigner.color_of(idx)
+                    if idx != record["index"] or color != record["color"]:
+                        raise RecoveryError(
+                            f"admit({record['rid']}) replayed to slot "
+                            f"{idx}/colour {color}, journal says "
+                            f"{record['index']}/{record['color']}",
+                            record=index)
+            elif rtype == "admit_batch":
+                arrivals = []
+                for rid, req, path in record["arrivals"]:
+                    request = None
+                    if req is not None:
+                        request = Request(_decode_vertex(req[0]),
+                                          _decode_vertex(req[1]))
+                    dipath = None if path is None else _decode_path(path)
+                    arrivals.append(Event(0.0, ARRIVAL, rid,
+                                          request=request, dipath=dipath))
+                reasons = engine.admit_batch(arrivals,
+                                             policy=record["policy"])
+                expected = {int(k): v for k, v in record["outcome"].items()}
+                if reasons != expected:
+                    raise RecoveryError(
+                        f"batch replayed to {reasons!r}, journal says "
+                        f"{expected!r}", record=index)
+                for key, (idx, color) in record["placements"].items():
+                    rid = int(key)
+                    got_idx = engine.vertex_of.get(rid)
+                    got_color = (None if got_idx is None
+                                 else engine.assigner.color_of(got_idx))
+                    if got_idx != idx or got_color != color:
+                        raise RecoveryError(
+                            f"batch placement of request {rid} replayed "
+                            f"to {got_idx}/{got_color}, journal says "
+                            f"{idx}/{color}", record=index)
+            elif rtype == "depart":
+                held = engine.depart(record["rid"])
+                injector.forget(record["rid"])
+                if held != record["outcome"]:
+                    raise RecoveryError(
+                        f"depart({record['rid']}) replayed to {held}, "
+                        f"journal says {record['outcome']}", record=index)
+            elif rtype == "defrag":
+                report = engine.defrag(order=record["order"],
+                                       max_moves=record["max_moves"],
+                                       shard=record["shard"])
+                if (len(report.moves) != record["moves"]
+                        or report.reclaimed != record["reclaimed"]):
+                    raise RecoveryError(
+                        f"defrag replayed to {len(report.moves)} moves / "
+                        f"{report.reclaimed} reclaimed, journal says "
+                        f"{record['moves']}/{record['reclaimed']}",
+                        record=index)
+            elif rtype == "cut":
+                report = injector.cut(_decode_arc(record["arc"]))
+                self._graph_ops.append(["cut", record["arc"]])
+                if (report.stranded != record["stranded"]
+                        or report.restored != record["restored"]):
+                    raise RecoveryError(
+                        f"cut{tuple(record['arc'])} replayed to stranded="
+                        f"{report.stranded} restored={report.restored}, "
+                        f"journal says {record['stranded']}/"
+                        f"{record['restored']}", record=index)
+            elif rtype == "repair":
+                report = injector.repair(_decode_arc(record["arc"]))
+                self._graph_ops.append(["repair", record["arc"]])
+                if (report.restored != record["restored"]
+                        or report.reverted != record["reverted"]):
+                    raise RecoveryError(
+                        f"repair{tuple(record['arc'])} replayed to "
+                        f"restored={report.restored} reverted="
+                        f"{report.reverted}, journal says "
+                        f"{record['restored']}/{record['reverted']}",
+                        record=index)
+            elif rtype == "snapshot":
+                # integrity gate: a from-genesis replay must pass through
+                # the exact state the live engine snapshotted here
+                if self._capture() != record["state"]:
+                    raise RecoveryError(
+                        "replayed state does not match the snapshot",
+                        record=index)
+                self._since_snapshot = 0
+            else:
+                raise RecoveryError(f"unknown record type {rtype!r}",
+                                    record=index)
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(f"replay raised {exc!r}",
+                                record=index) from exc
+
+
+def recover(path: str) -> DurableEngine:
+    """Rebuild a :class:`DurableEngine` from its journal.
+
+    Parses the journal, discards a torn tail (truncating the file to the
+    last clean record boundary), rebuilds the canonical genesis engine,
+    jumps to the last snapshot if one exists and re-executes the remaining
+    records through the real engine code paths — verifying every replayed
+    decision against the journalled one.  Returns the recovered engine
+    with the journal re-opened for appending; raises
+    :class:`~repro.exceptions.RecoveryError` on any corruption or
+    divergence.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    lines = raw.split(b"\n")
+    complete, tail = lines[:-1], lines[-1]
+    records: List[Dict[str, Any]] = []
+    clean_len = 0
+    for pos, line in enumerate(complete):
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("journal record is not an object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            if pos == len(complete) - 1 and not tail:
+                break               # unreadable final line: treat as torn
+            raise RecoveryError(f"unreadable journal record: {exc}",
+                                record=pos) from exc
+        records.append(record)
+        clean_len += len(line) + 1
+    if not records:
+        raise RecoveryError("journal is empty or its genesis record is torn")
+    genesis = records[0]
+    if genesis.get("type") != "genesis":
+        raise RecoveryError("journal does not start with a genesis record",
+                            record=0)
+    if genesis.get("version") != JOURNAL_VERSION:
+        raise RecoveryError(
+            f"unsupported journal version {genesis.get('version')!r} "
+            f"(this build writes {JOURNAL_VERSION})", record=0)
+    if clean_len != len(raw):
+        # drop the torn tail before any re-appending can interleave with it
+        with open(path, "r+b") as fh:
+            fh.truncate(clean_len)
+    durable = DurableEngine._resume(genesis, path)
+    snapshots = [i for i, r in enumerate(records) if r["type"] == "snapshot"]
+    start = 1
+    if snapshots:
+        last = snapshots[-1]
+        try:
+            durable._apply_snapshot(records[last]["state"])
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(f"snapshot restore raised {exc!r}",
+                                record=last) from exc
+        start = last + 1
+    for i in range(start, len(records)):
+        durable._replay(records[i], i)
+    durable._records = len(records)
+    durable._since_snapshot = (len(records) - 1 - snapshots[-1]
+                               if snapshots else len(records))
+    return durable

@@ -25,6 +25,10 @@ exists but no wavelength fits the budget (even after an optional Kempe
 repair).  The distinction matters operationally — no amount of extra
 spectrum fixes a :data:`NO_ROUTE` rejection, while the paper's
 load/wavelength gap shows up entirely in the :data:`NO_WAVELENGTH` ones.
+Two further reasons come from the fault-tolerance layer: :data:`SHED`
+(the admission guard refused the arrival before any routing work, see
+:class:`AdmissionGuard`) and :data:`FIBRE_CUT` (the lightpath was
+provisioned, lost its fibre to a cut and could not be restored).
 
 The result records acceptance/blocking per request plus per-event time
 series (active lightpaths, wavelengths in use, maximum fibre load), which
@@ -53,7 +57,7 @@ from ..graphs.digraph import DiGraph
 from ..parallel.executor import parallel_map
 from .assigner import OnlineWavelengthAssigner
 from .defrag import DefragMove, DefragPass, DefragReport, max_color_in_use
-from .events import ARRIVAL, DEPARTURE, Event
+from .events import ARRIVAL, CUT, DEPARTURE, REPAIR, Event
 from .routing import make_online_router
 from .sharding import (
     PARALLEL_SAFE_POLICY,
@@ -67,13 +71,82 @@ from .transaction import BATCH_POLICIES
 from .transaction import admit_batch as _admit_dipath_batch
 from .transaction import admit_best
 
-__all__ = ["NO_ROUTE", "NO_WAVELENGTH", "OnlineEngine", "OnlineResult",
+__all__ = ["FIBRE_CUT", "NO_ROUTE", "NO_WAVELENGTH", "SHED",
+           "AdmissionGuard", "OnlineEngine", "OnlineResult",
            "simulate_online"]
 
 #: Rejection reason: the topology has no dipath for the request at all.
 NO_ROUTE = "no_route"
 #: Rejection reason: routed, but no wavelength fits the budget.
 NO_WAVELENGTH = "no_wavelength"
+#: Rejection reason: the admission guard shed the arrival unexamined
+#: (work budget or queue depth exceeded) — no routing work was done.
+SHED = "shed"
+#: Rejection reason: provisioned, then stranded by a fibre cut and not
+#: restored by the end of the run.
+FIBRE_CUT = "fibre_cut"
+
+
+class AdmissionGuard:
+    """Deterministic token-bucket load shedding for the admission loop.
+
+    Under a burst, routing + speculation work per arrival is what stalls
+    an online engine — so the guard measures *work*, not arrivals: each
+    arrival costs its candidate budget (``k_candidates`` under
+    speculation, ``1`` otherwise), the bucket refills at ``work_budget``
+    units per unit of *event time* and holds at most ``burst`` units.  An
+    arrival whose cost exceeds the available tokens is shed — rejected
+    with :data:`SHED` before any routing work — so a burst degrades into
+    bounded per-timestamp work instead of an unbounded stall, and blocking
+    rises smoothly instead of latency.  ``queue_depth`` additionally caps
+    how many arrivals sharing one timestamp are even considered (the rest
+    shed regardless of tokens).
+
+    Everything is a pure function of the event timestamps, so runs are
+    reproducible — no wall clock is consulted.
+    """
+
+    def __init__(self, work_budget: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 queue_depth: Optional[int] = None) -> None:
+        if work_budget is not None and work_budget <= 0:
+            raise ValueError("work_budget must be positive")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if burst is not None and work_budget is None:
+            raise ValueError("burst needs a work_budget")
+        self._budget = work_budget
+        if work_budget is None:
+            self._burst = 0.0
+        else:
+            self._burst = burst if burst is not None else 10.0 * work_budget
+            if self._burst < work_budget:
+                raise ValueError("burst must be >= work_budget")
+        self._queue_depth = queue_depth
+        self._tokens = self._burst       # start full: an initial burst is fine
+        self._last: Optional[float] = None
+        self._group = 0
+        self.shed_count = 0
+
+    def admits(self, time: float, cost: float = 1.0) -> bool:
+        """Whether one arrival at ``time`` costing ``cost`` may proceed."""
+        if self._last is None or time > self._last:
+            if self._budget is not None and self._last is not None:
+                self._tokens = min(
+                    self._burst,
+                    self._tokens + (time - self._last) * self._budget)
+            self._group = 0
+            self._last = time
+        self._group += 1
+        if self._queue_depth is not None and self._group > self._queue_depth:
+            self.shed_count += 1
+            return False
+        if self._budget is not None:
+            if self._tokens < cost:
+                self.shed_count += 1
+                return False
+            self._tokens -= cost
+        return True
 
 
 @dataclass
@@ -83,10 +156,15 @@ class OnlineResult:
     Attributes
     ----------
     accepted, blocked:
-        ``request_id`` of admitted / blocked arrivals, in arrival order.
+        ``request_id`` of admitted / blocked arrivals.  Without faults
+        both lists are in arrival order; fibre cuts move stranded
+        requests from ``accepted`` to ``blocked`` (and restoration moves
+        them back by re-appending), so under faults the lists are in
+        *final-decision* order.
     rejections:
         ``request_id -> reason`` for every blocked arrival —
-        :data:`NO_ROUTE` or :data:`NO_WAVELENGTH`.
+        :data:`NO_ROUTE`, :data:`NO_WAVELENGTH`, :data:`SHED` or
+        :data:`FIBRE_CUT`.
     wavelengths_available:
         The per-fibre budget ``W``.
     wavelengths_used:
@@ -108,6 +186,14 @@ class OnlineResult:
         pass's reclaim, fragmentation can rebuild between passes).
     sharded:
         Whether the run used the component-sharded engine.
+    fibre_cuts, fibre_repairs:
+        Fault events processed during the run.
+    lightpaths_stranded:
+        Lightpaths torn down by fibre cuts (each counted once per cut
+        that stranded it, restored or not).
+    lightpaths_restored:
+        Successful re-admissions of stranded lightpaths (at cut time,
+        on later retries, or at repair time).
     component_merges, component_splits, shard_rebuilds:
         Shard-tracker counters at the end of the run (always recorded —
         the unsharded engine tracks components too, it just does not
@@ -133,6 +219,10 @@ class OnlineResult:
     defrag_moves: int = 0
     wavelengths_reclaimed: int = 0
     sharded: bool = False
+    fibre_cuts: int = 0
+    fibre_repairs: int = 0
+    lightpaths_stranded: int = 0
+    lightpaths_restored: int = 0
     component_merges: int = 0
     component_splits: int = 0
     shard_rebuilds: int = 0
@@ -140,7 +230,14 @@ class OnlineResult:
 
     @property
     def blocking_rate(self) -> float:
-        """Fraction of arrivals that could not be provisioned."""
+        """Fraction of arrivals that ended the run unprovisioned.
+
+        Every rejection reason counts: shed arrivals never got routing
+        work and cut-stranded lightpaths *were* provisioned for a while,
+        but both represent service the network ultimately failed to
+        deliver, which is what an operator's blocking SLA measures.  Use
+        the ``blocked_*`` accessors to split the rate by cause.
+        """
         total = len(self.accepted) + len(self.blocked)
         return len(self.blocked) / total if total else 0.0
 
@@ -155,6 +252,18 @@ class OnlineResult:
         """Blocked arrivals that routed but found no free wavelength."""
         return [rid for rid in self.blocked
                 if self.rejections.get(rid) == NO_WAVELENGTH]
+
+    @property
+    def blocked_shed(self) -> List[int]:
+        """Arrivals the admission guard shed before any routing work."""
+        return [rid for rid in self.blocked
+                if self.rejections.get(rid) == SHED]
+
+    @property
+    def blocked_fibre_cut(self) -> List[int]:
+        """Lightpaths stranded by a fibre cut and never restored."""
+        return [rid for rid in self.blocked
+                if self.rejections.get(rid) == FIBRE_CUT]
 
     def peak_active(self) -> int:
         """Maximum number of concurrent lightpaths (0 without a timeline)."""
@@ -181,6 +290,7 @@ class OnlineEngine:
                  sharded: bool = False) -> None:
         if wavelengths < 1:
             raise ValueError("wavelengths must be >= 1")
+        self.graph = graph
         self.family = DipathFamily()
         self.sharded = sharded
         if sharded:
@@ -545,7 +655,14 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     defrag_order: str = "highest_wavelength",
                     defrag_max_moves: Optional[int] = None,
                     sharded: bool = False,
-                    shard_workers: Optional[int] = None) -> OnlineResult:
+                    shard_workers: Optional[int] = None,
+                    shed_work_budget: Optional[float] = None,
+                    shed_burst: Optional[float] = None,
+                    shed_queue_depth: Optional[int] = None,
+                    restoration: bool = True,
+                    restore_retries: int = 2,
+                    restore_move_budget: Optional[int] = None,
+                    revert_on_repair: bool = False) -> OnlineResult:
     """Run an event trace through the incremental online RWA engine.
 
     Parameters
@@ -608,7 +725,38 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         same tasks, run serially).  Note the defrag semantics change:
         shard-scoped passes accept moves on the *component-local*
         objective (that independence is what parallelises them).
+    shed_work_budget, shed_burst, shed_queue_depth:
+        Configure an :class:`AdmissionGuard` (any of them set turns it
+        on): arrivals beyond the work budget — ``k_candidates`` units
+        under speculation, ``1`` otherwise, refilled per unit of event
+        time, bucket capped at ``shed_burst`` — or beyond
+        ``shed_queue_depth`` same-timestamp arrivals are rejected with
+        :data:`SHED` before any routing work.  Shed arrivals never
+        trigger ``defrag_on_block``.
+    restoration:
+        Re-route lightpaths stranded by :data:`~repro.online.events.CUT`
+        events through batched re-admission + defrag retries (see
+        :class:`~repro.online.faults.FaultInjector`).  With ``False``
+        cuts still tear stranded lightpaths down (the spectrum is
+        released), but no re-route is attempted until a
+        :data:`~repro.online.events.REPAIR` of the same fibre.
+    restore_retries:
+        Bounded retries of the restoration loop per fault event: after
+        the first batched re-admission, up to this many further rounds,
+        each preceded by a defrag pass (backoff stops early when a pass
+        commits no move).
+    restore_move_budget:
+        ``max_moves`` for each restoration defrag pass (``None`` =
+        unbounded).
+    revert_on_repair:
+        After a :data:`~repro.online.events.REPAIR`, offer every
+        restoration-rerouted lightpath its original route back, keeping
+        only strict-improvement moves (the defrag acceptance objective).
     """
+    if any(e.kind in (CUT, REPAIR) for e in events):
+        # fault events mutate the topology in place; run on a private
+        # copy so the caller's graph survives the simulation
+        graph = graph.copy()
     engine = OnlineEngine(graph, wavelengths, routing=routing, policy=policy,
                           kempe_repair=kempe_repair, seed=seed,
                           k_candidates=k_candidates, speculative=speculative,
@@ -628,6 +776,44 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     if defrag_utilization is not None and \
             not 0.0 < defrag_utilization <= 1.0:
         raise ValueError("defrag_utilization must be in (0, 1]")
+    if restore_retries < 0:
+        raise ValueError("restore_retries must be >= 0")
+    guard = None
+    if shed_work_budget is not None or shed_queue_depth is not None:
+        guard = AdmissionGuard(work_budget=shed_work_budget,
+                               burst=shed_burst,
+                               queue_depth=shed_queue_depth)
+    elif shed_burst is not None:
+        raise ValueError("shed_burst needs shed_work_budget")
+    # routing + speculation dominates per-arrival work, so the guard
+    # charges the candidate budget per arrival
+    arrival_cost = float(k_candidates) if speculative else 1.0
+    injector = None
+
+    def fault_injector():
+        nonlocal injector
+        if injector is None:
+            from .faults import FaultInjector    # deferred: faults imports us
+            injector = FaultInjector(
+                engine, restoration=restoration, retries=restore_retries,
+                move_budget=restore_move_budget,
+                revert_on_repair=revert_on_repair, order=defrag_order)
+        return injector
+
+    def reconcile(report) -> None:
+        """Fold a fault report into the accepted/blocked bookkeeping."""
+        result.lightpaths_stranded += len(report.stranded)
+        result.lightpaths_restored += len(report.restored)
+        for rid in report.restored:
+            if result.rejections.get(rid) == FIBRE_CUT:
+                del result.rejections[rid]
+                result.blocked.remove(rid)
+                result.accepted.append(rid)
+        for rid in report.still_stranded:
+            if rid not in result.rejections:
+                result.accepted.remove(rid)
+                result.blocked.append(rid)
+                result.rejections[rid] = FIBRE_CUT
 
     def run_defrag() -> DefragReport:
         if shard_workers is not None:
@@ -654,19 +840,29 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                 group.append(events[j])
                 j += 1
         if len(group) > 1:
-            reasons = engine.admit_batch(group, policy=batch_policy,
-                                         workers=shard_workers)
+            kept = group
+            if guard is not None:
+                kept = []
+                for arrival in group:
+                    if guard.admits(event.time, arrival_cost):
+                        kept.append(arrival)
+                    else:
+                        result.blocked.append(arrival.request_id)
+                        result.rejections[arrival.request_id] = SHED
+            reasons = engine.admit_batch(kept, policy=batch_policy,
+                                         workers=shard_workers) \
+                if kept else {}
             if defrag_on_block and NO_WAVELENGTH in reasons.values():
                 # Same contract as the singleton path: defragment, and if
                 # the pass moved anything give the spectrum-blocked part
                 # of the burst one more shot (under the same policy).
                 if run_defrag().moves:
-                    retry = [e for e in group
+                    retry = [e for e in kept
                              if reasons[e.request_id] == NO_WAVELENGTH]
                     reasons.update(
                         engine.admit_batch(retry, policy=batch_policy,
                                            workers=shard_workers))
-            for arrival in group:
+            for arrival in kept:
                 reason = reasons[arrival.request_id]
                 if reason is None:
                     result.accepted.append(arrival.request_id)
@@ -674,23 +870,44 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     result.blocked.append(arrival.request_id)
                     result.rejections[arrival.request_id] = reason
         elif event.kind == ARRIVAL:
-            reason = engine.admit(event.request_id, request=event.request,
-                                  dipath=event.dipath)
-            if reason == NO_WAVELENGTH and defrag_on_block:
-                # Defragment and give the blocked arrival one more chance —
-                # a fruitless pass (no move committed) cannot change the
-                # admission decision, so only a fruitful one re-tries.
-                if run_defrag().moves:
-                    reason = engine.admit(event.request_id,
-                                          request=event.request,
-                                          dipath=event.dipath)
-            if reason is None:
-                result.accepted.append(event.request_id)
-            else:
+            if guard is not None and \
+                    not guard.admits(event.time, arrival_cost):
                 result.blocked.append(event.request_id)
-                result.rejections[event.request_id] = reason
+                result.rejections[event.request_id] = SHED
+            else:
+                reason = engine.admit(event.request_id,
+                                      request=event.request,
+                                      dipath=event.dipath)
+                if reason == NO_WAVELENGTH and defrag_on_block:
+                    # Defragment and give the blocked arrival one more
+                    # chance — a fruitless pass (no move committed) cannot
+                    # change the admission decision, so only a fruitful
+                    # one re-tries.
+                    if run_defrag().moves:
+                        reason = engine.admit(event.request_id,
+                                              request=event.request,
+                                              dipath=event.dipath)
+                if reason is None:
+                    result.accepted.append(event.request_id)
+                else:
+                    result.blocked.append(event.request_id)
+                    result.rejections[event.request_id] = reason
         elif event.kind == DEPARTURE:
             engine.depart(event.request_id)
+            if injector is not None:
+                # a departed request must not be resurrected by a later
+                # repair, even if it was stranded when it departed
+                injector.forget(event.request_id)
+        elif event.kind in (CUT, REPAIR):
+            if event.arc is None:
+                raise SimulationError(
+                    f"fault event at time {event.time} carries no arc")
+            if event.kind == CUT:
+                result.fibre_cuts += 1
+                reconcile(fault_injector().cut(event.arc))
+            else:
+                result.fibre_repairs += 1
+                reconcile(fault_injector().repair(event.arc))
         else:
             raise SimulationError(f"unknown event kind {event.kind!r}")
         index += len(group)

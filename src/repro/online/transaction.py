@@ -46,6 +46,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..conflict.dynamic import DynamicConflictGraph
 from ..dipaths.dipath import Dipath
+from ..exceptions import TransactionError
 from .assigner import AssignerCheckpoint, OnlineWavelengthAssigner
 from .routing import live_load_cost
 
@@ -111,7 +112,7 @@ class WhatIfTransaction:
 
     def _require_open(self) -> None:
         if not self._open:
-            raise RuntimeError("the transaction is already closed")
+            raise TransactionError("the transaction is already closed")
 
     def _detach(self) -> None:
         """Close this transaction and leave the engine's nesting stack.
@@ -120,7 +121,7 @@ class WhatIfTransaction:
         open (the child's journal would be stranded half-applied).
         """
         if self._stack[-1] is not self:
-            raise RuntimeError(
+            raise TransactionError(
                 "a nested transaction is still open; resolve it first")
         self._open = False
         self._stack.pop()
@@ -148,14 +149,14 @@ class WhatIfTransaction:
         """Colour member ``idx`` (journalled, Kempe repair included)."""
         self._require_open()
         if self._assigner is None:
-            raise RuntimeError("transaction opened without an assigner")
+            raise TransactionError("transaction opened without an assigner")
         return self._assigner.assign(self._conflict, idx)
 
     def release(self, idx: int) -> int:
         """Release member ``idx``'s colour (journalled)."""
         self._require_open()
         if self._assigner is None:
-            raise RuntimeError("transaction opened without an assigner")
+            raise TransactionError("transaction opened without an assigner")
         return self._assigner.release(idx)
 
     def admit(self, dipath) -> Tuple[int, Optional[int]]:
@@ -205,7 +206,7 @@ class WhatIfTransaction:
                 _, idx, path, load_cache = entry
                 readded = conflict.add_dipath(path)
                 if readded != idx:
-                    raise RuntimeError(
+                    raise TransactionError(
                         f"rollback re-added member at slot {readded}, "
                         f"expected {idx}")
                 family._restore_load_cache(load_cache)
@@ -362,8 +363,8 @@ class BatchResult:
 
     def __post_init__(self) -> None:
         if self.policy not in BATCH_POLICIES:
-            raise ValueError(f"unknown batch policy {self.policy!r}; "
-                             f"expected one of {BATCH_POLICIES}")
+            raise TransactionError(f"unknown batch policy {self.policy!r}; "
+                                   f"expected one of {BATCH_POLICIES}")
 
 
 def admit_batch(conflict: DynamicConflictGraph,
@@ -427,8 +428,8 @@ class BatchTransaction:
                  assigner: OnlineWavelengthAssigner,
                  policy: str = "all_or_nothing") -> None:
         if policy not in BATCH_POLICIES:
-            raise ValueError(f"unknown batch policy {policy!r}; "
-                             f"expected one of {BATCH_POLICIES}")
+            raise TransactionError(f"unknown batch policy {policy!r}; "
+                                   f"expected one of {BATCH_POLICIES}")
         self._conflict = conflict
         self._assigner = assigner
         self._policy = policy

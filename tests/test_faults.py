@@ -1,0 +1,280 @@
+"""Fibre-cut injection, restoration, reversion and load shedding.
+
+Covers :mod:`repro.online.faults` (the :class:`FaultInjector` control
+plane), the :data:`CUT` / :data:`REPAIR` event kinds and their ordering,
+the :class:`AdmissionGuard` token bucket, and the :data:`SHED` /
+:data:`FIBRE_CUT` rejection accounting of
+:func:`~repro.online.simulator.simulate_online`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dipaths.requests import Request
+from repro.exceptions import FaultError, ReproError
+from repro.online.events import (
+    ARRIVAL,
+    CUT,
+    DEPARTURE,
+    REPAIR,
+    Event,
+    cut_event,
+    poisson_trace,
+    repair_event,
+    sort_events,
+)
+from repro.online.faults import FaultInjector
+from repro.online.simulator import (
+    FIBRE_CUT,
+    SHED,
+    AdmissionGuard,
+    OnlineEngine,
+    simulate_online,
+)
+from repro.generators.regions import multi_region_topology, multi_region_traffic
+from repro.graphs.digraph import DiGraph
+
+pytestmark = pytest.mark.recovery
+
+
+def diamond() -> DiGraph:
+    """Two parallel routes 0 -> 3: via 1 (short) and via 2."""
+    graph = DiGraph()
+    for v in range(4):
+        graph.add_vertex(v)
+    graph.add_arcs([(0, 1), (1, 3), (0, 2), (2, 3)])
+    return graph
+
+
+def engine_on_diamond(**kwargs) -> OnlineEngine:
+    return OnlineEngine(diamond(), wavelengths=4, routing="k_shortest",
+                        k_candidates=4, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# fault events
+# --------------------------------------------------------------------------- #
+def test_cut_and_repair_event_constructors():
+    cut = cut_event(2.5, (0, 1), fault_id=7)
+    repair = repair_event(3.5, (0, 1), fault_id=8)
+    assert cut.kind == CUT and cut.arc == (0, 1) and cut.time == 2.5
+    assert repair.kind == REPAIR and repair.request_id == 8
+
+
+def test_equal_timestamp_ordering_departure_repair_cut_arrival():
+    events = [Event(1.0, ARRIVAL, 3, request=Request(0, 3)),
+              cut_event(1.0, (0, 1), fault_id=2),
+              repair_event(1.0, (0, 2), fault_id=1),
+              Event(1.0, DEPARTURE, 0)]
+    kinds = [e.kind for e in sort_events(events)]
+    assert kinds == [DEPARTURE, REPAIR, CUT, ARRIVAL]
+
+
+# --------------------------------------------------------------------------- #
+# FaultInjector
+# --------------------------------------------------------------------------- #
+def test_cut_strands_and_restores_on_the_surviving_route():
+    engine = engine_on_diamond()
+    assert engine.admit(0, request=Request(0, 3)) is None
+    route_before = engine.family[engine.vertex_of[0]]
+    assert (0, 1) in route_before.arcs()        # the short route wins
+
+    injector = FaultInjector(engine)
+    report = injector.cut((0, 1))
+    assert report.kind == "cut" and report.arc == (0, 1)
+    assert report.stranded == [0] and report.restored == [0]
+    assert report.still_stranded == []
+    assert not engine.graph.has_arc(0, 1)
+    # restored on the detour, registered as rerouted
+    route_after = engine.family[engine.vertex_of[0]]
+    assert (0, 2) in route_after.arcs()
+    assert injector.rerouted() == [0] and injector.stranded() == []
+
+
+def test_cut_without_restoration_waits_for_repair():
+    engine = engine_on_diamond()
+    engine.admit(0, request=Request(0, 3))
+    injector = FaultInjector(engine, restoration=False)
+    report = injector.cut((0, 1))
+    assert report.stranded == [0] and report.restored == []
+    assert injector.stranded() == [0]
+    assert 0 not in engine.vertex_of
+
+    repaired = injector.repair((0, 1))
+    assert repaired.kind == "repair" and repaired.restored == [0]
+    assert injector.stranded() == [] and 0 in engine.vertex_of
+    assert engine.graph.has_arc(0, 1)
+
+
+def test_cut_validation_errors():
+    engine = engine_on_diamond()
+    injector = FaultInjector(engine)
+    with pytest.raises(FaultError):
+        injector.cut((9, 9))                    # not in the topology
+    injector.cut((0, 1))
+    with pytest.raises(FaultError):
+        injector.cut((0, 1))                    # already cut
+    with pytest.raises(FaultError):
+        injector.repair((0, 2))                 # not cut
+    with pytest.raises(FaultError):
+        FaultInjector(engine, retries=-1)
+    assert issubclass(FaultError, ReproError)
+
+
+def test_forget_stops_repair_from_resurrecting_departed_requests():
+    engine = engine_on_diamond()
+    engine.admit(0, request=Request(0, 3))
+    injector = FaultInjector(engine, restoration=False)
+    injector.cut((0, 1))
+    injector.forget(0)                          # its holding time expired
+    report = injector.repair((0, 1))
+    assert report.restored == [] and injector.stranded() == []
+    assert 0 not in engine.vertex_of
+
+
+def test_revert_on_repair_returns_detour_to_original_route():
+    engine = engine_on_diamond()
+    # a neighbour occupying (2, 3): the detour must take wavelength 1
+    engine.admit(1, request=Request(2, 3))
+    engine.admit(0, request=Request(0, 3))
+    injector = FaultInjector(engine, revert_on_repair=True)
+    injector.cut((0, 1))
+    assert injector.rerouted() == [0]
+    assert engine.assigner.colors_in_use() == 2
+
+    report = injector.repair((0, 1))
+    assert report.reverted == [0]
+    assert injector.rerouted() == []
+    restored = engine.family[engine.vertex_of[0]]
+    assert (0, 1) in restored.arcs()
+    assert engine.assigner.colors_in_use() == 1  # the strict improvement
+
+
+# --------------------------------------------------------------------------- #
+# AdmissionGuard
+# --------------------------------------------------------------------------- #
+def test_admission_guard_validation():
+    with pytest.raises(ValueError):
+        AdmissionGuard(work_budget=0.0)
+    with pytest.raises(ValueError):
+        AdmissionGuard(queue_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionGuard(burst=4.0)               # burst needs a budget
+    with pytest.raises(ValueError):
+        AdmissionGuard(work_budget=4.0, burst=2.0)
+
+
+def test_admission_guard_token_bucket_refills_with_event_time():
+    guard = AdmissionGuard(work_budget=2.0, burst=4.0)
+    assert guard.admits(0.0, cost=4.0)          # starts full
+    assert not guard.admits(0.0, cost=1.0)      # drained at t=0
+    assert guard.shed_count == 1
+    assert guard.admits(1.0, cost=2.0)          # refilled 2 units
+    assert not guard.admits(1.0, cost=1.0)
+    assert guard.admits(100.0, cost=4.0)        # refill caps at burst
+    assert not guard.admits(100.0, cost=1.0)
+
+
+def test_admission_guard_queue_depth_caps_equal_timestamp_groups():
+    guard = AdmissionGuard(queue_depth=2)
+    assert guard.admits(0.0) and guard.admits(0.0)
+    assert not guard.admits(0.0)                # third of the group
+    assert guard.admits(1.0)                    # new timestamp, new group
+    assert guard.shed_count == 1
+
+
+# --------------------------------------------------------------------------- #
+# simulate_online wiring
+# --------------------------------------------------------------------------- #
+def test_simulate_online_shed_accounting():
+    graph = diamond()
+    events = sort_events(
+        [Event(0.0, ARRIVAL, rid, request=Request(0, 3))
+         for rid in range(6)]
+        + [Event(5.0, DEPARTURE, rid) for rid in range(6)])
+    result = simulate_online(graph, events, wavelengths=8,
+                             routing="k_shortest", shed_queue_depth=2)
+    assert result.blocked_shed == [2, 3, 4, 5]
+    assert all(result.rejections[rid] == SHED
+               for rid in result.blocked_shed)
+    assert result.accepted == [0, 1]
+    # every arrival is accounted exactly once
+    assert len(result.accepted) + len(result.blocked) == 6
+    assert result.blocking_rate == pytest.approx(4 / 6)
+
+
+def test_simulate_online_shed_burst_requires_budget():
+    with pytest.raises(ValueError):
+        simulate_online(diamond(), [], wavelengths=2, shed_burst=8.0)
+
+
+def test_simulate_online_cut_restoration_and_counters():
+    graph = diamond()
+    events = sort_events([
+        Event(0.0, ARRIVAL, 0, request=Request(0, 3)),
+        cut_event(1.0, (0, 1), fault_id=100),
+        Event(2.0, DEPARTURE, 0),
+    ])
+    result = simulate_online(graph, events, wavelengths=4,
+                             routing="k_shortest")
+    assert result.fibre_cuts == 1
+    assert result.lightpaths_stranded == 1
+    assert result.lightpaths_restored == 1
+    assert result.accepted == [0] and result.blocked == []
+    # fault runs operate on a private copy of the topology
+    assert graph.has_arc(0, 1)
+
+
+def test_simulate_online_unrestored_cut_blocks_with_fibre_cut():
+    graph = DiGraph()
+    graph.add_arcs([(0, 1), (1, 2)])            # a single path, no detour
+    events = sort_events([
+        Event(0.0, ARRIVAL, 0, request=Request(0, 2)),
+        cut_event(1.0, (1, 2), fault_id=100),
+        Event(2.0, DEPARTURE, 0),
+    ])
+    result = simulate_online(graph, events, wavelengths=4)
+    assert result.blocked_fibre_cut == [0]
+    assert result.rejections[0] == FIBRE_CUT
+    assert result.accepted == []
+    assert result.blocking_rate == 1.0
+
+
+def test_simulate_online_repair_restores_when_no_detour_exists():
+    graph = DiGraph()
+    graph.add_arcs([(0, 1), (1, 2)])
+    events = sort_events([
+        Event(0.0, ARRIVAL, 0, request=Request(0, 2)),
+        cut_event(1.0, (1, 2), fault_id=100),
+        repair_event(2.0, (1, 2), fault_id=101),
+        Event(3.0, DEPARTURE, 0),
+    ])
+    result = simulate_online(graph, events, wavelengths=4)
+    assert result.fibre_repairs == 1
+    assert result.lightpaths_restored == 1
+    assert result.accepted == [0] and result.blocked == []
+
+
+def test_restoration_beats_no_restoration_on_a_seeded_trace():
+    graph = multi_region_topology(regions=2, region_size=14,
+                                  arc_probability=0.18, coupling=3, seed=3)
+    pool = multi_region_traffic(graph, 120, inter_fraction=0.3, seed=4)
+    trace = poisson_trace(pool, 200, arrival_rate=12.0, mean_holding=3.0,
+                          seed=5)
+    horizon = trace[-1].time
+    # cut the busiest fibre of a probe routing of the whole pool
+    probe = OnlineEngine(graph, wavelengths=200, routing="shortest")
+    for rid, (s, t) in enumerate(pool.pairs()):
+        probe.admit(rid, request=Request(s, t))
+    hot = max(graph.arcs(),
+              key=lambda a: (probe.family.load_of_arc(a), a))
+    events = sort_events(trace + [cut_event(0.5 * horizon, hot,
+                                            fault_id=10 ** 6)])
+    on = simulate_online(graph, events, wavelengths=8, routing="k_shortest",
+                         restoration=True)
+    off = simulate_online(graph, events, wavelengths=8, routing="k_shortest",
+                          restoration=False)
+    assert on.lightpaths_stranded == off.lightpaths_stranded
+    assert on.lightpaths_restored >= off.lightpaths_restored
+    assert on.blocking_rate <= off.blocking_rate
