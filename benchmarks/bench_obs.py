@@ -1,0 +1,48 @@
+"""E18 — observability overhead: full instrumentation must be near-free.
+
+Two claims, recorded in ``BENCH_obs.json`` by
+``scripts/bench_report.py --suite obs``:
+
+* replaying the E13-class admission workloads through
+  :func:`~repro.online.simulator.simulate_online` with a full tracer
+  attached (spans on every admit/depart/defrag, ring-buffer sink) costs
+  at most :data:`~repro.analysis.bench_obs.OBS_OVERHEAD_TARGET` times
+  the uninstrumented run, and the instrumented run makes bit-identical
+  decisions (same accepted/blocked sets, byte-identical deterministic
+  metrics snapshots);
+* raw span-emission throughput through the ring-buffer and JSONL sinks
+  is recorded for information (absolute rates, not gated).
+"""
+
+import pytest
+
+from repro.analysis.bench_obs import (
+    OBS_OVERHEAD_TARGET,
+    obs_problems,
+    run_obs_benchmark,
+)
+from .conftest import report
+
+pytestmark = pytest.mark.bench
+
+OVERHEAD_COLUMNS = ("scenario", "events", "blocking", "plain_total_s",
+                    "traced_total_s", "overhead_ratio", "spans_emitted",
+                    "decisions_equal", "metrics_identical")
+THROUGHPUT_COLUMNS = ("scenario", "spans", "ring_spans_per_s",
+                      "jsonl_spans_per_s")
+
+
+def test_observability_overhead(benchmark, run_once):
+    records = run_once(benchmark, run_obs_benchmark, 3)
+    overhead = [r for r in records if r["kind"] == "overhead"]
+    throughput = [r for r in records if r["kind"] == "throughput"]
+    report(overhead, columns=OVERHEAD_COLUMNS,
+           title="E18 / observability — instrumented vs plain admission")
+    report(throughput, columns=THROUGHPUT_COLUMNS,
+           title="E18 / observability — span emission throughput")
+    assert all(r["decisions_equal"] for r in overhead)
+    assert all(r["metrics_identical"] for r in overhead)
+    assert all(r["overhead_ratio"] <= OBS_OVERHEAD_TARGET
+               for r in overhead), \
+        [(r["scenario"], r["overhead_ratio"]) for r in overhead]
+    assert obs_problems(records) == []

@@ -10,7 +10,9 @@ defragmentation suite of the same module (blocking with vs without defrag
 triggers, wavelengths reclaimed vs the recolouring bounds) and the
 fault-tolerance suite of :mod:`repro.analysis.recovery` (journal-replay
 crash recovery bit-identity and timing, fibre-cut restoration blocking,
-admission-guard load shedding), and either
+admission-guard load shedding) and the observability suite of
+:mod:`repro.analysis.bench_obs` (full-tracing overhead ratio on the
+admission workloads, span-emission throughput), and either
 records the results or checks them against the recorded baselines:
 
     python scripts/bench_report.py                   # run + write reports
@@ -20,8 +22,8 @@ records the results or checks them against the recorded baselines:
 
 Reports are written to ``BENCH_conflict_engine.json``,
 ``BENCH_online_engine.json``, ``BENCH_online_routing.json``,
-``BENCH_defrag.json``, ``BENCH_sharding.json`` and
-``BENCH_recovery.json`` at the
+``BENCH_defrag.json``, ``BENCH_sharding.json``, ``BENCH_recovery.json``
+and ``BENCH_obs.json`` at the
 repository root (``--output`` overrides the path when a single suite is
 selected).  ``--check`` exits non-zero
 when an engine is more than 20% slower than its recorded baseline on any
@@ -29,6 +31,16 @@ scenario, when a speedup falls under the 5x target, or when the paired
 strategies disagree on edges/colours — this is the gate
 ``scripts/run_all_experiments.py`` runs at the end of the experiment
 sweep.  See PERFORMANCE.md for how to read the numbers.
+
+``--profile`` attributes cost **per span category** (admit, defrag,
+restore, ...) on the suites that drive the online engine: it installs a
+:class:`~repro.obs.profiling.SpanProfiler` as the process-wide default
+(:func:`~repro.obs.profiling.set_default_profile`), every engine the
+suite constructs picks it up, and the report prints each category's
+call counts, wall time and top functions by cumulative time.  Suites
+that never build an :class:`~repro.online.simulator.OnlineEngine`
+(``conflict``, ``online``) fall back to the old whole-suite cProfile
+dump.
 """
 
 from __future__ import annotations
@@ -66,14 +78,31 @@ from repro.analysis.erlang import (
     run_defrag_benchmark,
     run_routing_benchmark,
 )
+from repro.analysis.bench_obs import (
+    obs_benchmark_document,
+    obs_check_against_baseline,
+    obs_problems,
+    run_obs_benchmark,
+)
 from repro.analysis.recovery import (
     recovery_benchmark_document,
     recovery_check_against_baseline,
     recovery_problems,
     run_recovery_benchmark,
 )
+from repro.obs.profiling import (
+    SpanProfiler,
+    clear_default_profile,
+    set_default_profile,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Suites whose runners construct :class:`OnlineEngine` instances —
+#: ``--profile`` attributes their cost per span category; the rest only
+#: exercise the conflict-graph layer and get the whole-suite fallback.
+ENGINE_SUITES = frozenset({"routing", "defrag", "sharding", "recovery",
+                           "obs"})
 
 
 def _print_engine_records(records) -> None:
@@ -126,6 +155,26 @@ def _print_defrag_records(records) -> None:
                   f"(recolour-only {r['recolor_from_scratch']}, "
                   f"load {r['load_before']} -> "
                   f"{r['load_after_highest_wavelength']})  [{verdict}]")
+
+
+def _print_obs_records(records) -> None:
+    for r in records:
+        if r["kind"] == "overhead":
+            verdict = ("ok" if r["decisions_equal"] and r["metrics_identical"]
+                       and r["overhead_ratio"] <= r["overhead_target"]
+                       else "OVER BUDGET")
+            print(f"{r['scenario']:28s} events={r['events']} "
+                  f"plain={r['plain_total_s'] * 1000:.1f}ms "
+                  f"traced={r['traced_total_s'] * 1000:.1f}ms "
+                  f"ratio={r['overhead_ratio']:.3f} "
+                  f"(<= {r['overhead_target']:.2f}) "
+                  f"spans={r['spans_emitted']} "
+                  f"identical={r['decisions_equal']}/"
+                  f"{r['metrics_identical']}  [{verdict}]")
+        else:
+            print(f"{r['scenario']:28s} spans={r['spans']} "
+                  f"ring={r['ring_spans_per_s']:.0f}/s "
+                  f"jsonl={r['jsonl_spans_per_s']:.0f}/s")
 
 
 def _print_sharding_records(records) -> None:
@@ -206,6 +255,10 @@ SUITES = {
                  run_recovery_benchmark, recovery_benchmark_document,
                  recovery_check_against_baseline, recovery_problems,
                  _print_recovery_records),
+    "obs": (REPO_ROOT / "BENCH_obs.json",
+            run_obs_benchmark, obs_benchmark_document,
+            obs_check_against_baseline, obs_problems,
+            _print_obs_records),
 }
 
 
@@ -215,7 +268,17 @@ def _run_suite(name: str, args) -> int:
     repeats = 2 if args.quick else 3
 
     print(f"== suite: {name} ==")
-    if args.profile:
+    if args.profile and name in ENGINE_SUITES:
+        profiler = SpanProfiler(engine="cprofile")
+        set_default_profile(profiler)
+        try:
+            records = run(repeats=repeats)
+        finally:
+            clear_default_profile()
+        print_records(records)
+        print(f"-- per-span profile for suite {name} --")
+        print(profiler.report(top=10))
+    elif args.profile:
         import cProfile
         import pstats
 
@@ -224,7 +287,8 @@ def _run_suite(name: str, args) -> int:
         records = run(repeats=repeats)
         profiler.disable()
         print_records(records)
-        print(f"-- cProfile top 20 (cumulative) for suite {name} --")
+        print(f"-- suite {name} never builds an online engine; "
+              f"whole-suite cProfile top 20 (cumulative) --")
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
     else:
         records = run(repeats=repeats)
@@ -279,10 +343,13 @@ def main(argv=None) -> int:
                         help="fewer timing repeats (faster, noisier; not "
                              "recommended together with --check)")
     parser.add_argument("--profile", action="store_true",
-                        help="run each selected suite under cProfile and "
-                             "print the top-20 cumulative entries (timings "
-                             "are inflated; do not combine with --check or "
-                             "record baselines from a profiled run)")
+                        help="profile each selected suite per span category "
+                             "(admit/defrag/restore/... via SpanProfiler) "
+                             "where the suite drives the online engine, "
+                             "falling back to whole-suite cProfile "
+                             "elsewhere (timings are inflated; do not "
+                             "combine with --check or record baselines "
+                             "from a profiled run)")
     args = parser.parse_args(argv)
 
     suites = list(SUITES) if args.suite == "all" else [args.suite]

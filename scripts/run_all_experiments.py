@@ -10,9 +10,10 @@ Usage:
 
 ``--skip-slow`` mirrors the test suite's ``slow`` pytest marker (see
 ``pytest.ini``): the long-horizon gates — E14's Erlang blocking sweeps,
-E15's defrag blocking/reclaim replays, E16's sharded-engine replays and
-E17's crash-recovery/restoration/shedding suite — are skipped so a
-quick sweep stays quick.
+E15's defrag blocking/reclaim replays, E16's sharded-engine replays,
+E17's crash-recovery/restoration/shedding suite and E18's
+observability-overhead suite — are skipped so a quick sweep stays
+quick.
 """
 
 from __future__ import annotations
@@ -44,6 +45,11 @@ from repro.analysis.erlang import (
     routing_speedup_problems,
     run_defrag_benchmark,
     run_routing_benchmark,
+)
+from repro.analysis.bench_obs import (
+    obs_check_against_baseline,
+    obs_problems,
+    run_obs_benchmark,
 )
 from repro.analysis.recovery import (
     recovery_check_against_baseline,
@@ -100,9 +106,10 @@ def main() -> int:
                         help="skip the gates marked slow (the Erlang "
                              "blocking sweeps of E14, the defrag "
                              "replays of E15, the sharded-engine "
-                             "replays of E16 and the fault-tolerance "
-                             "suite of E17), mirroring the test "
-                             "suite's 'slow' marker")
+                             "replays of E16, the fault-tolerance "
+                             "suite of E17 and the observability-"
+                             "overhead suite of E18), mirroring the "
+                             "test suite's 'slow' marker")
     args = parser.parse_args()
     output_dir = args.output_dir
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -167,6 +174,15 @@ def main() -> int:
          repo_root / "BENCH_recovery.json",
          run_recovery_benchmark, recovery_check_against_baseline,
          recovery_problems, True),
+        # E18 replays the admission workloads fully instrumented: tracing
+        # must stay within the 10% overhead ceiling and must not perturb
+        # a single decision (byte-identical deterministic metrics) —
+        # timing-sensitive, skippable like E14–E17.
+        ("E18: observability overhead + trace bit-identity vs recorded "
+         "baseline ...",
+         repo_root / "BENCH_obs.json",
+         run_obs_benchmark, obs_check_against_baseline,
+         obs_problems, True),
     ]
     for title, bench_path, run_bench, check, speedups, slow in gates:
         if slow and args.skip_slow:

@@ -49,6 +49,7 @@ from .._typing import Vertex
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..graphs.digraph import DiGraph
+from ..obs.registry import MetricsRegistry
 from .conflict_graph import ConflictGraph
 from .sharding import Shard, ShardTracker, ShardView
 
@@ -58,16 +59,18 @@ __all__ = ["DynamicConflictGraph", "ShardedConflictGraph"]
 class DynamicConflictGraph(ConflictGraph):
     """The conflict graph of a dipath family, patched per add/remove event."""
 
-    __slots__ = ("_family", "_tx_stack", "_shards")
+    __slots__ = ("_family", "_tx_stack", "_shards", "_metrics")
 
     def __init__(self, family: Optional[DipathFamily] = None,
-                 graph: Optional[DiGraph] = None) -> None:
+                 graph: Optional[DiGraph] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if family is None:
             family = DipathFamily(graph=graph)
         self._family = family
         #: Open WhatIfTransactions over this graph, outermost first (owned
         #: by repro.online.transaction; empty outside speculation).
         self._tx_stack: list = []
+        self._metrics = metrics
         masks = family.conflict_masks()     # at most one cold build
         self._nbr = {i: masks[i] for i in family.active_indices()}
         vmask = 0
@@ -79,7 +82,8 @@ class DynamicConflictGraph(ConflictGraph):
     def _seed_tracker(self) -> ShardTracker:
         """A :class:`ShardTracker` replaying the family's current members."""
         tracker = ShardTracker(self.neighbor_mask,
-                               self._family.member_arc_ids)
+                               self._family.member_arc_ids,
+                               metrics=self._metrics)
         for i in self._family.active_indices():
             tracker.on_add(i, self._family.member_arc_ids(i))
         return tracker
@@ -246,11 +250,13 @@ class ShardedConflictGraph(DynamicConflictGraph):
     __slots__ = ()
 
     def __init__(self, family: Optional[DipathFamily] = None,
-                 graph: Optional[DiGraph] = None) -> None:
+                 graph: Optional[DiGraph] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if family is None:
             family = DipathFamily(graph=graph)
         self._family = family
         self._tx_stack = []
+        self._metrics = metrics
         self._nbr = _LazyAdjacency(self)
         vmask = 0
         for i in family.active_indices():

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .._bitops import bit_list, iter_bits
+from ..obs.registry import Instrumented, MetricsRegistry
 from .conflict_graph import ConflictGraph
 
 __all__ = ["Shard", "ShardTracker", "ShardView"]
@@ -99,21 +100,30 @@ NeighborFunction = Callable[[int], int]
 ArcsFunction = Callable[[int], Tuple[int, ...]]
 
 
-class ShardTracker:
+class ShardTracker(Instrumented):
     """Incremental component bookkeeping over family arc ids.
 
     The tracker never looks at vertex adjacency on the hot path: arrivals
     and departures are classified purely by the *arcs* they use, O(arcs)
     per event.  Adjacency (through ``neighbor_of``) is consulted only by
     the lazy :meth:`refresh` rebuilds and by :meth:`view`.
+
+    Merge/split/rebuild counters publish into the shared metrics registry
+    under ``shards.*`` as *diagnostic* metrics: they depend on the
+    placement history (speculative add+rollback churn bumps them on the
+    unsharded serial path but not on the parallel fan-out), so they are
+    excluded from the cross-path deterministic snapshot while staying
+    reproducible for a fixed seed and configuration.
     """
 
     __slots__ = ("_neighbor_of", "_arcs_of", "_shard_of_member",
-                 "_shard_of_arc", "_join_stamp", "merges", "splits",
-                 "rebuilds")
+                 "_shard_of_arc", "_join_stamp", "_m_merges", "_m_splits",
+                 "_m_rebuilds") + Instrumented._OBS_SLOTS
 
     def __init__(self, neighbor_of: NeighborFunction,
-                 arcs_of: ArcsFunction) -> None:
+                 arcs_of: ArcsFunction,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self._obs_init("shards", metrics)
         self._neighbor_of = neighbor_of
         self._arcs_of = arcs_of
         self._shard_of_member: Dict[int, Shard] = {}
@@ -130,12 +140,25 @@ class ShardTracker:
         self._join_stamp: Dict[int, Tuple[Shard, int, bool]] = {}
         #: Arrivals whose arcs touched >= 2 shards (each such event counts
         #: the number of extra shards folded in).
-        self.merges = 0
+        self._m_merges = self._obs_counter("merges", diagnostic=True)
         #: Components discovered by refresh rebuilds (a rebuild finding k
         #: components records k - 1 splits).
-        self.splits = 0
+        self._m_splits = self._obs_counter("splits", diagnostic=True)
         #: Per-shard flood-fill rebuilds run by :meth:`refresh`.
-        self.rebuilds = 0
+        self._m_rebuilds = self._obs_counter("rebuilds", diagnostic=True)
+
+    # Backward-compatible accessors over the registry-backed counters.
+    @property
+    def merges(self) -> int:
+        return self._m_merges.value
+
+    @property
+    def splits(self) -> int:
+        return self._m_splits.value
+
+    @property
+    def rebuilds(self) -> int:
+        return self._m_rebuilds.value
 
     # ------------------------------------------------------------------ #
     # event hooks (called by the owning conflict graph)
@@ -159,7 +182,7 @@ class ShardTracker:
             for other in touched:
                 if other is not home:
                     self._absorb(home, other)
-            self.merges += len(touched) - 1
+            self._m_merges.inc(len(touched) - 1)
         home.member_mask |= 1 << idx
         home.version += 1
         self._shard_of_member[idx] = home
@@ -331,7 +354,7 @@ class ShardTracker:
 
     def _rebuild(self, shard: Shard) -> int:
         neighbor_of = self._neighbor_of
-        self.rebuilds += 1
+        self._m_rebuilds.inc()
         remaining = shard.member_mask
         components: List[int] = []
         while remaining:
@@ -345,7 +368,7 @@ class ShardTracker:
                 comp |= frontier
             components.append(comp)
             remaining &= ~comp
-        self.splits += len(components) - 1
+        self._m_splits.inc(len(components) - 1)
         shard_of_arc = self._shard_of_arc
         for aid in iter_bits(shard.arc_mask):
             del shard_of_arc[aid]

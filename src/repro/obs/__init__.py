@@ -1,0 +1,61 @@
+"""Unified observability layer: metrics, tracing and profiling.
+
+Three cooperating pieces, all deterministic with respect to the engine's
+decision stream:
+
+* :mod:`repro.obs.registry` — ``MetricsRegistry`` + the ``Instrumented``
+  mixin: counters, gauges and fixed-bucket event-time histograms that
+  every online component publishes into, with byte-stable snapshots.
+* :mod:`repro.obs.trace` — ``Tracer`` with nested spans over the
+  event-time clock, opt-in wall-clock durations, and ring-buffer /
+  JSONL / list sinks emitting decision-journal-compatible JSONL.
+* :mod:`repro.obs.analyze` — ``TraceAnalyzer``: per-phase p50/p99,
+  time-windowed per-fibre occupancy/conflict density, span waterfalls.
+* :mod:`repro.obs.profiling` — ``SpanProfiler``: cProfile or timing
+  per span category, surfaced by ``bench_report.py --profile``.
+
+The hard contract (enforced by ``tests/test_obs_determinism.py`` and the
+differential sweeps): enabling any of this changes no engine decision
+and no ``engine_fingerprint`` bit.
+"""
+
+from .registry import Counter, Gauge, Histogram, Instrumented, MetricsRegistry
+from .trace import (
+    JsonlSink,
+    ListSink,
+    NullSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+    dumps_record,
+    read_jsonl,
+)
+from .analyze import TraceAnalyzer, percentile
+from .profiling import (
+    SpanProfiler,
+    clear_default_profile,
+    get_default_profile,
+    set_default_profile,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumented",
+    "MetricsRegistry",
+    "JsonlSink",
+    "ListSink",
+    "NullSink",
+    "RingBufferSink",
+    "Span",
+    "Tracer",
+    "dumps_record",
+    "read_jsonl",
+    "TraceAnalyzer",
+    "percentile",
+    "SpanProfiler",
+    "clear_default_profile",
+    "get_default_profile",
+    "set_default_profile",
+]

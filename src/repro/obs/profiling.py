@@ -1,0 +1,155 @@
+"""Per-span-category profiling hooks.
+
+``SpanProfiler`` receives enter/exit callbacks from a
+:class:`repro.obs.trace.Tracer` and attributes cost to span *categories*
+(span names: ``admit``, ``defrag``, ``restore`` ...) rather than to a
+whole benchmark suite.  Two engines:
+
+* ``engine="timer"`` — a ``perf_counter_ns`` accumulator per category:
+  near-zero overhead, reports inclusive wall time and call counts;
+* ``engine="cprofile"`` — one ``cProfile.Profile`` per category.
+  cProfile cannot nest, so on every span transition the profiler of the
+  outer category is disabled and the inner one enabled; each category's
+  profile therefore covers its *exclusive* time (self time without
+  nested spans).
+
+``bench_report.py --profile`` installs a module-level default profiler
+(:func:`set_default_profile`); engines built while it is set pick it up
+automatically, so suites get per-span attribution without plumbing a
+profiler through every constructor.  The profiler only ever *observes*
+the span stream — it writes nothing into the metrics registry, keeping
+the bit-identity contract intact.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time as _time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SpanProfiler",
+    "set_default_profile",
+    "get_default_profile",
+    "clear_default_profile",
+]
+
+
+class _TimerState:
+    __slots__ = ("calls", "total_ns", "_started")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_ns = 0
+        self._started = 0
+
+
+class SpanProfiler:
+    """Attribute profile cost to span categories via tracer callbacks."""
+
+    def __init__(self, engine: str = "timer") -> None:
+        if engine not in ("timer", "cprofile"):
+            raise ValueError(f"unknown profiler engine {engine!r}")
+        self.engine = engine
+        self._stack: List[str] = []
+        self._timers: Dict[str, _TimerState] = {}
+        self._profiles: Dict[str, cProfile.Profile] = {}
+
+    # -- tracer callbacks ------------------------------------------------
+
+    def enter(self, category: str) -> None:
+        if self.engine == "cprofile" and self._stack:
+            self._profiles[self._stack[-1]].disable()
+        self._stack.append(category)
+        if self.engine == "timer":
+            state = self._timers.get(category)
+            if state is None:
+                state = self._timers[category] = _TimerState()
+            state.calls += 1
+            state._started = _time.perf_counter_ns()
+        else:
+            profile = self._profiles.get(category)
+            if profile is None:
+                profile = self._profiles[category] = cProfile.Profile()
+            state = self._timers.get(category)
+            if state is None:
+                state = self._timers[category] = _TimerState()
+            state.calls += 1
+            state._started = _time.perf_counter_ns()
+            profile.enable()
+
+    def exit(self, category: str) -> None:
+        if not self._stack or self._stack[-1] != category:
+            # unbalanced exit (span error path) — resynchronise
+            if category in self._stack:
+                while self._stack and self._stack[-1] != category:
+                    self._leave_top()
+            else:
+                return
+        self._leave_top()
+        if self.engine == "cprofile" and self._stack:
+            self._profiles[self._stack[-1]].enable()
+
+    def _leave_top(self) -> None:
+        category = self._stack.pop()
+        state = self._timers[category]
+        state.total_ns += _time.perf_counter_ns() - state._started
+        if self.engine == "cprofile":
+            self._profiles[category].disable()
+
+    # -- reporting -------------------------------------------------------
+
+    def categories(self) -> List[str]:
+        return sorted(self._timers)
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-category call counts and inclusive wall seconds."""
+        return {
+            name: {"calls": state.calls,
+                   "total_s": state.total_ns / 1e9,
+                   "mean_us": (state.total_ns / state.calls / 1e3)
+                   if state.calls else 0.0}
+            for name, state in sorted(self._timers.items())
+        }
+
+    def report(self, *, top: int = 10) -> str:
+        """Human-readable per-category report.
+
+        For the cProfile engine, appends each category's top functions
+        by cumulative time (exclusive of nested spans).
+        """
+        lines = [f"{'span':<16} {'calls':>8} {'total s':>10} {'mean us':>10}"]
+        for name, row in self.stats().items():
+            lines.append(f"{name:<16} {row['calls']:>8} "
+                         f"{row['total_s']:>10.4f} {row['mean_us']:>10.1f}")
+        if self.engine == "cprofile":
+            for name in self.categories():
+                profile = self._profiles.get(name)
+                if profile is None:
+                    continue
+                buffer = io.StringIO()
+                stats = pstats.Stats(profile, stream=buffer)
+                stats.sort_stats("cumulative").print_stats(top)
+                lines.append("")
+                lines.append(f"--- span '{name}' top {top} by cumulative ---")
+                lines.append(buffer.getvalue().rstrip())
+        return "\n".join(lines)
+
+
+_DEFAULT_PROFILE: Optional[SpanProfiler] = None
+
+
+def set_default_profile(profiler: Optional[SpanProfiler]) -> None:
+    """Install a process-wide default profiler picked up by new engines."""
+    global _DEFAULT_PROFILE
+    _DEFAULT_PROFILE = profiler
+
+
+def get_default_profile() -> Optional[SpanProfiler]:
+    return _DEFAULT_PROFILE
+
+
+def clear_default_profile() -> None:
+    set_default_profile(None)

@@ -51,6 +51,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..conflict.dynamic import DynamicConflictGraph
 from ..dipaths.dipath import Dipath
 from ..exceptions import TransactionError
+from ..obs.registry import Instrumented, MetricsRegistry
 from .assigner import OnlineWavelengthAssigner
 from .transaction import ScoreFunction, WhatIfTransaction, admit_best
 
@@ -137,7 +138,7 @@ class DefragReport:
 CandidateFunction = Callable[[int, Dipath], Sequence[Dipath]]
 
 
-class DefragPass:
+class DefragPass(Instrumented):
     """One bounded walk over the provisioned lightpaths, moving improvers.
 
     Parameters
@@ -165,6 +166,10 @@ class DefragPass:
         move-acceptance objective stays global either way — a restricted
         pass attempts fewer moves, it does not change what counts as an
         improvement.
+    metrics:
+        Shared :class:`~repro.obs.registry.MetricsRegistry` to publish
+        the pass counters into (``defrag.attempted`` /
+        ``defrag.committed``); a private registry is created otherwise.
     """
 
     def __init__(self, conflict: DynamicConflictGraph,
@@ -174,7 +179,8 @@ class DefragPass:
                  max_moves: Optional[int] = None,
                  time_budget: Optional[float] = None,
                  score: Optional[ScoreFunction] = None,
-                 members: Optional[Sequence[int]] = None) -> None:
+                 members: Optional[Sequence[int]] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if order not in DEFRAG_ORDERINGS:
             raise TransactionError(f"unknown defrag ordering {order!r}; "
                                    f"expected one of {DEFRAG_ORDERINGS}")
@@ -182,6 +188,9 @@ class DefragPass:
             raise TransactionError("max_moves must be >= 0")
         if time_budget is not None and time_budget < 0:
             raise TransactionError("time_budget must be >= 0")
+        self._obs_init("defrag", metrics)
+        self._m_attempted = self._obs_counter("attempted")
+        self._m_committed = self._obs_counter("committed")
         self._conflict = conflict
         self._assigner = assigner
         self._candidates = candidates
@@ -265,9 +274,11 @@ class DefragPass:
                 report.budget_exhausted = True
                 break
             report.attempted += 1
+            self._m_attempted.inc()
             move = self._try_move(idx)
             if move is not None:
                 report.moves.append(move)
+                self._m_committed.inc()
         report.colors_after = assigner.colors_in_use()
         report.max_color_after = max_color_in_use(assigner)
         report.load_after = conflict.family.load()

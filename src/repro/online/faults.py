@@ -55,6 +55,7 @@ from .._typing import Arc
 from ..dipaths.dipath import Dipath
 from ..dipaths.requests import Request
 from ..exceptions import FaultError
+from ..obs.registry import Instrumented
 from .defrag import DefragPass
 from .events import ARRIVAL, Event
 
@@ -102,9 +103,15 @@ class FaultReport:
     reverted: List[int] = field(default_factory=list)
 
 
-class FaultInjector:
+class FaultInjector(Instrumented):
     """Cut and repair fibres on a live :class:`~repro.online.simulator.
     OnlineEngine`, restoring stranded lightpaths within a bounded budget.
+
+    Publishes ``faults.*`` counters into the engine's metrics registry
+    and, when the engine carries a tracer, wraps every fault event in a
+    ``cut`` / ``repair`` span with a nested ``restore`` span per
+    restoration drive (the batched re-admissions and backoff defrag
+    passes inside emit their own spans through the engine).
 
     Parameters
     ----------
@@ -132,6 +139,13 @@ class FaultInjector:
                  order: str = "highest_wavelength") -> None:
         if retries < 0:
             raise FaultError("retries must be >= 0")
+        self._obs_init("faults", engine.metrics)
+        self._m_cuts = self._obs_counter("cuts")
+        self._m_repairs = self._obs_counter("repairs")
+        self._m_stranded = self._obs_counter("stranded")
+        self._m_restored = self._obs_counter("restored")
+        self._m_reverted = self._obs_counter("reverted")
+        self._m_retries = self._obs_counter("restore_retries")
         self.engine = engine
         self.restoration = restoration
         self.retries = retries
@@ -168,6 +182,18 @@ class FaultInjector:
         engine = self.engine
         if not engine.graph.has_arc(*arc):
             raise FaultError(f"fibre {arc!r} is not in the topology")
+        tracer = engine.tracer
+        if tracer is None:
+            return self._do_cut(arc)
+        with tracer.span("cut", arc=f"{arc[0]}->{arc[1]}") as span:
+            report = self._do_cut(arc)
+            span.tags["stranded"] = len(report.stranded)
+            span.tags["restored"] = len(report.restored)
+        return report
+
+    def _do_cut(self, arc: Arc) -> FaultReport:
+        engine = self.engine
+        self._m_cuts.inc()
         report = FaultReport(kind="cut", arc=arc)
         family = engine.family
         if family.load_of_arc(arc):
@@ -182,6 +208,7 @@ class FaultInjector:
             self._stranded[rid] = family[engine.vertex_of[rid]]
             engine.depart(rid)
             report.stranded.append(rid)
+        self._m_stranded.inc(len(report.stranded))
         engine.graph.remove_arc(*arc)   # version bump drops router caches
         self._cut[arc] = True
         if self.restoration:
@@ -194,6 +221,17 @@ class FaultInjector:
         arc = (arc[0], arc[1])
         if arc not in self._cut:
             raise FaultError(f"fibre {arc!r} is not cut")
+        tracer = self.engine.tracer
+        if tracer is None:
+            return self._do_repair(arc)
+        with tracer.span("repair", arc=f"{arc[0]}->{arc[1]}") as span:
+            report = self._do_repair(arc)
+            span.tags["restored"] = len(report.restored)
+            span.tags["reverted"] = len(report.reverted)
+        return report
+
+    def _do_repair(self, arc: Arc) -> FaultReport:
+        self._m_repairs.inc()
         del self._cut[arc]
         self.engine.graph.add_arc(*arc)  # version bump drops router caches
         report = FaultReport(kind="repair", arc=arc)
@@ -223,6 +261,16 @@ class FaultInjector:
     def _restore(self, report: FaultReport, retries: int,
                  backoff: bool = True) -> None:
         """Bounded mass re-route of everything currently stranded."""
+        tracer = self.engine.tracer
+        if tracer is None:
+            return self._do_restore(report, retries, backoff)
+        with tracer.span("restore", pending=len(self._stranded)) as span:
+            self._do_restore(report, retries, backoff)
+            span.tags["restored"] = len(report.restored)
+            span.tags["retries"] = report.retries
+
+    def _do_restore(self, report: FaultReport, retries: int,
+                    backoff: bool = True) -> None:
         engine = self.engine
         for attempt in range(retries + 1):
             pending = self.stranded()
@@ -239,6 +287,7 @@ class FaultInjector:
                     # decisions — further retries would repeat them
                     break
                 report.retries = attempt
+                self._m_retries.inc()
             arrivals = [
                 Event(0.0, ARRIVAL, rid,
                       request=Request(self._stranded[rid].source,
@@ -251,6 +300,7 @@ class FaultInjector:
                     if engine.family[engine.vertex_of[rid]] != original:
                         self._rerouted[rid] = original
                     report.restored.append(rid)
+                    self._m_restored.inc()
 
     def _revert(self, report: FaultReport) -> None:
         """Offer each detoured lightpath its original route back."""
@@ -266,7 +316,8 @@ class FaultInjector:
             passed = DefragPass(
                 engine.conflict, engine.assigner,
                 candidates=lambda i, cur, o=original: [o],
-                members=[idx], max_moves=1).run()
+                members=[idx], max_moves=1,
+                metrics=engine.metrics).run()
             if not passed.moves:
                 continue                # reverting would not improve things
             move = passed.moves[0]
@@ -274,4 +325,5 @@ class FaultInjector:
                 engine.vertex_of[rid] = move.new_index
             if move.new_route == original:
                 report.reverted.append(rid)
+                self._m_reverted.inc()
                 self._rerouted.pop(rid)

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import nullcontext
 from typing import Any, Dict, List, Optional
 
 from .._typing import Arc
@@ -62,6 +63,8 @@ from ..exceptions import RecoveryError, TransactionError
 from ..graphs.digraph import DiGraph
 from .assigner import OnlineWavelengthAssigner
 from .defrag import DefragReport
+from ..obs.registry import Instrumented, MetricsRegistry
+from ..obs.trace import Tracer
 from .events import ARRIVAL, Event
 from .faults import FaultInjector, FaultReport
 from .routing import make_online_router
@@ -166,7 +169,9 @@ def engine_fingerprint(engine: OnlineEngine) -> Dict[str, Any]:
     }
 
 
-def _engine_from_genesis(genesis: Dict[str, Any]):
+def _engine_from_genesis(genesis: Dict[str, Any],
+                         metrics: Optional[MetricsRegistry] = None,
+                         tracer: Optional[Tracer] = None):
     """Build the canonical engine + injector a genesis record describes."""
     graph = DiGraph()
     for v in genesis["vertices"]:
@@ -177,7 +182,8 @@ def _engine_from_genesis(genesis: Dict[str, Any]):
         graph, genesis["wavelengths"], routing=genesis["routing"],
         policy=genesis["policy"], kempe_repair=genesis["kempe_repair"],
         seed=genesis["seed"], k_candidates=genesis["k_candidates"],
-        speculative=genesis["speculative"], sharded=genesis["sharded"])
+        speculative=genesis["speculative"], sharded=genesis["sharded"],
+        metrics=metrics, tracer=tracer)
     injector = FaultInjector(
         engine, restoration=genesis["restoration"],
         retries=genesis["restore_retries"],
@@ -187,9 +193,15 @@ def _engine_from_genesis(genesis: Dict[str, Any]):
     return engine, injector
 
 
-class DurableEngine:
+class DurableEngine(Instrumented):
     """An :class:`~repro.online.simulator.OnlineEngine` with a durable
     journal: every op is executed, then appended; :func:`recover` replays.
+
+    Publishes diagnostic ``journal.*`` counters (records, bytes,
+    snapshots) into the wrapped engine's metrics registry.  Journal
+    counters are *diagnostic*: a recovered engine replays only the tail
+    after the last snapshot, so its journal traffic legitimately differs
+    from the pre-crash original even though every decision is identical.
 
     Parameters mirror the engine's, plus:
 
@@ -208,6 +220,11 @@ class DurableEngine:
     fsync:
         ``os.fsync`` after every append (durability against OS crashes,
         not just process crashes; slow).
+    metrics, tracer:
+        Shared :class:`~repro.obs.registry.MetricsRegistry` /
+        :class:`~repro.obs.trace.Tracer` handed to the wrapped engine.
+        Purely observational — neither is journalled, and recovery with
+        or without them is bit-identical.
     """
 
     def __init__(self, graph: DiGraph, path: str, wavelengths: int,
@@ -220,7 +237,9 @@ class DurableEngine:
                  restore_move_budget: Optional[int] = None,
                  revert_on_repair: bool = False,
                  restore_order: str = "highest_wavelength",
-                 fsync: bool = False) -> None:
+                 fsync: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if snapshot_every is not None and snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
         genesis = {
@@ -236,26 +255,37 @@ class DurableEngine:
             "vertices": [_encode_vertex(v) for v in graph.vertices()],
             "arcs": [_encode_arc(a) for a in graph.arcs()],
         }
-        self._bootstrap(genesis, path, mode="w", fsync=fsync)
+        self._bootstrap(genesis, path, mode="w", fsync=fsync,
+                        metrics=metrics, tracer=tracer)
         self._append(genesis)
 
     def _bootstrap(self, genesis: Dict[str, Any], path: str, mode: str,
-                   fsync: bool = False) -> None:
+                   fsync: bool = False,
+                   metrics: Optional[MetricsRegistry] = None,
+                   tracer: Optional[Tracer] = None) -> None:
         self._genesis = genesis
         self._path = path
         self._fsync = fsync
-        self._engine, self._injector = _engine_from_genesis(genesis)
+        self._engine, self._injector = _engine_from_genesis(
+            genesis, metrics=metrics, tracer=tracer)
+        self._obs_init("journal", self._engine.metrics)
+        self._m_records = self._obs_counter("records", diagnostic=True)
+        self._m_bytes = self._obs_counter("bytes", diagnostic=True)
+        self._m_snapshots = self._obs_counter("snapshots", diagnostic=True)
         self._graph_ops: List[list] = []
         self._records = 0
         self._since_snapshot = 0
         self._file = open(path, mode, encoding="utf-8")
 
     @classmethod
-    def _resume(cls, genesis: Dict[str, Any], path: str) -> "DurableEngine":
+    def _resume(cls, genesis: Dict[str, Any], path: str,
+                metrics: Optional[MetricsRegistry] = None,
+                tracer: Optional[Tracer] = None) -> "DurableEngine":
         """A recovery skeleton: canonical genesis engine, journal appended
         to (not truncated), no genesis record written."""
         self = cls.__new__(cls)
-        self._bootstrap(genesis, path, mode="a")
+        self._bootstrap(genesis, path, mode="a", metrics=metrics,
+                        tracer=tracer)
         return self
 
     # ------------------------------------------------------------------ #
@@ -418,13 +448,16 @@ class DurableEngine:
     # journalling internals
     # ------------------------------------------------------------------ #
     def _append(self, record: Dict[str, Any]) -> None:
-        self._file.write(json.dumps(record, separators=(",", ":"),
-                                    sort_keys=True) + "\n")
+        line = json.dumps(record, separators=(",", ":"),
+                          sort_keys=True) + "\n"
+        self._file.write(line)
         self._file.flush()
         if self._fsync:
             os.fsync(self._file.fileno())
         self._records += 1
         self._since_snapshot += 1
+        self._m_records.inc()
+        self._m_bytes.inc(len(line))
 
     def _maybe_snapshot(self) -> None:
         every = self._genesis["snapshot_every"]
@@ -435,6 +468,7 @@ class DurableEngine:
         """Append a full state snapshot record now."""
         self._append({"type": "snapshot", "state": self._capture()})
         self._since_snapshot = 0
+        self._m_snapshots.inc()
 
     def _capture(self) -> Dict[str, Any]:
         """The engine state as a JSON-clean dict (canonicalizes shards)."""
@@ -511,9 +545,11 @@ class DurableEngine:
         family._free_slots = list(state["free_slots"])
         # 3. conflict graph, rebuilt over the restored family
         if genesis["sharded"]:
-            conflict = ShardedConflictGraph(family)
+            conflict = ShardedConflictGraph(family,
+                                            metrics=engine.metrics)
         else:
-            conflict = DynamicConflictGraph(family)
+            conflict = DynamicConflictGraph(family,
+                                            metrics=engine.metrics)
         # lazy-cache warmness back to the captured flags (construction may
         # have warmed the masks), then the counter the warming bumped
         if state["load_warm"]:
@@ -532,7 +568,8 @@ class DurableEngine:
             genesis["wavelengths"], policy=genesis["policy"],
             kempe_repair=genesis["kempe_repair"], seed=genesis["seed"])
         if genesis["sharded"]:
-            assigner.attach_color_index(ArcColorIndex(family))
+            assigner.attach_color_index(
+                ArcColorIndex(family, metrics=engine.metrics))
         for key in sorted(state["coloring"], key=int):
             assigner.adopt(int(key), state["coloring"][key])
         assigner._ever_used = state["ever_used"]
@@ -670,7 +707,8 @@ class DurableEngine:
                                 record=index) from exc
 
 
-def recover(path: str) -> DurableEngine:
+def recover(path: str, metrics: Optional[MetricsRegistry] = None,
+            tracer: Optional[Tracer] = None) -> DurableEngine:
     """Rebuild a :class:`DurableEngine` from its journal.
 
     Parses the journal, discards a torn tail (truncating the file to the
@@ -681,6 +719,13 @@ def recover(path: str) -> DurableEngine:
     with the journal re-opened for appending; raises
     :class:`~repro.exceptions.RecoveryError` on any corruption or
     divergence.
+
+    ``metrics`` / ``tracer`` are handed to the rebuilt engine; with a
+    tracer attached, recovery emits a ``recover`` span nesting a
+    ``snapshot_restore`` span (when a snapshot is applied) and a
+    ``replay`` span around the tail re-execution — inside which every
+    replayed op emits its ordinary engine spans.  Recovery is
+    bit-identical with or without them.
     """
     with open(path, "rb") as fh:
         raw = fh.read()
@@ -714,21 +759,30 @@ def recover(path: str) -> DurableEngine:
         # drop the torn tail before any re-appending can interleave with it
         with open(path, "r+b") as fh:
             fh.truncate(clean_len)
-    durable = DurableEngine._resume(genesis, path)
+    durable = DurableEngine._resume(genesis, path, metrics=metrics,
+                                    tracer=tracer)
+    tr = durable._engine.tracer
     snapshots = [i for i, r in enumerate(records) if r["type"] == "snapshot"]
-    start = 1
-    if snapshots:
-        last = snapshots[-1]
-        try:
-            durable._apply_snapshot(records[last]["state"])
-        except RecoveryError:
-            raise
-        except Exception as exc:
-            raise RecoveryError(f"snapshot restore raised {exc!r}",
-                                record=last) from exc
-        start = last + 1
-    for i in range(start, len(records)):
-        durable._replay(records[i], i)
+    with (tr.span("recover", records=len(records),
+                  snapshots=len(snapshots))
+          if tr is not None else nullcontext()):
+        start = 1
+        if snapshots:
+            last = snapshots[-1]
+            with (tr.span("snapshot_restore", record=last)
+                  if tr is not None else nullcontext()):
+                try:
+                    durable._apply_snapshot(records[last]["state"])
+                except RecoveryError:
+                    raise
+                except Exception as exc:
+                    raise RecoveryError(f"snapshot restore raised {exc!r}",
+                                        record=last) from exc
+            start = last + 1
+        with (tr.span("replay", count=len(records) - start)
+              if tr is not None else nullcontext()):
+            for i in range(start, len(records)):
+                durable._replay(records[i], i)
     durable._records = len(records)
     durable._since_snapshot = (len(records) - 1 - snapshots[-1]
                                if snapshots else len(records))

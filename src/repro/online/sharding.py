@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..conflict.dynamic import ShardedConflictGraph
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
+from ..obs.registry import Instrumented, MetricsRegistry
 from .assigner import OnlineWavelengthAssigner
 from .defrag import DefragPass
 
@@ -54,7 +55,7 @@ __all__ = ["ArcColorIndex", "PARALLEL_SAFE_POLICY",
 PARALLEL_SAFE_POLICY = "first_fit"
 
 
-class ArcColorIndex:
+class ArcColorIndex(Instrumented):
     """Per-arc wavelength occupancy with checkpointed journalling.
 
     Attach to an :class:`~repro.online.assigner.OnlineWavelengthAssigner`
@@ -67,16 +68,27 @@ class ArcColorIndex:
     rolling the index back never needs the structure — the transaction
     layer unwinds colours before it unwinds adds/removes, and by then the
     member's arc list may already be gone.
+
+    Operation counts publish into the registry under ``colorindex.*`` as
+    *diagnostic* metrics: the number of recorded changes and rollbacks
+    depends on how much speculation a code path ran (serial batch paths
+    speculate rejected arrivals, the parallel fan-out does not), so they
+    stay out of the cross-path deterministic snapshot.
     """
 
-    __slots__ = ("_family", "_counts", "_masks", "_journals")
+    __slots__ = ("_family", "_counts", "_masks", "_journals",
+                 "_m_records", "_m_rollbacks") + Instrumented._OBS_SLOTS
 
-    def __init__(self, family: DipathFamily) -> None:
+    def __init__(self, family: DipathFamily,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self._obs_init("colorindex", metrics)
         self._family = family
         self._counts: List[Dict[int, int]] = []    # arc id -> colour -> users
         self._masks: List[int] = []                # arc id -> colour bitmask
         self._journals: List[List[Tuple[Tuple[int, ...],
                                         Optional[int], Optional[int]]]] = []
+        self._m_records = self._obs_counter("records", diagnostic=True)
+        self._m_rollbacks = self._obs_counter("rollbacks", diagnostic=True)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -112,6 +124,7 @@ class ArcColorIndex:
         arcs = self._family.member_arc_ids(vertex)
         if self._journals:
             self._journals[-1].append((arcs, old, new))
+        self._m_records.inc()
         self._shift(arcs, old, new)
 
     def _shift(self, arcs: Tuple[int, ...], old: Optional[int],
@@ -158,6 +171,7 @@ class ArcColorIndex:
     def rollback(self) -> None:
         """Invert the innermost journal, newest change first."""
         journal = self._journals.pop()
+        self._m_rollbacks.inc()
         for arcs, old, new in reversed(journal):
             self._shift(arcs, new, old)
 

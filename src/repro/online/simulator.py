@@ -54,6 +54,9 @@ from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request
 from ..graphs.digraph import DiGraph
+from ..obs.profiling import get_default_profile
+from ..obs.registry import Instrumented, MetricsRegistry
+from ..obs.trace import NullSink, Tracer
 from ..parallel.executor import parallel_map
 from .assigner import OnlineWavelengthAssigner
 from .defrag import DefragMove, DefragPass, DefragReport, max_color_in_use
@@ -87,7 +90,7 @@ SHED = "shed"
 FIBRE_CUT = "fibre_cut"
 
 
-class AdmissionGuard:
+class AdmissionGuard(Instrumented):
     """Deterministic token-bucket load shedding for the admission loop.
 
     Under a burst, routing + speculation work per arrival is what stalls
@@ -108,7 +111,9 @@ class AdmissionGuard:
 
     def __init__(self, work_budget: Optional[float] = None,
                  burst: Optional[float] = None,
-                 queue_depth: Optional[int] = None) -> None:
+                 queue_depth: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self._obs_init("guard", metrics)
         if work_budget is not None and work_budget <= 0:
             raise ValueError("work_budget must be positive")
         if queue_depth is not None and queue_depth < 1:
@@ -126,10 +131,17 @@ class AdmissionGuard:
         self._tokens = self._burst       # start full: an initial burst is fine
         self._last: Optional[float] = None
         self._group = 0
-        self.shed_count = 0
+        self._m_shed = self._obs_counter("shed")
+        self._m_considered = self._obs_counter("considered")
+
+    @property
+    def shed_count(self) -> int:
+        """Arrivals refused by the guard (registry-backed accessor)."""
+        return self._m_shed.value
 
     def admits(self, time: float, cost: float = 1.0) -> bool:
         """Whether one arrival at ``time`` costing ``cost`` may proceed."""
+        self._m_considered.inc()
         if self._last is None or time > self._last:
             if self._budget is not None and self._last is not None:
                 self._tokens = min(
@@ -139,11 +151,11 @@ class AdmissionGuard:
             self._last = time
         self._group += 1
         if self._queue_depth is not None and self._group > self._queue_depth:
-            self.shed_count += 1
+            self._m_shed.inc()
             return False
         if self._budget is not None:
             if self._tokens < cost:
-                self.shed_count += 1
+                self._m_shed.inc()
                 return False
             self._tokens -= cost
         return True
@@ -203,6 +215,14 @@ class OnlineResult:
         lightpaths), ``wavelengths_active`` (colours currently in use),
         ``max_fibre_load``, ``blocked_total``.  Empty when timeline
         recording is off.
+    metrics:
+        Snapshot of the run's :class:`~repro.obs.registry.MetricsRegistry`
+        (``{"counters": ..., "gauges": ..., "histograms": ...,
+        "diagnostics": ...}``).  The final ``result.*`` counters are the
+        source of truth for :attr:`blocking_rate` and
+        :meth:`blocked_count`; the ``diagnostics`` section may differ
+        between equivalent code paths (see
+        :meth:`~repro.obs.registry.MetricsRegistry.snapshot`).
     """
 
     accepted: List[int] = field(default_factory=list)
@@ -227,6 +247,7 @@ class OnlineResult:
     component_splits: int = 0
     shard_rebuilds: int = 0
     timeline: List[Dict[str, float]] = field(default_factory=list)
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def blocking_rate(self) -> float:
@@ -237,9 +258,36 @@ class OnlineResult:
         but both represent service the network ultimately failed to
         deliver, which is what an operator's blocking SLA measures.  Use
         the ``blocked_*`` accessors to split the rate by cause.
+
+        Reads the run's ``result.accepted`` / ``result.blocked`` registry
+        counters when a metrics snapshot is attached (every
+        :func:`simulate_online` run); falls back to the id lists for
+        hand-built results.
         """
+        if self.metrics is not None:
+            counters = self.metrics["counters"]
+            accepted = counters.get("result.accepted", 0)
+            blocked = counters.get("result.blocked", 0)
+            total = accepted + blocked
+            return blocked / total if total else 0.0
         total = len(self.accepted) + len(self.blocked)
         return len(self.blocked) / total if total else 0.0
+
+    def blocked_count(self, reason: Optional[str] = None) -> int:
+        """Registry-backed blocked-arrival count, optionally per reason.
+
+        ``reason`` is one of :data:`NO_ROUTE`, :data:`NO_WAVELENGTH`,
+        :data:`SHED`, :data:`FIBRE_CUT` (``None`` = all).  Every blocked
+        request is counted under exactly one reason, so the per-reason
+        counts sum to the total — the regression suite asserts it.
+        """
+        key = "result.blocked" if reason is None \
+            else f"result.blocked.{reason}"
+        if self.metrics is not None:
+            return self.metrics["counters"].get(key, 0)
+        if reason is None:
+            return len(self.blocked)
+        return sum(1 for r in self.rejections.values() if r == reason)
 
     @property
     def blocked_no_route(self) -> List[int]:
@@ -270,7 +318,7 @@ class OnlineResult:
         return max((int(s["active"]) for s in self.timeline), default=0)
 
 
-class OnlineEngine:
+class OnlineEngine(Instrumented):
     """Live state of an online RWA run, one admission decision at a time.
 
     Owns the dynamic quartet — :class:`~repro.dipaths.family.DipathFamily`,
@@ -281,15 +329,40 @@ class OnlineEngine:
     :func:`simulate_online` is a trace loop over an engine; tests and
     benchmarks use the engine directly to inspect (or speculate on) the
     state between events.
+
+    Observability: the engine owns (or shares, via ``metrics=``) a
+    :class:`~repro.obs.registry.MetricsRegistry` that every attached
+    component — conflict graph shard tracker, per-fibre colour index and
+    the engine's own admission/defrag counters — publishes into.  An
+    optional :class:`~repro.obs.trace.Tracer` wraps the state transitions
+    in structured spans (``admit`` / ``admit_batch`` / ``depart`` /
+    ``defrag``); ``profile=`` attaches a
+    :class:`~repro.obs.profiling.SpanProfiler` to those spans (with no
+    tracer given, a null-sink tracer is created so the profiler still
+    sees the span stream).  None of it feeds back into decisions: with
+    or without instrumentation, decisions and ``engine_fingerprint`` are
+    bit-identical — the differential suites assert it.
     """
 
     def __init__(self, graph: DiGraph, wavelengths: int,
                  routing: str = "shortest", policy: str = "first_fit",
                  kempe_repair: bool = False, seed: Optional[int] = None,
                  k_candidates: int = 4, speculative: bool = False,
-                 sharded: bool = False) -> None:
+                 sharded: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 profile=None) -> None:
         if wavelengths < 1:
             raise ValueError("wavelengths must be >= 1")
+        self._obs_init("engine", metrics)
+        registry = self._obs_registry
+        if profile is None:
+            profile = get_default_profile()
+        if profile is not None:
+            if tracer is None:
+                tracer = Tracer(sink=NullSink())
+            tracer.attach_profiler(profile)
+        self.tracer = tracer
         self.graph = graph
         self.family = DipathFamily()
         self.sharded = sharded
@@ -299,26 +372,74 @@ class OnlineEngine:
             # forbidden masks from the per-fibre colour occupancy.
             # Decision-identical to the unsharded engine on every trace —
             # the differential suite asserts it.
-            self.conflict = ShardedConflictGraph(self.family)
+            self.conflict = ShardedConflictGraph(self.family,
+                                                 metrics=registry)
         else:
-            self.conflict = DynamicConflictGraph(self.family)
+            self.conflict = DynamicConflictGraph(self.family,
+                                                 metrics=registry)
         self.router = make_online_router(graph, routing, family=self.family,
                                          wavelengths=wavelengths,
                                          k=k_candidates)
         self.assigner = OnlineWavelengthAssigner(
             wavelengths, policy=policy, kempe_repair=kempe_repair, seed=seed)
         if sharded:
-            self.assigner.attach_color_index(ArcColorIndex(self.family))
+            self.assigner.attach_color_index(
+                ArcColorIndex(self.family, metrics=registry))
         self.speculative = speculative
         self.vertex_of: Dict[int, int] = {}     # request_id -> member index
-        self.defrag_passes = 0
-        self.defrag_moves = 0
-        self.wavelengths_reclaimed = 0
+        self._m_admitted = self._obs_counter("admitted")
+        self._m_rejected_route = self._obs_counter("rejected.no_route")
+        self._m_rejected_wavelength = \
+            self._obs_counter("rejected.no_wavelength")
+        self._m_departed = self._obs_counter("departed")
+        self._m_batches = self._obs_counter("batch.bursts")
+        self._m_batch_arrivals = self._obs_counter("batch.arrivals")
+        self._h_batch_size = self._obs_histogram(
+            "batch.size", (1, 2, 4, 8, 16, 32, 64))
+        self._m_defrag_passes = self._obs_counter("defrag.passes")
+        self._m_defrag_moves = self._obs_counter("defrag.moves")
+        self._m_defrag_reclaimed = self._obs_counter("defrag.reclaimed")
+
+    # Backward-compatible counter accessors (settable: crash recovery
+    # restores them from snapshots, see repro.online.persistence).
+    @property
+    def defrag_passes(self) -> int:
+        return self._m_defrag_passes.value
+
+    @defrag_passes.setter
+    def defrag_passes(self, value: int) -> None:
+        self._m_defrag_passes.set(value)
+
+    @property
+    def defrag_moves(self) -> int:
+        return self._m_defrag_moves.value
+
+    @defrag_moves.setter
+    def defrag_moves(self, value: int) -> None:
+        self._m_defrag_moves.set(value)
+
+    @property
+    def wavelengths_reclaimed(self) -> int:
+        return self._m_defrag_reclaimed.value
+
+    @wavelengths_reclaimed.setter
+    def wavelengths_reclaimed(self, value: int) -> None:
+        self._m_defrag_reclaimed.set(value)
 
     @property
     def active(self) -> int:
         """Number of currently provisioned lightpaths."""
         return len(self.vertex_of)
+
+    def arc_names(self) -> Dict[int, str]:
+        """``arc id -> "u->v"`` labels for trace/metrics consumers.
+
+        Spans tag lightpath routes with interned arc ids (cheap on the
+        hot path); this mapping turns them back into fibre names for
+        :class:`~repro.obs.analyze.TraceAnalyzer` reports.
+        """
+        return {aid: f"{arc[0]}->{arc[1]}"
+                for arc, aid in self.family._arc_ids.items()}
 
     def shard_map(self) -> Dict[int, List[int]]:
         """``anchor -> member indices`` of the live conflict components.
@@ -335,7 +456,46 @@ class OnlineEngine:
         ``None`` means admitted.  A pre-routed ``dipath`` skips routing;
         otherwise the engine's router picks the route (or the candidate
         set, under speculation) from the live state.
+
+        With a tracer attached, the decision is wrapped in an ``admit``
+        span tagged with the request id, the outcome, and — on success —
+        the colour, the route's arc ids and the conflict-component
+        anchor.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._admit(request_id, request, dipath)
+        if tracer.profiler is None and not tracer.wall_clock:
+            # hot path: decide first, then emit one flat span record —
+            # no context-manager machinery per arrival
+            t0 = tracer.now
+            reason = self._admit(request_id, request, dipath)
+            tracer.emit_span("admit", t0, self._admit_tags(
+                request_id, reason))
+            return reason
+        with tracer.span("admit", rid=request_id) as span:
+            reason = self._admit(request_id, request, dipath)
+            span.tags.update(self._admit_tags(request_id, reason))
+            return reason
+
+    def _admit_tags(self, request_id: int,
+                    reason: Optional[str]) -> Dict[str, object]:
+        """Tags of one admit span/event (shared by the trace paths)."""
+        if reason is not None:
+            return {"rid": request_id, "outcome": reason}
+        idx = self.vertex_of[request_id]
+        return {
+            "rid": request_id,
+            "outcome": "admitted",
+            "color": self.assigner.color_of(idx),
+            # the interned-arc-id tuple serializes as a JSON array;
+            # no copy on the hot path
+            "arcs": self.family.member_arc_ids(idx),
+            "shard": self.conflict.shard_of_member(idx).anchor(),
+        }
+
+    def _admit(self, request_id: int, request: Optional[Request],
+               dipath: Optional[Dipath]) -> Optional[str]:
         if request_id in self.vertex_of:
             raise SimulationError(
                 f"duplicate arrival for request {request_id}")
@@ -350,18 +510,23 @@ class OnlineEngine:
             routed = self.router.route(request)
             candidates = [] if routed is None else [routed]
         if not candidates:
+            self._m_rejected_route.inc()
             return NO_ROUTE
         if self.speculative and len(candidates) > 1:
             decision = admit_best(self.conflict, self.assigner, candidates)
             if decision is None:
+                self._m_rejected_wavelength.inc()
                 return NO_WAVELENGTH
             self.vertex_of[request_id] = decision.index
+            self._m_admitted.inc()
             return None
         idx = self.conflict.add_dipath(candidates[0])
         if self.assigner.assign(self.conflict, idx) is None:
             self.conflict.remove_dipath(idx)
+            self._m_rejected_wavelength.inc()
             return NO_WAVELENGTH
         self.vertex_of[request_id] = idx
+        self._m_admitted.inc()
         return None
 
     def admit_batch(self, arrivals: List[Event],
@@ -386,7 +551,36 @@ class OnlineEngine:
         cannot decompose (an arrival bridging two components, or two
         slices meeting on a not-yet-provisioned fibre) fall back to the
         serial path transparently.
+
+        With a tracer attached the burst is wrapped in an
+        ``admit_batch`` span and every admitted member additionally
+        emits an ``admit`` point event (same tags as a single-admit
+        span), so trace analysis sees batched and singleton admissions
+        uniformly.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._admit_batch(arrivals, policy, workers)
+        with tracer.span("admit_batch", size=len(arrivals),
+                         policy=policy) as span:
+            reasons = self._admit_batch(arrivals, policy, workers)
+            admitted_rids = [rid for rid, reason in reasons.items()
+                             if reason is None]
+            span.tags["admitted"] = len(admitted_rids)
+            for rid in admitted_rids:
+                idx = self.vertex_of[rid]
+                tracer.event(
+                    "admit", rid=rid, outcome="admitted",
+                    color=self.assigner.color_of(idx),
+                    arcs=self.family.member_arc_ids(idx),
+                    shard=self.conflict.shard_of_member(idx).anchor())
+            return reasons
+
+    def _admit_batch(self, arrivals: List[Event], policy: str,
+                     workers: Optional[int]) -> Dict[int, Optional[str]]:
+        self._m_batches.inc()
+        self._m_batch_arrivals.inc(len(arrivals))
+        self._h_batch_size.observe(len(arrivals))
         reasons: Dict[int, Optional[str]] = {}
         routed: List[tuple] = []
         for event in arrivals:
@@ -419,6 +613,13 @@ class OnlineEngine:
                 reasons[request_id] = None
             else:
                 reasons[request_id] = NO_WAVELENGTH
+        for reason in reasons.values():
+            if reason is None:
+                self._m_admitted.inc()
+            elif reason == NO_ROUTE:
+                self._m_rejected_route.inc()
+            else:
+                self._m_rejected_wavelength.inc()
         return reasons
 
     def _admit_routed_sharded(self, routed: List[tuple], policy: str,
@@ -496,11 +697,27 @@ class OnlineEngine:
     def depart(self, request_id: int) -> bool:
         """Tear down a provisioned lightpath; ``False`` if it never held one
         (blocked arrivals depart silently)."""
+        tracer = self.tracer
+        if tracer is None:
+            return self._depart(request_id)
+        if tracer.profiler is None and not tracer.wall_clock:
+            t0 = tracer.now
+            held = self._depart(request_id)
+            tracer.emit_span("depart", t0,
+                             {"rid": request_id, "held": held})
+            return held
+        with tracer.span("depart", rid=request_id) as span:
+            held = self._depart(request_id)
+            span.tags["held"] = held
+            return held
+
+    def _depart(self, request_id: int) -> bool:
         idx = self.vertex_of.pop(request_id, None)
         if idx is None:
             return False
         self.assigner.release(idx)
         self.conflict.remove_dipath(idx)
+        self._m_departed.inc()
         return True
 
     # ------------------------------------------------------------------ #
@@ -533,6 +750,18 @@ class OnlineEngine:
         from :meth:`shard_map`): only that component's lightpaths are
         attempted, under the unchanged global acceptance objective.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._defrag(order, max_moves, time_budget, shard)
+        with tracer.span("defrag", order=order, sharded=False) as span:
+            report = self._defrag(order, max_moves, time_budget, shard)
+            span.tags["moves"] = len(report.moves)
+            span.tags["reclaimed"] = report.reclaimed
+            return report
+
+    def _defrag(self, order: str, max_moves: Optional[int],
+                time_budget: Optional[float],
+                shard: Optional[int]) -> DefragReport:
         # a pass is the natural maintenance point: settle the pending
         # lazy split-checks so per-shard scheduling sees true components
         self.conflict.refresh_shards()
@@ -544,16 +773,17 @@ class OnlineEngine:
         report = DefragPass(self.conflict, self.assigner,
                             candidates=self._defrag_candidates, order=order,
                             max_moves=max_moves,
-                            time_budget=time_budget, members=members).run()
+                            time_budget=time_budget, members=members,
+                            metrics=self._obs_registry).run()
         remapped = {m.index: m.new_index for m in report.moves
                     if m.new_index != m.index}
         if remapped:    # pragma: no cover - moves recycle their own slot
             for request_id, idx in list(self.vertex_of.items()):
                 if idx in remapped:
                     self.vertex_of[request_id] = remapped[idx]
-        self.defrag_passes += 1
-        self.defrag_moves += len(report.moves)
-        self.wavelengths_reclaimed += max(0, report.reclaimed)
+        self._m_defrag_passes.inc()
+        self._m_defrag_moves.inc(len(report.moves))
+        self._m_defrag_reclaimed.inc(max(0, report.reclaimed))
         return report
 
     def defrag_sharded(self, order: str = "highest_wavelength",
@@ -582,6 +812,17 @@ class OnlineEngine:
         Requires the ``first_fit`` policy (the only one whose choices
         are functions of the component alone).
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._defrag_sharded(order, max_moves, workers)
+        with tracer.span("defrag", order=order, sharded=True) as span:
+            report = self._defrag_sharded(order, max_moves, workers)
+            span.tags["moves"] = len(report.moves)
+            span.tags["reclaimed"] = report.reclaimed
+            return report
+
+    def _defrag_sharded(self, order: str, max_moves: Optional[int],
+                        workers: Optional[int]) -> DefragReport:
         if self.assigner.policy != PARALLEL_SAFE_POLICY:
             raise ValueError(
                 "shard-scoped defragmentation requires the "
@@ -637,9 +878,9 @@ class OnlineEngine:
         report.colors_after = assigner.colors_in_use()
         report.max_color_after = max_color_in_use(assigner)
         report.load_after = family.load()
-        self.defrag_passes += 1
-        self.defrag_moves += len(report.moves)
-        self.wavelengths_reclaimed += max(0, report.reclaimed)
+        self._m_defrag_passes.inc()
+        self._m_defrag_moves.inc(len(report.moves))
+        self._m_defrag_reclaimed.inc(max(0, report.reclaimed))
         return report
 
 
@@ -662,7 +903,10 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     restoration: bool = True,
                     restore_retries: int = 2,
                     restore_move_budget: Optional[int] = None,
-                    revert_on_repair: bool = False) -> OnlineResult:
+                    revert_on_repair: bool = False,
+                    metrics: Optional[MetricsRegistry] = None,
+                    tracer: Optional[Tracer] = None,
+                    profile=None) -> OnlineResult:
     """Run an event trace through the incremental online RWA engine.
 
     Parameters
@@ -752,6 +996,15 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         After a :data:`~repro.online.events.REPAIR`, offer every
         restoration-rerouted lightpath its original route back, keeping
         only strict-improvement moves (the defrag acceptance objective).
+    metrics, tracer, profile:
+        Observability hooks, all decision-neutral (see
+        :mod:`repro.obs`): ``metrics`` shares a
+        :class:`~repro.obs.registry.MetricsRegistry` (one is created
+        otherwise; its snapshot is attached as ``result.metrics``
+        either way), ``tracer`` wraps admissions/departures/defrag/
+        faults in structured spans with the event-time clock advanced
+        per trace event, and ``profile`` attaches a
+        :class:`~repro.obs.profiling.SpanProfiler` per span category.
     """
     if any(e.kind in (CUT, REPAIR) for e in events):
         # fault events mutate the topology in place; run on a private
@@ -760,7 +1013,12 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     engine = OnlineEngine(graph, wavelengths, routing=routing, policy=policy,
                           kempe_repair=kempe_repair, seed=seed,
                           k_candidates=k_candidates, speculative=speculative,
-                          sharded=sharded)
+                          sharded=sharded, metrics=metrics, tracer=tracer,
+                          profile=profile)
+    registry = engine.metrics
+    tracer = engine.tracer      # may have been created for a profiler
+    holding = registry.histogram(
+        "result.holding_time", (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0))
     result = OnlineResult(wavelengths_available=wavelengths, routing=routing,
                           policy=policy, speculative=speculative,
                           batch_policy=batch_policy, sharded=sharded)
@@ -782,7 +1040,8 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     if shed_work_budget is not None or shed_queue_depth is not None:
         guard = AdmissionGuard(work_budget=shed_work_budget,
                                burst=shed_burst,
-                               queue_depth=shed_queue_depth)
+                               queue_depth=shed_queue_depth,
+                               metrics=registry)
     elif shed_burst is not None:
         raise ValueError("shed_burst needs shed_work_budget")
     # routing + speculation dominates per-arrival work, so the guard
@@ -822,6 +1081,7 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                                          workers=shard_workers)
         return engine.defrag(order=defrag_order, max_moves=defrag_max_moves)
 
+    admitted_at: Dict[int, float] = {}
     last_time = float("-inf")
     processed = 0
     above_threshold = False
@@ -832,6 +1092,8 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
             raise SimulationError(
                 f"trace is not time-ordered at request {event.request_id}")
         last_time = event.time
+        if tracer is not None:
+            tracer.advance(event.time)
         group = [event]
         if batch_policy is not None and event.kind == ARRIVAL:
             j = index + 1
@@ -849,6 +1111,8 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     else:
                         result.blocked.append(arrival.request_id)
                         result.rejections[arrival.request_id] = SHED
+                        if tracer is not None:
+                            tracer.event("shed", rid=arrival.request_id)
             reasons = engine.admit_batch(kept, policy=batch_policy,
                                          workers=shard_workers) \
                 if kept else {}
@@ -866,6 +1130,7 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                 reason = reasons[arrival.request_id]
                 if reason is None:
                     result.accepted.append(arrival.request_id)
+                    admitted_at[arrival.request_id] = event.time
                 else:
                     result.blocked.append(arrival.request_id)
                     result.rejections[arrival.request_id] = reason
@@ -874,6 +1139,8 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     not guard.admits(event.time, arrival_cost):
                 result.blocked.append(event.request_id)
                 result.rejections[event.request_id] = SHED
+                if tracer is not None:
+                    tracer.event("shed", rid=event.request_id)
             else:
                 reason = engine.admit(event.request_id,
                                       request=event.request,
@@ -889,11 +1156,15 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                                               dipath=event.dipath)
                 if reason is None:
                     result.accepted.append(event.request_id)
+                    admitted_at[event.request_id] = event.time
                 else:
                     result.blocked.append(event.request_id)
                     result.rejections[event.request_id] = reason
         elif event.kind == DEPARTURE:
-            engine.depart(event.request_id)
+            held = engine.depart(event.request_id)
+            t0 = admitted_at.pop(event.request_id, None)
+            if held and t0 is not None:
+                holding.observe(event.time - t0)
             if injector is not None:
                 # a departed request must not be resurrected by a later
                 # repair, even if it was stranded when it departed
@@ -940,4 +1211,16 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     result.component_merges = engine.conflict.component_merges
     result.component_splits = engine.conflict.component_splits
     result.shard_rebuilds = engine.conflict.shard_rebuilds
+    # final-outcome counters: every blocked request carries exactly one
+    # rejection reason, so the per-reason counts partition the total —
+    # these are what blocking_rate/blocked_count read back
+    registry.counter("result.accepted").set(len(result.accepted))
+    registry.counter("result.blocked").set(len(result.blocked))
+    for reason in (NO_ROUTE, NO_WAVELENGTH, SHED, FIBRE_CUT):
+        registry.counter(f"result.blocked.{reason}").set(
+            sum(1 for r in result.rejections.values() if r == reason))
+    registry.counter("result.kempe_repairs").set(result.kempe_repairs)
+    registry.gauge("result.wavelengths_used").set(result.wavelengths_used)
+    registry.gauge("result.active_at_end").set(engine.active)
+    result.metrics = registry.snapshot()
     return result

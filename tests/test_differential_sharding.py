@@ -27,6 +27,7 @@ from dataclasses import asdict
 import pytest
 
 from repro.generators.regions import multi_region_topology, multi_region_traffic
+from repro.obs.trace import RingBufferSink, Tracer
 from repro.online import (
     ARRIVAL,
     DEPARTURE,
@@ -61,13 +62,28 @@ _CONFIGS = (
 )
 
 
+def _deterministic_metrics(snapshot):
+    """The decision-bearing section of a metrics snapshot (see
+    :mod:`repro.obs.registry`): everything except ``diagnostics``."""
+    return {k: v for k, v in snapshot.items() if k != "diagnostics"}
+
+
 def _compare(graph, trace, wavelengths, **kwargs):
     base = simulate_online(graph, trace, wavelengths, seed=3, **kwargs)
+    # the sharded side runs fully instrumented: per the observability
+    # layer's contract, tracing must not perturb a single decision
     shard = simulate_online(graph, trace, wavelengths, seed=3, sharded=True,
+                            tracer=Tracer(sink=RingBufferSink(capacity=512)),
                             **kwargs)
     plain, mirrored = asdict(base), asdict(shard)
     for field in _SHARD_FIELDS:
         plain.pop(field), mirrored.pop(field)
+    # metrics: the deterministic section must match exactly; diagnostics
+    # (shard tracker, colour index) legitimately differ per code path
+    plain_metrics = plain.pop("metrics")
+    shard_metrics = mirrored.pop("metrics")
+    assert (_deterministic_metrics(plain_metrics)
+            == _deterministic_metrics(shard_metrics))
     assert plain == mirrored, {
         key: (plain[key], mirrored[key])
         for key in plain if plain[key] != mirrored[key]}
