@@ -1,0 +1,11 @@
+"""Benchmark harness package.
+
+The package marker lets pytest import ``bench_*.py`` modules (and their
+``from .conftest import report`` helper) under its default prepend
+import mode, so explicit runs work from the repository root:
+
+    python -m pytest benchmarks/bench_service.py -m bench -s
+
+The modules deliberately do NOT match pytest's ``test_*.py`` discovery
+pattern: tier-1 (`python -m pytest`) must never time a benchmark.
+"""

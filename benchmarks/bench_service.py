@@ -1,0 +1,47 @@
+"""E19 — RWA service: trace-loop identity, latency, tenant isolation.
+
+Two claims, recorded in ``BENCH_service.json`` by
+``scripts/bench_report.py --suite service``:
+
+* replaying a flash-crowd burst trace through the asyncio
+  :class:`~repro.service.RwaService` makes bit-identical decisions to
+  :func:`~repro.online.simulator.simulate_online` on the same ordered
+  trace (same accepted/blocked sets and rejection reasons, equal
+  :func:`~repro.online.persistence.engine_fingerprint`), with sustained
+  admissions/sec and wall-clock p99 submit→decision latency recorded
+  for information;
+* per-tenant quotas keep a quiet tenant entirely unshed next to a
+  flooding one, and the per-tenant shed counters partition the
+  ``guard.shed`` total exactly.
+"""
+
+import pytest
+
+from repro.analysis.bench_service import (
+    run_service_benchmark,
+    service_problems,
+)
+from .conftest import report
+
+pytestmark = pytest.mark.bench
+
+SERVICE_COLUMNS = ("scenario", "arrivals", "blocking", "shed",
+                   "admissions_per_s", "p99_latency_s", "decisions_equal",
+                   "fingerprint_identical")
+TENANT_COLUMNS = ("scenario", "quiet_arrivals", "flood_arrivals",
+                  "quiet_shed", "flood_shed", "shed_partition_exact")
+
+
+def test_service_identity_and_isolation(benchmark, run_once):
+    records = run_once(benchmark, run_service_benchmark, 3)
+    identity = [r for r in records if r["kind"] == "service"]
+    tenants = [r for r in records if r["kind"] == "tenant_isolation"]
+    report(identity, columns=SERVICE_COLUMNS,
+           title="E19 / service — flash-crowd replay vs trace loop")
+    report(tenants, columns=TENANT_COLUMNS,
+           title="E19 / service — flooding vs quiet tenant")
+    assert all(r["decisions_equal"] for r in identity)
+    assert all(r["fingerprint_identical"] for r in identity)
+    assert all(r["quiet_never_shed"] for r in tenants)
+    assert all(r["shed_partition_exact"] for r in tenants)
+    assert service_problems(records) == []

@@ -32,7 +32,7 @@ from pathlib import Path
 from repro.dipaths.routing import route_all
 from repro.generators.random_dags import random_internal_cycle_free_dag
 from repro.obs.analyze import TraceAnalyzer
-from repro.obs.trace import ListSink, Tracer, dumps_record
+from repro.obs.trace import JsonlSink, ListSink, Tracer
 from repro.online.faults import FaultInjector
 from repro.online.simulator import OnlineEngine
 from repro.optical.traffic import uniform_random_traffic
@@ -89,9 +89,11 @@ def main():
     # ------------------------------------------------------------------
     # 4. serialize -> reload -> analyze
     path = Path(tempfile.gettempdir()) / "trace_inspection.jsonl"
-    with open(path, "w", encoding="utf-8") as fh:
+    # JsonlSink buffers; the context manager closes (= flushes) it, so
+    # every trailing record is on disk before the reload below
+    with JsonlSink(str(path)) as sink:
         for record in tracer.records():
-            fh.write(dumps_record(record) + "\n")
+            sink.emit(record)
     analyzer = TraceAnalyzer.from_jsonl(str(path),
                                         arc_names=engine.arc_names())
     print(f"\ntrace written to {path} "

@@ -12,7 +12,11 @@ fault-tolerance suite of :mod:`repro.analysis.recovery` (journal-replay
 crash recovery bit-identity and timing, fibre-cut restoration blocking,
 admission-guard load shedding) and the observability suite of
 :mod:`repro.analysis.bench_obs` (full-tracing overhead ratio on the
-admission workloads, span-emission throughput), and either
+admission workloads, span-emission throughput) and the service suite of
+:mod:`repro.analysis.bench_service` (asyncio ``RwaService`` decision and
+fingerprint identity with the trace loop under a flash crowd, sustained
+admissions/sec and p99 admission latency, per-tenant shed isolation),
+and either
 records the results or checks them against the recorded baselines:
 
     python scripts/bench_report.py                   # run + write reports
@@ -22,8 +26,8 @@ records the results or checks them against the recorded baselines:
 
 Reports are written to ``BENCH_conflict_engine.json``,
 ``BENCH_online_engine.json``, ``BENCH_online_routing.json``,
-``BENCH_defrag.json``, ``BENCH_sharding.json``, ``BENCH_recovery.json``
-and ``BENCH_obs.json`` at the
+``BENCH_defrag.json``, ``BENCH_sharding.json``, ``BENCH_recovery.json``,
+``BENCH_obs.json`` and ``BENCH_service.json`` at the
 repository root (``--output`` overrides the path when a single suite is
 selected).  ``--check`` exits non-zero
 when an engine is more than 20% slower than its recorded baseline on any
@@ -41,6 +45,13 @@ call counts, wall time and top functions by cumulative time.  Suites
 that never build an :class:`~repro.online.simulator.OnlineEngine`
 (``conflict``, ``online``) fall back to the old whole-suite cProfile
 dump.
+
+``--trace PATH`` (service suite only) attaches a JSONL-backed
+:class:`~repro.obs.trace.Tracer` to every service replay and writes the
+span stream to PATH — closed (and therefore flushed) through the
+tracer's context-manager protocol, so short runs keep their trailing
+records.  Inspect the file with
+:meth:`~repro.obs.analyze.TraceAnalyzer.from_jsonl`.
 """
 
 from __future__ import annotations
@@ -84,6 +95,12 @@ from repro.analysis.bench_obs import (
     obs_problems,
     run_obs_benchmark,
 )
+from repro.analysis.bench_service import (
+    run_service_benchmark,
+    service_benchmark_document,
+    service_check_against_baseline,
+    service_problems,
+)
 from repro.analysis.recovery import (
     recovery_benchmark_document,
     recovery_check_against_baseline,
@@ -95,6 +112,7 @@ from repro.obs.profiling import (
     clear_default_profile,
     set_default_profile,
 )
+from repro.obs.trace import JsonlSink, Tracer
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -102,7 +120,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: ``--profile`` attributes their cost per span category; the rest only
 #: exercise the conflict-graph layer and get the whole-suite fallback.
 ENGINE_SUITES = frozenset({"routing", "defrag", "sharding", "recovery",
-                           "obs"})
+                           "obs", "service"})
 
 
 def _print_engine_records(records) -> None:
@@ -228,6 +246,26 @@ def _print_recovery_records(records) -> None:
                   f"{r['p99_work_guarded']:.0f}  [{verdict}]")
 
 
+def _print_service_records(records) -> None:
+    for r in records:
+        if r["kind"] == "service":
+            verdict = ("ok" if r["decisions_equal"]
+                       and r["fingerprint_identical"] else "DIVERGED")
+            print(f"{r['scenario']:36s} arrivals={r['arrivals']} "
+                  f"blocking={r['blocking']:.4f} shed={r['shed']} "
+                  f"adm/s={r['admissions_per_s']:.0f} "
+                  f"p99={r['p99_latency_s'] * 1000:.2f}ms "
+                  f"identical={r['decisions_equal']}/"
+                  f"{r['fingerprint_identical']}  [{verdict}]")
+        else:
+            verdict = ("ok" if r["quiet_never_shed"] and r["flood_is_shed"]
+                       and r["shed_partition_exact"] else "STARVED")
+            print(f"{r['scenario']:36s} "
+                  f"quiet={r['quiet_shed']}/{r['quiet_arrivals']} "
+                  f"flood={r['flood_shed']}/{r['flood_arrivals']} shed "
+                  f"partition={r['shed_partition_exact']}  [{verdict}]")
+
+
 #: suite name -> (default report path, runner, document builder,
 #:                baseline checker, speedup checker, record printer)
 SUITES = {
@@ -259,6 +297,10 @@ SUITES = {
             run_obs_benchmark, obs_benchmark_document,
             obs_check_against_baseline, obs_problems,
             _print_obs_records),
+    "service": (REPO_ROOT / "BENCH_service.json",
+                run_service_benchmark, service_benchmark_document,
+                service_check_against_baseline, service_problems,
+                _print_service_records),
 }
 
 
@@ -268,7 +310,13 @@ def _run_suite(name: str, args) -> int:
     repeats = 2 if args.quick else 3
 
     print(f"== suite: {name} ==")
-    if args.profile and name in ENGINE_SUITES:
+    if args.trace is not None and name == "service":
+        with Tracer(sink=JsonlSink(str(args.trace))) as tracer:
+            records = run(repeats=repeats, tracer=tracer)
+        print_records(records)
+        print(f"-- span stream written to {args.trace} "
+              f"({tracer.sink.emitted} records)")
+    elif args.profile and name in ENGINE_SUITES:
         profiler = SpanProfiler(engine="cprofile")
         set_default_profile(profiler)
         try:
@@ -320,6 +368,12 @@ def _run_suite(name: str, args) -> int:
         print(f"(--profile: not writing {output.name} — profiled timings "
               f"are not baseline material)")
         return 0
+    if args.trace is not None:
+        # traced replays carry the (small but real) span-emission cost in
+        # their latency samples; keep them out of the recorded baseline
+        print(f"(--trace: not writing {output.name} — traced timings are "
+              f"not baseline material)")
+        return 0
     output.write_text(json.dumps(document(records, repeats), indent=2) + "\n")
     print(f"report written to {output}")
     return 1 if slow else 0
@@ -350,6 +404,10 @@ def main(argv=None) -> int:
                              "elsewhere (timings are inflated; do not "
                              "combine with --check or record baselines "
                              "from a profiled run)")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="(service suite only) write the replays' span "
+                             "stream to this JSONL file via a "
+                             "Tracer(JsonlSink) closed on completion")
     args = parser.parse_args(argv)
 
     suites = list(SUITES) if args.suite == "all" else [args.suite]
@@ -359,6 +417,12 @@ def main(argv=None) -> int:
         parser.error("--profile inflates timings 2-5x; checking them "
                      "against a recorded baseline would flag phantom "
                      "regressions — run the flags separately")
+    if args.trace is not None and suites != ["service"]:
+        parser.error("--trace dumps the service replays' span stream; "
+                     "use it with --suite service")
+    if args.trace is not None and args.profile:
+        parser.error("--trace and --profile both instrument the replays; "
+                     "run them separately")
 
     status = 0
     for name in suites:

@@ -11,9 +11,9 @@ Usage:
 ``--skip-slow`` mirrors the test suite's ``slow`` pytest marker (see
 ``pytest.ini``): the long-horizon gates — E14's Erlang blocking sweeps,
 E15's defrag blocking/reclaim replays, E16's sharded-engine replays,
-E17's crash-recovery/restoration/shedding suite and E18's
-observability-overhead suite — are skipped so a quick sweep stays
-quick.
+E17's crash-recovery/restoration/shedding suite, E18's
+observability-overhead suite and E19's RWA-service replay — are skipped
+so a quick sweep stays quick.
 """
 
 from __future__ import annotations
@@ -50,6 +50,11 @@ from repro.analysis.bench_obs import (
     obs_check_against_baseline,
     obs_problems,
     run_obs_benchmark,
+)
+from repro.analysis.bench_service import (
+    run_service_benchmark,
+    service_check_against_baseline,
+    service_problems,
 )
 from repro.analysis.recovery import (
     recovery_check_against_baseline,
@@ -107,8 +112,9 @@ def main() -> int:
                              "blocking sweeps of E14, the defrag "
                              "replays of E15, the sharded-engine "
                              "replays of E16, the fault-tolerance "
-                             "suite of E17 and the observability-"
-                             "overhead suite of E18), mirroring the "
+                             "suite of E17, the observability-"
+                             "overhead suite of E18 and the RWA-"
+                             "service replay of E19), mirroring the "
                              "test suite's 'slow' marker")
     args = parser.parse_args()
     output_dir = args.output_dir
@@ -183,6 +189,17 @@ def main() -> int:
          repo_root / "BENCH_obs.json",
          run_obs_benchmark, obs_check_against_baseline,
          obs_problems, True),
+        # E19 replays a flash crowd through the asyncio RwaService: its
+        # decisions and engine fingerprint must stay bit-identical to
+        # simulate_online on the same trace, per-tenant quotas must keep
+        # a quiet tenant unshed next to a flooding one, and the record
+        # samples sustained admissions/sec + p99 admission latency
+        # (informational) — skippable like E14–E18.
+        ("E19: RWA service identity + tenant isolation vs recorded "
+         "baseline ...",
+         repo_root / "BENCH_service.json",
+         run_service_benchmark, service_check_against_baseline,
+         service_problems, True),
     ]
     for title, bench_path, run_bench, check, speedups, slow in gates:
         if slow and args.skip_slow:

@@ -81,4 +81,20 @@ print("certificate: equality?", cert.equality_holds, "pi", cert.witness_load,
 dag, fam = figure3_instance()
 sol = assign_wavelengths(dag, fam, method="auto")
 print("auto fig3:", sol.num_wavelengths, sol.method)
+# RWA service (E19 wiring): identity with the trace loop + tenant isolation
+from repro.analysis.bench_service import run_service_benchmark, service_problems
+
+service_records = run_service_benchmark(smoke=True)
+for rec in service_records:
+    if rec["kind"] == "service":
+        print("service:", rec["scenario"], "identical?",
+              rec["decisions_equal"] and rec["fingerprint_identical"],
+              "blocking", round(rec["blocking"], 4))
+    else:
+        print("service:", rec["scenario"], "quiet shed", rec["quiet_shed"],
+              "flood shed", rec["flood_shed"],
+              "partition?", rec["shed_partition_exact"])
+print("SERVICE SMOKE", "OK" if not service_problems(service_records)
+      else "FAILED")
+
 print("SMOKE OK")

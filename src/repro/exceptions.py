@@ -207,3 +207,15 @@ class FaultError(ReproError):
     Cutting a fibre that is already cut (or absent from the topology),
     or repairing one that is not cut.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """An :class:`repro.service.RwaService` lifecycle violation.
+
+    Submitting to a service that was never started (or already stopped),
+    starting it twice, or requesting an operation the service was not
+    configured for.  Distinct from :class:`SimulationError`, which covers
+    malformed *traffic* (out-of-order timestamps, duplicate arrivals) —
+    those fail only the offending request's future, while a
+    ``ServiceError`` means the caller is holding the service wrong.
+    """

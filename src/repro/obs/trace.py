@@ -98,9 +98,16 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Streams records to a JSONL file (or any text handle)."""
+    """Streams records to a JSONL file (or any text handle).
 
-    __slots__ = ("_fh", "_owns", "emitted")
+    Writes are buffered by the underlying handle, so a short run that
+    never fills the buffer loses its trailing records unless the sink is
+    closed: call :meth:`close` (or use the sink — or its owning
+    :class:`Tracer` — as a context manager) when the trace is done.
+    ``closed`` tells consumers whether the records are durable yet.
+    """
+
+    __slots__ = ("_fh", "_owns", "emitted", "closed")
 
     def __init__(self, target: Union[str, "IO[str]"]) -> None:
         if isinstance(target, (str, bytes)):
@@ -110,15 +117,30 @@ class JsonlSink:
             self._fh = target
             self._owns = False
         self.emitted = 0
+        self.closed = False
 
     def emit(self, record: Dict[str, object]) -> None:
         self._fh.write(dumps_record(record))
         self._fh.write("\n")
         self.emitted += 1
 
+    def flush(self) -> None:
+        """Push buffered records to the handle (and through it, the OS)."""
+        if not self.closed:
+            self._fh.flush()
+
     def close(self) -> None:
+        """Flush, then close an owned handle.  Idempotent.
+
+        A borrowed handle (the caller passed an open file object) is
+        flushed but left open — its lifetime belongs to the caller.
+        """
+        if self.closed:
+            return
+        self._fh.flush()
         if self._owns:
             self._fh.close()
+        self.closed = True
 
     def __enter__(self) -> "JsonlSink":
         return self
@@ -255,6 +277,25 @@ class Tracer:
 
     def attach_profiler(self, profiler) -> None:
         self.profiler = profiler
+
+    def close(self) -> None:
+        """Flush and close the sink, if it supports closing.
+
+        File-backed sinks (:class:`JsonlSink`) buffer their writes, so a
+        tracer abandoned without closing can lose the trailing span
+        records of a short run.  In-memory sinks have no ``close`` and
+        are unaffected.  Idempotent; the tracer itself stays usable only
+        for in-memory sinks afterwards.
+        """
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def read_jsonl(lines: Iterable[str]) -> List[Dict[str, object]]:

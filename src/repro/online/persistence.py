@@ -272,6 +272,8 @@ class DurableEngine(Instrumented):
         self._m_records = self._obs_counter("records", diagnostic=True)
         self._m_bytes = self._obs_counter("bytes", diagnostic=True)
         self._m_snapshots = self._obs_counter("snapshots", diagnostic=True)
+        self._m_fsync_unsupported = self._obs_counter(
+            "fsync_unsupported", diagnostic=True)
         self._graph_ops: List[list] = []
         self._records = 0
         self._since_snapshot = 0
@@ -453,7 +455,16 @@ class DurableEngine(Instrumented):
         self._file.write(line)
         self._file.flush()
         if self._fsync:
-            os.fsync(self._file.fileno())
+            # fsync needs a real file descriptor; in-memory buffers have
+            # no fileno() and pipes/character devices reject fsync with
+            # EINVAL/ENOTSUP.  Journalling must not crash on such targets
+            # — durability degrades to flush, noted once per engine in
+            # the diagnostic journal.fsync_unsupported counter.
+            try:
+                os.fsync(self._file.fileno())
+            except (AttributeError, OSError, ValueError):
+                self._fsync = False
+                self._m_fsync_unsupported.inc()
         self._records += 1
         self._since_snapshot += 1
         self._m_records.inc()
@@ -739,8 +750,15 @@ def recover(path: str, metrics: Optional[MetricsRegistry] = None,
             if not isinstance(record, dict):
                 raise ValueError("journal record is not an object")
         except (ValueError, UnicodeDecodeError) as exc:
-            if pos == len(complete) - 1 and not tail:
-                break               # unreadable final line: treat as torn
+            if pos == len(complete) - 1:
+                # Unreadable final line: the torn tail of a crashed
+                # append.  Trailing bytes after it (``tail`` non-empty —
+                # e.g. garbage flushed by the dying process after the
+                # torn record) are part of the same torn suffix; both
+                # are discarded by the truncate below.  Corruption
+                # *followed by* a clean record is not a tail and still
+                # raises.
+                break
             raise RecoveryError(f"unreadable journal record: {exc}",
                                 record=pos) from exc
         records.append(record)

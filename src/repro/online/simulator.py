@@ -74,8 +74,8 @@ from .transaction import BATCH_POLICIES
 from .transaction import admit_batch as _admit_dipath_batch
 from .transaction import admit_best
 
-__all__ = ["FIBRE_CUT", "NO_ROUTE", "NO_WAVELENGTH", "SHED",
-           "AdmissionGuard", "OnlineEngine", "OnlineResult",
+__all__ = ["DEFAULT_TENANT", "FIBRE_CUT", "NO_ROUTE", "NO_WAVELENGTH",
+           "SHED", "AdmissionGuard", "OnlineEngine", "OnlineResult",
            "simulate_online"]
 
 #: Rejection reason: the topology has no dipath for the request at all.
@@ -88,6 +88,23 @@ SHED = "shed"
 #: Rejection reason: provisioned, then stranded by a fibre cut and not
 #: restored by the end of the run.
 FIBRE_CUT = "fibre_cut"
+
+#: Tenant name used for arrivals that carry none (and for arrivals of
+#: tenants the guard was not configured with).
+DEFAULT_TENANT = "default"
+
+
+class _TenantBucket:
+    """One tenant's token-bucket state (see :class:`AdmissionGuard`)."""
+
+    __slots__ = ("rate", "burst", "tokens", "last", "group")
+
+    def __init__(self, rate: Optional[float], burst: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst          # start full: an initial burst is fine
+        self.last: Optional[float] = None
+        self.group = 0
 
 
 class AdmissionGuard(Instrumented):
@@ -105,6 +122,25 @@ class AdmissionGuard(Instrumented):
     how many arrivals sharing one timestamp are even considered (the rest
     shed regardless of tokens).
 
+    **Per-tenant quotas.**  With ``tenants`` set (``name -> weight``),
+    every declared tenant gets its *own* token bucket holding a
+    deterministic weighted fair share of the global work budget: tenant
+    ``t`` refills at ``work_budget * weight(t) / total_weight`` and holds
+    at most ``burst * weight(t) / total_weight`` tokens, and
+    ``queue_depth`` caps same-timestamp arrivals per tenant.  A tenant
+    can therefore only ever exhaust its own share — a flooding tenant is
+    shed against its own bucket while a quiet tenant's bucket stays full,
+    which is the starvation-freedom contract the service tests pin down.
+    Arrivals with no tenant (or an undeclared one) draw from an implicit
+    :data:`DEFAULT_TENANT` bucket of weight ``1.0`` (declare ``"default"``
+    explicitly to change its share).  Without ``tenants`` all arrivals
+    share one global bucket, exactly as before.
+
+    Shed accounting: the deterministic ``guard.shed`` counter holds the
+    total, and per-tenant ``guard.tenant.<name>.shed`` diagnostic
+    counters split it by the tenant named at :meth:`admits` time — they
+    partition the total exactly in both modes.
+
     Everything is a pure function of the event timestamps, so runs are
     reproducible — no wall clock is consulted.
     """
@@ -112,6 +148,7 @@ class AdmissionGuard(Instrumented):
     def __init__(self, work_budget: Optional[float] = None,
                  burst: Optional[float] = None,
                  queue_depth: Optional[int] = None,
+                 tenants: Optional[Dict[str, float]] = None,
                  metrics: Optional[MetricsRegistry] = None) -> None:
         self._obs_init("guard", metrics)
         if work_budget is not None and work_budget <= 0:
@@ -128,36 +165,84 @@ class AdmissionGuard(Instrumented):
             if self._burst < work_budget:
                 raise ValueError("burst must be >= work_budget")
         self._queue_depth = queue_depth
-        self._tokens = self._burst       # start full: an initial burst is fine
-        self._last: Optional[float] = None
-        self._group = 0
+        self._buckets: Dict[str, _TenantBucket] = {}
+        if tenants:
+            weights = dict(tenants)
+            weights.setdefault(DEFAULT_TENANT, 1.0)
+            for name, weight in weights.items():
+                if weight <= 0:
+                    raise ValueError(
+                        f"tenant {name!r} needs a positive weight")
+            total = sum(weights.values())
+            for name in sorted(weights):
+                share = weights[name] / total
+                self._buckets[name] = _TenantBucket(
+                    None if self._budget is None else self._budget * share,
+                    self._burst * share)
+        else:
+            self._buckets[DEFAULT_TENANT] = _TenantBucket(
+                self._budget, self._burst)
         self._m_shed = self._obs_counter("shed")
         self._m_considered = self._obs_counter("considered")
+        self._m_tenant_shed: Dict[str, object] = {}
 
     @property
     def shed_count(self) -> int:
         """Arrivals refused by the guard (registry-backed accessor)."""
         return self._m_shed.value
 
-    def admits(self, time: float, cost: float = 1.0) -> bool:
-        """Whether one arrival at ``time`` costing ``cost`` may proceed."""
+    def tenants(self) -> List[str]:
+        """The tenant names holding a dedicated bucket (sorted)."""
+        return sorted(self._buckets)
+
+    def tenant_shed_counts(self) -> Dict[str, int]:
+        """``tenant -> shed arrivals``; the values sum to ``shed_count``."""
+        return {name: counter.value
+                for name, counter in sorted(self._m_tenant_shed.items())}
+
+    def tokens_available(self, tenant: Optional[str] = None) -> float:
+        """Tokens currently in ``tenant``'s bucket (introspection only)."""
+        name = tenant if tenant is not None else DEFAULT_TENANT
+        bucket = self._buckets.get(name) or self._buckets[DEFAULT_TENANT]
+        return bucket.tokens
+
+    def _shed(self, tenant: str) -> bool:
+        self._m_shed.inc()
+        counter = self._m_tenant_shed.get(tenant)
+        if counter is None:
+            counter = self._m_tenant_shed[tenant] = self._obs_counter(
+                f"tenant.{tenant}.shed", diagnostic=True)
+        counter.inc()
+        return False
+
+    def admits(self, time: float, cost: float = 1.0,
+               tenant: Optional[str] = None) -> bool:
+        """Whether one arrival at ``time`` costing ``cost`` may proceed.
+
+        ``tenant`` selects the quota bucket (``None`` and undeclared
+        names draw from the :data:`DEFAULT_TENANT` bucket); the shed
+        accounting always uses the name as given.
+        """
         self._m_considered.inc()
-        if self._last is None or time > self._last:
-            if self._budget is not None and self._last is not None:
-                self._tokens = min(
-                    self._burst,
-                    self._tokens + (time - self._last) * self._budget)
-            self._group = 0
-            self._last = time
-        self._group += 1
-        if self._queue_depth is not None and self._group > self._queue_depth:
-            self._m_shed.inc()
-            return False
-        if self._budget is not None:
-            if self._tokens < cost:
-                self._m_shed.inc()
-                return False
-            self._tokens -= cost
+        name = tenant if tenant is not None else DEFAULT_TENANT
+        bucket = self._buckets.get(name)
+        if bucket is None:
+            bucket = self._buckets[DEFAULT_TENANT]
+        if bucket.last is None or time > bucket.last:
+            if bucket.rate is not None and bucket.last is not None:
+                bucket.tokens = min(
+                    bucket.burst,
+                    bucket.tokens + (time - bucket.last) * bucket.rate)
+            bucket.group = 0
+            bucket.last = time
+        bucket.group += 1
+        if self._queue_depth is not None and \
+                bucket.group > self._queue_depth:
+            return self._shed(name)
+        if bucket.rate is not None:
+            if bucket.tokens < cost:
+                return self._shed(name)
+            bucket.tokens -= cost
         return True
 
 
@@ -1223,4 +1308,10 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     registry.gauge("result.wavelengths_used").set(result.wavelengths_used)
     registry.gauge("result.active_at_end").set(engine.active)
     result.metrics = registry.snapshot()
+    # The live engine rides along as a plain attribute — deliberately NOT
+    # a dataclass field, so dataclasses.asdict() serialization and result
+    # equality comparisons (used by the differential suites) ignore it.
+    # Identity harnesses (repro.service, the E19 gate) fingerprint it via
+    # repro.online.persistence.engine_fingerprint.
+    result.engine = engine
     return result

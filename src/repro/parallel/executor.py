@@ -55,21 +55,36 @@ _shared_pool_workers: int = 0
 
 
 def shutdown_shared_pool() -> None:
-    """Shut down the pool kept by ``parallel_map(reuse_pool=True)``."""
+    """Shut down the pool kept by ``parallel_map(reuse_pool=True)``.
+
+    Idempotent, and safe on a pool whose workers already died (a broken
+    pool's ``shutdown`` may raise while reaping its processes): the
+    module-level reference is dropped *before* the shutdown call, so the
+    pool is never shut down twice and a failed shutdown still leaves the
+    module ready to start a fresh pool.  Registered with :mod:`atexit`
+    at import time so long-lived callers (services, REPLs) do not leak
+    worker processes past interpreter exit.
+    """
     global _shared_pool, _shared_pool_workers
-    if _shared_pool is not None:
-        _shared_pool.shutdown()
-        _shared_pool = None
-        _shared_pool_workers = 0
+    pool, _shared_pool, _shared_pool_workers = _shared_pool, None, 0
+    if pool is not None:
+        try:
+            pool.shutdown()
+        except Exception:       # pragma: no cover - depends on kill timing
+            pass                # broken pool: workers are already gone
+
+
+# One registration, unconditionally at import: the previous scheme
+# registered inside _get_shared_pool on first creation, which leaked the
+# pool created *after* an explicit shutdown_shared_pool() + re-fan-out
+# cycle re-registered the hook a second time.
+atexit.register(shutdown_shared_pool)
 
 
 def _get_shared_pool(workers: int) -> ProcessPoolExecutor:
     global _shared_pool, _shared_pool_workers
     if _shared_pool is None or _shared_pool_workers != workers:
-        if _shared_pool is None:
-            atexit.register(shutdown_shared_pool)
-        else:
-            _shared_pool.shutdown()
+        shutdown_shared_pool()
         _shared_pool = ProcessPoolExecutor(max_workers=workers)
         _shared_pool_workers = workers
     return _shared_pool

@@ -1,0 +1,13 @@
+"""RWA-as-a-service: the asyncio admission front-end.
+
+See :mod:`repro.service.service` for the design notes; the headline
+contract is that :class:`RwaService` makes bit-identical decisions to
+:func:`repro.online.simulator.simulate_online` on the same ordered trace
+(:func:`serve_trace` is the replay harness the E19 gate runs), while
+serving concurrent read queries from coherent between-batch snapshots
+and shedding overload per tenant.
+"""
+
+from .service import RwaService, aserve_trace, serve_trace
+
+__all__ = ["RwaService", "aserve_trace", "serve_trace"]

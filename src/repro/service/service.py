@@ -1,0 +1,631 @@
+"""RWA-as-a-service: an asyncio front-end over the online engine.
+
+:class:`RwaService` owns one :class:`~repro.online.simulator.OnlineEngine`
+(or, with a journal path, a
+:class:`~repro.online.persistence.DurableEngine`) and funnels every state
+transition through a single FIFO admission queue drained by one consumer
+task.  That single-writer discipline is what makes the service safe to
+share between coroutines without locks, and it is also what makes it
+*auditable*: the decisions the service makes are exactly the decisions
+:func:`~repro.online.simulator.simulate_online` makes on the same ordered
+trace — :func:`serve_trace` replays a trace through a service and the E19
+gate asserts the engine fingerprints match bit for bit.
+
+Three design points carry the identity contract:
+
+* **Ordering.**  The queue is FIFO and the event loop is single-threaded,
+  so requests are decided in submission order — the submission order *is*
+  the trace order.
+* **Coalescing.**  The drain task grabs everything queued at a scheduling
+  point and, under a ``batch_policy``, admits consecutive equal-deadline
+  arrivals as one atomic burst through ``admit_batch`` — the same static
+  grouping rule ``simulate_online`` applies to a pre-sorted trace.  A
+  trace enqueued in one go (as :func:`serve_trace` does) therefore
+  coalesces into the identical bursts.
+* **Coherent reads.**  Processing a drained batch never awaits, so every
+  read API (:meth:`RwaService.utilisation`, :meth:`RwaService.shard_map`,
+  :meth:`RwaService.blocking_stats`, :meth:`RwaService.metrics_snapshot`)
+  observes the engine *between* batches — a consistent snapshot — without
+  ever stalling admission behind a lock.
+
+Load shedding is per-tenant: the service passes each submission's tenant
+to an :class:`~repro.online.simulator.AdmissionGuard` built with
+``tenants`` weights, so a flooding tenant exhausts only its own
+weighted-fair share of the work budget while a quiet tenant's bucket
+stays full (the starvation test pins this down).
+
+Wall-clock submit→decision latency is sampled per arrival into a plain
+list (never into the metrics registry — the registry stays deterministic)
+and summarised by :meth:`RwaService.latency_stats`.
+
+Scope: arrivals, departures and defrag passes.  Fibre faults mutate the
+topology and carry restoration bookkeeping that belongs to the trace
+loop; drive them through :meth:`DurableEngine.cut`/``repair`` on a
+stopped service, or through :func:`simulate_online`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..dipaths import Dipath, Request
+from ..exceptions import ServiceError, SimulationError
+from ..graphs import DiGraph
+from ..obs import MetricsRegistry, Tracer
+from ..online.events import ARRIVAL, DEPARTURE, Event
+from ..online.simulator import (AdmissionGuard, FIBRE_CUT, NO_ROUTE,
+                                NO_WAVELENGTH, OnlineResult, SHED)
+from ..online.persistence import DurableEngine, engine_fingerprint
+from ..online.simulator import OnlineEngine
+from ..online.transaction import BATCH_POLICIES
+
+__all__ = ["RwaService", "serve_trace", "aserve_trace"]
+
+# queue-op kinds (internal)
+_ARRIVAL = "arrival"
+_DEPART = "depart"
+_DEFRAG = "defrag"
+_STOP = "stop"
+
+
+class _Op:
+    """One queued operation plus its completion future."""
+
+    __slots__ = ("kind", "time", "request_id", "request", "dipath",
+                 "tenant", "order", "max_moves", "future", "submitted")
+
+    def __init__(self, kind: str, time: float, future,
+                 request_id: Optional[int] = None,
+                 request: Optional[Request] = None,
+                 dipath: Optional[Dipath] = None,
+                 tenant: Optional[str] = None,
+                 order: str = "highest_wavelength",
+                 max_moves: Optional[int] = None) -> None:
+        self.kind = kind
+        self.time = time
+        self.request_id = request_id
+        self.request = request
+        self.dipath = dipath
+        self.tenant = tenant
+        self.order = order
+        self.max_moves = max_moves
+        self.future = future
+        self.submitted = _time.perf_counter()
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 on empty input)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+class RwaService:
+    """Async admission service around one online RWA engine.
+
+    Parameters mirror :func:`~repro.online.simulator.simulate_online`'s
+    engine/guard knobs, plus the service-specific ones:
+
+    batch_policy:
+        When set (one of
+        :data:`~repro.online.transaction.BATCH_POLICIES`), consecutive
+        queued arrivals sharing a deadline (``time``) are admitted as one
+        atomic burst through ``admit_batch``.  ``None`` admits one by one.
+    work_budget, burst, queue_depth, tenants:
+        :class:`~repro.online.simulator.AdmissionGuard` configuration
+        (any of the first three set turns the guard on); ``tenants``
+        (``name -> weight``) gives every declared tenant its own
+        weighted-fair-share token bucket, and the ``tenant=`` argument of
+        :meth:`submit` selects the bucket per request.
+    journal_path:
+        When set, the service runs on a
+        :class:`~repro.online.persistence.DurableEngine` journalling to
+        this path (``snapshot_every`` / ``fsync`` pass through), so a
+        crashed service recovers to the exact pre-crash engine via
+        :func:`repro.online.persistence.recover`.  Shed arrivals never
+        reach the engine and are deliberately *not* journalled — quota
+        refusal is a front-door policy, not engine state.
+    max_pending:
+        Bound on the admission queue; when full, :meth:`submit` applies
+        backpressure (awaits a slot) and :meth:`submit_nowait` raises
+        ``asyncio.QueueFull``.  ``None`` = unbounded.
+    metrics, tracer, profile:
+        Shared observability hooks, handed to the engine (see
+        :mod:`repro.obs`).  Decision-neutral as always.
+    """
+
+    def __init__(self, graph: DiGraph, wavelengths: int,
+                 routing: str = "shortest", policy: str = "first_fit",
+                 kempe_repair: bool = False, seed: Optional[int] = None,
+                 k_candidates: int = 4, speculative: bool = False,
+                 sharded: bool = False,
+                 batch_policy: Optional[str] = None,
+                 work_budget: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 queue_depth: Optional[int] = None,
+                 tenants: Optional[Dict[str, float]] = None,
+                 journal_path: Optional[str] = None,
+                 snapshot_every: Optional[int] = None,
+                 fsync: bool = False,
+                 max_pending: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 profile=None) -> None:
+        if batch_policy is not None and batch_policy not in BATCH_POLICIES:
+            raise ValueError(f"unknown batch policy {batch_policy!r}; "
+                             f"expected one of {BATCH_POLICIES}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._durable: Optional[DurableEngine] = None
+        if journal_path is not None:
+            if profile is not None:
+                raise ValueError("profile is not supported on a durable "
+                                 "service; attach it via tracer instead")
+            self._durable = DurableEngine(
+                graph, journal_path, wavelengths, routing=routing,
+                policy=policy, kempe_repair=kempe_repair, seed=seed,
+                k_candidates=k_candidates, speculative=speculative,
+                sharded=sharded, snapshot_every=snapshot_every,
+                fsync=fsync, metrics=metrics, tracer=tracer)
+            self._engine = self._durable.engine
+        else:
+            self._engine = OnlineEngine(
+                graph, wavelengths, routing=routing, policy=policy,
+                kempe_repair=kempe_repair, seed=seed,
+                k_candidates=k_candidates, speculative=speculative,
+                sharded=sharded, metrics=metrics, tracer=tracer,
+                profile=profile)
+        registry = self._engine.metrics
+        self._registry = registry
+        self._tracer = self._engine.tracer
+        self._wavelengths = wavelengths
+        self._routing = routing
+        self._policy = policy
+        self._batch_policy = batch_policy
+        self._speculative = speculative
+        self._arrival_cost = float(k_candidates) if speculative else 1.0
+        self._guard: Optional[AdmissionGuard] = None
+        if work_budget is not None or queue_depth is not None or tenants:
+            self._guard = AdmissionGuard(
+                work_budget=work_budget, burst=burst,
+                queue_depth=queue_depth, tenants=tenants, metrics=registry)
+        elif burst is not None:
+            raise ValueError("burst needs a work_budget")
+        self._max_pending = max_pending
+        self._queue: Optional[asyncio.Queue] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._stopped = False
+        self._last_time = float("-inf")
+        self._admitted_at: Dict[int, float] = {}
+        self._latencies: List[float] = []
+        # decision bookkeeping, same shape simulate_online keeps
+        self._accepted: List[int] = []
+        self._blocked: List[int] = []
+        self._rejections: Dict[int, str] = {}
+        self._holding = registry.histogram(
+            "result.holding_time", (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0))
+        self._m_accepted = registry.counter("result.accepted")
+        self._m_blocked = registry.counter("result.blocked")
+        self._m_reason = {
+            reason: registry.counter(f"result.blocked.{reason}")
+            for reason in (NO_ROUTE, NO_WAVELENGTH, SHED, FIBRE_CUT)}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "RwaService":
+        """Create the admission queue and the drain task."""
+        if self._drain_task is not None or self._stopped:
+            raise ServiceError("service already started")
+        self._queue = asyncio.Queue(self._max_pending or 0)
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain())
+        return self
+
+    async def stop(self) -> None:
+        """Drain every queued request, then stop the consumer.
+
+        Idempotent.  Requests enqueued before ``stop`` are decided;
+        later submissions raise :class:`~repro.exceptions.ServiceError`.
+        A durable service's journal is closed (the engine stays usable
+        in memory, e.g. for fingerprinting).
+        """
+        if self._stopped:
+            return
+        if self._drain_task is None:
+            self._stopped = True
+            return
+        self._stopped = True
+        loop = asyncio.get_running_loop()
+        sentinel = _Op(_STOP, self._last_time, loop.create_future())
+        await self._queue.put(sentinel)
+        await self._drain_task
+        self._drain_task = None
+        if self._durable is not None:
+            self._durable.close()
+
+    async def __aenter__(self) -> "RwaService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._drain_task is not None and not self._stopped
+
+    @property
+    def engine(self) -> OnlineEngine:
+        """The live engine (fingerprint it via ``engine_fingerprint``)."""
+        return self._engine
+
+    @property
+    def durable(self) -> Optional[DurableEngine]:
+        """The journalling wrapper, when built with ``journal_path``."""
+        return self._durable
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """:func:`~repro.online.persistence.engine_fingerprint` of the
+        live engine."""
+        return engine_fingerprint(self._engine)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def _enqueue_nowait(self, op: _Op) -> "asyncio.Future":
+        if self._queue is None or self._stopped:
+            raise ServiceError("service is not running (start() it, or "
+                               "use 'async with RwaService(...)')")
+        self._queue.put_nowait(op)
+        return op.future
+
+    def submit_nowait(self, request_id: int,
+                      request: Optional[Request] = None,
+                      dipath: Optional[Dipath] = None, *,
+                      time: Optional[float] = None,
+                      tenant: Optional[str] = None) -> "asyncio.Future":
+        """Enqueue one arrival without awaiting; returns its future.
+
+        The future resolves to the rejection reason (``None`` =
+        admitted), exactly :meth:`OnlineEngine.admit`'s contract.
+        ``time`` is the arrival's event-time deadline (defaults to the
+        newest deadline seen) — equal-deadline arrivals coalesce into
+        one burst under a ``batch_policy``, and the admission guard's
+        token buckets refill along this clock.  Raises
+        ``asyncio.QueueFull`` when ``max_pending`` is hit.
+        """
+        loop = asyncio.get_running_loop()
+        when = time if time is not None else max(self._last_time, 0.0)
+        return self._enqueue_nowait(_Op(
+            _ARRIVAL, when, loop.create_future(), request_id=request_id,
+            request=request, dipath=dipath, tenant=tenant))
+
+    async def submit(self, request_id: int,
+                     request: Optional[Request] = None,
+                     dipath: Optional[Dipath] = None, *,
+                     time: Optional[float] = None,
+                     tenant: Optional[str] = None) -> Optional[str]:
+        """Submit one arrival and await its decision.
+
+        Returns ``None`` (admitted) or the rejection reason
+        (:data:`~repro.online.simulator.NO_ROUTE` /
+        :data:`~repro.online.simulator.NO_WAVELENGTH` /
+        :data:`~repro.online.simulator.SHED`).  With ``max_pending``
+        set, a full queue applies backpressure here instead of raising.
+        """
+        if self._queue is None or self._stopped:
+            raise ServiceError("service is not running (start() it, or "
+                               "use 'async with RwaService(...)')")
+        loop = asyncio.get_running_loop()
+        when = time if time is not None else max(self._last_time, 0.0)
+        op = _Op(_ARRIVAL, when, loop.create_future(),
+                 request_id=request_id, request=request, dipath=dipath,
+                 tenant=tenant)
+        await self._queue.put(op)
+        return await op.future
+
+    def depart_nowait(self, request_id: int, *,
+                      time: Optional[float] = None) -> "asyncio.Future":
+        """Enqueue one departure; future resolves to ``held`` (bool)."""
+        loop = asyncio.get_running_loop()
+        when = time if time is not None else max(self._last_time, 0.0)
+        return self._enqueue_nowait(_Op(
+            _DEPART, when, loop.create_future(), request_id=request_id))
+
+    async def depart(self, request_id: int, *,
+                     time: Optional[float] = None) -> bool:
+        """Release one lightpath and await the engine's acknowledgement."""
+        future = self.depart_nowait(request_id, time=time)
+        return await future
+
+    async def request_defrag(self, order: str = "highest_wavelength",
+                             max_moves: Optional[int] = None):
+        """Queue a defragmentation pass; returns its ``DefragReport``.
+
+        The pass runs in admission order like any other op, so it never
+        interleaves with a burst.
+        """
+        loop = asyncio.get_running_loop()
+        future = self._enqueue_nowait(_Op(
+            _DEFRAG, self._last_time, loop.create_future(),
+            order=order, max_moves=max_moves))
+        return await future
+
+    def pending(self) -> int:
+        """Operations queued but not yet decided."""
+        return 0 if self._queue is None else self._queue.qsize()
+
+    # ------------------------------------------------------------------ #
+    # the drain task
+    # ------------------------------------------------------------------ #
+    async def _drain(self) -> None:
+        queue = self._queue
+        while True:
+            op = await queue.get()
+            ops = [op]
+            while True:
+                try:
+                    ops.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            stop_at = next((i for i, o in enumerate(ops)
+                            if o.kind == _STOP), None)
+            work = ops if stop_at is None else ops[:stop_at]
+            if work:
+                self._process(work)
+            if stop_at is not None:
+                # ops raced in behind the sentinel lose: their futures
+                # fail the same way a post-stop submit does
+                for straggler in ops[stop_at + 1:]:
+                    straggler.future.set_exception(
+                        ServiceError("service stopped"))
+                ops[stop_at].future.set_result(None)
+                for _ in ops:
+                    queue.task_done()
+                return
+            for _ in ops:
+                queue.task_done()
+
+    def _process(self, ops: List[_Op]) -> None:
+        """Decide a drained batch.  Synchronous on purpose: no await
+        happens between the first and last decision, so reads issued
+        from other coroutines always observe the engine between
+        batches."""
+        index = 0
+        while index < len(ops):
+            op = ops[index]
+            group = [op]
+            if self._batch_policy is not None and op.kind == _ARRIVAL:
+                j = index + 1
+                while j < len(ops) and ops[j].kind == _ARRIVAL and \
+                        ops[j].time == op.time:
+                    group.append(ops[j])
+                    j += 1
+            index += len(group)
+            if op.time < self._last_time:
+                for member in group:
+                    member.future.set_exception(SimulationError(
+                        f"submissions are not time-ordered at request "
+                        f"{member.request_id}"))
+                continue
+            self._last_time = op.time
+            if self._tracer is not None:
+                self._tracer.advance(op.time)
+            try:
+                if len(group) > 1:
+                    self._process_burst(group)
+                else:
+                    self._process_one(op)
+            except Exception as exc:       # noqa: BLE001 - failure is per-op
+                for member in group:
+                    if not member.future.done():
+                        member.future.set_exception(exc)
+
+    def _decide(self, op: _Op, reason: Optional[str]) -> None:
+        """Record one arrival's final decision and resolve its future."""
+        if reason is None:
+            self._accepted.append(op.request_id)
+            self._admitted_at[op.request_id] = op.time
+            self._m_accepted.inc()
+        else:
+            self._blocked.append(op.request_id)
+            self._rejections[op.request_id] = reason
+            self._m_blocked.inc()
+            self._m_reason[reason].inc()
+        self._latencies.append(_time.perf_counter() - op.submitted)
+        op.future.set_result(reason)
+
+    def _shed(self, op: _Op) -> bool:
+        guard = self._guard
+        if guard is None or guard.admits(op.time, self._arrival_cost,
+                                         tenant=op.tenant):
+            return False
+        if self._tracer is not None:
+            self._tracer.event("shed", rid=op.request_id)
+        self._decide(op, SHED)
+        return True
+
+    def _process_one(self, op: _Op) -> None:
+        if op.kind == _ARRIVAL:
+            if self._shed(op):
+                return
+            backend = self._durable or self._engine
+            self._decide(op, backend.admit(op.request_id,
+                                           request=op.request,
+                                           dipath=op.dipath))
+        elif op.kind == _DEPART:
+            backend = self._durable or self._engine
+            held = backend.depart(op.request_id)
+            t0 = self._admitted_at.pop(op.request_id, None)
+            if held and t0 is not None:
+                self._holding.observe(op.time - t0)
+            op.future.set_result(held)
+        elif op.kind == _DEFRAG:
+            backend = self._durable or self._engine
+            op.future.set_result(backend.defrag(order=op.order,
+                                                max_moves=op.max_moves))
+        else:                              # pragma: no cover - internal
+            raise ServiceError(f"unknown op kind {op.kind!r}")
+
+    def _process_burst(self, group: List[_Op]) -> None:
+        kept = [op for op in group if not self._shed(op)]
+        if not kept:
+            return
+        events = [Event(time=op.time, kind=ARRIVAL,
+                        request_id=op.request_id, request=op.request,
+                        dipath=op.dipath) for op in kept]
+        backend = self._durable or self._engine
+        reasons = backend.admit_batch(events, policy=self._batch_policy)
+        for op in kept:
+            self._decide(op, reasons[op.request_id])
+
+    # ------------------------------------------------------------------ #
+    # reads (coherent snapshots, never queued)
+    # ------------------------------------------------------------------ #
+    def utilisation(self) -> Dict[str, float]:
+        """Live capacity usage between batches."""
+        engine = self._engine
+        in_use = engine.assigner.colors_in_use()
+        return {
+            "active": float(engine.active),
+            "wavelengths_in_use": float(in_use),
+            "wavelengths_available": float(self._wavelengths),
+            "utilisation": in_use / self._wavelengths,
+            "max_fibre_load": float(engine.family.load()),
+        }
+
+    def shard_map(self) -> Dict[int, List[int]]:
+        """Live conflict components (see :meth:`OnlineEngine.shard_map`)."""
+        return self._engine.shard_map()
+
+    def blocking_stats(self) -> Dict[str, Any]:
+        """Decision totals so far, split by reason and by shed tenant."""
+        accepted, blocked = len(self._accepted), len(self._blocked)
+        total = accepted + blocked
+        by_reason: Dict[str, int] = {}
+        for reason in self._rejections.values():
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+        return {
+            "accepted": accepted,
+            "blocked": blocked,
+            "blocking_rate": blocked / total if total else 0.0,
+            "by_reason": by_reason,
+            "shed_by_tenant": (self._guard.tenant_shed_counts()
+                               if self._guard is not None else {}),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Snapshot of the shared metrics registry."""
+        return self._registry.snapshot()
+
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """Records collected by the attached tracer (empty without one)."""
+        return [] if self._tracer is None else self._tracer.records()
+
+    def latency_stats(self) -> Dict[str, float]:
+        """Wall-clock submit→decision latency over all decided arrivals.
+
+        Wall-clock numbers live here and only here — they never enter
+        the metrics registry, whose deterministic section must be a pure
+        function of the trace.
+        """
+        ordered = sorted(self._latencies)
+        count = len(ordered)
+        return {
+            "count": float(count),
+            "mean_s": sum(ordered) / count if count else 0.0,
+            "p50_s": _percentile(ordered, 0.50),
+            "p99_s": _percentile(ordered, 0.99),
+            "max_s": ordered[-1] if ordered else 0.0,
+        }
+
+    def result(self) -> OnlineResult:
+        """The run so far as an :class:`OnlineResult`.
+
+        Field-for-field comparable with a ``simulate_online`` run over
+        the same trace (timeline excluded — the service records none).
+        Settles the conflict shards first, exactly as the trace loop
+        does before reading its component counters.
+        """
+        engine = self._engine
+        result = OnlineResult(
+            accepted=list(self._accepted), blocked=list(self._blocked),
+            rejections=dict(self._rejections),
+            wavelengths_available=self._wavelengths,
+            routing=self._routing, policy=self._policy,
+            speculative=self._speculative,
+            batch_policy=self._batch_policy, sharded=engine.sharded)
+        result.wavelengths_used = engine.assigner.colors_ever_used()
+        result.kempe_repairs = engine.assigner.kempe_repairs
+        result.defrag_passes = engine.defrag_passes
+        result.defrag_moves = engine.defrag_moves
+        result.wavelengths_reclaimed = engine.wavelengths_reclaimed
+        engine.conflict.refresh_shards()
+        result.component_merges = engine.conflict.component_merges
+        result.component_splits = engine.conflict.component_splits
+        result.shard_rebuilds = engine.conflict.shard_rebuilds
+        registry = self._registry
+        registry.counter("result.kempe_repairs").set(result.kempe_repairs)
+        registry.gauge("result.wavelengths_used").set(
+            result.wavelengths_used)
+        registry.gauge("result.active_at_end").set(engine.active)
+        result.metrics = registry.snapshot()
+        result.engine = engine
+        return result
+
+
+async def aserve_trace(graph: DiGraph, events: List[Event],
+                       wavelengths: int,
+                       tenant_of: Optional[Callable[[Event],
+                                                    Optional[str]]] = None,
+                       **service_kwargs) -> OnlineResult:
+    """Replay an ordered trace through a fresh :class:`RwaService`.
+
+    The whole trace is enqueued before the drain task runs a single op,
+    so the service sees exactly the grouping ``simulate_online`` sees —
+    this is the decision-identity harness the E19 gate runs.  Arrivals
+    and departures only; fault events raise
+    :class:`~repro.exceptions.SimulationError`.  ``tenant_of`` maps an
+    event to the tenant name submitted with it (``None`` = default).
+    """
+    service = RwaService(graph, wavelengths, **service_kwargs)
+    async with service:
+        futures = []
+        for event in events:
+            if event.kind == ARRIVAL:
+                tenant = tenant_of(event) if tenant_of is not None else None
+                futures.append(service.submit_nowait(
+                    event.request_id, request=event.request,
+                    dipath=event.dipath, time=event.time, tenant=tenant))
+            elif event.kind == DEPARTURE:
+                futures.append(service.depart_nowait(event.request_id,
+                                                     time=event.time))
+            else:
+                raise SimulationError(
+                    f"serve_trace handles arrivals and departures only, "
+                    f"not {event.kind!r}; drive fibre faults through "
+                    f"simulate_online or DurableEngine.cut/repair")
+        # resolve every decision before tearing the service down; any
+        # malformed-traffic exception surfaces here
+        for future in futures:
+            await future
+        result = service.result()
+    result.latency = service.latency_stats()
+    return result
+
+
+def serve_trace(graph: DiGraph, events: List[Event], wavelengths: int,
+                **kwargs) -> OnlineResult:
+    """Synchronous wrapper around :func:`aserve_trace` (private loop).
+
+    Returns the service's :meth:`RwaService.result`, with the live
+    engine attached as ``result.engine`` and the wall-clock latency
+    summary as ``result.latency`` — compare decisions against
+    :func:`simulate_online` and fingerprints via
+    :func:`~repro.online.persistence.engine_fingerprint`.
+    """
+    return asyncio.run(aserve_trace(graph, events, wavelengths, **kwargs))

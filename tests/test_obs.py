@@ -249,6 +249,48 @@ class TestTracer:
         line = dumps_record({"b": 1, "a": {"y": 2, "x": 3}})
         assert line == '{"a":{"x":3,"y":2},"b":1}'
 
+    def test_jsonl_sink_close_flushes_owned_file(self, tmp_path):
+        """A path-owned sink flushes buffered records and closes its fd."""
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"kind": "event", "n": 1})
+        sink.close()
+        assert sink.closed
+        assert json.loads(path.read_text()) == {"kind": "event", "n": 1}
+        sink.close()                    # idempotent: no double-close crash
+        with pytest.raises(ValueError):
+            sink.emit({"kind": "event", "n": 2})   # fd really is closed
+
+    def test_jsonl_sink_close_leaves_borrowed_handle_open(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit({"kind": "event", "n": 1})
+        sink.flush()
+        sink.close()
+        assert sink.closed and not buffer.closed   # caller owns the handle
+        assert buffer.getvalue().count("\n") == 1
+
+    def test_jsonl_sink_context_manager(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.emit({"kind": "event", "n": 1})
+        assert sink.closed
+
+    def test_tracer_close_and_context_manager(self, tmp_path):
+        """Tracer.close() flushes a file sink; in-memory sinks are no-ops."""
+        path = tmp_path / "trace.jsonl"
+        with Tracer(sink=JsonlSink(str(path))) as tracer:
+            with tracer.span("admit", rid=1):
+                pass
+        assert tracer.sink.closed
+        assert json.loads(path.read_text())["name"] == "admit"
+        # sinks without close() (ring/list/null) are untouched
+        ring = Tracer(sink=RingBufferSink(capacity=4))
+        with ring.span("s"):
+            pass
+        ring.close()
+        assert len(ring.records()) == 1
+
 
 # --------------------------------------------------------------------------- #
 # trace analysis

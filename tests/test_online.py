@@ -31,8 +31,13 @@ from repro.online import (
     ARRIVAL,
     DEPARTURE,
     Event,
+    FIBRE_CUT,
+    NO_ROUTE,
+    NO_WAVELENGTH,
+    OnlineResult,
     OnlineWavelengthAssigner,
     POLICIES,
+    SHED,
     churn_trace,
     poisson_trace,
     replay_trace,
@@ -530,3 +535,52 @@ class TestTrafficDeterminism:
             result = simulate_online(graph, trace, 3, policy="random", seed=8)
             return result.accepted, result.blocked, result.wavelengths_used
         assert run() == run()
+
+
+class TestResultAccessors:
+    """`blocked_count` / `blocking_rate` on and off the registry path."""
+
+    def test_blocked_count_falls_back_to_id_lists_without_metrics(self):
+        """A hand-built result (metrics=None) counts from its id lists."""
+        result = OnlineResult(
+            accepted=[0, 1],
+            blocked=[2, 3, 4],
+            rejections={2: NO_ROUTE, 3: NO_WAVELENGTH, 4: SHED})
+        assert result.metrics is None
+        assert result.blocked_count() == 3
+        assert result.blocked_count(NO_ROUTE) == 1
+        assert result.blocked_count(NO_WAVELENGTH) == 1
+        assert result.blocked_count(SHED) == 1
+        assert result.blocked_count(FIBRE_CUT) == 0
+        assert result.blocking_rate == pytest.approx(3 / 5)
+
+    def test_blocked_count_empty_result_is_all_zeros(self):
+        empty = OnlineResult()
+        assert empty.blocking_rate == 0.0
+        assert empty.blocked_count() == 0
+        assert all(empty.blocked_count(r) == 0 for r in
+                   (NO_ROUTE, NO_WAVELENGTH, SHED, FIBRE_CUT))
+
+    def test_registry_and_id_list_paths_agree_on_the_same_run(self):
+        """Strip the snapshot off a real run: every accessor must agree."""
+        graph = random_dag(14, 0.25, seed=11)
+        traffic = hotspot_traffic(graph, 50, num_hotspots=2, seed=11)
+        trace = poisson_trace(traffic, 120, arrival_rate=5.0,
+                              mean_holding=3.0, seed=11)
+        result = simulate_online(graph, trace, 2, shed_work_budget=3.0,
+                                 shed_queue_depth=6)
+        assert result.metrics is not None
+        assert result.blocked            # the workload actually blocks
+        reasons = (NO_ROUTE, NO_WAVELENGTH, SHED, FIBRE_CUT)
+        via_registry = (result.blocking_rate, result.blocked_count(),
+                        [result.blocked_count(r) for r in reasons])
+        result.metrics = None            # force the id-list fallback
+        via_lists = (result.blocking_rate, result.blocked_count(),
+                     [result.blocked_count(r) for r in reasons])
+        assert via_registry == via_lists
+        # and the per-reason id-list accessors are the same partition
+        assert via_lists[2] == [len(result.blocked_no_route),
+                                len(result.blocked_no_wavelength),
+                                len(result.blocked_shed),
+                                len(result.blocked_fibre_cut)]
+        assert sum(via_lists[2]) == via_lists[1] == len(result.blocked)

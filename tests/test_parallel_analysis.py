@@ -80,6 +80,33 @@ class TestExecutor:
             shutdown_shared_pool()
         assert executor_module._shared_pool is None
 
+    def test_shutdown_shared_pool_idempotent(self):
+        """Repeated shutdowns (and shutdown with no pool) are no-ops."""
+        shutdown_shared_pool()
+        shutdown_shared_pool()          # second call: nothing to reap
+        assert executor_module._shared_pool is None
+        assert executor_module._shared_pool_workers == 0
+
+    def test_shutdown_shared_pool_survives_broken_pool(self):
+        """A pool whose shutdown raises still leaves the module clean."""
+        class BrokenPool:
+            def shutdown(self, *a, **k):
+                raise OSError("workers already reaped")
+
+        executor_module._shared_pool = BrokenPool()
+        executor_module._shared_pool_workers = 2
+        shutdown_shared_pool()          # must swallow the OSError
+        assert executor_module._shared_pool is None
+        assert executor_module._shared_pool_workers == 0
+        # and the module is ready to start a fresh pool afterwards
+        tasks = list(range(12))
+        try:
+            assert parallel_map(square, tasks, workers=2,
+                                sequential_threshold=0, reuse_pool=True) \
+                == [x * x for x in tasks]
+        finally:
+            shutdown_shared_pool()
+
     def test_parallel_map_tuple_args(self):
         assert parallel_map(add, [(1, 2), (3, 4)], workers=1) == [3, 7]
 

@@ -121,6 +121,103 @@ def test_torn_tail_is_discarded_and_truncated(tmp_path):
     assert torn.read_bytes() == data[:boundary]     # tail truncated away
 
 
+def test_torn_tail_with_trailing_garbage_is_discarded(tmp_path):
+    """A torn record followed by stray bytes is still one torn suffix.
+
+    A dying process can flush arbitrary garbage after the half-written
+    record (buffered bytes, a partial fsync).  As long as no *clean*
+    record follows, the whole suffix is torn: recovery discards it and
+    truncates the journal to the last clean boundary.
+    """
+    durable = small_workload(tmp_path)
+    durable.close()
+    data = Path(durable.path).read_bytes()
+    boundary = data.rindex(b"\n", 0, len(data) - 1) + 1
+    clean = tmp_path / "clean.jsonl"
+    clean.write_bytes(data[:boundary])
+    reference = recover(str(clean))
+    reference.close()
+
+    for suffix in (b'{"type": "adm\n\x00\xff\xfe',   # torn line + raw bytes
+                   b'\x00\xff\n\xfe\xfa'):           # garbage split by \n...
+        # ...whose last chunk is itself unterminated
+        torn = tmp_path / "garbage.jsonl"
+        torn.write_bytes(data[:boundary] + suffix)
+        recovered = recover(str(torn))
+        recovered.close()
+        assert recovered.fingerprint() == reference.fingerprint()
+        assert torn.read_bytes() == data[:boundary]
+
+    # negative control: garbage *followed by* a clean record is
+    # corruption in the middle of the journal, never a torn tail
+    lines = data.splitlines(keepends=True)
+    bad = tmp_path / "mid.jsonl"
+    bad.write_bytes(b"".join(lines[:-1]) + b"\x00garbage\n" + lines[-1])
+    with pytest.raises(RecoveryError):
+        recover(str(bad))
+
+
+def test_fsync_error_degrades_to_flush_once(tmp_path, monkeypatch):
+    """fsync=True on a target that rejects fsync must not crash.
+
+    Pipes and some pseudo-filesystems fail ``os.fsync`` with
+    EINVAL/ENOTSUP.  The engine must try exactly once, note it in the
+    diagnostic ``journal.fsync_unsupported`` counter, and journal on
+    with plain flushes.
+    """
+    import repro.online.persistence as persistence
+
+    calls = []
+
+    def failing_fsync(fd):
+        calls.append(fd)
+        raise OSError(22, "Invalid argument")
+
+    monkeypatch.setattr(persistence.os, "fsync", failing_fsync)
+    durable = small_workload(tmp_path, name="nofsync.jsonl", fsync=True)
+    durable.close()
+    assert len(calls) == 1       # one attempt (the genesis append), then off
+    diag = durable.engine.metrics.snapshot()["diagnostics"]["counters"]
+    assert diag["journal.fsync_unsupported"] == 1
+    recovered = recover(durable.path)
+    recovered.close()
+    assert recovered.fingerprint() == durable.fingerprint()
+
+
+def test_fsync_target_without_fileno_degrades_to_flush(tmp_path):
+    """An in-memory-style handle (no ``fileno()``) only loses fsync."""
+    durable = DurableEngine(diamond(), str(tmp_path / "mem.jsonl"),
+                            wavelengths=4, fsync=True)
+
+    class NoFdStream:            # write/flush/close but no fileno()
+        def __init__(self, fh):
+            self._fh = fh
+
+        def write(self, s):
+            return self._fh.write(s)
+
+        def flush(self):
+            self._fh.flush()
+
+        def close(self):
+            self._fh.close()
+
+        @property
+        def closed(self):
+            return self._fh.closed
+
+    durable._file = NoFdStream(durable._file)
+    assert durable.admit(0, request=Request(0, 3)) is None
+    durable.admit(1, request=Request(0, 3))
+    durable.depart(0)
+    durable.close()
+    diag = durable.engine.metrics.snapshot()["diagnostics"]["counters"]
+    assert diag["journal.fsync_unsupported"] == 1    # once, not per append
+    recovered = recover(durable.path)
+    recovered.close()
+    assert recovered.fingerprint() == durable.fingerprint()
+
+
 def test_empty_or_torn_genesis_raises(tmp_path):
     empty = tmp_path / "empty.jsonl"
     empty.write_bytes(b"")

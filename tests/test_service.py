@@ -1,0 +1,381 @@
+"""RWA service: trace-loop identity, tenant quotas, lifecycle, reads.
+
+The headline contracts (marker ``service``):
+
+* :class:`repro.service.RwaService` makes **bit-identical** decisions to
+  :func:`repro.online.simulator.simulate_online` on the same ordered
+  trace, fingerprints included (:func:`repro.service.serve_trace` is the
+  replay harness);
+* per-tenant quotas are starvation-free — a flooding tenant exhausts
+  only its own weighted-fair share and the per-tenant shed counters
+  partition the ``guard.shed`` total exactly;
+* a durable service's journal recovers to the exact live engine;
+* reads issued against a backlogged service observe coherent
+  between-batch snapshots and never stall admission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.dipaths.requests import Request
+from repro.exceptions import ServiceError, SimulationError
+from repro.generators.regions import multi_region_topology, multi_region_traffic
+from repro.graphs.digraph import DiGraph
+from repro.online.events import ARRIVAL, CUT, Event, poisson_trace, sort_events
+from repro.online.persistence import engine_fingerprint, recover
+from repro.online.simulator import (
+    DEFAULT_TENANT,
+    SHED,
+    AdmissionGuard,
+    simulate_online,
+)
+from repro.service import RwaService, serve_trace
+
+pytestmark = pytest.mark.service
+
+
+def _workload(num_requests=140, seed_topo=7, seed_traffic=8, seed_trace=9,
+              arrival_rate=6.0):
+    graph = multi_region_topology(regions=2, region_size=14,
+                                  arc_probability=0.2, coupling=2,
+                                  seed=seed_topo)
+    pool = multi_region_traffic(graph, num_requests, inter_fraction=0.2,
+                                seed=seed_traffic)
+    trace = poisson_trace(pool, num_requests, arrival_rate=arrival_rate,
+                          mean_holding=2.0, seed=seed_trace)
+    return graph, pool, trace
+
+
+def _decisions(result):
+    return (result.accepted, result.blocked, result.rejections)
+
+
+def _line_graph():
+    graph = DiGraph()
+    for v in range(4):
+        graph.add_vertex(v)
+    for v in range(3):
+        graph.add_arc(v, v + 1)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# decision identity with the trace loop
+# --------------------------------------------------------------------------- #
+class TestTraceLoopIdentity:
+    @pytest.mark.parametrize("svc_kwargs,sim_kwargs", [
+        ({}, {}),
+        ({"batch_policy": "best_prefix"}, {"batch_policy": "best_prefix"}),
+        ({"batch_policy": "greedy", "work_budget": 4.0, "queue_depth": 6},
+         {"batch_policy": "greedy", "shed_work_budget": 4.0,
+          "shed_queue_depth": 6}),
+        ({"sharded": True}, {"sharded": True}),
+        ({"routing": "k_shortest", "speculative": True, "work_budget": 9.0},
+         {"routing": "k_shortest", "speculative": True,
+          "shed_work_budget": 9.0}),
+    ])
+    def test_decisions_and_fingerprint_match(self, svc_kwargs, sim_kwargs):
+        graph, _, trace = _workload()
+        reference = simulate_online(graph, trace, 8, record_timeline=False,
+                                    **sim_kwargs)
+        served = serve_trace(graph, trace, 8, **svc_kwargs)
+        assert _decisions(served) == _decisions(reference)
+        assert engine_fingerprint(served.engine) \
+            == engine_fingerprint(reference.engine)
+
+    def test_result_fields_match_trace_loop(self):
+        graph, _, trace = _workload()
+        reference = simulate_online(graph, trace, 6, record_timeline=False,
+                                    batch_policy="all_or_nothing")
+        served = serve_trace(graph, trace, 6,
+                             batch_policy="all_or_nothing")
+        for field in ("wavelengths_used", "kempe_repairs", "defrag_passes",
+                      "component_merges", "component_splits",
+                      "shard_rebuilds", "batch_policy", "policy",
+                      "routing", "sharded"):
+            assert getattr(served, field) == getattr(reference, field), field
+
+    def test_deterministic_metrics_match_trace_loop(self):
+        graph, _, trace = _workload()
+        reference = simulate_online(graph, trace, 8, record_timeline=False,
+                                    batch_policy="best_prefix")
+        served = serve_trace(graph, trace, 8, batch_policy="best_prefix")
+        canonical = [json.dumps({k: v for k, v in r.metrics.items()
+                                 if k != "diagnostics"}, sort_keys=True)
+                     for r in (served, reference)]
+        assert canonical[0] == canonical[1]
+
+    def test_serve_trace_latency_summary(self):
+        graph, _, trace = _workload(num_requests=40)
+        served = serve_trace(graph, trace, 8)
+        arrivals = sum(1 for e in trace if e.kind == ARRIVAL)
+        assert served.latency["count"] == float(arrivals)
+        assert 0.0 <= served.latency["p50_s"] <= served.latency["p99_s"] \
+            <= served.latency["max_s"]
+
+    def test_serve_trace_rejects_fault_events(self):
+        graph, _, trace = _workload(num_requests=20)
+        trace = sort_events(trace + [Event(0.5, CUT, 10_000,
+                                           arc=next(iter(graph.arcs())))])
+        with pytest.raises(SimulationError, match="arrivals and departures"):
+            serve_trace(graph, trace, 8)
+
+
+# --------------------------------------------------------------------------- #
+# per-tenant quotas: starvation-freedom and shed accounting
+# --------------------------------------------------------------------------- #
+class TestTenantQuotas:
+    def _run_flood_vs_quiet(self, bursts=30, flood_per_burst=12):
+        """One quiet arrival rides every flood burst; returns outcomes."""
+        graph, pool, _ = _workload()
+        pairs = pool.pairs()
+
+        async def scenario():
+            service = RwaService(graph, 8, work_budget=6.0, burst=12.0,
+                                 tenants={"flood": 1.0, "quiet": 1.0})
+            reasons = {"flood": [], "quiet": []}
+            async with service:
+                rid = 0
+                for tick in range(bursts):
+                    for _ in range(flood_per_burst):
+                        s, t = pairs[rid % len(pairs)]
+                        reasons["flood"].append(await service.submit(
+                            rid, request=Request(s, t), time=float(tick),
+                            tenant="flood"))
+                        rid += 1
+                    s, t = pairs[rid % len(pairs)]
+                    reasons["quiet"].append(await service.submit(
+                        rid, request=Request(s, t), time=float(tick),
+                        tenant="quiet"))
+                    rid += 1
+                return reasons, service.blocking_stats(), \
+                    service.metrics_snapshot()
+
+        return asyncio.run(scenario())
+
+    def test_flooding_tenant_cannot_starve_quiet_one(self):
+        reasons, stats, _ = self._run_flood_vs_quiet()
+        flood_shed = sum(1 for r in reasons["flood"] if r == SHED)
+        quiet_shed = sum(1 for r in reasons["quiet"] if r == SHED)
+        # the flood runs far past its fair share and pays for it ...
+        assert flood_shed > 0
+        # ... while the quiet tenant, arriving under its own share,
+        # is never shed — the flood cannot reach its bucket
+        assert quiet_shed == 0
+
+    def test_tenant_shed_counters_partition_the_total(self):
+        reasons, stats, snapshot = self._run_flood_vs_quiet()
+        shed_total = snapshot["counters"]["guard.shed"]
+        by_tenant = stats["shed_by_tenant"]
+        assert sum(by_tenant.values()) == shed_total
+        assert by_tenant["flood"] == sum(1 for r in reasons["flood"]
+                                         if r == SHED)
+        diag = snapshot["diagnostics"]["counters"]
+        assert diag["guard.tenant.flood.shed"] == by_tenant["flood"]
+        assert "guard.tenant.quiet.shed" not in diag   # lazily created
+
+    def test_guard_single_bucket_mode_unchanged(self):
+        """Without tenants= the guard is the old global token bucket."""
+        legacy = AdmissionGuard(work_budget=2.0, burst=4.0)
+        outcomes = [legacy.admits(0.0) for _ in range(6)]
+        assert outcomes == [True] * 4 + [False] * 2
+        assert legacy.shed_count == 2
+        assert legacy.tenants() == [DEFAULT_TENANT]
+        assert legacy.tenant_shed_counts() == {DEFAULT_TENANT: 2}
+
+    def test_guard_undeclared_tenant_draws_from_default_bucket(self):
+        guard = AdmissionGuard(work_budget=3.0, burst=3.0,
+                               tenants={"a": 2.0})
+        # weights: a=2, default=1 -> default bucket holds burst 3/3 = 1
+        assert guard.admits(0.0, tenant="mystery") is True
+        assert guard.admits(0.0, tenant="mystery") is False
+        # the shed is accounted to the *named* tenant, not "default"
+        assert guard.tenant_shed_counts() == {"mystery": 1}
+        assert guard.tokens_available("a") == 2.0   # untouched
+
+    def test_guard_weight_validation(self):
+        with pytest.raises(ValueError, match="positive weight"):
+            AdmissionGuard(work_budget=1.0, tenants={"bad": 0.0})
+
+    def test_guard_queue_depth_is_per_tenant(self):
+        guard = AdmissionGuard(queue_depth=1,
+                               tenants={"a": 1.0, "b": 1.0})
+        assert guard.admits(0.0, tenant="a") is True
+        assert guard.admits(0.0, tenant="b") is True   # b's own depth
+        assert guard.admits(0.0, tenant="a") is False  # a's second
+
+
+# --------------------------------------------------------------------------- #
+# durable service
+# --------------------------------------------------------------------------- #
+class TestDurableService:
+    def test_journal_recovers_to_live_fingerprint(self, tmp_path):
+        graph, _, trace = _workload(num_requests=100)
+        path = tmp_path / "service.jsonl"
+        served = serve_trace(graph, trace, 8, journal_path=str(path),
+                             snapshot_every=32, batch_policy="best_prefix")
+        recovered = recover(str(path))
+        assert recovered.fingerprint() == engine_fingerprint(served.engine)
+        recovered.close()
+
+    def test_shed_arrivals_are_not_journalled(self, tmp_path):
+        """Quota refusal is front-door policy, not engine state."""
+        graph, _, trace = _workload()
+        path = tmp_path / "guarded.jsonl"
+        served = serve_trace(graph, trace, 8, journal_path=str(path),
+                             work_budget=3.0, queue_depth=4)
+        shed = set(served.blocked_shed)
+        assert shed    # the guard fired
+        journalled = {record["rid"]
+                      for record in map(json.loads,
+                                        path.read_text().splitlines())
+                      if record.get("type") == "admit"}
+        assert journalled.isdisjoint(shed)
+        # recovery replays only engine decisions and still matches
+        recovered = recover(str(path))
+        assert recovered.fingerprint() == engine_fingerprint(served.engine)
+        recovered.close()
+
+
+# --------------------------------------------------------------------------- #
+# service lifecycle + live reads
+# --------------------------------------------------------------------------- #
+class TestServiceLifecycle:
+    def test_submit_requires_running_service(self):
+        graph = _line_graph()
+
+        async def scenario():
+            service = RwaService(graph, 2)
+            with pytest.raises(ServiceError):
+                await service.submit(0, request=Request(0, 3))
+            async with service:
+                assert await service.submit(0, request=Request(0, 3)) is None
+            with pytest.raises(ServiceError):
+                await service.submit(1, request=Request(0, 3))
+            with pytest.raises(ServiceError):
+                await service.start()
+
+        asyncio.run(scenario())
+
+    def test_stop_drains_pending_submissions(self):
+        graph = _line_graph()
+
+        async def scenario():
+            service = RwaService(graph, 2)
+            await service.start()
+            futures = [service.submit_nowait(rid, request=Request(0, 3),
+                                             time=float(rid))
+                       for rid in range(3)]
+            await service.stop()
+            return [f.result() for f in futures]
+
+        assert asyncio.run(scenario()) == [None, None, "no_wavelength"]
+
+    def test_malformed_traffic_fails_only_its_future(self):
+        """A duplicate arrival or a time-travelling one poisons nothing."""
+        graph = _line_graph()
+
+        async def scenario():
+            async with RwaService(graph, 3) as service:
+                assert await service.submit(
+                    0, request=Request(0, 3), time=1.0) is None
+                with pytest.raises(SimulationError, match="duplicate"):
+                    await service.submit(0, request=Request(0, 3), time=2.0)
+                with pytest.raises(SimulationError, match="time-ordered"):
+                    await service.submit(1, request=Request(0, 3), time=0.5)
+                # the service keeps serving after both failures
+                assert await service.submit(
+                    2, request=Request(0, 3), time=3.0) is None
+                assert await service.depart(0, time=4.0) is True
+                return service.blocking_stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["accepted"] == 2 and stats["blocked"] == 0
+
+    def test_reads_between_batches_are_coherent(self):
+        """Reads against a backlog see post-batch state, not mid-burst."""
+        graph, pool, _ = _workload()
+        pairs = pool.pairs()
+
+        async def scenario():
+            observations = []
+            async with RwaService(graph, 8,
+                                  batch_policy="best_prefix") as service:
+                for rid in range(60):
+                    s, t = pairs[rid % len(pairs)]
+                    service.submit_nowait(rid, request=Request(s, t),
+                                          time=float(rid // 12))
+                backlog = service.pending()
+                while service.pending():
+                    stats = service.blocking_stats()
+                    util = service.utilisation()
+                    # every observation balances: decisions so far equal
+                    # accepted + blocked, and utilisation is a consistent
+                    # snapshot of the engine between bursts
+                    observations.append((stats["accepted"],
+                                         stats["blocked"],
+                                         util["active"]))
+                    await asyncio.sleep(0)
+                final = service.blocking_stats()
+                shard_map = service.shard_map()
+            return backlog, observations, final, shard_map
+
+        backlog, observations, final, shard_map = asyncio.run(scenario())
+        assert backlog > 0
+        assert final["accepted"] + final["blocked"] == 60
+        for accepted, blocked, active in observations:
+            assert accepted + blocked <= 60
+            assert active <= accepted
+        members = [m for shard in shard_map.values() for m in shard]
+        assert len(members) == len(set(members))
+
+    def test_request_defrag_runs_in_admission_order(self):
+        graph, pool, _ = _workload()
+        pairs = pool.pairs()
+
+        async def scenario():
+            async with RwaService(graph, 8) as service:
+                for rid in range(24):
+                    s, t = pairs[rid % len(pairs)]
+                    await service.submit(rid, request=Request(s, t),
+                                         time=float(rid))
+                report = await service.request_defrag(max_moves=4)
+                return report, service.engine.defrag_passes
+
+        report, passes = asyncio.run(scenario())
+        assert passes == 1
+        assert len(report.moves) <= 4
+
+    def test_latency_stats_cover_every_decision(self):
+        graph, _, trace = _workload(num_requests=30)
+        served = serve_trace(graph, trace, 8)
+        arrivals = sum(1 for e in trace if e.kind == ARRIVAL)
+        assert served.latency["count"] == float(arrivals)
+
+    def test_rejects_unknown_batch_policy(self):
+        with pytest.raises(ValueError, match="batch policy"):
+            RwaService(_line_graph(), 2, batch_policy="nonsense")
+
+    def test_rejects_burst_without_budget(self):
+        with pytest.raises(ValueError, match="work_budget"):
+            RwaService(_line_graph(), 2, burst=4.0)
+
+
+# --------------------------------------------------------------------------- #
+# E19 gate wiring (cheap smoke; the full replay is bench-marked)
+# --------------------------------------------------------------------------- #
+class TestE19Smoke:
+    def test_smoke_mode_validates_the_gate_wiring(self):
+        """One warm-up-free replay per scenario; identity facts still gate."""
+        from repro.analysis.bench_service import (
+            run_service_benchmark,
+            service_problems,
+        )
+
+        records = run_service_benchmark(smoke=True)
+        assert {r["kind"] for r in records} == {"service", "tenant_isolation"}
+        assert service_problems(records) == []
