@@ -223,6 +223,29 @@ def main() -> int:
                       f"{r['scenario']}={r['speedup_total']:.1f}x"
                       for r in records if "speedup_total" in r))
 
+    # E20: the determinism & contract lint gate (see CONTRACTS.md).  The
+    # static counterpart of the differential identity gates above: E13–E19
+    # *observe* that decisions replay bit-identically, E20 *rejects* the
+    # code patterns that would break them (wall-clock reads, global RNG,
+    # unordered set iteration, untyped engine failures, mis-namespaced
+    # metrics, dead code).  Pure AST analysis in well under a second, so
+    # it runs even with --skip-slow.
+    print()
+    print("E20: determinism & contract lint gate (src/repro) ...")
+    from repro.lint import lint_package
+
+    report = lint_package()
+    for finding in report.new_findings:
+        failures += 1
+        print(f"!! lint: {finding.render()}")
+    if not report.new_findings:
+        print(f"   clean ({len(report.findings)} finding(s), "
+              f"{report.grandfathered} grandfathered)")
+    if report.stale_baseline:
+        print(f"   note: {len(report.stale_baseline)} stale baseline "
+              f"entr{'y' if len(report.stale_baseline) == 1 else 'ies'} — "
+              f"prune lint_baseline.json")
+
     print()
     print(f"reports written to {output_dir}/ "
           f"({'all claims verified' if failures == 0 else f'{failures} violations'})")

@@ -97,4 +97,25 @@ for rec in service_records:
 print("SERVICE SMOKE", "OK" if not service_problems(service_records)
       else "FAILED")
 
+# Determinism & contract linter (E20 wiring) in smoke mode: the whole
+# package must be clean modulo the committed baseline (CONTRACTS.md).
+from repro.lint import lint_package
+
+lint_report = lint_package()
+for finding in lint_report.new_findings:
+    print("lint:", finding.render())
+print("LINT SMOKE", "OK" if lint_report.clean
+      else f"FAILED ({len(lint_report.new_findings)} new findings)")
+
+# Runtime audit layer: a short audited run must report zero violations.
+from repro.generators import random_internal_cycle_free_dag, random_request_family
+from repro.online.events import poisson_trace
+from repro.online.simulator import simulate_online
+
+_g = random_internal_cycle_free_dag(30, 45, seed=0)
+_trace = poisson_trace(random_request_family(_g, 25, seed=0), 120,
+                       arrival_rate=3.0, mean_holding=4.0, seed=0)
+simulate_online(_g, _trace, 8, sharded=True, audit_every=10)
+print("AUDIT SMOKE OK")
+
 print("SMOKE OK")

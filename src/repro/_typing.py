@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Mapping, Sequence, Tuple, TypeVar
 
+__all__ = ["Vertex", "Arc", "VertexSequence", "Coloring", "ArcIterable", "T"]
+
 #: Any hashable object may serve as a vertex.
 Vertex = Hashable
 

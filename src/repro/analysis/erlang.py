@@ -310,10 +310,10 @@ def measure_speculation_scenario(name: str, repeats: int = 3
         for i in range(what_ifs)]
 
     def run(evaluate) -> Tuple[float, List[Optional[int]]]:
-        start = time.perf_counter()
+        start = time.perf_counter()  # noqa: REPRO-D1 -- benchmark timing
         decisions = [evaluate(conflict, assigner, cands)
                      for cands in candidate_sets]
-        return time.perf_counter() - start, decisions
+        return time.perf_counter() - start, decisions  # noqa: REPRO-D1 -- benchmark timing
 
     legacy_total, legacy_decisions = min(
         (run(_evaluate_rebuild) for _ in range(repeats)),

@@ -11,7 +11,7 @@ tests, and lets the larger randomised sweeps run through
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..conflict.conflict_graph import build_conflict_graph
 from ..conflict.covering import blowup_chromatic_number
@@ -23,9 +23,8 @@ from ..core.characterization import equality_certificate
 from ..core.load import load as _load
 from ..core.theorem1 import color_dipaths_theorem1
 from ..core.theorem6 import color_dipaths_theorem6, theorem6_bound
-from ..core.wavelengths import assign_wavelengths, wavelength_number
+from ..core.wavelengths import wavelength_number
 from ..cycles.internal import has_internal_cycle
-from ..dipaths.family import DipathFamily
 from ..generators.families import random_walk_family
 from ..generators.gadgets import (
     figure3_instance,
@@ -40,7 +39,6 @@ from ..generators.random_dags import (
     random_upp_one_cycle_dag,
 )
 from ..generators.trees import random_out_tree
-from ..graphs.digraph import DiGraph
 from ..optical.rwa import solve_rwa
 from ..optical.traffic import all_to_all_traffic, uniform_random_traffic
 from ..upp.crossing import conflict_graph_has_no_k23

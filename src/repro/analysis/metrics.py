@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Sequence
 
 from ..conflict.cliques import clique_number
 from ..conflict.conflict_graph import build_conflict_graph

@@ -17,7 +17,7 @@ hundreds of vertices where a direct exact colouring would blow up.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..dipaths.family import DipathFamily
 from .cliques import maximal_cliques
@@ -121,10 +121,10 @@ def replication_structure(family: DipathFamily
     groups: Dict = {}
     for idx, path in family.items():
         groups.setdefault(path.vertices, []).append(idx)
-    counts = {len(idxs) for idxs in groups.values()}
+    counts = sorted({len(idxs) for idxs in groups.values()})
     if len(counts) != 1:
         return None
-    copies = counts.pop()
+    copies = counts[0]
     representatives = [idxs[0] for idxs in groups.values()]
     return representatives, copies
 

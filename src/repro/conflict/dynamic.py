@@ -49,7 +49,6 @@ from .._typing import Vertex
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..graphs.digraph import DiGraph
-from ..obs.registry import MetricsRegistry
 from .conflict_graph import ConflictGraph
 from .sharding import Shard, ShardTracker, ShardView
 
@@ -185,6 +184,15 @@ class DynamicConflictGraph(ConflictGraph):
     def shard_view(self, shard: Shard) -> ShardView:
         """Compact remapped view of ``shard`` (see :class:`ShardView`)."""
         return self._shards.view(shard)
+
+    def audit(self) -> List[str]:
+        """Check the component tracker's invariants; return the violations.
+
+        Delegates to :meth:`repro.conflict.sharding.ShardTracker.audit`
+        (the origin of the ``audit() -> list[str]`` protocol); composed,
+        with the colour-level checks, by ``OnlineEngine.audit()``.
+        """
+        return self._shards.audit()
 
 
 class _LazyAdjacency:

@@ -14,9 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import random
 
-from ..exceptions import NoInternalCycleError
 from ..conflict.conflict_graph import build_conflict_graph
 from ..coloring.exact import chromatic_number
 from ..cycles.internal import find_internal_cycle, has_internal_cycle

@@ -38,12 +38,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from ..exceptions import InternalCycleError, InvalidColoringError
 from .._typing import Arc, Vertex
 from ..cycles.internal import find_internal_cycle, has_internal_cycle
-from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..graphs.digraph import DiGraph
 

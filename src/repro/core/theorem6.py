@@ -38,7 +38,6 @@ hypotheses (UPP, exactly one internal cycle) hold.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import (
@@ -51,7 +50,6 @@ from ..exceptions import (
 from .._typing import Arc, Vertex
 from ..cycles.internal import (
     find_internal_cycle,
-    has_unique_internal_cycle,
     internal_cyclomatic_number,
 )
 from ..conflict.covering import replicated_family_coloring

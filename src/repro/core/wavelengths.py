@@ -17,10 +17,10 @@ module is the user-facing entry point that dispatches between:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Literal, Optional
 
-from ..exceptions import ColoringError, ReproError
+from ..exceptions import ReproError
 from ..conflict.conflict_graph import ConflictGraph, build_conflict_graph
 from ..coloring.dsatur import dsatur_coloring
 from ..coloring.exact import optimal_coloring

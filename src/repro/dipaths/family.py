@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..exceptions import InvalidDipathError
+from ..exceptions import InvalidDipathError, TransactionError
 from .._bitops import bit_list, iter_bits
 from .._typing import Arc, Vertex
 from ..graphs.digraph import DiGraph
@@ -293,7 +293,7 @@ class DipathFamily:
         slot_was_new, arc_watermark, load_cache = state
         if slot_was_new:
             if not self._free_slots or self._free_slots[-1] != idx:
-                raise RuntimeError(
+                raise TransactionError(
                     f"retract of member {idx} is out of LIFO order")
             self._free_slots.pop()
             self._paths.pop()
@@ -304,7 +304,7 @@ class DipathFamily:
         while len(self._arcs) > arc_watermark:
             arc = self._arcs.pop()
             if self._arc_members.pop():
-                raise RuntimeError(
+                raise TransactionError(
                     f"retract would drop arc {arc!r} still in use")
             del self._arc_ids[arc]
         self._restore_load_cache(load_cache)
@@ -350,6 +350,17 @@ class DipathFamily:
         so this can be smaller than the number of interned arc ids.
         """
         return sum(1 for mask in self._arc_members if mask)
+
+    @property
+    def num_arc_ids(self) -> int:
+        """Number of interned arc ids (the valid range of ``arc_of_id``).
+
+        Unlike :attr:`num_arcs_used` this includes arcs whose last active
+        member has departed — ids are never recycled, so positional
+        tables indexed by arc id (e.g. the online colour index) span
+        exactly this range.
+        """
+        return len(self._arcs)
 
     def arc_id(self, arc: Arc) -> int:
         """The dense integer id of ``arc`` (raises ``KeyError`` if unused)."""

@@ -164,6 +164,64 @@ class SimulationError(ReproError):
     """An optical-network admission simulation reached an inconsistent state."""
 
 
+class EngineStateError(SimulationError, RuntimeError, ValueError):
+    """An internal bookkeeping invariant of the online engine broke.
+
+    Raised when the engine's redundant structures disagree — a colour
+    count going negative in the :class:`~repro.online.sharding.ArcColorIndex`,
+    a defragmentation journal out of step with its recorded moves, an
+    engine asked to run a shard-scoped pass under a policy whose
+    decisions it could not reproduce.  These are *state* failures, not
+    argument mistakes: they mean a bug (or corruption) upstream of the
+    raise.  Historically surfaced as bare ``RuntimeError``/``ValueError``;
+    deriving from both keeps existing ``except`` clauses working (the
+    same compatibility pattern as :class:`TransactionError`).
+    """
+
+
+class ShardNotFoundError(EngineStateError):
+    """A shard lookup by anchor member found no such shard.
+
+    Raised by shard-scoped operations (``defrag_sharded``) when the
+    anchor member does not identify a live shard — either the caller
+    raced a departure or the shard tracker lost it.  Subclasses
+    :class:`EngineStateError` (hence ``ValueError``, which these
+    lookups historically raised).
+
+    Attributes
+    ----------
+    shard:
+        The anchor member that failed to resolve.
+    """
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(f"no shard anchored at member {shard}")
+        self.shard = shard
+
+
+class AuditError(SimulationError):
+    """A runtime audit (``audit_every=`` in ``simulate_online``) failed.
+
+    Carries every violation string the engine's :meth:`audit` reported,
+    so the failure message shows the first broken invariant and the
+    ``problems`` attribute preserves the full list.
+
+    Attributes
+    ----------
+    problems:
+        The violation strings, as returned by ``OnlineEngine.audit()``.
+    """
+
+    def __init__(self, message: str,
+                 problems: Sequence[str] | None = None) -> None:
+        self.problems = list(problems) if problems is not None else []
+        if self.problems:
+            message = f"{message}: {self.problems[0]}" + (
+                f" (+{len(self.problems) - 1} more)"
+                if len(self.problems) > 1 else "")
+        super().__init__(message)
+
+
 class TransactionError(ReproError, RuntimeError, ValueError):
     """A what-if transaction or defragmentation pass violated its contract.
 

@@ -15,9 +15,7 @@ from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import RequestFamily
 from ..dipaths.routing import route_unique
-from ..graphs.dag import DAG
 from ..graphs.digraph import DiGraph
-from ..graphs.traversal import topological_order
 
 __all__ = [
     "random_walk_family",

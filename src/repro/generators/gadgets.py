@@ -15,7 +15,7 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily

@@ -8,7 +8,7 @@ cycle.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import random
 

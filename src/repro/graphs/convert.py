@@ -8,7 +8,6 @@ have.
 
 from __future__ import annotations
 
-from typing import Any
 
 from .dag import DAG
 from .digraph import DiGraph

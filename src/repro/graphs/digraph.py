@@ -245,12 +245,13 @@ class DiGraph:
 
     def subgraph(self, vertices: Iterable[Vertex]) -> "DiGraph":
         """Return the subgraph induced by ``vertices`` (same class)."""
-        keep = set(vertices)
+        ordered = list(dict.fromkeys(vertices))
+        keep = set(ordered)
         missing = keep - set(self._succ)
         if missing:
             raise VertexNotFoundError(next(iter(missing)))
-        g = DiGraph(vertices=keep)
-        for u in keep:
+        g = DiGraph(vertices=ordered)
+        for u in ordered:
             for v in self._succ[u]:
                 if v in keep:
                     g.add_arc(u, v)

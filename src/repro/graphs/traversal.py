@@ -9,7 +9,7 @@ enumeration/counting.  All functions accept any :class:`~repro.graphs.digraph.Di
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..exceptions import NotADAGError, VertexNotFoundError
 from .._typing import Vertex

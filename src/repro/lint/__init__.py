@@ -1,0 +1,63 @@
+"""Determinism & contract linter for the :mod:`repro` engine.
+
+An AST-based static-analysis pass (stdlib :mod:`ast` only) that rejects
+the mistakes the differential gates can only catch probabilistically: a
+wall-clock read on a decision path, a global-RNG draw, unordered set
+iteration, an untyped engine failure, a mis-namespaced metric, dead
+code.  Rules carry stable IDs (D1, D2, D3, D4, M1, C1), suppressible
+inline with ``# noqa: REPRO-<id>`` or grandfathered via the committed
+``lint_baseline.json``.  See ``CONTRACTS.md`` for the human-facing
+contract catalogue and :mod:`repro.lint.rules` for the implementations.
+
+Programmatic entry points::
+
+    from repro.lint import lint_package, check_source
+    report = lint_package()            # lint installed repro vs baseline
+    findings = check_source(src, rel="online/foo.py")   # fixture snippets
+
+CLI::
+
+    python -m repro.lint src/repro [--format json] [--write-baseline]
+"""
+
+from .engine import (
+    BASELINE_NAME,
+    Finding,
+    LintReport,
+    check_source,
+    discover_baseline,
+    lint_package,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from .rules import (
+    ALL_RULES,
+    DETERMINISTIC_NAMESPACES,
+    DETERMINISTIC_PACKAGES,
+    DIAGNOSTIC_NAMESPACES,
+    ENGINE_PACKAGES,
+    WALL_CLOCK_ALLOWLIST,
+    Rule,
+    rule_index,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "BASELINE_NAME",
+    "DETERMINISTIC_NAMESPACES",
+    "DETERMINISTIC_PACKAGES",
+    "DIAGNOSTIC_NAMESPACES",
+    "ENGINE_PACKAGES",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "WALL_CLOCK_ALLOWLIST",
+    "check_source",
+    "discover_baseline",
+    "lint_package",
+    "load_baseline",
+    "rule_index",
+    "run_lint",
+    "write_baseline",
+]

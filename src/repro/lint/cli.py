@@ -1,0 +1,90 @@
+"""``python -m repro.lint`` — the command-line front end.
+
+Exit status is 0 when every finding is grandfathered by the baseline
+(or there are none), 1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import (
+    BASELINE_NAME,
+    discover_baseline,
+    run_lint,
+    write_baseline,
+)
+from .rules import ALL_RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & contract linter for the repro engine "
+                    "(rules D1-D4, M1, C1; see CONTRACTS.md)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: src/repro under the cwd)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"grandfather file (default: {BASELINE_NAME} "
+                             f"found walking up from the first path)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule IDs and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    paths: List[Path] = list(args.paths)
+    if not paths:
+        default = Path("src") / "repro"
+        if not default.is_dir():
+            print("error: no paths given and ./src/repro not found",
+                  file=sys.stderr)
+            return 2
+        paths = [default]
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline:
+        baseline = discover_baseline(paths[0])
+    if args.no_baseline:
+        baseline = None
+    report = run_lint(paths, baseline=baseline)
+    if args.write_baseline:
+        target = args.baseline or baseline or Path(BASELINE_NAME)
+        write_baseline(target, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {target}")
+        return 0
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.as_dict() for f in report.findings],
+            "new": [f.as_dict() for f in report.new_findings],
+            "grandfathered": report.grandfathered,
+            "stale_baseline": report.stale_baseline,
+        }, indent=2))
+    else:
+        for finding in report.new_findings:
+            print(finding.render())
+        summary = (f"{len(report.new_findings)} new finding(s), "
+                   f"{report.grandfathered} grandfathered")
+        if report.stale_baseline:
+            summary += (f", {len(report.stale_baseline)} stale baseline "
+                        f"entr{'y' if len(report.stale_baseline) == 1 else 'ies'}")
+        print(summary)
+    return 1 if report.new_findings else 0

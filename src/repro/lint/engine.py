@@ -1,0 +1,458 @@
+"""Core of the determinism & contract linter: parsing, pragma handling,
+baseline bookkeeping and the rule-running loop.
+
+The linter is a *project* linter, not a general Python style checker: its
+rules (see :mod:`repro.lint.rules`) encode the invariants the engine's
+differential test suites rely on — no wall clock in deterministic
+modules, no module-level RNG, no unordered set iteration on decision
+paths, typed exceptions for state-dependent engine failures, the
+documented metric namespaces, and no dead module-level code.  Each rule
+carries a stable ID (``D1`` .. ``C1``) so findings can be suppressed
+inline (``# noqa: REPRO-D1``), per module (the rule's allowlist) or
+grandfathered in a committed baseline file.
+
+Three moving parts live here:
+
+:class:`ModuleUnderLint`
+    One parsed source file plus everything the rules need precomputed:
+    the AST (with parent links), import alias maps, module-level
+    bindings, ``__all__``, name-load counts and the ``noqa`` pragma map.
+
+:class:`Project`
+    The cross-module context: which identifiers each module references,
+    so the dead-code rule can tell a re-exported name from a dead one.
+
+:func:`run_lint` / :func:`lint_package`
+    The batteries-included entry points used by the CLI, the E20 gate in
+    ``scripts/run_all_experiments.py``, ``scripts/smoke.py`` and the
+    tier-1 ``tests/test_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "ModuleUnderLint",
+    "Project",
+    "check_source",
+    "discover_baseline",
+    "iter_python_files",
+    "lint_package",
+    "load_baseline",
+    "package_relative",
+    "run_lint",
+    "write_baseline",
+]
+
+#: File name of the committed grandfather baseline (repo root).
+BASELINE_NAME = "lint_baseline.json"
+
+#: ``# noqa`` / ``# noqa: REPRO-D1,REPRO-M1`` pragma, checked on the
+#: finding's own line.  The ``REPRO-`` prefix is optional so both the
+#: documented form and the terse one work.
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?:\s*:\s*(?P<codes>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*))?",
+    re.IGNORECASE)
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is the display path (as the file was given to the linter);
+    ``rel`` is the package-relative path (``online/defrag.py``) used for
+    rule scoping and baseline matching, so a baseline recorded from the
+    repo root still matches when the linter runs from elsewhere.
+    """
+
+    rule: str
+    path: str
+    rel: str
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers churn, (rule, file, message)
+        are stable across unrelated edits."""
+        return (self.rule, self.rel, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.rel, "line": self.line,
+                "message": self.message}
+
+
+class ModuleUnderLint:
+    """One parsed module plus the precomputed context every rule shares."""
+
+    def __init__(self, rel: str, source: str,
+                 path: Optional[str] = None) -> None:
+        self.rel = rel.replace("\\", "/")
+        self.path = path if path is not None else self.rel
+        self.source = source
+        self.tree = ast.parse(source)
+        # Parent links let rules walk outwards (enclosing function,
+        # guarding ``if`` chain) without re-traversing the tree.
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                child._lint_parent = parent  # type: ignore[attr-defined]
+        #: local name -> dotted module path, from ``import x [as y]``.
+        self.module_aliases: Dict[str, str] = {}
+        #: local name -> ``module.name``, from ``from m import n [as y]``.
+        self.from_imports: Dict[str, str] = {}
+        #: module-level import statements, as (node, bound name, target).
+        self.toplevel_imports: List[Tuple[ast.stmt, str, str]] = []
+        #: module-level simple-name assignments: name -> first binding node.
+        self.assigned_names: Dict[str, ast.stmt] = {}
+        #: every module-level binding (imports, defs, classes, assigns).
+        self.module_names: Set[str] = set()
+        #: strings listed in ``__all__``.
+        self.all_names: Set[str] = set()
+        #: identifier -> number of ``Name`` *load* sites in the module.
+        self.name_loads: Dict[str, int] = {}
+        #: identifier-shaped words inside string constants (quoted
+        #: forward-reference annotations and doctest-ish snippets).
+        self.string_words: Set[str] = set()
+        #: line -> None (bare ``# noqa``, all rules) or a code set.
+        self.noqa: Dict[int, Optional[Set[str]]] = {}
+        self._collect_pragmas()
+        self._collect_bindings()
+
+    # ------------------------------------------------------------------ #
+    # precomputation
+    # ------------------------------------------------------------------ #
+    def _collect_pragmas(self) -> None:
+        for lineno, line in enumerate(self.source.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                self.noqa[lineno] = None
+                continue
+            normalized = {
+                code.strip().upper().replace("REPRO-", "")
+                for code in codes.split(",") if code.strip()}
+            self.noqa[lineno] = normalized
+
+    def _collect_bindings(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.module_aliases[local] = (
+                        alias.name if alias.asname else local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    # relative imports bind project names, never stdlib
+                    # clock/RNG entry points; record the binding only.
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        local = alias.asname or alias.name
+                        self.from_imports.setdefault(local, f".{alias.name}")
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = f"{node.module}.{alias.name}"
+            elif isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Load):
+                    self.name_loads[node.id] = \
+                        self.name_loads.get(node.id, 0) + 1
+            elif isinstance(node, ast.Constant) and isinstance(node.value,
+                                                               str):
+                if len(node.value) <= 4096:
+                    self.string_words.update(
+                        _IDENTIFIER_RE.findall(node.value))
+        for node in self.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if isinstance(node, ast.ImportFrom) and \
+                        node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    if isinstance(node, ast.Import):
+                        local = alias.asname or alias.name.split(".")[0]
+                    else:
+                        local = alias.asname or alias.name
+                    self.module_names.add(local)
+                    self.toplevel_imports.append((node, local, alias.name))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                self.module_names.add(node.name)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.module_names.add(target.id)
+                        self.assigned_names.setdefault(target.id, node)
+                        if target.id == "__all__":
+                            self._collect_all(node)
+
+    def _collect_all(self, node: ast.stmt) -> None:
+        value = node.value if isinstance(node, (ast.Assign, ast.AnnAssign)) \
+            else None
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and \
+                        isinstance(element.value, str):
+                    self.all_names.add(element.value)
+
+    # ------------------------------------------------------------------ #
+    # shared helpers for the rules
+    # ------------------------------------------------------------------ #
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Dotted target of a call through the module's import bindings.
+
+        ``_time.perf_counter`` resolves to ``time.perf_counter`` under
+        ``import time as _time``; a bare ``perf_counter`` resolves under
+        ``from time import perf_counter``.  Returns ``None`` when the
+        base name is not an import binding — a local variable that
+        happens to be called ``time`` never triggers the clock rules.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.module_aliases.get(node.id)
+        if root is None:
+            root = self.from_imports.get(node.id)
+        if root is None or root.startswith("."):
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        current = getattr(node, "_lint_parent", None)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                return current
+            current = getattr(current, "_lint_parent", None)
+        return None
+
+    def guarding_tests(self, node: ast.AST) -> List[ast.expr]:
+        """The ``if``/``while`` conditions between ``node`` and its
+        enclosing function (or the module), innermost first."""
+        tests: List[ast.expr] = []
+        current = getattr(node, "_lint_parent", None)
+        while current is not None and not isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.Lambda, ast.Module)):
+            if isinstance(current, (ast.If, ast.While)):
+                tests.append(current.test)
+            current = getattr(current, "_lint_parent", None)
+        return tests
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.noqa.get(finding.line, False)
+        if codes is False:
+            return False
+        return codes is None or finding.rule.upper() in codes
+
+
+class Project:
+    """Cross-module reference context for the dead-code rule."""
+
+    def __init__(self, modules: Sequence[ModuleUnderLint]) -> None:
+        self._referenced: Dict[str, Set[str]] = {}
+        for module in modules:
+            refs: Set[str] = set(module.name_loads)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Attribute):
+                    refs.add(node.attr)
+                elif isinstance(node, ast.ImportFrom):
+                    for alias in node.names:
+                        refs.add(alias.name)
+            self._referenced[module.rel] = refs
+
+    def referenced_elsewhere(self, rel: str, name: str) -> bool:
+        """Is ``name`` referenced by any scanned module other than ``rel``?"""
+        return any(name in refs for other, refs in self._referenced.items()
+                   if other != rel)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one linter run."""
+
+    findings: List[Finding]          # everything that fired (post-pragma)
+    new_findings: List[Finding]      # findings not covered by the baseline
+    grandfathered: int               # findings matched by the baseline
+    stale_baseline: List[Dict[str, object]]  # baseline entries nothing hit
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+
+# ---------------------------------------------------------------------- #
+# file discovery and package-relative paths
+# ---------------------------------------------------------------------- #
+def iter_python_files(targets: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for target in targets:
+        target = Path(target)
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            files.append(target)
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def package_relative(path: Path) -> str:
+    """Path relative to the *topmost* enclosing package, without its name.
+
+    ``src/repro/online/defrag.py`` -> ``online/defrag.py`` (rule scoping
+    and baseline keys are stable no matter where the repo is checked
+    out).  A file outside any package is keyed by its bare name.
+    """
+    path = Path(path).resolve()
+    packages: List[str] = []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        packages.append(current.name)
+        current = current.parent
+    if not packages:
+        return path.name
+    inner = list(reversed(packages))[1:]        # drop the top package name
+    return "/".join(inner + [path.name])
+
+
+# ---------------------------------------------------------------------- #
+# baseline
+# ---------------------------------------------------------------------- #
+def load_baseline(path: Optional[Path]) -> List[Dict[str, object]]:
+    if path is None or not Path(path).exists():
+        return []
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    findings = data.get("findings", [])
+    if not isinstance(findings, list):
+        raise ValueError(f"malformed baseline {path}: 'findings' not a list")
+    return findings
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": 1,
+        "comment": ("Grandfathered repro-lint findings; remove entries as "
+                    "the code they cover is fixed.  See CONTRACTS.md."),
+        "findings": [f.as_dict() for f in findings],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+
+def discover_baseline(start: Path) -> Optional[Path]:
+    """Find the committed baseline by walking up from ``start``."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in [current, *current.parents]:
+        baseline = candidate / BASELINE_NAME
+        if baseline.exists():
+            return baseline
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# entry points
+# ---------------------------------------------------------------------- #
+def _run_rules(modules: Sequence[ModuleUnderLint]) -> List[Finding]:
+    from .rules import ALL_RULES
+    project = Project(modules)
+    findings: List[Finding] = []
+    for module in modules:
+        for rule in ALL_RULES:
+            for finding in rule.check(module, project):
+                if not module.is_suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.rel, f.line, f.rule, f.message))
+    return findings
+
+
+def run_lint(paths: Iterable[Path],
+             baseline: Optional[Path] = None) -> LintReport:
+    """Lint files/directories; return the full report.
+
+    ``baseline`` points at a grandfather file (see :func:`write_baseline`);
+    findings matching a baseline entry are counted but not reported as
+    new.  Baseline entries that no longer match anything are surfaced as
+    ``stale_baseline`` so the file shrinks as code gets fixed.
+    """
+    modules: List[ModuleUnderLint] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        modules.append(ModuleUnderLint(package_relative(path), source,
+                                       path=str(path)))
+    findings = _run_rules(modules)
+    entries = load_baseline(baseline)
+    known = {(e.get("rule"), e.get("path"), e.get("message"))
+             for e in entries}
+    new = [f for f in findings if f.key() not in known]
+    matched_keys = {f.key() for f in findings if f.key() in known}
+    stale = [e for e in entries
+             if (e.get("rule"), e.get("path"), e.get("message"))
+             not in matched_keys]
+    return LintReport(findings=findings, new_findings=new,
+                      grandfathered=len(findings) - len(new),
+                      stale_baseline=stale)
+
+
+def check_source(source: str, rel: str = "module.py") -> List[Finding]:
+    """Lint one in-memory snippet under a pretend package-relative path.
+
+    The fixture harness for the rule unit tests: ``rel`` controls the
+    scoping (``"online/foo.py"`` is a deterministic engine module,
+    ``"obs/trace.py"`` is allowlisted for D1, ...).
+    """
+    return _run_rules([ModuleUnderLint(rel, source)])
+
+
+def lint_package(root: Optional[Path] = None,
+                 baseline: Optional[Path] = None) -> LintReport:
+    """Lint the installed :mod:`repro` package against the repo baseline.
+
+    The convenience entry point for the E20 gate, ``scripts/smoke.py``
+    and the tier-1 cleanliness test: with no arguments it locates the
+    package source from ``repro.__file__`` and the committed
+    ``lint_baseline.json`` by walking up from it.
+    """
+    if root is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root)
+    if baseline is None:
+        baseline = discover_baseline(root)
+    return run_lint([root], baseline=baseline)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import time as _time
 from collections import deque
-from typing import Dict, IO, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 __all__ = [
     "Span",

@@ -32,6 +32,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from .._bitops import bit_list, iter_bits, lowest_missing_bit
 from ..coloring.kempe import kempe_component
 from ..conflict.conflict_graph import ConflictGraph
+from ..exceptions import EngineStateError, TransactionError
 
 __all__ = ["POLICIES", "AssignerCheckpoint", "OnlineWavelengthAssigner"]
 
@@ -139,9 +140,18 @@ class OnlineWavelengthAssigner:
         conflicting lightpath iff it is in use on a shared fibre.
         """
         if self._color or self._checkpoints:
-            raise RuntimeError(
+            raise EngineStateError(
                 "attach the colour index before any assignment")
         self._color_index = index
+
+    @property
+    def color_index(self):
+        """The attached colour occupancy index, or ``None``.
+
+        Exposed for the audit layer: ``OnlineEngine.audit()`` replays the
+        colouring against the index's per-arc counts.
+        """
+        return self._color_index
 
     # ------------------------------------------------------------------ #
     # state
@@ -305,7 +315,7 @@ class OnlineWavelengthAssigner:
         undoes the inner, committed changes.
         """
         if not self._checkpoints or self._checkpoints[-1] is not token:
-            raise RuntimeError("token does not match the active checkpoint")
+            raise TransactionError("token does not match the active checkpoint")
         self._checkpoints.pop()
         if self._checkpoints:
             self._checkpoints[-1].journal.extend(token.journal)
@@ -321,7 +331,7 @@ class OnlineWavelengthAssigner:
         :meth:`checkpoint` time.
         """
         if not self._checkpoints or self._checkpoints[-1] is not token:
-            raise RuntimeError("token does not match the active checkpoint")
+            raise TransactionError("token does not match the active checkpoint")
         self._checkpoints.pop()
         color_of = self._color
         usage = self._usage

@@ -108,9 +108,6 @@ def sort_events(events: List[Event]) -> List[Event]:
                                          e.request_id))
 
 
-#: Backwards-compatible private alias (pre-PR 4 name).
-_sort_events = sort_events
-
 
 def cut_event(time: float, arc: Arc, fault_id: int = 0) -> Event:
     """A :data:`CUT` event removing fibre ``arc`` at ``time``."""
@@ -158,7 +155,7 @@ def poisson_trace(pool: RequestFamily, num_arrivals: int,
         raise ValueError("arrival_rate and mean_holding must be positive")
     pairs = pool.pairs()
     if not pairs:
-        raise ValueError("the request pool is empty")
+        raise ValueError("the request pool is empty")  # noqa: REPRO-D4 -- argument validation
     rng = random.Random(seed)
     events: List[Event] = []
     now = 0.0
@@ -197,7 +194,7 @@ def churn_trace(pool: Union[RequestFamily, DipathFamily], concurrent: int,
             return Event(time, ARRIVAL, rid,
                          request=Request(source, target))
     if not items:
-        raise ValueError("the workload pool is empty")
+        raise ValueError("the workload pool is empty")  # noqa: REPRO-D4 -- argument validation
     rng = random.Random(seed)
     events: List[Event] = []
     active: List[int] = []

@@ -748,7 +748,8 @@ def recover(path: str, metrics: Optional[MetricsRegistry] = None,
         try:
             record = json.loads(line.decode("utf-8"))
             if not isinstance(record, dict):
-                raise ValueError("journal record is not an object")
+                raise ValueError(  # noqa: REPRO-D4 -- joins JSONDecodeError in the torn-tail handler
+                    "journal record is not an object")
         except (ValueError, UnicodeDecodeError) as exc:
             if pos == len(complete) - 1:
                 # Unreadable final line: the torn tail of a crashed

@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..conflict.dynamic import ShardedConflictGraph
+from ..exceptions import EngineStateError
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..obs.registry import Instrumented, MetricsRegistry
@@ -111,6 +112,53 @@ class ArcColorIndex(Instrumented):
         """The colour bitmask of arc id ``aid`` (0 if never recorded)."""
         return self._masks[aid] if aid < len(self._masks) else 0
 
+    def audit(self) -> List[str]:
+        """Check the index's internal invariants; return the violations.
+
+        Same protocol as :meth:`repro.conflict.sharding.ShardTracker.audit`
+        (and composed by ``OnlineEngine.audit()``): an empty list means
+        the bookkeeping is coherent —
+
+        * the per-arc count table and the per-arc mask table cover the
+          same arc ids;
+        * every recorded ``(arc, colour)`` user count is positive (zero
+          entries are deleted eagerly by :meth:`record`);
+        * each arc's colour bitmask has exactly the bits of its count
+          table — the O(1) forbidden-mask fast path and the exact counts
+          never disagree;
+        * no colour sits on an arc id the family no longer interns.
+
+        Magnitude checks against ground truth (does the count equal the
+        number of lightpaths actually colouring this arc?) need the
+        engine's view and live in ``OnlineEngine.audit()``.
+        """
+        problems: List[str] = []
+        counts, masks = self._counts, self._masks
+        if len(counts) != len(masks):
+            problems.append(
+                f"colour index tracks {len(counts)} arcs in counts but "
+                f"{len(masks)} in masks")
+        interned = self._family.num_arc_ids
+        for aid, per_color in enumerate(counts):
+            expected = 0
+            for color in sorted(per_color):
+                users = per_color[color]
+                if users <= 0:
+                    problems.append(
+                        f"arc {aid} colour {color} has non-positive "
+                        f"count {users}")
+                expected |= 1 << color
+            mask = masks[aid] if aid < len(masks) else 0
+            if mask != expected:
+                problems.append(
+                    f"arc {aid} mask {mask:#x} disagrees with its counts "
+                    f"({expected:#x})")
+            if per_color and aid >= interned:
+                problems.append(
+                    f"arc id {aid} holds colours but is no longer "
+                    f"interned by the family")
+        return problems
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -146,7 +194,7 @@ class ArcColorIndex(Instrumented):
         value = per_color.get(color, 0) + delta
         if value:
             if value < 0:
-                raise RuntimeError(
+                raise EngineStateError(
                     f"arc {aid} colour {color} count went negative")
             per_color[color] = value
             if value == delta:              # 0 -> positive transition
@@ -214,7 +262,8 @@ def _segment_moves(journal, moves, to_global) -> List[Dict[str, object]]:
         changes: List[Tuple[object, Optional[int], Optional[int]]] = []
         vertex, old, new = journal[cursor]
         if vertex != move.index or new is not None:
-            raise RuntimeError("defrag journal out of step with its moves")
+            raise EngineStateError(
+                "defrag journal out of step with its moves")
         changes.append((to_global(vertex), old, None))
         cursor += 1
         repaired = False
@@ -232,7 +281,8 @@ def _segment_moves(journal, moves, to_global) -> List[Dict[str, object]]:
             "repaired": repaired,
         })
     if cursor != len(journal):
-        raise RuntimeError("defrag journal has unconsumed colour changes")
+        raise EngineStateError(
+            "defrag journal has unconsumed colour changes")
     return out
 
 
@@ -329,12 +379,12 @@ def apply_defrag_moves(conflict, assigner,
         changes = move["changes"]
         released, old, new = changes[0]
         if released != idx or new is not None:
-            raise RuntimeError("malformed defrag move replay")
+            raise EngineStateError("malformed defrag move replay")
         assigner.release(idx)
         conflict.remove_dipath(idx)
         readded = conflict.add_dipath(move["route"])
         if readded != idx:
-            raise RuntimeError(
+            raise EngineStateError(
                 f"defrag replay re-added member at slot {readded}, "
                 f"expected {idx}")
         for vertex, old, new in changes[1:]:

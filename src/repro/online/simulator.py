@@ -48,8 +48,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..exceptions import RoutingError, SimulationError
+from ..exceptions import (
+    AuditError,
+    EngineStateError,
+    RoutingError,
+    ShardNotFoundError,
+    SimulationError,
+)
 from ..conflict.dynamic import DynamicConflictGraph, ShardedConflictGraph
+from .._bitops import bit_list
 from ..dipaths.dipath import Dipath
 from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request
@@ -534,6 +541,116 @@ class OnlineEngine(Instrumented):
         """
         return self.conflict.shard_map()
 
+    def audit(self) -> List[str]:
+        """Cross-check every redundant structure; return the violations.
+
+        The composing end of the ``audit() -> list[str]`` protocol
+        (:meth:`~repro.conflict.sharding.ShardTracker.audit`,
+        :meth:`~repro.online.sharding.ArcColorIndex.audit`): runs the
+        component tracker's and colour index's own audits, then verifies
+        the invariants only the engine can see —
+
+        * request bookkeeping: every ``request_id`` maps to a distinct
+          active member and every active member is owned by a request;
+        * the conflict adjacency equals the shared-fibre relation the
+          family's arc tables imply;
+        * the colouring is total on active members, within the
+          wavelength budget, and proper along every conflict edge;
+        * the assigner's per-wavelength usage counters and used-mask
+          match a recount of the colouring;
+        * the colour index's per-arc occupancy equals a replay of the
+          colouring over each member's fibres.
+
+        O(active · arcs + active · degree) — meant for tests and the
+        opt-in ``audit_every=`` hook of :func:`simulate_online`, not the
+        admission hot path.  An empty list means the state is coherent.
+        """
+        problems = [f"tracker: {p}" for p in self.conflict.audit()]
+        family, assigner, conflict = self.family, self.assigner, self.conflict
+        coloring = dict(assigner.coloring)
+        active = family.active_indices()
+        active_set = set(active)
+        owners: Dict[int, int] = {}
+        for rid in sorted(self.vertex_of):
+            idx = self.vertex_of[rid]
+            if idx in owners:
+                problems.append(f"engine: requests {owners[idx]} and {rid} "
+                                f"both map to member {idx}")
+            owners[idx] = rid
+            if idx not in active_set:
+                problems.append(f"engine: request {rid} maps to inactive "
+                                f"member {idx}")
+        for idx in active:
+            if idx not in owners:
+                problems.append(f"engine: active member {idx} has no "
+                                f"owning request")
+        wavelengths = assigner.wavelengths
+        for idx in sorted(coloring):
+            if idx not in active_set:
+                problems.append(f"colours: inactive member {idx} still "
+                                f"holds wavelength {coloring[idx]}")
+        for idx in active:
+            color = coloring.get(idx)
+            if color is None:
+                problems.append(f"colours: active member {idx} has no "
+                                f"wavelength")
+                continue
+            if not 0 <= color < wavelengths:
+                problems.append(f"colours: member {idx} wavelength {color} "
+                                f"is outside the budget {wavelengths}")
+        for idx in active:
+            expected = 0
+            for aid in family.member_arc_ids(idx):
+                for other in family.members_on_arc(family.arc_of_id(aid)):
+                    expected |= 1 << other
+            expected &= ~(1 << idx)
+            mask = conflict.neighbor_mask(idx)
+            if mask != expected:
+                problems.append(f"conflict: member {idx} adjacency "
+                                f"disagrees with its shared-fibre members")
+                continue
+            color = coloring.get(idx)
+            if color is None:
+                continue
+            for other in bit_list(mask):
+                if other > idx and coloring.get(other) == color:
+                    problems.append(f"colours: members {idx} and {other} "
+                                    f"share wavelength {color} on a "
+                                    f"conflict edge")
+        recount = [0] * wavelengths
+        used_mask = 0
+        for idx, color in coloring.items():
+            if 0 <= color < wavelengths:
+                recount[color] += 1
+                used_mask |= 1 << color
+        if assigner.usage() != recount:
+            problems.append("assigner: per-wavelength usage counters "
+                            "disagree with a recount of the colouring")
+        if assigner.used_mask != used_mask:
+            problems.append("assigner: used-wavelength mask disagrees "
+                            "with a recount of the colouring")
+        index = assigner.color_index
+        if index is not None:
+            problems.extend(f"colorindex: {p}" for p in index.audit())
+            expected_counts: Dict[int, Dict[int, int]] = {}
+            for idx, color in coloring.items():
+                if idx not in active_set:
+                    continue
+                for aid in family.member_arc_ids(idx):
+                    per_color = expected_counts.setdefault(aid, {})
+                    per_color[color] = per_color.get(color, 0) + 1
+            for aid in range(max(family.num_arc_ids, len(index._counts))):
+                expected_arc = expected_counts.get(aid, {})
+                # reaching into the index's count table: the public mask
+                # only proves presence, the audit wants exact user counts
+                actual_arc = (index._counts[aid]
+                              if aid < len(index._counts) else {})
+                if actual_arc != expected_arc:
+                    problems.append(f"colorindex: arc {aid} occupancy "
+                                    f"{actual_arc} disagrees with a replay "
+                                    f"of the colouring ({expected_arc})")
+        return problems
+
     def admit(self, request_id: int, request: Optional[Request] = None,
               dipath: Optional[Dipath] = None) -> Optional[str]:
         """Try to provision one arrival; return the rejection reason.
@@ -854,7 +971,7 @@ class OnlineEngine(Instrumented):
         if shard is not None:
             members = self.shard_map().get(shard)
             if members is None:
-                raise ValueError(f"no shard anchored at member {shard}")
+                raise ShardNotFoundError(shard)
         report = DefragPass(self.conflict, self.assigner,
                             candidates=self._defrag_candidates, order=order,
                             max_moves=max_moves,
@@ -909,7 +1026,7 @@ class OnlineEngine(Instrumented):
     def _defrag_sharded(self, order: str, max_moves: Optional[int],
                         workers: Optional[int]) -> DefragReport:
         if self.assigner.policy != PARALLEL_SAFE_POLICY:
-            raise ValueError(
+            raise EngineStateError(
                 "shard-scoped defragmentation requires the "
                 f"{PARALLEL_SAFE_POLICY!r} policy; {self.assigner.policy!r} "
                 "consults cross-shard state — use defrag() instead")
@@ -989,6 +1106,7 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                     restore_retries: int = 2,
                     restore_move_budget: Optional[int] = None,
                     revert_on_repair: bool = False,
+                    audit_every: Optional[int] = None,
                     metrics: Optional[MetricsRegistry] = None,
                     tracer: Optional[Tracer] = None,
                     profile=None) -> OnlineResult:
@@ -1081,6 +1199,13 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         After a :data:`~repro.online.events.REPAIR`, offer every
         restoration-rerouted lightpath its original route back, keeping
         only strict-improvement moves (the defrag acceptance objective).
+    audit_every:
+        Opt-in runtime auditing: every ``audit_every`` processed events
+        (and once more after the trace drains) run
+        :meth:`OnlineEngine.audit` and raise
+        :class:`~repro.exceptions.AuditError` carrying the violations if
+        any redundant structure disagrees.  O(state) per check — a
+        debugging/validation harness, not a production setting.
     metrics, tracer, profile:
         Observability hooks, all decision-neutral (see
         :mod:`repro.obs`): ``metrics`` shares a
@@ -1121,6 +1246,8 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         raise ValueError("defrag_utilization must be in (0, 1]")
     if restore_retries < 0:
         raise ValueError("restore_retries must be >= 0")
+    if audit_every is not None and audit_every < 1:
+        raise ValueError("audit_every must be >= 1")
     guard = None
     if shed_work_budget is not None or shed_queue_depth is not None:
         guard = AdmissionGuard(work_budget=shed_work_budget,
@@ -1270,6 +1397,12 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         processed += len(group)
         if defrag_every is not None and processed % defrag_every < len(group):
             run_defrag()
+        if audit_every is not None and processed % audit_every < len(group):
+            violations = engine.audit()
+            if violations:
+                raise AuditError(
+                    f"engine audit failed after {processed} events",
+                    violations)
         if defrag_utilization is not None:
             above = engine.assigner.colors_in_use() >= \
                 defrag_utilization * wavelengths
@@ -1285,6 +1418,11 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
                 "blocked_total": float(len(result.blocked)),
             }
             result.timeline.extend(dict(sample) for _ in group)
+    if audit_every is not None:
+        violations = engine.audit()
+        if violations:
+            raise AuditError("engine audit failed at the end of the trace",
+                             violations)
     result.wavelengths_used = engine.assigner.colors_ever_used()
     result.kempe_repairs = engine.assigner.kempe_repairs
     result.defrag_passes = engine.defrag_passes

@@ -15,7 +15,7 @@ the concluding remarks can be explored numerically.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Set, Tuple
+from typing import Dict, List, Mapping, Set, Tuple
 
 from .._typing import Vertex
 from ..dipaths.family import DipathFamily

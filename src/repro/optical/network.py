@@ -14,7 +14,7 @@ lightpath.  The RWA pipeline in :mod:`repro.optical.rwa` produces
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..exceptions import CapacityError, RoutingError

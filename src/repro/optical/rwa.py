@@ -18,10 +18,9 @@ fibre load**, so capacity planning reduces to load computation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
-from ..exceptions import CapacityError
 from ..core.load import load as _load
 from ..core.wavelengths import (
     AssignmentMethod,

@@ -8,7 +8,7 @@ hotspot (a few nodes concentrate most of the demand).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import random
 

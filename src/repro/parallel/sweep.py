@@ -9,8 +9,8 @@ records ready for tabulation by :mod:`repro.analysis.tables`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from .executor import parallel_map
 

@@ -15,7 +15,7 @@ structural claims on randomly generated UPP-DAG instances.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..conflict.conflict_graph import ConflictGraph, build_conflict_graph
 from ..dipaths.dipath import Dipath

@@ -14,7 +14,7 @@ Consequences implemented and checked here:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
 from .._typing import Arc
 from ..conflict.cliques import maximal_cliques, maximum_clique
