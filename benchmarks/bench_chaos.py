@@ -1,0 +1,61 @@
+"""E21 — chaos hardening: live faults, crash-restart, restoration budget.
+
+Four claims, recorded in ``BENCH_chaos.json`` by
+``scripts/bench_report.py --suite chaos``:
+
+* driving fibre cuts and repairs through the asyncio
+  :class:`~repro.service.RwaService` queue makes bit-identical decisions
+  to :func:`~repro.online.simulator.simulate_online` on the same ordered
+  fault trace, with equal
+  :func:`~repro.online.persistence.engine_fingerprint`;
+* a maintenance window scheduled via
+  :meth:`~repro.service.RwaService.schedule_maintenance` is
+  indistinguishable from the equivalent cut/repair pairs of
+  :func:`~repro.online.events.maintenance_events` fed through the queue;
+* killing the service consumer at randomised op offsets and restarting
+  it under :class:`~repro.service.ServiceSupervisor` converges — every
+  crashed run ends on the exact fingerprint of the uncrashed supervised
+  run, with exactly one restart, and the uncrashed run matches the
+  simulator oracle's decisions;
+* restoration strictly beats restoration-off blocking at an equal
+  ``restore_move_budget`` under multi-cut stress.
+"""
+
+import pytest
+
+from repro.analysis.bench_chaos import (
+    chaos_problems,
+    run_chaos_benchmark,
+)
+from .conftest import report
+
+pytestmark = pytest.mark.bench
+
+IDENTITY_COLUMNS = ("scenario", "events", "fibre_cuts", "stranded",
+                    "blocking", "decisions_equal", "fingerprint_identical")
+CRASH_COLUMNS = ("scenario", "events", "trials", "converged",
+                 "single_restart_each", "decisions_equal_oracle")
+RESTORE_COLUMNS = ("scenario", "fibre_cuts", "move_budget",
+                   "stranded_restoration", "blocking_baseline",
+                   "blocking_restoration", "restoration_pays")
+
+
+def test_chaos_identity_crash_and_restoration(benchmark, run_once):
+    records = run_once(benchmark, run_chaos_benchmark, 3)
+    identity = [r for r in records
+                if r["kind"] in ("chaos_identity", "chaos_maintenance")]
+    crashes = [r for r in records if r["kind"] == "chaos_crash"]
+    restores = [r for r in records if r["kind"] == "chaos_restoration"]
+    report(identity, columns=IDENTITY_COLUMNS,
+           title="E21 / chaos — fault trace vs simulator")
+    report(crashes, columns=CRASH_COLUMNS,
+           title="E21 / chaos — supervised crash-restart convergence")
+    report(restores, columns=RESTORE_COLUMNS,
+           title="E21 / chaos — restoration vs off at equal budget")
+    assert all(r["decisions_equal"] for r in identity)
+    assert all(r["fingerprint_identical"] for r in identity)
+    assert all(r["all_converged"] for r in crashes)
+    assert all(r["single_restart_each"] for r in crashes)
+    assert all(r["decisions_equal_oracle"] for r in crashes)
+    assert all(r["restoration_pays"] for r in restores)
+    assert chaos_problems(records) == []

@@ -15,7 +15,12 @@ admission-guard load shedding) and the observability suite of
 admission workloads, span-emission throughput) and the service suite of
 :mod:`repro.analysis.bench_service` (asyncio ``RwaService`` decision and
 fingerprint identity with the trace loop under a flash crowd, sustained
-admissions/sec and p99 admission latency, per-tenant shed isolation),
+admissions/sec and p99 admission latency, per-tenant shed isolation)
+and the chaos suite of :mod:`repro.analysis.bench_chaos` (fault-bearing
+``serve_trace`` decision/fingerprint identity with ``simulate_online``,
+maintenance windows vs their cut/repair event oracle, supervised
+crash-restart fingerprint convergence over randomised crash offsets,
+restoration vs restoration-off at an equal move budget),
 and either
 records the results or checks them against the recorded baselines:
 
@@ -27,7 +32,7 @@ records the results or checks them against the recorded baselines:
 Reports are written to ``BENCH_conflict_engine.json``,
 ``BENCH_online_engine.json``, ``BENCH_online_routing.json``,
 ``BENCH_defrag.json``, ``BENCH_sharding.json``, ``BENCH_recovery.json``,
-``BENCH_obs.json`` and ``BENCH_service.json`` at the
+``BENCH_obs.json``, ``BENCH_service.json`` and ``BENCH_chaos.json`` at the
 repository root (``--output`` overrides the path when a single suite is
 selected).  ``--check`` exits non-zero
 when an engine is more than 20% slower than its recorded baseline on any
@@ -95,6 +100,12 @@ from repro.analysis.bench_obs import (
     obs_problems,
     run_obs_benchmark,
 )
+from repro.analysis.bench_chaos import (
+    chaos_benchmark_document,
+    chaos_check_against_baseline,
+    chaos_problems,
+    run_chaos_benchmark,
+)
 from repro.analysis.bench_service import (
     run_service_benchmark,
     service_benchmark_document,
@@ -120,7 +131,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: ``--profile`` attributes their cost per span category; the rest only
 #: exercise the conflict-graph layer and get the whole-suite fallback.
 ENGINE_SUITES = frozenset({"routing", "defrag", "sharding", "recovery",
-                           "obs", "service"})
+                           "obs", "service", "chaos"})
 
 
 def _print_engine_records(records) -> None:
@@ -266,6 +277,42 @@ def _print_service_records(records) -> None:
                   f"partition={r['shed_partition_exact']}  [{verdict}]")
 
 
+def _print_chaos_records(records) -> None:
+    for r in records:
+        if r["kind"] == "chaos_identity":
+            verdict = ("ok" if r["decisions_equal"]
+                       and r["fingerprint_identical"] else "DIVERGED")
+            print(f"{r['scenario']:36s} events={r['events']} "
+                  f"cuts={r['fibre_cuts']} stranded={r['stranded']} "
+                  f"blocking={r['blocking']:.4f} "
+                  f"adm/s={r['admissions_per_s']:.0f} "
+                  f"identical={r['decisions_equal']}/"
+                  f"{r['fingerprint_identical']}  [{verdict}]")
+        elif r["kind"] == "chaos_maintenance":
+            verdict = ("ok" if r["decisions_equal"]
+                       and r["fingerprint_identical"] else "DIVERGED")
+            print(f"{r['scenario']:36s} arcs={r['window_arcs']} "
+                  f"cuts={r['fibre_cuts']} repairs={r['fibre_repairs']} "
+                  f"stranded={r['stranded']} blocking={r['blocking']:.4f} "
+                  f"identical={r['decisions_equal']}/"
+                  f"{r['fingerprint_identical']}  [{verdict}]")
+        elif r["kind"] == "chaos_crash":
+            verdict = ("ok" if r["all_converged"]
+                       and r["single_restart_each"]
+                       and r["decisions_equal_oracle"] else "DIVERGED")
+            print(f"{r['scenario']:36s} events={r['events']} "
+                  f"kills={r['trials']} converged={r['converged']} "
+                  f"single-restart={r['single_restart_each']} "
+                  f"oracle={r['decisions_equal_oracle']}  [{verdict}]")
+        else:
+            verdict = "ok" if r["restoration_pays"] else "NOT PAYING"
+            print(f"{r['scenario']:36s} W={r['wavelengths']} "
+                  f"cuts={r['fibre_cuts']} budget={r['move_budget']} "
+                  f"stranded={r['stranded_restoration']} "
+                  f"off={r['blocking_baseline']:.4f} "
+                  f"on={r['blocking_restoration']:.4f}  [{verdict}]")
+
+
 #: suite name -> (default report path, runner, document builder,
 #:                baseline checker, speedup checker, record printer)
 SUITES = {
@@ -301,6 +348,10 @@ SUITES = {
                 run_service_benchmark, service_benchmark_document,
                 service_check_against_baseline, service_problems,
                 _print_service_records),
+    "chaos": (REPO_ROOT / "BENCH_chaos.json",
+              run_chaos_benchmark, chaos_benchmark_document,
+              chaos_check_against_baseline, chaos_problems,
+              _print_chaos_records),
 }
 
 

@@ -12,8 +12,8 @@ Usage:
 ``pytest.ini``): the long-horizon gates — E14's Erlang blocking sweeps,
 E15's defrag blocking/reclaim replays, E16's sharded-engine replays,
 E17's crash-recovery/restoration/shedding suite, E18's
-observability-overhead suite and E19's RWA-service replay — are skipped
-so a quick sweep stays quick.
+observability-overhead suite, E19's RWA-service replay and E21's
+chaos-hardening suite — are skipped so a quick sweep stays quick.
 """
 
 from __future__ import annotations
@@ -50,6 +50,11 @@ from repro.analysis.bench_obs import (
     obs_check_against_baseline,
     obs_problems,
     run_obs_benchmark,
+)
+from repro.analysis.bench_chaos import (
+    chaos_check_against_baseline,
+    chaos_problems,
+    run_chaos_benchmark,
 )
 from repro.analysis.bench_service import (
     run_service_benchmark,
@@ -113,8 +118,9 @@ def main() -> int:
                              "replays of E15, the sharded-engine "
                              "replays of E16, the fault-tolerance "
                              "suite of E17, the observability-"
-                             "overhead suite of E18 and the RWA-"
-                             "service replay of E19), mirroring the "
+                             "overhead suite of E18, the RWA-"
+                             "service replay of E19 and the chaos-"
+                             "hardening suite of E21), mirroring the "
                              "test suite's 'slow' marker")
     args = parser.parse_args()
     output_dir = args.output_dir
@@ -200,6 +206,18 @@ def main() -> int:
          repo_root / "BENCH_service.json",
          run_service_benchmark, service_check_against_baseline,
          service_problems, True),
+        # E21 drives faults through the live service loop: fault-bearing
+        # serve_trace must stay decision- and fingerprint-identical to
+        # simulate_online, maintenance windows must match their
+        # cut/repair event oracle, supervised crash-restart must
+        # converge to the uncrashed fingerprint across randomised crash
+        # offsets, and restoration must strictly beat restoration-off at
+        # an equal move budget — skippable like E14–E19.
+        ("E21: chaos hardening — fault identity + crash-restart "
+         "convergence vs recorded baseline ...",
+         repo_root / "BENCH_chaos.json",
+         run_chaos_benchmark, chaos_check_against_baseline,
+         chaos_problems, True),
     ]
     for title, bench_path, run_bench, check, speedups, slow in gates:
         if slow and args.skip_slow:

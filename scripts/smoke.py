@@ -97,6 +97,28 @@ for rec in service_records:
 print("SERVICE SMOKE", "OK" if not service_problems(service_records)
       else "FAILED")
 
+# Chaos hardening (E21 wiring): faults through the live loop stay
+# identical to the simulator, supervised crash-restart converges, and
+# restoration pays at an equal move budget.
+from repro.analysis.bench_chaos import chaos_problems, run_chaos_benchmark
+
+chaos_records = run_chaos_benchmark(smoke=True)
+for rec in chaos_records:
+    if rec["kind"] in ("chaos_identity", "chaos_maintenance"):
+        print("chaos:", rec["scenario"], "identical?",
+              rec["decisions_equal"] and rec["fingerprint_identical"],
+              "stranded", rec["stranded"])
+    elif rec["kind"] == "chaos_crash":
+        print("chaos:", rec["scenario"], "converged",
+              f"{rec['converged']}/{rec['trials']}",
+              "oracle?", rec["decisions_equal_oracle"])
+    else:
+        print("chaos:", rec["scenario"], "pays?", rec["restoration_pays"],
+              "off", round(rec["blocking_baseline"], 4),
+              "on", round(rec["blocking_restoration"], 4))
+print("CHAOS SMOKE", "OK" if not chaos_problems(chaos_records)
+      else "FAILED")
+
 # Determinism & contract linter (E20 wiring) in smoke mode: the whole
 # package must be clean modulo the committed baseline (CONTRACTS.md).
 from repro.lint import lint_package

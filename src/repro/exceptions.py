@@ -277,3 +277,65 @@ class ServiceError(ReproError, RuntimeError):
     those fail only the offending request's future, while a
     ``ServiceError`` means the caller is holding the service wrong.
     """
+
+
+class TimedOut(ServiceError, TimeoutError):
+    """A caller's wait for a service decision elapsed (client-side).
+
+    Raised by :meth:`repro.service.RwaService.submit` with ``timeout=``
+    when the decision does not arrive in time.  This is purely a
+    *caller-side* outcome: the submission stays queued and the engine
+    still decides it exactly once — re-submitting the same ``request_id``
+    with ``retry=True`` (what :class:`repro.service.RetryingClient` does
+    on this exception) is answered from the service's decision log, never
+    decided a second time.  Derives from the builtin ``TimeoutError`` so
+    generic ``except TimeoutError`` / ``except asyncio.TimeoutError``
+    handlers see it too.
+
+    Attributes
+    ----------
+    request_id:
+        The undecided submission.
+    timeout:
+        The elapsed wait, in wall-clock seconds.
+    """
+
+    def __init__(self, request_id: int | None, timeout: float) -> None:
+        super().__init__(f"request {request_id} undecided after "
+                         f"{timeout}s; it remains queued and will be "
+                         f"decided exactly once")
+        self.request_id = request_id
+        self.timeout = timeout
+
+
+class Expired(ServiceError):
+    """A submission's event-time deadline passed before processing.
+
+    Raised through the submission's future when
+    :meth:`repro.service.RwaService.submit` was given ``deadline=`` and
+    the service clock had already moved past it by the time the arrival
+    reached the front of the queue.  Expired arrivals are dropped before
+    any routing work or admission-guard accounting, are recorded as
+    blocked with the ``"expired"`` rejection reason (their own
+    ``result.blocked.expired`` counter partition), and are *not*
+    retryable — the deadline does not move, so a retry would expire
+    again.
+
+    Attributes
+    ----------
+    request_id:
+        The expired submission.
+    deadline:
+        Its event-time deadline.
+    time:
+        The service's event-time clock when the arrival was examined.
+    """
+
+    def __init__(self, request_id: int | None, deadline: float | None,
+                 time: float | None = None) -> None:
+        super().__init__(f"request {request_id} expired: deadline "
+                         f"{deadline} is behind the service clock"
+                         + (f" at time {time}" if time is not None else ""))
+        self.request_id = request_id
+        self.deadline = deadline
+        self.time = time

@@ -34,8 +34,8 @@ from ..dipaths.family import DipathFamily
 from ..dipaths.requests import Request, RequestFamily
 
 __all__ = ["ARRIVAL", "CUT", "DEPARTURE", "REPAIR", "Event", "cut_event",
-           "repair_event", "sort_events", "replay_trace", "poisson_trace",
-           "churn_trace"]
+           "repair_event", "maintenance_events", "sort_events",
+           "replay_trace", "poisson_trace", "churn_trace"]
 
 ARRIVAL = "arrival"
 DEPARTURE = "departure"
@@ -117,6 +117,28 @@ def cut_event(time: float, arc: Arc, fault_id: int = 0) -> Event:
 def repair_event(time: float, arc: Arc, fault_id: int = 0) -> Event:
     """A :data:`REPAIR` event restoring fibre ``arc`` at ``time``."""
     return Event(time, REPAIR, fault_id, arc=(arc[0], arc[1]))
+
+
+def maintenance_events(arcs: List[Arc], start: float, duration: float,
+                       fault_id: int = 0) -> List[Event]:
+    """The trace-level form of a planned maintenance window.
+
+    One :data:`CUT` per fibre in ``arcs`` at ``start`` and one
+    :data:`REPAIR` per fibre at ``start + duration``, with consecutive
+    fault ids from ``fault_id`` on (an arc's cut and repair share an id,
+    so same-time faults sort in ``arcs`` order at both edges of the
+    window).  This is exactly the op sequence
+    :meth:`repro.service.RwaService.schedule_maintenance` drives through
+    the live service loop, which makes ``simulate_online`` over these
+    events the oracle for the E21 maintenance identity gate.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    events = [cut_event(start, arc, fault_id=fault_id + i)
+              for i, arc in enumerate(arcs)]
+    events.extend(repair_event(start + duration, arc, fault_id=fault_id + i)
+                  for i, arc in enumerate(arcs))
+    return events
 
 
 def replay_trace(workload: Union[RequestFamily, DipathFamily]) -> List[Event]:

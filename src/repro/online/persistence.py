@@ -309,6 +309,18 @@ class DurableEngine(Instrumented):
         return self._path
 
     @property
+    def genesis(self) -> Dict[str, Any]:
+        """The genesis record: engine configuration + initial topology.
+
+        Read-only by contract — it is the journal's first record and the
+        root of every replay.  :meth:`repro.service.RwaService.
+        from_durable` reads the engine-level knobs back out of it so a
+        recovered engine is wrapped with exactly the configuration it was
+        journalled under.
+        """
+        return self._genesis
+
+    @property
     def records(self) -> int:
         """Journal records written (or replayed) so far, genesis included."""
         return self._records

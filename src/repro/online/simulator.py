@@ -1216,10 +1216,9 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         per trace event, and ``profile`` attaches a
         :class:`~repro.obs.profiling.SpanProfiler` per span category.
     """
-    if any(e.kind in (CUT, REPAIR) for e in events):
-        # fault events mutate the topology in place; run on a private
-        # copy so the caller's graph survives the simulation
-        graph = graph.copy()
+    from .faults import FaultWiring, fault_surface   # deferred: heavy layer
+
+    graph = fault_surface(graph, events)
     engine = OnlineEngine(graph, wavelengths, routing=routing, policy=policy,
                           kempe_repair=kempe_repair, seed=seed,
                           k_candidates=k_candidates, speculative=speculative,
@@ -1259,32 +1258,12 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
     # routing + speculation dominates per-arrival work, so the guard
     # charges the candidate budget per arrival
     arrival_cost = float(k_candidates) if speculative else 1.0
-    injector = None
-
-    def fault_injector():
-        nonlocal injector
-        if injector is None:
-            from .faults import FaultInjector    # deferred: faults imports us
-            injector = FaultInjector(
-                engine, restoration=restoration, retries=restore_retries,
-                move_budget=restore_move_budget,
-                revert_on_repair=revert_on_repair, order=defrag_order)
-        return injector
-
-    def reconcile(report) -> None:
-        """Fold a fault report into the accepted/blocked bookkeeping."""
-        result.lightpaths_stranded += len(report.stranded)
-        result.lightpaths_restored += len(report.restored)
-        for rid in report.restored:
-            if result.rejections.get(rid) == FIBRE_CUT:
-                del result.rejections[rid]
-                result.blocked.remove(rid)
-                result.accepted.append(rid)
-        for rid in report.still_stranded:
-            if rid not in result.rejections:
-                result.accepted.remove(rid)
-                result.blocked.append(rid)
-                result.rejections[rid] = FIBRE_CUT
+    wiring = FaultWiring(engine, result.accepted, result.blocked,
+                         result.rejections, restoration=restoration,
+                         retries=restore_retries,
+                         move_budget=restore_move_budget,
+                         revert_on_repair=revert_on_repair,
+                         order=defrag_order)
 
     def run_defrag() -> DefragReport:
         if shard_workers is not None:
@@ -1377,20 +1356,15 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
             t0 = admitted_at.pop(event.request_id, None)
             if held and t0 is not None:
                 holding.observe(event.time - t0)
-            if injector is not None:
-                # a departed request must not be resurrected by a later
-                # repair, even if it was stranded when it departed
-                injector.forget(event.request_id)
+            wiring.forget(event.request_id)
         elif event.kind in (CUT, REPAIR):
             if event.arc is None:
                 raise SimulationError(
                     f"fault event at time {event.time} carries no arc")
             if event.kind == CUT:
-                result.fibre_cuts += 1
-                reconcile(fault_injector().cut(event.arc))
+                wiring.cut(event.arc)
             else:
-                result.fibre_repairs += 1
-                reconcile(fault_injector().repair(event.arc))
+                wiring.repair(event.arc)
         else:
             raise SimulationError(f"unknown event kind {event.kind!r}")
         index += len(group)
@@ -1423,6 +1397,10 @@ def simulate_online(graph: DiGraph, events: List[Event], wavelengths: int,
         if violations:
             raise AuditError("engine audit failed at the end of the trace",
                              violations)
+    result.fibre_cuts = wiring.cuts
+    result.fibre_repairs = wiring.repairs
+    result.lightpaths_stranded = wiring.stranded
+    result.lightpaths_restored = wiring.restored
     result.wavelengths_used = engine.assigner.colors_ever_used()
     result.kempe_repairs = engine.assigner.kempe_repairs
     result.defrag_passes = engine.defrag_passes

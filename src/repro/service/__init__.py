@@ -3,11 +3,25 @@
 See :mod:`repro.service.service` for the design notes; the headline
 contract is that :class:`RwaService` makes bit-identical decisions to
 :func:`repro.online.simulator.simulate_online` on the same ordered trace
-(:func:`serve_trace` is the replay harness the E19 gate runs), while
+(:func:`serve_trace` is the replay harness the E19 and E21 gates run) —
+fibre cut/repair ops and scheduled maintenance windows included — while
 serving concurrent read queries from coherent between-batch snapshots
 and shedding overload per tenant.
+
+The chaos-hardening layer (PR 10): :class:`ServiceSupervisor` restarts a
+crashed durable service from its journal and re-resolves in-flight
+futures (fingerprint-convergent with an uncrashed run);
+:class:`RetryingClient` retries :class:`~repro.exceptions.TimedOut`
+submissions with capped, seeded exponential backoff under the
+retry-idempotency contract (the engine decides each request once);
+deadline-expired arrivals fail typed with :class:`~repro.exceptions.
+Expired` under the :data:`EXPIRED` rejection reason.
 """
 
-from .service import RwaService, aserve_trace, serve_trace
+from ..exceptions import Expired, TimedOut
+from .client import RetryingClient
+from .service import EXPIRED, RwaService, aserve_trace, serve_trace
+from .supervisor import ServiceSupervisor
 
-__all__ = ["RwaService", "aserve_trace", "serve_trace"]
+__all__ = ["EXPIRED", "Expired", "RetryingClient", "RwaService",
+           "ServiceSupervisor", "TimedOut", "aserve_trace", "serve_trace"]

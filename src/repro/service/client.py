@@ -1,0 +1,112 @@
+"""Client-side resilience: bounded retries with deterministic backoff.
+
+:class:`RetryingClient` wraps a :class:`~repro.service.RwaService` (or a
+:class:`~repro.service.supervisor.ServiceSupervisor`) and retries
+submissions whose wall-clock wait times out.  Two contracts make the
+retry loop safe:
+
+* **Replay safety.**  Every attempt carries the *original*
+  ``request_id``, and every attempt after the first sets ``retry=True``.
+  A :class:`~repro.exceptions.TimedOut` never cancels the op — the
+  engine decides it exactly once — so a retry that arrives after the
+  decision landed is answered from the service's decision log, never
+  decided a second time.  N racing attempts cost one engine decision.
+* **Deterministic backoff.**  Delays follow capped exponential backoff
+  with jitter drawn from a client-owned seeded ``random.Random``: the
+  k-th retry sleeps ``min(max_delay, base_delay * 2**k) * u`` with
+  ``u ∈ [0.5, 1.0)``.  The delay sequence is a pure function of the
+  seed, so chaos tests replay the same schedule run after run.  (The
+  sleeps are wall-clock by nature; they never touch the engine or its
+  metrics registry — attempt counters live on the client as plain
+  attributes.)
+
+:class:`~repro.exceptions.Expired` is never retried: an event-time
+deadline does not move, so a retry would expire identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Optional
+
+from ..exceptions import TimedOut
+
+__all__ = ["RetryingClient"]
+
+
+class RetryingClient:
+    """Retry timed-out submissions with capped exponential backoff.
+
+    Parameters
+    ----------
+    service:
+        Anything with the :meth:`RwaService.submit` signature — a
+        service or a supervisor proxy.
+    timeout:
+        Wall-clock cap per attempt, in seconds (passed as ``submit``'s
+        ``timeout=``).
+    max_attempts:
+        Total attempts (the first submission included); the last
+        :class:`TimedOut` is re-raised once they are spent.
+    base_delay, max_delay:
+        The exponential backoff envelope, in seconds.
+    seed:
+        Seed for the jitter RNG — the full delay schedule is
+        deterministic given the seed.
+    """
+
+    def __init__(self, service, *, timeout: float = 0.5,
+                 max_attempts: int = 4, base_delay: float = 0.01,
+                 max_delay: float = 0.25, seed: int = 0) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise ValueError("need 0 < base_delay <= max_delay")
+        self._service = service
+        self._timeout = timeout
+        self._max_attempts = max_attempts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._rng = random.Random(seed)
+        # wall-clock-driven tallies: plain attributes, never metrics
+        self.attempts = 0
+        self.retries = 0
+        self.timeouts = 0
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """The ``retry_index``-th retry's sleep (consumes one jitter draw).
+
+        Capped exponential with jitter in ``[0.5, 1.0)`` of the cap —
+        exposed for tests pinning the deterministic schedule.
+        """
+        cap = min(self._max_delay, self._base_delay * (2 ** retry_index))
+        return cap * (0.5 + 0.5 * self._rng.random())
+
+    async def submit(self, request_id: int, request=None, dipath=None, *,
+                     time: Optional[float] = None,
+                     tenant: Optional[str] = None,
+                     deadline: Optional[float] = None) -> Optional[str]:
+        """Submit with retries; returns the engine's one decision.
+
+        Raises the last :class:`TimedOut` when every attempt timed out,
+        or :class:`~repro.exceptions.Expired` immediately (deadlines are
+        not retryable).
+        """
+        last: Optional[TimedOut] = None
+        for attempt in range(self._max_attempts):
+            if attempt:
+                self.retries += 1
+                await asyncio.sleep(self.backoff_delay(attempt - 1))
+            self.attempts += 1
+            try:
+                return await self._service.submit(
+                    request_id, request=request, dipath=dipath, time=time,
+                    tenant=tenant, deadline=deadline,
+                    timeout=self._timeout, retry=attempt > 0)
+            except TimedOut as exc:
+                self.timeouts += 1
+                last = exc
+        raise last

@@ -157,6 +157,54 @@ def test_torn_tail_with_trailing_garbage_is_discarded(tmp_path):
         recover(str(bad))
 
 
+@pytest.mark.parametrize("final", ["cut", "repair"])
+def test_torn_fault_record_tail_is_discarded(tmp_path, final):
+    """A journal whose final, torn record is a CUT/REPAIR recovers cleanly.
+
+    Fault records rewrite graph structure on replay, so a half-written
+    one must be discarded exactly like a torn admit: recovery lands on
+    the last clean boundary, bit-identical to an engine that never saw
+    the fault — with or without trailing flush garbage.
+    """
+    durable = DurableEngine(diamond(), str(tmp_path / "faults.jsonl"),
+                            wavelengths=4, routing="k_shortest",
+                            speculative=True)
+    durable.admit(0, request=Request(0, 3))
+    durable.admit(1, request=Request(0, 3))
+    durable.cut((0, 1))
+    if final == "repair":
+        durable.repair((0, 1))
+    else:
+        durable.repair((0, 1))
+        durable.cut((0, 2))
+    durable.close()
+    data = Path(durable.path).read_bytes()
+    boundary = data.rindex(b"\n", 0, len(data) - 1) + 1
+    last = json.loads(data[boundary:])
+    assert last["type"] == final             # the scenario tears a fault op
+
+    clean = tmp_path / "clean.jsonl"
+    clean.write_bytes(data[:boundary])
+    reference = recover(str(clean))
+    reference.close()
+
+    for suffix in (data[boundary:boundary + 12],       # half-written record
+                   data[boundary:boundary + 12] + b"\n\x00\xff\xfe"):
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(data[:boundary] + suffix)
+        recovered = recover(str(torn))
+        recovered.close()
+        assert recovered.fingerprint() == reference.fingerprint()
+        assert torn.read_bytes() == data[:boundary]
+
+    # negative control: garbage *before* the clean fault record is mid-
+    # journal corruption, never a torn tail
+    bad = tmp_path / "mid.jsonl"
+    bad.write_bytes(data[:boundary] + b"\x00garbage\n" + data[boundary:])
+    with pytest.raises(RecoveryError):
+        recover(str(bad))
+
+
 def test_fsync_error_degrades_to_flush_once(tmp_path, monkeypatch):
     """fsync=True on a target that rejects fsync must not crash.
 

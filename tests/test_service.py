@@ -25,7 +25,8 @@ from repro.dipaths.requests import Request
 from repro.exceptions import ServiceError, SimulationError
 from repro.generators.regions import multi_region_topology, multi_region_traffic
 from repro.graphs.digraph import DiGraph
-from repro.online.events import ARRIVAL, CUT, Event, poisson_trace, sort_events
+from repro.online.events import (ARRIVAL, CUT, Event, cut_event,
+                                 poisson_trace, repair_event, sort_events)
 from repro.online.persistence import engine_fingerprint, recover
 from repro.online.simulator import (
     DEFAULT_TENANT,
@@ -117,12 +118,28 @@ class TestTraceLoopIdentity:
         assert 0.0 <= served.latency["p50_s"] <= served.latency["p99_s"] \
             <= served.latency["max_s"]
 
-    def test_serve_trace_rejects_fault_events(self):
-        graph, _, trace = _workload(num_requests=20)
-        trace = sort_events(trace + [Event(0.5, CUT, 10_000,
-                                           arc=next(iter(graph.arcs())))])
-        with pytest.raises(SimulationError, match="arrivals and departures"):
-            serve_trace(graph, trace, 8)
+    def test_serve_trace_accepts_fault_events(self):
+        """A fault-bearing trace replays through the service loop and
+        stays decision-identical to the simulator oracle (the E21
+        contract; the chaos suite fuzzes it harder)."""
+        graph, _, trace = _workload(num_requests=60)
+        arc = next(iter(graph.arcs()))
+        horizon = max(e.time for e in trace)
+        trace = sort_events(trace +
+                            [cut_event(0.4 * horizon, arc, fault_id=10_000),
+                             repair_event(0.7 * horizon, arc,
+                                          fault_id=10_000)])
+        reference = simulate_online(graph, trace, 8, record_timeline=False)
+        served = serve_trace(graph, trace, 8)
+        assert served.fibre_cuts == reference.fibre_cuts == 1
+        assert served.fibre_repairs == reference.fibre_repairs == 1
+        assert served.lightpaths_stranded == reference.lightpaths_stranded
+        assert served.lightpaths_restored == reference.lightpaths_restored
+        for field in ("accepted", "blocked", "rejections",
+                      "wavelengths_used"):
+            assert getattr(served, field) == getattr(reference, field), field
+        assert engine_fingerprint(served.engine) == \
+            engine_fingerprint(reference.engine)
 
 
 # --------------------------------------------------------------------------- #
