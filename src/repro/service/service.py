@@ -128,7 +128,7 @@ class _Op:
 
     __slots__ = ("kind", "time", "request_id", "request", "dipath",
                  "tenant", "order", "max_moves", "arc", "deadline",
-                 "retry", "future", "submitted")
+                 "retry", "future", "submitted", "scheduled")
 
     def __init__(self, kind: str, time: float, future,
                  request_id: Optional[int] = None,
@@ -153,6 +153,10 @@ class _Op:
         self.retry = retry
         self.future = future
         self.submitted = _time.perf_counter()
+        # True for planned maintenance ops living in RwaService._scheduled
+        # rather than the FIFO queue — the supervisor re-plans (rather
+        # than re-queues) these across a crash-restart
+        self.scheduled = False
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -359,11 +363,20 @@ class RwaService:
         (``batch_policy``, guard configuration, ``max_pending``,
         ``crash_after_n_ops``).  Observability hooks already live on the
         recovered engine, so ``metrics``/``tracer``/``profile`` (and the
-        journal knobs, owned by ``durable``) are ignored here.
+        journal knobs, owned by ``durable``) are ignored here — as is
+        any engine knob, because the genesis record is authoritative:
+        callers (the supervisor in particular) may hold one kwargs dict
+        that configured the first incarnation and pass it here verbatim.
         """
         genesis = durable.genesis
         for owned in ("metrics", "tracer", "profile", "journal_path",
-                      "snapshot_every", "fsync"):
+                      "snapshot_every", "fsync",
+                      # genesis-owned engine knobs (set explicitly below)
+                      "graph", "wavelengths", "routing", "policy",
+                      "kempe_repair", "seed", "k_candidates",
+                      "speculative", "sharded", "restoration",
+                      "restore_retries", "restore_move_budget",
+                      "revert_on_repair", "restore_order"):
             service_kwargs.pop(owned, None)
         return cls(
             durable.engine.graph, genesis["wavelengths"],
@@ -397,6 +410,13 @@ class RwaService:
         later submissions raise :class:`~repro.exceptions.ServiceError`.
         A durable service's journal is closed (the engine stays usable
         in memory, e.g. for fingerprinting).
+
+        Stopping a *crashed* service (the consumer task died) raises
+        :class:`ServiceError` immediately: there is no consumer left to
+        drain the queue, so enqueueing the stop sentinel could block
+        forever on a bounded queue — recover via :meth:`take_unfinished`
+        or a :class:`~repro.service.supervisor.ServiceSupervisor`
+        instead.
         """
         if self._stopped:
             return
@@ -404,6 +424,17 @@ class RwaService:
             self._stopped = True
             return
         self._stopped = True
+        task = self._drain_task
+        if task.done() and (task.cancelled() or
+                            task.exception() is not None):
+            self._drain_task = None
+            if self._durable is not None:
+                self._durable.close()
+            raise ServiceError(
+                "cannot stop a crashed service: the consumer task died "
+                "with queued ops undecided — collect them via "
+                "take_unfinished() (or run under a ServiceSupervisor)"
+            ) from (None if task.cancelled() else task.exception())
         loop = asyncio.get_running_loop()
         sentinel = _Op(_STOP, self._last_time, loop.create_future())
         await self._queue.put(sentinel)
@@ -631,6 +662,7 @@ class RwaService:
     def _schedule(self, op: _Op) -> None:
         # bisect.insort is stable for equal keys (inserts to the right),
         # so same-(time, rank) ops keep scheduling order
+        op.scheduled = True
         bisect.insort(self._scheduled, op,
                       key=lambda o: (o.time, _op_rank(o)))
 
@@ -644,10 +676,12 @@ class RwaService:
         Only meaningful once the drain task has died (it raises
         :class:`ServiceError` while the consumer is alive): returns the
         batch the consumer was holding, everything still queued and any
-        un-released scheduled maintenance ops — in original order, with
-        already-decided ops (their futures resolved) filtered out.  The
-        service is marked stopped; :class:`~repro.service.supervisor.
-        ServiceSupervisor` resubmits these to the next incarnation.
+        un-released scheduled maintenance ops (recognisable by their
+        ``scheduled`` flag, so the supervisor re-plans instead of
+        re-queueing them) — in original order, with already-decided ops
+        (their futures resolved) filtered out.  The service is marked
+        stopped; :class:`~repro.service.supervisor.ServiceSupervisor`
+        resubmits these to the next incarnation.
         """
         if self._drain_task is not None and not self._drain_task.done():
             raise ServiceError("the consumer task is still alive; "
@@ -778,7 +812,14 @@ class RwaService:
                 raise ServiceError(
                     f"injected crash after {self._ops_done} ops")
             if op.time < self._last_time:
+                # a retry=True resubmission legitimately carries its
+                # *original* time, which later traffic may have passed
+                # while the first attempt's decision was in flight —
+                # the idempotency contract answers it from the decision
+                # log before the time-regression check can reject it
                 for member in group:
+                    if self._answer_retry(member):
+                        continue
                     member.future.set_exception(SimulationError(
                         f"submissions are not time-ordered at request "
                         f"{member.request_id}"))

@@ -90,6 +90,10 @@ class ServiceSupervisor:
         Remaining :class:`RwaService` keywords — engine knobs for the
         first incarnation plus service-level knobs (``batch_policy``,
         guard configuration, ...) applied to every incarnation.
+        Restarted incarnations read the engine knobs back from the
+        journal's genesis record (:meth:`RwaService.from_durable`
+        ignores the copies held here), so one kwargs dict safely
+        configures every incarnation.
     """
 
     def __init__(self, graph: DiGraph, wavelengths: int, *,
@@ -237,35 +241,58 @@ class ServiceSupervisor:
 
     async def _restart(self) -> None:
         crashed = self._service
-        pending = crashed.take_unfinished()
-        if crashed.durable is not None:
-            crashed.durable.close()
-        if self._restarts >= self._max_restarts:
+        pending: list = []
+        try:
+            pending = crashed.take_unfinished()
+            if crashed.durable is not None:
+                crashed.durable.close()
+            if self._restarts >= self._max_restarts:
+                self._failed = True
+                for op in pending:
+                    op.future.set_exception(ServiceError(
+                        f"service crashed and the restart budget "
+                        f"({self._max_restarts}) is exhausted; "
+                        f"op {op.kind!r} (request {op.request_id}) was "
+                        f"not applied"))
+                return
+            self._restarts += 1
+            durable = recover(self._journal_path,
+                              metrics=self._kwargs.get("metrics"),
+                              tracer=self._kwargs.get("tracer"))
+            service = RwaService.from_durable(durable, **self._kwargs)
+            await service.start()
+            self._service = service
+            # Resubmit in original order.  The crash falls between ops,
+            # so nothing here was applied (applied ops resolve their
+            # futures synchronously after journalling and are filtered
+            # out); retry=True still matters when the same request_id
+            # appears twice among the unresolved ops (an original plus
+            # a client retry) — the new incarnation decides it once.
+            for op in pending:
+                self._resubmit(service, op)
+        except Exception as exc:        # noqa: BLE001 - a failed restart
+            # (unreadable journal, re-queue overflow, ...) must fail the
+            # waiters typed instead of killing _watch with them hanging
             self._failed = True
             for op in pending:
-                op.future.set_exception(ServiceError(
-                    f"service crashed and the restart budget "
-                    f"({self._max_restarts}) is exhausted; "
-                    f"op {op.kind!r} (request {op.request_id}) was "
-                    f"not applied"))
-            return
-        self._restarts += 1
-        durable = recover(self._journal_path,
-                          metrics=self._kwargs.get("metrics"),
-                          tracer=self._kwargs.get("tracer"))
-        service = RwaService.from_durable(durable, **self._kwargs)
-        await service.start()
-        self._service = service
-        # Resubmit in original order.  The crash falls between ops, so
-        # nothing here was applied (applied ops resolve their futures
-        # synchronously after journalling and are filtered out);
-        # retry=True still matters when the same request_id appears
-        # twice among the unresolved ops (an original plus a client
-        # retry) — the new incarnation decides it once.
-        for op in pending:
-            self._resubmit(service, op)
+                if not op.future.done():
+                    op.future.set_exception(ServiceError(
+                        f"restart failed ({exc!r}); op {op.kind!r} "
+                        f"(request {op.request_id}) was not applied"))
 
     def _resubmit(self, service: RwaService, op: _Op) -> None:
+        if op.scheduled and op.kind in (_CUT, _REPAIR):
+            # an un-released maintenance op: re-plan it on the new
+            # incarnation instead of queueing it — queueing would run
+            # it immediately, dragging the service clock forward to the
+            # window time and failing every earlier queued submission
+            # on the time-regression check
+            loop = asyncio.get_running_loop()
+            replacement = _Op(op.kind, op.time, loop.create_future(),
+                              arc=op.arc)
+            service._schedule(replacement)
+            _chain(replacement.future, op.future)
+            return
         if op.kind == _ARRIVAL:
             fut = service.submit_nowait(
                 op.request_id, request=op.request, dipath=op.dipath,

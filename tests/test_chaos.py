@@ -38,7 +38,8 @@ import pytest
 
 from repro.analysis.recovery import _hot_arcs
 from repro.dipaths.requests import Request
-from repro.exceptions import Expired, ServiceError, TimedOut
+from repro.exceptions import (Expired, ServiceError, SimulationError,
+                              TimedOut)
 from repro.generators.regions import multi_region_topology, multi_region_traffic
 from repro.graphs.digraph import DiGraph
 from repro.online.events import (ARRIVAL, CUT, DEPARTURE, REPAIR, Event,
@@ -172,6 +173,68 @@ def test_supervisor_restart_budget_exhausted_fails_typed(tmp_path):
     assert len(failed) < len(outcomes)
 
 
+def test_supervisor_restart_with_engine_knobs(tmp_path):
+    """Engine knobs passed to the supervisor survive a crash-restart.
+
+    The supervisor hands one kwargs dict to every incarnation; on
+    restart ``from_durable`` must ignore the engine-knob entries (the
+    journal's genesis record is authoritative) instead of raising a
+    duplicate-keyword TypeError that would kill the watcher with every
+    in-flight future hanging.
+    """
+    graph, events = _fault_workload(num_requests=30)
+    knobs = dict(routing="shortest", policy="first_fit", seed=11,
+                 restoration=True, restore_retries=3)
+
+    async def go(path, crash_after):
+        supervisor = ServiceSupervisor(graph.copy(), 6,
+                                       journal_path=str(path),
+                                       crash_after_n_ops=crash_after,
+                                       **knobs)
+        async with supervisor:
+            futures = _enqueue_trace(supervisor, events)
+            await asyncio.wait_for(asyncio.gather(*futures), timeout=60.0)
+            return (engine_fingerprint(supervisor.service.engine),
+                    supervisor.restarts)
+
+    reference_fp, restarts = asyncio.run(go(tmp_path / "ref.jsonl", None))
+    assert restarts == 0
+    fingerprint, restarts = asyncio.run(go(tmp_path / "crash.jsonl", 7))
+    assert restarts == 1
+    assert fingerprint == reference_fp
+
+
+def test_supervisor_restart_failure_fails_futures_typed(tmp_path,
+                                                        monkeypatch):
+    """A restart that itself fails (unreadable journal) resolves every
+    pending future with a typed ServiceError instead of hanging them."""
+    graph, events = _fault_workload(num_requests=20)
+
+    def unreadable(*args, **kwargs):
+        raise OSError("journal unreadable")
+
+    monkeypatch.setattr("repro.service.supervisor.recover", unreadable)
+
+    async def go():
+        supervisor = ServiceSupervisor(graph.copy(), 6,
+                                       journal_path=str(tmp_path / "j.jsonl"),
+                                       max_restarts=3, crash_after_n_ops=5)
+        async with supervisor:
+            futures = _enqueue_trace(supervisor, events)
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*futures, return_exceptions=True),
+                timeout=30.0)
+            return supervisor, outcomes
+
+    supervisor, outcomes = asyncio.run(go())
+    assert supervisor.failed
+    failed = [o for o in outcomes if isinstance(o, ServiceError)]
+    assert failed and all("restart failed" in str(exc) and "not applied"
+                          in str(exc) for exc in failed)
+    # the ops applied before the crash were decided normally
+    assert len(failed) < len(outcomes)
+
+
 # --------------------------------------------------------------------------- #
 # maintenance windows and equal-time ordering
 # --------------------------------------------------------------------------- #
@@ -209,6 +272,53 @@ def test_maintenance_window_matches_event_oracle():
     assert served.fibre_repairs == oracle.fibre_repairs == len(arcs)
     assert engine_fingerprint(served.engine) == \
         engine_fingerprint(oracle.engine)
+
+
+def test_supervisor_replans_pending_maintenance(tmp_path):
+    """Maintenance still pending at the crash is re-*planned*, not run.
+
+    Un-released scheduled ops handed over by ``take_unfinished`` must
+    re-enter the restarted incarnation's schedule (released when the
+    stream reaches the window), not its queue — queueing would execute
+    the window immediately, dragging the clock to the window time and
+    failing all earlier traffic on the time-regression check.
+    """
+    graph = multi_region_topology(regions=2, region_size=10,
+                                  arc_probability=0.22, coupling=2, seed=5)
+    pool = multi_region_traffic(graph, 40, inter_fraction=0.3, seed=6)
+    trace = poisson_trace(pool, 40, arrival_rate=5.0, mean_holding=2.0,
+                          seed=7)
+    horizon = max(event.time for event in trace)
+    arcs = _hot_arcs(graph, pool.pairs(), 2)
+    start, duration = 0.5 * horizon, 0.3 * horizon
+
+    async def go(path, crash_after):
+        supervisor = ServiceSupervisor(graph.copy(), 6,
+                                       journal_path=str(path),
+                                       crash_after_n_ops=crash_after)
+        async with supervisor:
+            cut_futs, repair_futs = supervisor.schedule_maintenance(
+                arcs, start, duration)
+            futures = _enqueue_trace(supervisor, trace)
+            await asyncio.wait_for(asyncio.gather(*futures), timeout=60.0)
+            reports = await asyncio.wait_for(
+                asyncio.gather(*cut_futs, *repair_futs), timeout=60.0)
+            assert all(report is not None for report in reports)
+            fingerprint = engine_fingerprint(supervisor.service.engine)
+            result = supervisor.service.result()
+            return fingerprint, result, supervisor.restarts
+
+    reference_fp, reference, restarts = asyncio.run(
+        go(tmp_path / "uncrashed.jsonl", None))
+    assert restarts == 0
+    # crash well before the window opens, while it is still scheduled
+    fingerprint, crashed, restarts = asyncio.run(
+        go(tmp_path / "crashed.jsonl", 5))
+    assert restarts == 1
+    assert fingerprint == reference_fp
+    assert _decisions(crashed) == _decisions(reference)
+    assert crashed.fibre_cuts == reference.fibre_cuts == len(arcs)
+    assert crashed.fibre_repairs == reference.fibre_repairs == len(arcs)
 
 
 def test_maintenance_window_validation():
@@ -336,6 +446,65 @@ def test_deadline_expiry_is_typed_and_partitioned():
     counters = result.metrics["counters"]
     assert counters["result.blocked.expired"] == 1
     assert counters["result.blocked"] == 1
+
+
+def test_retry_answered_after_clock_advance():
+    """A retry carrying its original time beats the regression check.
+
+    ``retry=True`` resubmissions legitimately arrive after later
+    traffic advanced the service clock past their original ``time`` —
+    they must be answered from the decision log, not rejected by the
+    time-regression check the first fresh submission would hit.
+    """
+    async def go():
+        async with RwaService(_diamond(), 2) as service:
+            assert await service.submit(0, request=Request(0, 3),
+                                        time=0.0) is None
+            with pytest.raises(Expired):
+                await service.submit(1, request=Request(0, 3), time=2.0,
+                                     deadline=1.0)
+            assert await service.submit(2, request=Request(0, 3),
+                                        time=5.0) is None
+            # the clock sits at 5.0; both retries carry their old times
+            assert await service.submit(0, request=Request(0, 3),
+                                        time=0.0, retry=True) is None
+            with pytest.raises(Expired):
+                await service.submit(1, request=Request(0, 3), time=2.0,
+                                     deadline=1.0, retry=True)
+            # a *fresh* out-of-order submission still fails typed
+            with pytest.raises(SimulationError):
+                await service.submit(3, request=Request(0, 3), time=1.0)
+            return service.result()
+    result = asyncio.run(go())
+    assert result.accepted == [0, 2]
+    assert result.rejections == {1: EXPIRED}
+    assert result.metrics["counters"]["result.accepted"] == 2
+
+
+def test_stop_after_crash_fails_fast():
+    """stop() on a crashed service raises typed instead of hanging.
+
+    With ``max_pending`` set and the queue refilled after the consumer
+    died, the old stop() blocked forever putting its sentinel; without
+    a bound it re-raised the raw crash.  Either way the API now fails
+    fast and leaves the leftovers recoverable via take_unfinished().
+    """
+    async def go():
+        service = RwaService(_diamond(), 2, max_pending=1,
+                             crash_after_n_ops=0)
+        await service.start()
+        service.submit_nowait(0, request=Request(0, 3), time=0.0)
+        while not service._drain_task.done():
+            await asyncio.sleep(0)
+        # refill the bounded queue: a sentinel put would block forever
+        service.submit_nowait(1, request=Request(0, 3), time=0.0)
+        with pytest.raises(ServiceError) as excinfo:
+            await asyncio.wait_for(service.stop(), timeout=5.0)
+        assert "crashed" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ServiceError)
+        leftovers = service.take_unfinished()
+        assert {op.request_id for op in leftovers} == {0, 1}
+    asyncio.run(go())
 
 
 def test_expired_counter_is_lazy_for_snapshot_identity():
